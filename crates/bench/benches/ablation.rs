@@ -1,0 +1,61 @@
+//! Ablation timings for the design choices DESIGN.md calls out: how much
+//! work classification and colocation-based localization add per signaled
+//! bin. (The *outcome* ablations — per-AS grouping vs aggregate, tag
+//! monitoring vs AS-path-only — are asserted in `tests/ablation.rs`.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kepler_bgp::Asn;
+use kepler_core::config::KeplerConfig;
+use kepler_core::investigate::Investigator;
+use kepler_core::monitor::{BinOutcome, OutageSignal};
+use kepler_docmine::LocationTag;
+use kepler_netsim::world::{World, WorldConfig};
+use std::collections::BTreeMap;
+
+fn synthetic_outcome(world: &World, n_signals: usize) -> BinOutcome {
+    let fac = world
+        .colo
+        .facilities()
+        .iter()
+        .max_by_key(|f| world.colo.members_of_facility(f.id).len())
+        .unwrap()
+        .id;
+    let members: Vec<Asn> = world.colo.members_of_facility(fac).iter().copied().collect();
+    let pop = LocationTag::Facility(fac);
+    let mut outcome = BinOutcome { bin_start: 0, ..Default::default() };
+    let mut by_near: BTreeMap<Asn, BTreeMap<Asn, usize>> = BTreeMap::new();
+    for i in 0..n_signals.min(members.len()) {
+        let near = members[i];
+        let fars: Vec<Asn> = members.iter().copied().filter(|m| *m != near).take(6).collect();
+        by_near.insert(near, fars.iter().map(|f| (*f, 2usize)).collect());
+        outcome.signals.push(OutageSignal {
+            pop,
+            near,
+            bin_start: 0,
+            deviated: vec![],
+            stable_total: fars.len(),
+            far_ases: fars.into_iter().collect(),
+            fraction: 1.0,
+        });
+    }
+    outcome.stable_fars.insert(pop, by_near);
+    outcome
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::small(41));
+    let colo = world.detector_colomap();
+    let inv = Investigator::new(KeplerConfig::default(), colo, world.orgs.clone());
+
+    let mut g = c.benchmark_group("ablation");
+    for n in [3usize, 6, 12] {
+        let outcome = synthetic_outcome(&world, n);
+        g.bench_with_input(BenchmarkId::new("investigate_signals", n), &outcome, |b, o| {
+            b.iter(|| inv.investigate(o).incidents.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

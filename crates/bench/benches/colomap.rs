@@ -1,0 +1,30 @@
+//! Colocation-map query cost: the inner loop of signal disambiguation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kepler_netsim::world::{World, WorldConfig};
+
+fn bench_colomap(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::small(37));
+    let colo = &world.colo;
+    let asns: Vec<_> = world.ases.iter().map(|a| a.asn).collect();
+
+    let mut g = c.benchmark_group("colomap");
+    g.throughput(Throughput::Elements(asns.len() as u64));
+    g.bench_function("facilities_of_as_all", |b| {
+        b.iter(|| asns.iter().map(|a| colo.facilities_of_as(*a).len()).sum::<usize>())
+    });
+    let pairs: Vec<_> = asns.windows(2).map(|w| (w[0], w[1])).collect();
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function("common_facilities_pairs", |b| {
+        b.iter(|| pairs.iter().map(|(x, y)| colo.common_facilities(*x, *y).len()).sum::<usize>())
+    });
+    g.bench_function("members_of_all_facilities", |b| {
+        b.iter(|| {
+            colo.facilities().iter().map(|f| colo.members_of_facility(f.id).len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_colomap);
+criterion_main!(benches);

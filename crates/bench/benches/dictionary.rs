@@ -1,0 +1,35 @@
+//! Dictionary-mining pipeline cost: corpus rendering, NER mining, lookups.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kepler_bgp::Community;
+use kepler_docmine::corpus::render_corpus;
+use kepler_docmine::dictionary::DictionaryMiner;
+use kepler_netsim::world::{World, WorldConfig};
+
+fn bench_dictionary(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::tiny(17));
+    let colo = world.detector_colomap();
+    let corpus = render_corpus(&world.schemes, 17);
+    let miner = DictionaryMiner::new(&colo, &world.gazetteer);
+    let (dict, _) = miner.mine(&corpus);
+
+    let mut g = c.benchmark_group("dictionary");
+    g.bench_function("render_corpus", |b| b.iter(|| render_corpus(&world.schemes, 17).len()));
+    g.bench_function("mine_corpus", |b| {
+        b.iter(|| {
+            let (d, _) = miner.mine(&corpus);
+            d.len()
+        })
+    });
+    let lookups: Vec<Community> = dict.entries().map(|e| e.community).collect();
+    if !lookups.is_empty() {
+        g.throughput(Throughput::Elements(lookups.len() as u64));
+        g.bench_function("locate_all", |b| {
+            b.iter(|| lookups.iter().filter(|c| dict.locate(**c).is_some()).count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dictionary);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Input-module throughput: sanitization plus community→PoP mapping per
+//! element — the per-update cost of the whole passive pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kepler_bench::sample_record;
+use kepler_bgp::Community;
+use kepler_core::input::InputModule;
+use kepler_docmine::{CommunityDictionary, LocationTag};
+use kepler_topology::{CityGazetteer, ColocationMap, FacilityId};
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut dict = CommunityDictionary::new();
+    for v in 0..100u16 {
+        dict.insert(Community::new(13030, 51_000 + v), LocationTag::Facility(FacilityId(v as u32 % 7)));
+        dict.insert(Community::new(3356, 2000 + v), LocationTag::City(kepler_topology::CityId(v as u32 % 30)));
+    }
+    let _ = CityGazetteer::new();
+    let records: Vec<_> = (0..5000u64).map(sample_record).collect();
+    let elems: Vec<_> = records.iter().flat_map(|r| r.explode()).collect();
+
+    let mut g = c.benchmark_group("mapping");
+    g.throughput(Throughput::Elements(elems.len() as u64));
+    g.bench_function("process_5k_elems", |b| {
+        b.iter(|| {
+            let mut input = InputModule::new(dict.clone(), ColocationMap::new());
+            let mut located = 0usize;
+            for e in &elems {
+                if let Some(kepler_core::input::RouteEvent::Update { crossings, .. }) =
+                    input.process(e)
+                {
+                    located += usize::from(!crossings.is_empty());
+                }
+            }
+            located
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! MRT archive encode/decode throughput — the cost floor of replaying
+//! RouteViews/RIS history.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use kepler_bench::sample_record;
+use kepler_bgp::mrt::{MrtReader, MrtWriter};
+use kepler_bgp::Asn;
+
+fn bench_mrt(c: &mut Criterion) {
+    let records: Vec<_> = (0..1000u64)
+        .map(|i| sample_record(i).to_mrt(Asn(64_700), "192.0.2.254".parse().unwrap()))
+        .collect();
+    let mut encoded = Vec::new();
+    {
+        let mut w = MrtWriter::new(&mut encoded);
+        for r in &records {
+            w.write_record(r).unwrap();
+        }
+    }
+
+    let mut g = c.benchmark_group("mrt");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("encode_1k_updates", |b| {
+        b.iter_batched(
+            Vec::new,
+            |mut buf| {
+                let mut w = MrtWriter::new(&mut buf);
+                for r in &records {
+                    w.write_record(r).unwrap();
+                }
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("decode_1k_updates", |b| {
+        b.iter(|| {
+            let n = MrtReader::new(&encoded[..]).filter(|r| r.is_ok()).count();
+            assert_eq!(n, records.len());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mrt);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Policy-routing cost: per-prefix route-tree computation over the
+//! generated topology, clean and under failure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kepler_netsim::routing::policy::FailedSet;
+use kepler_netsim::routing::propagate::compute_tree;
+use kepler_netsim::world::{AsIdx, World, WorldConfig};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for (label, cfg) in [("tiny", WorldConfig::tiny(29)), ("small", WorldConfig::small(29))] {
+        let world = World::generate(cfg);
+        let clean = FailedSet::default();
+        g.bench_with_input(BenchmarkId::new("compute_tree_clean", label), &world, |b, w| {
+            b.iter(|| compute_tree(w, &clean, AsIdx(0)).routed_count())
+        });
+        let mut failed = FailedSet::default();
+        let busiest = world
+            .colo
+            .facilities()
+            .iter()
+            .max_by_key(|f| world.colo.members_of_facility(f.id).len())
+            .unwrap()
+            .id;
+        failed.facilities.insert(busiest);
+        g.bench_with_input(BenchmarkId::new("compute_tree_outage", label), &world, |b, w| {
+            b.iter(|| compute_tree(w, &failed, AsIdx(0)).routed_count())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! BGPStream-substrate throughput: k-way merge of per-collector feeds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kepler_bench::sample_record;
+use kepler_bgpstream::{MemorySource, MergedStream, RecordSource};
+
+fn bench_stream(c: &mut Criterion) {
+    const SOURCES: usize = 16;
+    const PER_SOURCE: u64 = 2000;
+    let feeds: Vec<Vec<_>> = (0..SOURCES)
+        .map(|s| (0..PER_SOURCE).map(|i| sample_record(i * SOURCES as u64 + s as u64)).collect())
+        .collect();
+
+    let mut g = c.benchmark_group("stream");
+    g.throughput(Throughput::Elements(SOURCES as u64 * PER_SOURCE));
+    g.bench_function("merge_16x2k", |b| {
+        b.iter(|| {
+            let sources: Vec<Box<dyn RecordSource>> = feeds
+                .iter()
+                .map(|f| Box::new(MemorySource::new(f.clone())) as Box<dyn RecordSource>)
+                .collect();
+            let merged = MergedStream::new(sources);
+            let mut last = 0u64;
+            let mut n = 0usize;
+            for r in merged {
+                assert!(r.time >= last);
+                last = r.time;
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Shared plumbing for the figure-reproduction harness (`repro` binary)
+//! and the Criterion micro-benchmarks.
+
+use kepler_bgp::{AsPath, Asn, BgpUpdate, Community, PathAttributes, Prefix};
+use kepler_bgpstream::{BgpRecord, CollectorId, PeerId, RecordPayload};
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// The q-quantile (0..=1) of a sorted f64 slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// An ASCII sparkline for quick visual inspection of a series.
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| TICKS[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Builds a synthetic announcement record for micro-benchmarks.
+pub fn sample_record(i: u64) -> BgpRecord {
+    let attrs = PathAttributes::with_path_and_communities(
+        AsPath::from_sequence([3356, 13030, 20940 + (i % 7) as u32]),
+        vec![
+            Community::new(13030, 51_000 + (i % 100) as u16),
+            Community::new(3356, 2000 + (i % 50) as u16),
+        ],
+    );
+    BgpRecord {
+        time: 1_400_000_000 + i,
+        collector: CollectorId((i % 4) as u16),
+        peer: PeerId { asn: Asn(3356), addr: "10.0.0.1".parse().unwrap() },
+        payload: RecordPayload::Update(BgpUpdate::announce(
+            vec![Prefix::v4(20, (i % 200) as u8, 0, 0, 16)],
+            attrs,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.0), 0.0);
+        assert_eq!(quantile(&v, 0.5), 50.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn sample_records_vary() {
+        assert_ne!(sample_record(1), sample_record(2));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared by the MRT reader/writer.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while encoding or decoding MRT records.
+#[derive(Debug)]
+pub enum MrtError {
+    /// The input ended inside a record.
+    UnexpectedEof { context: &'static str },
+    /// The 16-byte BGP marker was not all-ones.
+    BadMarker,
+    /// A record carried a (type, subtype) pair we do not implement.
+    UnsupportedRecord { mrt_type: u16, subtype: u16 },
+    /// A field held an invalid value.
+    BadValue { context: &'static str },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::UnexpectedEof { context } => write!(f, "unexpected EOF while reading {context}"),
+            MrtError::BadMarker => write!(f, "BGP message marker is not all-ones"),
+            MrtError::UnsupportedRecord { mrt_type, subtype } => {
+                write!(f, "unsupported MRT record type {mrt_type} subtype {subtype}")
+            }
+            MrtError::BadValue { context } => write!(f, "invalid value in {context}"),
+            MrtError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MrtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrtError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MrtError {
+    fn from(e: io::Error) -> Self {
+        MrtError::Io(e)
+    }
+}

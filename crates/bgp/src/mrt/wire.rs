@@ -1,0 +1,589 @@
+//! BGP-4 wire encoding shared by BGP4MP message bodies and TABLE_DUMP_V2
+//! RIB entries: NLRI prefix encoding, the path-attribute TLV soup, and the
+//! UPDATE message framing (RFC 4271 §4.3, RFC 4760 for IPv6 NLRI).
+
+use super::error::MrtError;
+use crate::aspath::{AsPath, AsPathSegment};
+use crate::attrs::{Origin, PathAttributes};
+use crate::community::{Community, ExtendedCommunity, LargeCommunity};
+use crate::message::BgpUpdate;
+use crate::prefix::Prefix;
+use crate::Asn;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Attribute-encoding context: BGP4MP carries full MP_REACH_NLRI, while
+/// TABLE_DUMP_V2 RIB entries use the abbreviated form (next hop only,
+/// RFC 6396 §4.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AttrMode {
+    Bgp4mp,
+    TableDumpV2,
+}
+
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_ATOMIC_AGGREGATE: u8 = 6;
+const ATTR_COMMUNITY: u8 = 8;
+const ATTR_MP_REACH: u8 = 14;
+const ATTR_MP_UNREACH: u8 = 15;
+const ATTR_EXTENDED_COMMUNITIES: u8 = 16;
+const ATTR_LARGE_COMMUNITY: u8 = 32;
+
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXTENDED_LEN: u8 = 0x10;
+
+/// Bounds-checked big-endian cursor over a byte slice.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], MrtError> {
+        if self.remaining() < n {
+            return Err(MrtError::UnexpectedEof { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, MrtError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, MrtError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, MrtError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn ip(&mut self, v6: bool, context: &'static str) -> Result<IpAddr, MrtError> {
+        if v6 {
+            let b = self.take(16, context)?;
+            let mut a = [0u8; 16];
+            a.copy_from_slice(b);
+            Ok(IpAddr::V6(Ipv6Addr::from(a)))
+        } else {
+            let b = self.take(4, context)?;
+            Ok(IpAddr::V4(Ipv4Addr::new(b[0], b[1], b[2], b[3])))
+        }
+    }
+}
+
+/// Encodes one NLRI prefix: length byte + minimal octets.
+pub(crate) fn encode_nlri_prefix(prefix: &Prefix, out: &mut Vec<u8>) {
+    out.push(prefix.len());
+    let nbytes = (prefix.len() as usize).div_ceil(8);
+    match prefix.addr() {
+        IpAddr::V4(a) => out.extend_from_slice(&a.octets()[..nbytes]),
+        IpAddr::V6(a) => out.extend_from_slice(&a.octets()[..nbytes]),
+    }
+}
+
+/// Decodes one NLRI prefix of the given family.
+pub(crate) fn decode_nlri_prefix(cur: &mut Cursor<'_>, v6: bool) -> Result<Prefix, MrtError> {
+    let len = cur.u8("NLRI prefix length")?;
+    let max: u8 = if v6 { 128 } else { 32 };
+    if len > max {
+        return Err(MrtError::BadValue { context: "NLRI prefix length" });
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    let raw = cur.take(nbytes, "NLRI prefix bytes")?;
+    let addr = if v6 {
+        let mut a = [0u8; 16];
+        a[..nbytes].copy_from_slice(raw);
+        IpAddr::V6(Ipv6Addr::from(a))
+    } else {
+        let mut a = [0u8; 4];
+        a[..nbytes].copy_from_slice(raw);
+        IpAddr::V4(Ipv4Addr::from(a))
+    };
+    Prefix::new(addr, len).map_err(|_| MrtError::BadValue { context: "NLRI prefix" })
+}
+
+fn push_attr(out: &mut Vec<u8>, flags: u8, attr_type: u8, body: &[u8]) {
+    if body.len() > 255 {
+        out.push(flags | FLAG_EXTENDED_LEN);
+        out.push(attr_type);
+        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    } else {
+        out.push(flags);
+        out.push(attr_type);
+        out.push(body.len() as u8);
+    }
+    out.extend_from_slice(body);
+}
+
+fn encode_as_path(path: &AsPath) -> Vec<u8> {
+    let mut body = Vec::new();
+    for seg in path.segments() {
+        let (code, asns): (u8, &[Asn]) = match seg {
+            AsPathSegment::Set(v) => (1, v),
+            AsPathSegment::Sequence(v) => (2, v),
+        };
+        // RFC 4271 limits a segment to 255 ASNs; split longer ones.
+        for chunk in asns.chunks(255) {
+            body.push(code);
+            body.push(chunk.len() as u8);
+            for asn in chunk {
+                body.extend_from_slice(&asn.0.to_be_bytes());
+            }
+        }
+    }
+    body
+}
+
+fn decode_as_path(raw: &[u8]) -> Result<AsPath, MrtError> {
+    let mut cur = Cursor::new(raw);
+    let mut segments = Vec::new();
+    while cur.remaining() > 0 {
+        let code = cur.u8("AS_PATH segment type")?;
+        let count = cur.u8("AS_PATH segment count")? as usize;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(cur.u32("AS_PATH asn")?));
+        }
+        let seg = match code {
+            1 => AsPathSegment::Set(asns),
+            2 => AsPathSegment::Sequence(asns),
+            _ => return Err(MrtError::BadValue { context: "AS_PATH segment type" }),
+        };
+        // Merge adjacent sequences that we split for the 255 limit.
+        match (segments.last_mut(), &seg) {
+            (Some(AsPathSegment::Sequence(prev)), AsPathSegment::Sequence(new))
+                if !prev.is_empty() && prev.len() % 255 == 0 =>
+            {
+                prev.extend_from_slice(new);
+            }
+            _ => segments.push(seg),
+        }
+    }
+    Ok(AsPath::from_segments(segments))
+}
+
+/// Encodes the attribute block. `v6_announced`/`v6_withdrawn` go into
+/// MP_REACH / MP_UNREACH (BGP4MP mode only; TDV2 RIB entries never carry
+/// NLRI inside attributes).
+pub(crate) fn encode_attrs(
+    attrs: &PathAttributes,
+    v6_announced: &[Prefix],
+    v6_withdrawn: &[Prefix],
+    mode: AttrMode,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_attr(&mut out, FLAG_TRANSITIVE, ATTR_ORIGIN, &[attrs.origin.code()]);
+    push_attr(&mut out, FLAG_TRANSITIVE, ATTR_AS_PATH, &encode_as_path(&attrs.as_path));
+    if let IpAddr::V4(nh) = attrs.next_hop {
+        push_attr(&mut out, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &nh.octets());
+    }
+    if let Some(med) = attrs.med {
+        push_attr(&mut out, FLAG_OPTIONAL, ATTR_MED, &med.to_be_bytes());
+    }
+    if let Some(lp) = attrs.local_pref {
+        push_attr(&mut out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, &lp.to_be_bytes());
+    }
+    if attrs.atomic_aggregate {
+        push_attr(&mut out, FLAG_TRANSITIVE, ATTR_ATOMIC_AGGREGATE, &[]);
+    }
+    if !attrs.communities.is_empty() {
+        let mut body = Vec::with_capacity(attrs.communities.len() * 4);
+        for c in &attrs.communities {
+            body.extend_from_slice(&c.0.to_be_bytes());
+        }
+        push_attr(&mut out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITY, &body);
+    }
+    match mode {
+        AttrMode::Bgp4mp => {
+            if !v6_announced.is_empty() {
+                let mut body = Vec::new();
+                body.extend_from_slice(&2u16.to_be_bytes()); // AFI: IPv6
+                body.push(1); // SAFI: unicast
+                let nh = match attrs.next_hop {
+                    IpAddr::V6(a) => a,
+                    IpAddr::V4(_) => Ipv6Addr::UNSPECIFIED,
+                };
+                body.push(16);
+                body.extend_from_slice(&nh.octets());
+                body.push(0); // reserved
+                for p in v6_announced {
+                    encode_nlri_prefix(p, &mut body);
+                }
+                push_attr(&mut out, FLAG_OPTIONAL, ATTR_MP_REACH, &body);
+            }
+            if !v6_withdrawn.is_empty() {
+                let mut body = Vec::new();
+                body.extend_from_slice(&2u16.to_be_bytes());
+                body.push(1);
+                for p in v6_withdrawn {
+                    encode_nlri_prefix(p, &mut body);
+                }
+                push_attr(&mut out, FLAG_OPTIONAL, ATTR_MP_UNREACH, &body);
+            }
+        }
+        AttrMode::TableDumpV2 => {
+            if let IpAddr::V6(nh) = attrs.next_hop {
+                let mut body = Vec::with_capacity(17);
+                body.push(16);
+                body.extend_from_slice(&nh.octets());
+                push_attr(&mut out, FLAG_OPTIONAL, ATTR_MP_REACH, &body);
+            }
+        }
+    }
+    if !attrs.extended_communities.is_empty() {
+        let mut body = Vec::with_capacity(attrs.extended_communities.len() * 8);
+        for e in &attrs.extended_communities {
+            body.extend_from_slice(&e.0);
+        }
+        push_attr(&mut out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_EXTENDED_COMMUNITIES, &body);
+    }
+    if !attrs.large_communities.is_empty() {
+        let mut body = Vec::with_capacity(attrs.large_communities.len() * 12);
+        for l in &attrs.large_communities {
+            body.extend_from_slice(&l.global.to_be_bytes());
+            body.extend_from_slice(&l.local1.to_be_bytes());
+            body.extend_from_slice(&l.local2.to_be_bytes());
+        }
+        push_attr(&mut out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_LARGE_COMMUNITY, &body);
+    }
+    out
+}
+
+/// Result of decoding an attribute block.
+pub(crate) struct DecodedAttrs {
+    pub attrs: PathAttributes,
+    pub v6_announced: Vec<Prefix>,
+    pub v6_withdrawn: Vec<Prefix>,
+}
+
+/// Decodes an attribute block; unknown attribute types are skipped.
+pub(crate) fn decode_attrs(raw: &[u8], mode: AttrMode) -> Result<DecodedAttrs, MrtError> {
+    let mut cur = Cursor::new(raw);
+    let mut attrs = PathAttributes::default();
+    let mut v6_announced = Vec::new();
+    let mut v6_withdrawn = Vec::new();
+    let mut saw_next_hop = false;
+    let mut mp_next_hop: Option<IpAddr> = None;
+
+    while cur.remaining() > 0 {
+        let flags = cur.u8("attribute flags")?;
+        let attr_type = cur.u8("attribute type")?;
+        let len = if flags & FLAG_EXTENDED_LEN != 0 {
+            cur.u16("attribute extended length")? as usize
+        } else {
+            cur.u8("attribute length")? as usize
+        };
+        let body = cur.take(len, "attribute body")?;
+        match attr_type {
+            ATTR_ORIGIN => {
+                let code = *body.first().ok_or(MrtError::BadValue { context: "ORIGIN" })?;
+                attrs.origin = Origin::from_code(code).ok_or(MrtError::BadValue { context: "ORIGIN code" })?;
+            }
+            ATTR_AS_PATH => attrs.as_path = decode_as_path(body)?,
+            ATTR_NEXT_HOP => {
+                if body.len() != 4 {
+                    return Err(MrtError::BadValue { context: "NEXT_HOP length" });
+                }
+                attrs.next_hop = IpAddr::V4(Ipv4Addr::new(body[0], body[1], body[2], body[3]));
+                saw_next_hop = true;
+            }
+            ATTR_MED => {
+                if body.len() != 4 {
+                    return Err(MrtError::BadValue { context: "MED length" });
+                }
+                attrs.med = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            }
+            ATTR_LOCAL_PREF => {
+                if body.len() != 4 {
+                    return Err(MrtError::BadValue { context: "LOCAL_PREF length" });
+                }
+                attrs.local_pref = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+            }
+            ATTR_ATOMIC_AGGREGATE => attrs.atomic_aggregate = true,
+            ATTR_COMMUNITY => {
+                if body.len() % 4 != 0 {
+                    return Err(MrtError::BadValue { context: "COMMUNITY length" });
+                }
+                attrs.communities = body
+                    .chunks_exact(4)
+                    .map(|c| Community(u32::from_be_bytes([c[0], c[1], c[2], c[3]])))
+                    .collect();
+            }
+            ATTR_MP_REACH => match mode {
+                AttrMode::Bgp4mp => {
+                    let mut mp = Cursor::new(body);
+                    let afi = mp.u16("MP_REACH AFI")?;
+                    let _safi = mp.u8("MP_REACH SAFI")?;
+                    let nhlen = mp.u8("MP_REACH next-hop length")? as usize;
+                    let nh_raw = mp.take(nhlen, "MP_REACH next hop")?;
+                    if nhlen >= 16 {
+                        let mut a = [0u8; 16];
+                        a.copy_from_slice(&nh_raw[..16]);
+                        mp_next_hop = Some(IpAddr::V6(Ipv6Addr::from(a)));
+                    }
+                    mp.u8("MP_REACH reserved")?;
+                    let v6 = afi == 2;
+                    while mp.remaining() > 0 {
+                        v6_announced.push(decode_nlri_prefix(&mut mp, v6)?);
+                    }
+                }
+                AttrMode::TableDumpV2 => {
+                    let mut mp = Cursor::new(body);
+                    let nhlen = mp.u8("TDV2 MP_REACH next-hop length")? as usize;
+                    let nh_raw = mp.take(nhlen, "TDV2 MP_REACH next hop")?;
+                    if nhlen >= 16 {
+                        let mut a = [0u8; 16];
+                        a.copy_from_slice(&nh_raw[..16]);
+                        mp_next_hop = Some(IpAddr::V6(Ipv6Addr::from(a)));
+                    }
+                }
+            },
+            ATTR_MP_UNREACH => {
+                let mut mp = Cursor::new(body);
+                let afi = mp.u16("MP_UNREACH AFI")?;
+                let _safi = mp.u8("MP_UNREACH SAFI")?;
+                let v6 = afi == 2;
+                while mp.remaining() > 0 {
+                    v6_withdrawn.push(decode_nlri_prefix(&mut mp, v6)?);
+                }
+            }
+            ATTR_EXTENDED_COMMUNITIES => {
+                if body.len() % 8 != 0 {
+                    return Err(MrtError::BadValue { context: "EXTENDED_COMMUNITIES length" });
+                }
+                attrs.extended_communities = body
+                    .chunks_exact(8)
+                    .map(|c| {
+                        let mut a = [0u8; 8];
+                        a.copy_from_slice(c);
+                        ExtendedCommunity(a)
+                    })
+                    .collect();
+            }
+            ATTR_LARGE_COMMUNITY => {
+                if body.len() % 12 != 0 {
+                    return Err(MrtError::BadValue { context: "LARGE_COMMUNITY length" });
+                }
+                attrs.large_communities = body
+                    .chunks_exact(12)
+                    .map(|c| {
+                        LargeCommunity::new(
+                            u32::from_be_bytes([c[0], c[1], c[2], c[3]]),
+                            u32::from_be_bytes([c[4], c[5], c[6], c[7]]),
+                            u32::from_be_bytes([c[8], c[9], c[10], c[11]]),
+                        )
+                    })
+                    .collect();
+            }
+            _ => {} // unknown attribute: skip (we already consumed the body)
+        }
+    }
+    if !saw_next_hop {
+        if let Some(nh) = mp_next_hop {
+            attrs.next_hop = nh;
+        }
+    }
+    Ok(DecodedAttrs { attrs, v6_announced, v6_withdrawn })
+}
+
+/// Encodes a full BGP UPDATE message (marker + header + body).
+pub(crate) fn encode_bgp_update(update: &BgpUpdate) -> Vec<u8> {
+    let (w4, w6): (Vec<&Prefix>, Vec<&Prefix>) = update.withdrawn.iter().partition(|p| p.is_ipv4());
+    let (a4, a6): (Vec<&Prefix>, Vec<&Prefix>) = update.announced.iter().partition(|p| p.is_ipv4());
+
+    let mut withdrawn_bytes = Vec::new();
+    for p in &w4 {
+        encode_nlri_prefix(p, &mut withdrawn_bytes);
+    }
+
+    let attr_bytes = match &update.attrs {
+        Some(attrs) => {
+            let v6a: Vec<Prefix> = a6.iter().map(|p| **p).collect();
+            let v6w: Vec<Prefix> = w6.iter().map(|p| **p).collect();
+            encode_attrs(attrs, &v6a, &v6w, AttrMode::Bgp4mp)
+        }
+        None => {
+            if !w6.is_empty() {
+                // Withdraw-only IPv6 update: MP_UNREACH with no other attrs.
+                let v6w: Vec<Prefix> = w6.iter().map(|p| **p).collect();
+                let mut body = Vec::new();
+                body.extend_from_slice(&2u16.to_be_bytes());
+                body.push(1);
+                for p in &v6w {
+                    encode_nlri_prefix(p, &mut body);
+                }
+                let mut out = Vec::new();
+                push_attr(&mut out, FLAG_OPTIONAL, ATTR_MP_UNREACH, &body);
+                out
+            } else {
+                Vec::new()
+            }
+        }
+    };
+
+    let mut nlri = Vec::new();
+    for p in &a4 {
+        encode_nlri_prefix(p, &mut nlri);
+    }
+
+    let body_len = 2 + withdrawn_bytes.len() + 2 + attr_bytes.len() + nlri.len();
+    let total = 19 + body_len;
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&[0xFF; 16]);
+    out.extend_from_slice(&(total as u16).to_be_bytes());
+    out.push(2); // message type: UPDATE
+    out.extend_from_slice(&(withdrawn_bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(&withdrawn_bytes);
+    out.extend_from_slice(&(attr_bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(&attr_bytes);
+    out.extend_from_slice(&nlri);
+    out
+}
+
+/// Decodes a full BGP UPDATE message (marker + header + body).
+pub(crate) fn decode_bgp_update(cur: &mut Cursor<'_>) -> Result<BgpUpdate, MrtError> {
+    let marker = cur.take(16, "BGP marker")?;
+    if marker.iter().any(|&b| b != 0xFF) {
+        return Err(MrtError::BadMarker);
+    }
+    let total = cur.u16("BGP message length")? as usize;
+    if total < 19 {
+        return Err(MrtError::BadValue { context: "BGP message length" });
+    }
+    let msg_type = cur.u8("BGP message type")?;
+    if msg_type != 2 {
+        return Err(MrtError::BadValue { context: "BGP message type (expected UPDATE)" });
+    }
+    let body = cur.take(total - 19, "BGP message body")?;
+    let mut bc = Cursor::new(body);
+
+    let wlen = bc.u16("withdrawn routes length")? as usize;
+    let wraw = bc.take(wlen, "withdrawn routes")?;
+    let mut wcur = Cursor::new(wraw);
+    let mut withdrawn = Vec::new();
+    while wcur.remaining() > 0 {
+        withdrawn.push(decode_nlri_prefix(&mut wcur, false)?);
+    }
+
+    let alen = bc.u16("path attributes length")? as usize;
+    let araw = bc.take(alen, "path attributes")?;
+    let decoded = decode_attrs(araw, AttrMode::Bgp4mp)?;
+
+    let mut announced = Vec::new();
+    while bc.remaining() > 0 {
+        announced.push(decode_nlri_prefix(&mut bc, false)?);
+    }
+    announced.extend(decoded.v6_announced);
+    withdrawn.extend(decoded.v6_withdrawn);
+
+    // A message with no announcements carries no meaningful attribute
+    // bundle (withdraw-only); normalize so round-trips compare equal.
+    let attrs = if announced.is_empty() { None } else { Some(decoded.attrs) };
+    Ok(BgpUpdate { withdrawn, attrs, announced })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspath::AsPath;
+
+    #[test]
+    fn nlri_prefix_roundtrip_various_lengths() {
+        for len in [0u8, 1, 7, 8, 9, 16, 17, 24, 32] {
+            let p = Prefix::new("203.5.113.0".parse().unwrap(), len).unwrap();
+            let mut buf = Vec::new();
+            encode_nlri_prefix(&p, &mut buf);
+            assert_eq!(buf.len(), 1 + (len as usize).div_ceil(8));
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(decode_nlri_prefix(&mut cur, false).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn nlri_rejects_overlong() {
+        let buf = [40u8, 1, 2, 3, 4, 5];
+        let mut cur = Cursor::new(&buf);
+        assert!(decode_nlri_prefix(&mut cur, false).is_err());
+    }
+
+    #[test]
+    fn long_as_path_splits_and_merges() {
+        let path = AsPath::from_sequence((1..=600u32).collect::<Vec<_>>());
+        let body = encode_as_path(&path);
+        let decoded = decode_as_path(&body).unwrap();
+        assert_eq!(decoded, path);
+    }
+
+    #[test]
+    fn update_with_both_families() {
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([13030, 20940]),
+            vec![Community::new(13030, 51904)],
+        );
+        let upd = BgpUpdate {
+            withdrawn: vec![Prefix::v4(100, 0, 0, 0, 8), "2600:1::/32".parse().unwrap()],
+            attrs: Some(attrs),
+            announced: vec![Prefix::v4(184, 84, 242, 0, 24), "2600:2::/32".parse().unwrap()],
+        };
+        let bytes = encode_bgp_update(&upd);
+        let mut cur = Cursor::new(&bytes);
+        let back = decode_bgp_update(&mut cur).unwrap();
+        assert_eq!(back, upd);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn withdraw_only_v6() {
+        let upd = BgpUpdate::withdraw(vec!["2600:9::/32".parse().unwrap()]);
+        let bytes = encode_bgp_update(&upd);
+        let mut cur = Cursor::new(&bytes);
+        assert_eq!(decode_bgp_update(&mut cur).unwrap(), upd);
+    }
+
+    #[test]
+    fn bad_marker_detected() {
+        let upd = BgpUpdate::withdraw(vec![Prefix::v4(184, 84, 0, 0, 16)]);
+        let mut bytes = encode_bgp_update(&upd);
+        bytes[3] = 0;
+        let mut cur = Cursor::new(&bytes);
+        assert!(matches!(decode_bgp_update(&mut cur), Err(MrtError::BadMarker)));
+    }
+
+    #[test]
+    fn unknown_attribute_is_skipped() {
+        let attrs = PathAttributes::with_path_and_communities(AsPath::from_sequence([1, 2]), vec![]);
+        let mut raw = encode_attrs(&attrs, &[], &[], AttrMode::Bgp4mp);
+        // Append an unknown optional-transitive attribute type 99.
+        raw.extend_from_slice(&[FLAG_OPTIONAL | FLAG_TRANSITIVE, 99, 2, 0xAB, 0xCD]);
+        let decoded = decode_attrs(&raw, AttrMode::Bgp4mp).unwrap();
+        assert_eq!(decoded.attrs.as_path, attrs.as_path);
+    }
+
+    #[test]
+    fn tdv2_mode_encodes_abbreviated_v6_next_hop() {
+        let attrs = PathAttributes {
+            next_hop: "2001:7f8::1".parse::<std::net::Ipv6Addr>().unwrap().into(),
+            as_path: AsPath::from_sequence([3356, 20940]),
+            ..Default::default()
+        };
+        let raw = encode_attrs(&attrs, &[], &[], AttrMode::TableDumpV2);
+        let decoded = decode_attrs(&raw, AttrMode::TableDumpV2).unwrap();
+        assert_eq!(decoded.attrs.next_hop, attrs.next_hop);
+    }
+}

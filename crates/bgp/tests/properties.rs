@@ -1,0 +1,110 @@
+//! Property-based tests for the BGP substrate's core data structures.
+
+use kepler_bgp::{AsPath, Asn, Community, Prefix};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32)
+            .prop_map(|(a, l)| Prefix::new(IpAddr::V4(Ipv4Addr::from(a)), l).unwrap()),
+        (any::<u128>(), 0u8..=128)
+            .prop_map(|(a, l)| Prefix::new(IpAddr::V6(Ipv6Addr::from(a)), l).unwrap()),
+    ]
+}
+
+proptest! {
+    /// Display → parse is the identity on canonical prefixes.
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let back: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Canonicalization is idempotent: re-wrapping the stored address and
+    /// length yields the same prefix.
+    #[test]
+    fn prefix_canonicalization_idempotent(p in arb_prefix()) {
+        let again = Prefix::new(p.addr(), p.len()).unwrap();
+        prop_assert_eq!(again, p);
+    }
+
+    /// A prefix always contains its own network address and covers itself.
+    #[test]
+    fn prefix_contains_self(p in arb_prefix()) {
+        prop_assert!(p.contains_addr(p.addr()));
+        prop_assert!(p.covers(&p));
+    }
+
+    /// Coverage is transitive: a ⊇ b and b ⊇ c imply a ⊇ c.
+    #[test]
+    fn prefix_covers_transitive(addr in any::<u32>(), l1 in 0u8..=32, d2 in 0u8..=8, d3 in 0u8..=8) {
+        let l2 = (l1 + d2).min(32);
+        let l3 = (l2 + d3).min(32);
+        let ip = IpAddr::V4(Ipv4Addr::from(addr));
+        let a = Prefix::new(ip, l1).unwrap();
+        let b = Prefix::new(ip, l2).unwrap();
+        let c = Prefix::new(ip, l3).unwrap();
+        prop_assert!(a.covers(&b));
+        prop_assert!(b.covers(&c));
+        prop_assert!(a.covers(&c));
+    }
+
+    /// Community display → parse is the identity.
+    #[test]
+    fn community_roundtrip(asn in any::<u16>(), value in any::<u16>()) {
+        let c = Community::new(asn, value);
+        let back: Community = c.to_string().parse().unwrap();
+        prop_assert_eq!(back, c);
+        prop_assert_eq!(c.asn16(), asn);
+        prop_assert_eq!(c.value(), value);
+    }
+
+    /// Prepending increases path length by exactly `count` and never
+    /// introduces a loop if the path had none and the ASN is fresh.
+    #[test]
+    fn prepend_invariants(
+        seq in prop::collection::vec(1u32..10_000, 1..8),
+        count in 1usize..5,
+    ) {
+        let mut dedup = seq.clone();
+        dedup.dedup();
+        let mut path = AsPath::from_sequence(dedup.clone());
+        let before = path.path_len();
+        let fresh = Asn(77_777);
+        path.prepend(fresh, count);
+        prop_assert_eq!(path.path_len(), before + count);
+        prop_assert_eq!(path.head(), Some(fresh));
+        // hops() collapses the prepending to one occurrence.
+        let hops = path.hops();
+        prop_assert_eq!(hops.iter().filter(|a| **a == fresh).count(), 1);
+    }
+
+    /// hops() never contains adjacent duplicates and preserves order.
+    #[test]
+    fn hops_collapse_only_adjacent(seq in prop::collection::vec(1u32..50, 0..20)) {
+        let path = AsPath::from_sequence(seq.clone());
+        let hops = path.hops();
+        for w in hops.windows(2) {
+            prop_assert_ne!(w[0], w[1]);
+        }
+        // Subsequence property: hops appear in seq order.
+        let mut it = seq.iter();
+        for h in &hops {
+            prop_assert!(it.any(|s| Asn(*s) == *h), "hop {h} out of order");
+        }
+    }
+
+    /// links() has exactly hops-1 entries chaining head to origin.
+    #[test]
+    fn links_chain(seq in prop::collection::vec(1u32..1000, 2..10)) {
+        let path = AsPath::from_sequence(seq);
+        let hops = path.hops();
+        let links = path.links();
+        prop_assert_eq!(links.len() + 1, hops.len());
+        for (i, (a, b)) in links.iter().enumerate() {
+            prop_assert_eq!(*a, hops[i]);
+            prop_assert_eq!(*b, hops[i + 1]);
+        }
+    }
+}

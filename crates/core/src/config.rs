@@ -1,0 +1,105 @@
+//! Kepler's tunables, with the paper's calibrated defaults (§5.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the whole detection pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeplerConfig {
+    /// Deviation fraction that raises an outage signal for a (PoP, AS)
+    /// group. The paper sweeps 2–50% and selects **10%** as conservative
+    /// while still catching medium-scale partial outages (Figure 7a).
+    pub t_fail: f64,
+    /// Update binning interval: **60 s** — twice the default MRAI, enough
+    /// for correlated updates to land in one bin.
+    pub bin_secs: u64,
+    /// How long a route must stay unchanged to enter the stable baseline:
+    /// **2 days** (1 day admits transients, 5+ days starves coverage).
+    pub stable_secs: u64,
+    /// Baseline refresh cadence; stable paths are also re-derived every
+    /// 2 days to pick up new paths and community values.
+    pub refresh_secs: u64,
+    /// More than this many distinct ASes must be affected before a signal
+    /// is investigated at all (link-level events are below it): **3**.
+    pub min_affected_ases: usize,
+    /// PoP-level classification needs at least this many *non-sibling*
+    /// near-end AND far-end ASes: **3**.
+    pub min_disjoint_orgs: usize,
+    /// Co-location coverage required to pin an epicenter facility: **95%**
+    /// (5% slack absorbs colocation-map inaccuracies).
+    pub colo_margin: f64,
+    /// An outage is restored once more than this fraction of its affected
+    /// paths has returned to the baseline PoP: **50%**.
+    pub restore_fraction: f64,
+    /// Two outages of the same PoP closer than this merge into one
+    /// incident (oscillation handling): **12 h**.
+    pub merge_window_secs: u64,
+    /// Post-session-recovery quarantine for collector feeds (gap guard).
+    pub quarantine_secs: u64,
+    /// Minimum stable paths a (PoP, AS) group needs before its deviation
+    /// fraction is meaningful.
+    pub min_stable_paths: usize,
+    /// A facility needs this many community-locatable members to be
+    /// *trackable* (3 near-end + 3 far-end): **6**.
+    pub trackable_min_members: usize,
+}
+
+impl Default for KeplerConfig {
+    fn default() -> Self {
+        KeplerConfig {
+            t_fail: 0.10,
+            bin_secs: 60,
+            stable_secs: 2 * 86_400,
+            refresh_secs: 2 * 86_400,
+            min_affected_ases: 3,
+            min_disjoint_orgs: 3,
+            colo_margin: 0.95,
+            restore_fraction: 0.5,
+            merge_window_secs: 12 * 3600,
+            quarantine_secs: 600,
+            min_stable_paths: 2,
+            trackable_min_members: 6,
+        }
+    }
+}
+
+impl KeplerConfig {
+    /// A config with a different detection threshold (for the Figure 7a
+    /// sweep).
+    pub fn with_t_fail(mut self, t: f64) -> Self {
+        self.t_fail = t;
+        self
+    }
+
+    /// Shrinks the stability requirement — used by tests and scenarios
+    /// whose warm-up period is shorter than two days.
+    pub fn with_stable_secs(mut self, secs: u64) -> Self {
+        self.stable_secs = secs;
+        self.refresh_secs = secs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = KeplerConfig::default();
+        assert!((c.t_fail - 0.10).abs() < 1e-9);
+        assert_eq!(c.bin_secs, 60);
+        assert_eq!(c.stable_secs, 172_800);
+        assert!((c.colo_margin - 0.95).abs() < 1e-9);
+        assert!((c.restore_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(c.merge_window_secs, 43_200);
+        assert_eq!(c.trackable_min_members, 6);
+    }
+
+    #[test]
+    fn builders() {
+        let c = KeplerConfig::default().with_t_fail(0.02).with_stable_secs(100);
+        assert!((c.t_fail - 0.02).abs() < 1e-9);
+        assert_eq!(c.stable_secs, 100);
+        assert_eq!(c.refresh_secs, 100);
+    }
+}

@@ -1,0 +1,82 @@
+//! Data-plane validation interface (paper §4.4).
+//!
+//! Kepler keeps a baseline of traceroute paths that cross each monitored
+//! PoP (mined from public repositories — the paper uses RIPE Atlas, Ark
+//! and iPlane the way PathCache does) and, when an outage is inferred for
+//! a PoP, re-probes those paths. If fewer than `T_fail` of the baseline
+//! paths still cross the PoP, the outage is confirmed; if the BGP signal
+//! persists while traceroutes disagree, the inference is a false positive
+//! and is discarded.
+//!
+//! The concrete probing machinery lives outside this crate (the simulator
+//! provides one; a deployment would wrap Atlas/LG APIs), behind the
+//! [`DataPlaneProbe`] trait.
+
+use crate::events::OutageScope;
+use kepler_bgpstream::Timestamp;
+
+/// Result of re-probing a PoP's baseline paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// Baseline paths that still cross the PoP.
+    pub still_crossing: usize,
+    /// Baseline paths measured.
+    pub baseline: usize,
+}
+
+impl ProbeResult {
+    /// Fraction of baseline paths still crossing.
+    pub fn crossing_fraction(&self) -> f64 {
+        if self.baseline == 0 {
+            return 1.0;
+        }
+        self.still_crossing as f64 / self.baseline as f64
+    }
+}
+
+/// A data-plane measurement backend.
+pub trait DataPlaneProbe {
+    /// Probes the baseline paths of `scope` at time `t`. `None` means no
+    /// baseline coverage for this PoP (validation is then inconclusive and
+    /// the control-plane inference stands).
+    fn probe(&self, scope: &OutageScope, t: Timestamp) -> Option<ProbeResult>;
+}
+
+/// Confirmation verdict given a probe result and the detection threshold.
+pub fn confirm(result: ProbeResult, t_fail: f64) -> bool {
+    result.crossing_fraction() < t_fail
+}
+
+/// A trivial backend for tests: a fixed answer for every scope.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedProbe(pub Option<ProbeResult>);
+
+impl DataPlaneProbe for FixedProbe {
+    fn probe(&self, _scope: &OutageScope, _t: Timestamp) -> Option<ProbeResult> {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_topology::FacilityId;
+
+    #[test]
+    fn confirmation_thresholding() {
+        assert!(confirm(ProbeResult { still_crossing: 0, baseline: 20 }, 0.10));
+        assert!(confirm(ProbeResult { still_crossing: 1, baseline: 20 }, 0.10));
+        assert!(!confirm(ProbeResult { still_crossing: 3, baseline: 20 }, 0.10));
+        assert!(!confirm(ProbeResult { still_crossing: 20, baseline: 20 }, 0.10));
+        // No baseline: fraction defaults to 1.0 — never confirms.
+        assert!(!confirm(ProbeResult { still_crossing: 0, baseline: 0 }, 0.10));
+    }
+
+    #[test]
+    fn fixed_probe_roundtrip() {
+        let p = FixedProbe(Some(ProbeResult { still_crossing: 1, baseline: 10 }));
+        let r = p.probe(&OutageScope::Facility(FacilityId(1)), 0).unwrap();
+        assert!((r.crossing_fraction() - 0.1).abs() < 1e-9);
+        assert!(FixedProbe(None).probe(&OutageScope::Facility(FacilityId(1)), 0).is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Output types of the detection pipeline.
+
+use kepler_bgp::{Asn, Prefix};
+use kepler_bgpstream::{CollectorId, PeerId, Timestamp};
+use kepler_docmine::LocationTag;
+use kepler_topology::{CityId, FacilityId, IxpId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identity of one monitored route: a prefix as seen by one collector peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RouteKey {
+    /// The collector.
+    pub collector: CollectorId,
+    /// The peer feeding it.
+    pub peer: PeerId,
+    /// The prefix.
+    pub prefix: Prefix,
+}
+
+/// Where an outage is localized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OutageScope {
+    /// A single building.
+    Facility(FacilityId),
+    /// An exchange fabric.
+    Ixp(IxpId),
+    /// A metropolitan area (several facilities/IXPs failed together).
+    City(CityId),
+}
+
+impl OutageScope {
+    /// Converts a monitoring tag into a scope.
+    pub fn from_tag(tag: LocationTag) -> Self {
+        match tag {
+            LocationTag::Facility(f) => OutageScope::Facility(f),
+            LocationTag::Ixp(x) => OutageScope::Ixp(x),
+            LocationTag::City(c) => OutageScope::City(c),
+        }
+    }
+}
+
+impl fmt::Display for OutageScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutageScope::Facility(x) => write!(f, "facility {}", x.0),
+            OutageScope::Ixp(x) => write!(f, "ixp {}", x.0),
+            OutageScope::City(x) => write!(f, "city {}", x.0),
+        }
+    }
+}
+
+/// How a bin's signals were classified (paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalClass {
+    /// One AS link changed (de-peering, MED change).
+    LinkLevel,
+    /// One AS changed (member left an IXP, network-wide policy).
+    AsLevel,
+    /// Sibling ASes of one operator changed together.
+    OperatorLevel,
+    /// Many disjoint organizations changed at one PoP — an infrastructure
+    /// incident.
+    PopLevel,
+}
+
+impl fmt::Display for SignalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SignalClass::LinkLevel => "link-level",
+            SignalClass::AsLevel => "AS-level",
+            SignalClass::OperatorLevel => "operator-level",
+            SignalClass::PopLevel => "PoP-level",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A detected infrastructure outage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutageReport {
+    /// Localized epicenter.
+    pub scope: OutageScope,
+    /// When the outage signal first crossed the threshold.
+    pub start: Timestamp,
+    /// When it was considered restored (`None` = ongoing at end of feed).
+    pub end: Option<Timestamp>,
+    /// Near-end ASes whose paths deviated.
+    pub affected_near: BTreeSet<Asn>,
+    /// Far-end ASes behind the failed interconnections.
+    pub affected_far: BTreeSet<Asn>,
+    /// Number of stable paths that deviated.
+    pub affected_paths: usize,
+    /// Merged sub-outages (oscillation count; 1 = single clean outage).
+    pub oscillations: usize,
+    /// Whether a data-plane probe confirmed the incident.
+    pub dataplane_confirmed: Option<bool>,
+}
+
+impl OutageReport {
+    /// Outage duration in seconds (up to feed end for ongoing outages is
+    /// not counted; `None` end yields `None`).
+    pub fn duration(&self) -> Option<u64> {
+        self.end.map(|e| e.saturating_sub(self.start))
+    }
+
+    /// All affected ASes.
+    pub fn affected_ases(&self) -> BTreeSet<Asn> {
+        self.affected_near.union(&self.affected_far).copied().collect()
+    }
+}
+
+impl fmt::Display for OutageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "outage at {} start={} dur={} ases={} paths={}{}",
+            self.scope,
+            self.start,
+            self.duration().map(|d| format!("{d}s")).unwrap_or_else(|| "ongoing".into()),
+            self.affected_ases().len(),
+            self.affected_paths,
+            match self.dataplane_confirmed {
+                Some(true) => " [confirmed]",
+                Some(false) => " [unconfirmed]",
+                None => "",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_from_tag() {
+        assert_eq!(
+            OutageScope::from_tag(LocationTag::Facility(FacilityId(3))),
+            OutageScope::Facility(FacilityId(3))
+        );
+        assert_eq!(OutageScope::from_tag(LocationTag::Ixp(IxpId(1))), OutageScope::Ixp(IxpId(1)));
+        assert_eq!(OutageScope::from_tag(LocationTag::City(CityId(9))), OutageScope::City(CityId(9)));
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = OutageReport {
+            scope: OutageScope::Facility(FacilityId(1)),
+            start: 1000,
+            end: Some(2500),
+            affected_near: [Asn(1), Asn(2)].into(),
+            affected_far: [Asn(2), Asn(3)].into(),
+            affected_paths: 10,
+            oscillations: 1,
+            dataplane_confirmed: Some(true),
+        };
+        assert_eq!(r.duration(), Some(1500));
+        assert_eq!(r.affected_ases().len(), 3);
+        let s = r.to_string();
+        assert!(s.contains("facility 1") && s.contains("confirmed"), "{s}");
+        let ongoing = OutageReport { end: None, ..r };
+        assert_eq!(ongoing.duration(), None);
+        assert!(ongoing.to_string().contains("ongoing"));
+    }
+}

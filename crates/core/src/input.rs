@@ -1,0 +1,348 @@
+//! Input module (paper §4.1): sanitization plus community→PoP mapping.
+//!
+//! For every update, each location community is attributed to the AS-path
+//! hop whose ASN matches the community's top 16 bits — that hop is the
+//! *near-end* AS that received the route at the tagged location, and the
+//! next hop toward the origin is the *far-end* neighbor. Route-server
+//! communities (top 16 bits = the RS ASN, which never appears in the path)
+//! are resolved by finding the adjacent member pair of that IXP on the
+//! path, the method of Giotsas & Zhou [51].
+
+use crate::events::RouteKey;
+use kepler_bgp::sanitize::{SanitizeStats, Sanitizer, SanitizerConfig};
+use kepler_bgp::{Asn, PathAttributes};
+use kepler_bgpstream::{BgpElem, ElemKind};
+use kepler_docmine::{CommunityDictionary, LocationTag};
+use kepler_topology::ColocationMap;
+use serde::{Deserialize, Serialize};
+
+/// One located crossing on a route: the near-end AS received the route
+/// from the far-end AS at `pop`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PopCrossing {
+    /// The tagged location.
+    pub pop: LocationTag,
+    /// The AS that applied the tag (or imported from the route server).
+    pub near: Asn,
+    /// Its neighbor toward the origin.
+    pub far: Asn,
+}
+
+/// An input-module event handed to the monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteEvent {
+    /// The route is (re-)announced with these crossings (possibly empty if
+    /// no location community was usable).
+    Update {
+        /// Route identity.
+        key: RouteKey,
+        /// Located crossings.
+        crossings: Vec<PopCrossing>,
+        /// Collapsed AS path hops (for link-level attribution).
+        hops: Vec<Asn>,
+    },
+    /// The route was withdrawn.
+    Withdraw {
+        /// Route identity.
+        key: RouteKey,
+    },
+}
+
+/// Statistics over processed elements.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputStats {
+    /// Elements seen.
+    pub elems: u64,
+    /// Announcements carrying at least one locatable community.
+    pub located: u64,
+    /// Announcements with no usable location information.
+    pub unlocated: u64,
+    /// Elements dropped by sanitization.
+    pub rejected: u64,
+}
+
+impl InputStats {
+    /// Fraction of announcements with location info — the paper's ≈50%
+    /// IPv4 / ≈30% IPv6 coverage metric (Figure 7c).
+    pub fn located_fraction(&self) -> f64 {
+        let total = self.located + self.unlocated;
+        if total == 0 {
+            return 0.0;
+        }
+        self.located as f64 / total as f64
+    }
+}
+
+/// The input module.
+pub struct InputModule {
+    dictionary: CommunityDictionary,
+    colo: ColocationMap,
+    sanitizer: Sanitizer,
+    stats: InputStats,
+}
+
+impl InputModule {
+    /// Builds an input module around a dictionary and colocation map.
+    pub fn new(dictionary: CommunityDictionary, colo: ColocationMap) -> Self {
+        InputModule {
+            dictionary,
+            colo,
+            sanitizer: Sanitizer::new(SanitizerConfig::default()),
+            stats: InputStats::default(),
+        }
+    }
+
+    /// The dictionary in use.
+    pub fn dictionary(&self) -> &CommunityDictionary {
+        &self.dictionary
+    }
+
+    /// Replaces the dictionary (bi-weekly refresh, §3.2).
+    pub fn set_dictionary(&mut self, dictionary: CommunityDictionary) {
+        self.dictionary = dictionary;
+    }
+
+    /// The colocation map in use.
+    pub fn colo(&self) -> &ColocationMap {
+        &self.colo
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &InputStats {
+        &self.stats
+    }
+
+    /// Sanitizer counters.
+    pub fn sanitize_stats(&self) -> &SanitizeStats {
+        self.sanitizer.stats()
+    }
+
+    /// Processes one element into a monitor event (or `None` if rejected).
+    pub fn process(&mut self, elem: &BgpElem) -> Option<RouteEvent> {
+        self.stats.elems += 1;
+        let key = RouteKey { collector: elem.collector, peer: elem.peer, prefix: elem.prefix };
+        match &elem.kind {
+            ElemKind::Withdraw => {
+                if self.sanitizer.check_prefix(&elem.prefix).is_err() {
+                    self.stats.rejected += 1;
+                    return None;
+                }
+                Some(RouteEvent::Withdraw { key })
+            }
+            ElemKind::Announce(attrs) => {
+                if self.sanitizer.check_route(&attrs.as_path, &elem.prefix).is_err() {
+                    self.stats.rejected += 1;
+                    return None;
+                }
+                let hops = attrs.as_path.hops();
+                let crossings = self.map_crossings(attrs, &hops);
+                if crossings.is_empty() {
+                    self.stats.unlocated += 1;
+                } else {
+                    self.stats.located += 1;
+                }
+                Some(RouteEvent::Update { key, crossings, hops })
+            }
+        }
+    }
+
+    /// Maps the communities of an announcement onto path crossings.
+    pub fn map_crossings(&self, attrs: &PathAttributes, hops: &[Asn]) -> Vec<PopCrossing> {
+        let mut out: Vec<PopCrossing> = Vec::new();
+        for c in &attrs.communities {
+            if let Some(tag) = self.dictionary.lookup(*c) {
+                // Explicit location community: attribute to the matching hop.
+                let asn = Asn(c.asn16() as u32);
+                if let Some(i) = hops.iter().position(|h| *h == asn) {
+                    if i + 1 < hops.len() {
+                        let crossing = PopCrossing { pop: tag, near: hops[i], far: hops[i + 1] };
+                        if !out.contains(&crossing) {
+                            out.push(crossing);
+                        }
+                    }
+                }
+            } else if let Some(ixp) = self.dictionary.route_servers().find_map(|(rs, ixp)| {
+                if rs == c.asn16() {
+                    Some(ixp)
+                } else {
+                    None
+                }
+            }) {
+                // Route-server community: find the adjacent member pair.
+                let members = self.colo.members_of_ixp(ixp);
+                for w in hops.windows(2) {
+                    if members.contains(&w[0]) && members.contains(&w[1]) {
+                        let crossing =
+                            PopCrossing { pop: LocationTag::Ixp(ixp), near: w[0], far: w[1] };
+                        if !out.contains(&crossing) {
+                            out.push(crossing);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_bgp::{AsPath, BgpUpdate, Community, Prefix};
+    use kepler_bgpstream::{BgpRecord, CollectorId, PeerId, RecordPayload};
+    use kepler_topology::entities::{CityId, Facility, Ixp};
+    use kepler_topology::{Continent, FacilityId, GeoPoint, IxpId};
+
+    fn colo() -> ColocationMap {
+        let mut m = ColocationMap::new();
+        m.add_facility(Facility {
+            id: FacilityId(0),
+            name: "Telehouse East".into(),
+            address: "x".into(),
+            postcode: "E142AA".into(),
+            country: "GB".into(),
+            city: CityId(0),
+            continent: Continent::Europe,
+            point: GeoPoint::new(51.5, 0.0),
+            operator: "Telehouse".into(),
+        });
+        m.add_ixp(Ixp {
+            id: IxpId(0),
+            name: "LINX".into(),
+            url: "linx.net".into(),
+            city: CityId(0),
+            continent: Continent::Europe,
+            route_server_asn: Some(Asn(8714)),
+        });
+        m.add_ixp_member(IxpId(0), Asn(13030));
+        m.add_ixp_member(IxpId(0), Asn(20940));
+        m
+    }
+
+    fn dict() -> CommunityDictionary {
+        let mut d = CommunityDictionary::new();
+        d.insert(Community::new(13030, 51702), LocationTag::Facility(FacilityId(0)));
+        d.add_route_server(8714, IxpId(0));
+        d
+    }
+
+    fn elem(attrs: PathAttributes) -> BgpElem {
+        let rec = BgpRecord {
+            time: 100,
+            collector: CollectorId(0),
+            peer: PeerId { asn: Asn(3356), addr: "10.0.0.1".parse().unwrap() },
+            payload: RecordPayload::Update(BgpUpdate::announce(
+                vec![Prefix::v4(184, 84, 242, 0, 24)],
+                attrs,
+            )),
+        };
+        rec.explode().pop().unwrap()
+    }
+
+    #[test]
+    fn explicit_community_maps_to_hop_pair() {
+        let mut input = InputModule::new(dict(), colo());
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 13030, 20940]),
+            vec![Community::new(13030, 51702)],
+        );
+        let ev = input.process(&elem(attrs)).unwrap();
+        match ev {
+            RouteEvent::Update { crossings, hops, .. } => {
+                assert_eq!(crossings.len(), 1);
+                assert_eq!(crossings[0].pop, LocationTag::Facility(FacilityId(0)));
+                assert_eq!(crossings[0].near, Asn(13030));
+                assert_eq!(crossings[0].far, Asn(20940));
+                assert_eq!(hops.len(), 3);
+            }
+            _ => panic!("expected update"),
+        }
+        assert_eq!(input.stats().located, 1);
+    }
+
+    #[test]
+    fn community_without_matching_hop_is_ignored() {
+        let mut input = InputModule::new(dict(), colo());
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 20940]),
+            vec![Community::new(13030, 51702)], // 13030 not on path
+        );
+        match input.process(&elem(attrs)).unwrap() {
+            RouteEvent::Update { crossings, .. } => assert!(crossings.is_empty()),
+            _ => panic!(),
+        }
+        assert_eq!(input.stats().unlocated, 1);
+    }
+
+    #[test]
+    fn origin_tagger_has_no_far_end() {
+        let mut input = InputModule::new(dict(), colo());
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 13030]), // 13030 is the origin
+            vec![Community::new(13030, 51702)],
+        );
+        match input.process(&elem(attrs)).unwrap() {
+            RouteEvent::Update { crossings, .. } => assert!(crossings.is_empty()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn route_server_community_maps_member_pair() {
+        let mut input = InputModule::new(dict(), colo());
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 13030, 20940, 174]),
+            vec![Community::new(8714, 1)],
+        );
+        match input.process(&elem(attrs)).unwrap() {
+            RouteEvent::Update { crossings, .. } => {
+                assert_eq!(crossings.len(), 1);
+                assert_eq!(crossings[0].pop, LocationTag::Ixp(IxpId(0)));
+                assert_eq!(crossings[0].near, Asn(13030));
+                assert_eq!(crossings[0].far, Asn(20940));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn sanitization_rejects_loops_and_bogons() {
+        let mut input = InputModule::new(dict(), colo());
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 13030, 3356, 20940]),
+            vec![],
+        );
+        assert!(input.process(&elem(attrs)).is_none());
+        assert_eq!(input.stats().rejected, 1);
+    }
+
+    #[test]
+    fn withdraw_passes_through() {
+        let mut input = InputModule::new(dict(), colo());
+        let rec = BgpRecord {
+            time: 5,
+            collector: CollectorId(1),
+            peer: PeerId { asn: Asn(3356), addr: "10.0.0.1".parse().unwrap() },
+            payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(184, 84, 242, 0, 24)])),
+        };
+        let e = rec.explode().pop().unwrap();
+        assert!(matches!(input.process(&e), Some(RouteEvent::Withdraw { .. })));
+    }
+
+    #[test]
+    fn prepending_does_not_break_hop_matching() {
+        let mut input = InputModule::new(dict(), colo());
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 13030, 13030, 13030, 20940]),
+            vec![Community::new(13030, 51702)],
+        );
+        match input.process(&elem(attrs)).unwrap() {
+            RouteEvent::Update { crossings, .. } => {
+                assert_eq!(crossings.len(), 1);
+                assert_eq!(crossings[0].far, Asn(20940));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! Outage-signal investigation (paper §4.3).
+//!
+//! Signals from one bin are classified by the structure of the affected
+//! links:
+//!
+//! * **link-level** — too few distinct ASes involved (de-peering, MED
+//!   change between two big networks);
+//! * **AS-level** — every affected link shares one common AS (an IXP
+//!   member leaving, a network-wide policy);
+//! * **operator-level** — every link touches a sibling of one organization;
+//! * **PoP-level** — at least three non-sibling near-end *and* three
+//!   non-sibling far-end organizations: an infrastructure incident.
+//!
+//! PoP-level signals are then **localized**: ingress communities only name
+//! the near-end PoP, but the failure may sit in any of up to four
+//! facilities along the physical link. The colocation map disambiguates:
+//! if ≥95% of the stable paths whose far ends are co-located in candidate
+//! facility *g* are affected, *g* is the epicenter (near-end facility
+//! checked first, then the far-end ASes' facilities, then common IXPs,
+//! with facility↔IXP resolution escalation and city abstraction).
+
+use crate::config::KeplerConfig;
+use crate::events::{OutageScope, RouteKey, SignalClass};
+use crate::monitor::{BinOutcome, OutageSignal};
+use kepler_bgp::Asn;
+use kepler_bgpstream::Timestamp;
+use kepler_docmine::LocationTag;
+use kepler_topology::{CityId, ColocationMap, FacilityId, IxpId, OrgMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A localized PoP-level incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizedIncident {
+    /// Epicenter.
+    pub scope: OutageScope,
+    /// Bin where it was raised.
+    pub bin_start: Timestamp,
+    /// Near-end ASes affected.
+    pub affected_near: BTreeSet<Asn>,
+    /// Far-end ASes affected.
+    pub affected_far: BTreeSet<Asn>,
+    /// Deviated stable routes.
+    pub affected_keys: Vec<RouteKey>,
+    /// The monitored crossings to watch for restoration:
+    /// (route, PoP tag, near-end AS).
+    pub watch: Vec<(RouteKey, LocationTag, Asn)>,
+}
+
+/// Outcome of investigating one bin.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BinInvestigation {
+    /// Bin start.
+    pub bin_start: Timestamp,
+    /// Localized PoP-level incidents.
+    pub incidents: Vec<LocalizedIncident>,
+    /// Signal groups dismissed at lower levels (PoP tag, class).
+    pub dismissed: Vec<(LocationTag, SignalClass)>,
+    /// PoP-level groups that could not be localized (would need targeted
+    /// traceroutes in the paper).
+    pub unresolved: Vec<LocationTag>,
+}
+
+/// The investigator.
+pub struct Investigator {
+    config: KeplerConfig,
+    colo: ColocationMap,
+    orgs: OrgMap,
+}
+
+struct Coverage {
+    covered: usize,
+    denom: usize,
+    containment: f64,
+}
+
+impl Coverage {
+    fn fraction(&self) -> f64 {
+        if self.denom == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.denom as f64
+        }
+    }
+}
+
+impl Investigator {
+    /// Builds an investigator over the detector's colocation map and
+    /// organization map.
+    pub fn new(config: KeplerConfig, colo: ColocationMap, orgs: OrgMap) -> Self {
+        Investigator { config, colo, orgs }
+    }
+
+    /// The colocation map in use.
+    pub fn colo(&self) -> &ColocationMap {
+        &self.colo
+    }
+
+    /// The city a PoP tag belongs to, for cross-PoP signal correlation.
+    fn pop_city(&self, pop: &LocationTag) -> Option<CityId> {
+        match pop {
+            LocationTag::Facility(f) => self.colo.facility(*f).map(|f| f.city),
+            LocationTag::Ixp(x) => self.colo.ixp(*x).map(|x| x.city),
+            LocationTag::City(c) => Some(*c),
+        }
+    }
+
+    /// Investigates one bin.
+    ///
+    /// Signals are first grouped per PoP, then *clustered by city*: one
+    /// physical incident surfaces through several tags at once (the failed
+    /// building's facility communities, coarser city communities of other
+    /// operators, the co-located exchange), and only their union carries
+    /// enough disjoint ASes to classify as PoP-level — this is the paper's
+    /// "correlate outage signals from multiple PoPs" step. Localization
+    /// then runs per contributing PoP and the verdicts are merged.
+    pub fn investigate(&self, outcome: &BinOutcome) -> BinInvestigation {
+        let mut result = BinInvestigation { bin_start: outcome.bin_start, ..Default::default() };
+        // Group signals per PoP.
+        let mut groups: BTreeMap<LocationTag, Vec<&OutageSignal>> = BTreeMap::new();
+        for s in &outcome.signals {
+            groups.entry(s.pop).or_default().push(s);
+        }
+        // Cluster PoPs by city (unknown-city PoPs stay alone).
+        let mut clusters: BTreeMap<(u8, u32), Vec<LocationTag>> = BTreeMap::new();
+        for pop in groups.keys() {
+            let key = match self.pop_city(pop) {
+                Some(c) => (0u8, c.0),
+                None => match pop {
+                    LocationTag::Facility(f) => (1, f.0),
+                    LocationTag::Ixp(x) => (2, x.0),
+                    LocationTag::City(c) => (3, c.0),
+                },
+            };
+            clusters.entry(key).or_default().push(*pop);
+        }
+        let mut incidents: Vec<LocalizedIncident> = Vec::new();
+        for pops in clusters.values() {
+            let all_signals: Vec<&OutageSignal> =
+                pops.iter().flat_map(|p| groups[p].iter().copied()).collect();
+            let class = self.classify(&all_signals);
+            if class != SignalClass::PopLevel {
+                result.dismissed.push((pops[0], class));
+                continue;
+            }
+            let mut found_any = false;
+            for pop in pops {
+                let signals = &groups[pop];
+                let affected_near: BTreeSet<Asn> = signals.iter().map(|s| s.near).collect();
+                let affected_far: BTreeSet<Asn> =
+                    signals.iter().flat_map(|s| s.far_ases.iter().copied()).collect();
+                // Denominators scoped to the *affected* near-end ASes: the
+                // 95% co-location rule asks whether the signaling ASes lost
+                // all of their co-located links — near-ends whose ports
+                // survived a partial outage raise no signal and must not
+                // dilute the check.
+                let mut stable_fars: BTreeMap<Asn, usize> = BTreeMap::new();
+                if let Some(by_near) = outcome.stable_fars.get(pop) {
+                    for near in &affected_near {
+                        if let Some(fars) = by_near.get(near) {
+                            for (far, n) in fars {
+                                *stable_fars.entry(*far).or_insert(0) += n;
+                            }
+                        }
+                    }
+                }
+                let Some(scope) = self.localize(*pop, &affected_far, &stable_fars) else {
+                    continue;
+                };
+                found_any = true;
+                let mut keys: Vec<RouteKey> = Vec::new();
+                let mut watch = Vec::new();
+                for s in signals {
+                    for k in &s.deviated {
+                        keys.push(*k);
+                        watch.push((*k, s.pop, s.near));
+                    }
+                }
+                keys.sort();
+                keys.dedup();
+                incidents.push(LocalizedIncident {
+                    scope,
+                    bin_start: outcome.bin_start,
+                    affected_near,
+                    affected_far,
+                    affected_keys: keys,
+                    watch,
+                });
+            }
+            if !found_any {
+                result.unresolved.push(pops[0]);
+            }
+        }
+        result.incidents = self.merge_incidents(incidents);
+        result
+    }
+
+    /// Classifies one PoP's signal group.
+    pub fn classify(&self, signals: &[&OutageSignal]) -> SignalClass {
+        // Affected links: (near, far) pairs.
+        let mut links: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+        for s in signals {
+            for far in &s.far_ases {
+                links.insert((s.near, *far));
+            }
+        }
+        let mut all_ases: BTreeSet<Asn> = BTreeSet::new();
+        for (a, b) in &links {
+            all_ases.insert(*a);
+            all_ases.insert(*b);
+        }
+        // Link-level: too few distinct ASes to be anything bigger.
+        if all_ases.len() <= self.config.min_affected_ases {
+            return SignalClass::LinkLevel;
+        }
+        // AS-level: all links share one AS.
+        let first = links.iter().next().expect("non-empty");
+        for candidate in [first.0, first.1] {
+            if links.iter().all(|(a, b)| *a == candidate || *b == candidate) {
+                return SignalClass::AsLevel;
+            }
+        }
+        // Operator-level: all links touch one organization's siblings.
+        let candidate_orgs: BTreeSet<_> = [first.0, first.1]
+            .iter()
+            .filter_map(|a| self.orgs.org_of(*a))
+            .collect();
+        for org in candidate_orgs {
+            if links.iter().all(|(a, b)| {
+                self.orgs.org_of(*a) == Some(org) || self.orgs.org_of(*b) == Some(org)
+            }) {
+                return SignalClass::OperatorLevel;
+            }
+        }
+        // PoP-level requires ≥3 disjoint non-sibling orgs on each side.
+        let nears: Vec<Asn> = links.iter().map(|(a, _)| *a).collect();
+        let fars: Vec<Asn> = links.iter().map(|(_, b)| *b).collect();
+        let near_orgs = self.orgs.distinct_orgs(nears.iter().copied());
+        let far_orgs = self.orgs.distinct_orgs(fars.iter().copied());
+        if near_orgs >= self.config.min_disjoint_orgs && far_orgs >= self.config.min_disjoint_orgs {
+            SignalClass::PopLevel
+        } else {
+            SignalClass::AsLevel
+        }
+    }
+
+    fn coverage(
+        &self,
+        affected: &BTreeSet<Asn>,
+        stable: &BTreeMap<Asn, usize>,
+        members: &BTreeSet<Asn>,
+    ) -> Coverage {
+        let covered = stable.keys().filter(|a| members.contains(a) && affected.contains(a)).count();
+        let denom = stable.keys().filter(|a| members.contains(a)).count();
+        let in_members = affected.iter().filter(|a| members.contains(a)).count();
+        let containment =
+            if affected.is_empty() { 0.0 } else { in_members as f64 / affected.len() as f64 };
+        Coverage { covered, denom, containment }
+    }
+
+    /// Localizes a PoP-level signal to its epicenter.
+    pub fn localize(
+        &self,
+        pop: LocationTag,
+        affected_far: &BTreeSet<Asn>,
+        stable_fars: &BTreeMap<Asn, usize>,
+    ) -> Option<OutageScope> {
+        let margin = self.config.colo_margin;
+        match pop {
+            LocationTag::Facility(f) => {
+                // 1. Near-end facility test.
+                let members = self.colo.members_of_facility(f);
+                let cov = self.coverage(affected_far, stable_fars, members);
+                if cov.denom >= 1 && cov.fraction() >= margin {
+                    return Some(OutageScope::Facility(f));
+                }
+                // 2. Far-end facilities.
+                if let Some(scope) = self.best_far_facility(affected_far, stable_fars, Some(f)) {
+                    return Some(scope);
+                }
+                // 3. IXP escalation.
+                self.best_common_ixp(affected_far, stable_fars)
+            }
+            LocationTag::Ixp(x) => {
+                // Resolution increase: a single fabric facility whose
+                // members account for (almost) all affected paths means the
+                // outage is the building, not the exchange.
+                let mut best: Option<(FacilityId, f64)> = None;
+                for &f in self.colo.facilities_of_ixp(x) {
+                    let members = self.colo.members_of_facility(f);
+                    let cov = self.coverage(affected_far, stable_fars, members);
+                    if cov.denom >= 1 && cov.fraction() >= margin && cov.containment >= margin {
+                        let score = cov.containment;
+                        if best.map(|(_, s)| score > s).unwrap_or(true) {
+                            best = Some((f, score));
+                        }
+                    }
+                }
+                if let Some((f, _)) = best {
+                    return Some(OutageScope::Facility(f));
+                }
+                // Whole-exchange test.
+                let members = self.colo.members_of_ixp(x);
+                let cov = self.coverage(affected_far, stable_fars, members);
+                if cov.denom >= 1 && cov.fraction() >= margin {
+                    return Some(OutageScope::Ixp(x));
+                }
+                self.best_far_facility(affected_far, stable_fars, None)
+            }
+            LocationTag::City(c) => {
+                // Sharpen to a facility in the city, then an IXP, else stay
+                // at city level. Unlike the facility-tag case, affected
+                // far-ends here span every building the near-end ASes use
+                // in the city, so candidates are judged by *coverage* of
+                // their co-located members (are this building's tenants
+                // wiped out?) rather than by containment.
+                let mut fac_cands: Vec<FacilityId> = Vec::new();
+                for f in self.colo.facilities_in_city(c) {
+                    let members = self.colo.members_of_facility(f);
+                    let cov = self.coverage(affected_far, stable_fars, members);
+                    if cov.denom >= 2 && cov.fraction() >= margin {
+                        fac_cands.push(f);
+                    }
+                }
+                match fac_cands.as_slice() {
+                    [only] => return Some(OutageScope::Facility(*only)),
+                    [_, ..] => return Some(OutageScope::City(c)), // several buildings down: metro event
+                    [] => {}
+                }
+                let mut ixp_cands: Vec<IxpId> = Vec::new();
+                for x in self.colo.ixps_in_city(c) {
+                    let members = self.colo.members_of_ixp(x);
+                    let cov = self.coverage(affected_far, stable_fars, members);
+                    if cov.denom >= 2 && cov.fraction() >= margin {
+                        ixp_cands.push(x);
+                    }
+                }
+                if let [only] = ixp_cands.as_slice() {
+                    return Some(OutageScope::Ixp(*only));
+                }
+                Some(OutageScope::City(c))
+            }
+        }
+    }
+
+    /// Best facility among those hosting the affected far-end ASes.
+    fn best_far_facility(
+        &self,
+        affected_far: &BTreeSet<Asn>,
+        stable_fars: &BTreeMap<Asn, usize>,
+        exclude: Option<FacilityId>,
+    ) -> Option<OutageScope> {
+        let margin = self.config.colo_margin;
+        let mut candidates: BTreeSet<FacilityId> = BTreeSet::new();
+        for a in affected_far {
+            candidates.extend(self.colo.facilities_of_as(*a));
+        }
+        if let Some(f) = exclude {
+            candidates.remove(&f);
+        }
+        let mut best: Option<(FacilityId, f64, f64)> = None;
+        for g in candidates {
+            let members = self.colo.members_of_facility(g);
+            let cov = self.coverage(affected_far, stable_fars, members);
+            // ≥2 co-located stable members required: a single-member match
+            // is no evidence of a *facility* failure.
+            if cov.denom >= 2 && cov.fraction() >= margin && cov.containment >= margin {
+                let better = match best {
+                    None => true,
+                    Some((_, c, f2)) => (cov.containment, cov.fraction()) > (c, f2),
+                };
+                if better {
+                    best = Some((g, cov.containment, cov.fraction()));
+                }
+            }
+        }
+        best.map(|(g, _, _)| OutageScope::Facility(g))
+    }
+
+    /// Best common IXP of the affected far-end ASes.
+    fn best_common_ixp(
+        &self,
+        affected_far: &BTreeSet<Asn>,
+        stable_fars: &BTreeMap<Asn, usize>,
+    ) -> Option<OutageScope> {
+        let margin = self.config.colo_margin;
+        let mut candidates: BTreeSet<IxpId> = BTreeSet::new();
+        for a in affected_far {
+            candidates.extend(self.colo.ixps_of_as(*a));
+        }
+        let mut best: Option<(IxpId, f64)> = None;
+        for x in candidates {
+            let members = self.colo.members_of_ixp(x);
+            let cov = self.coverage(affected_far, stable_fars, members);
+            if cov.denom >= 2 && cov.fraction() >= margin && cov.containment >= margin {
+                if best.map(|(_, s)| cov.containment > s).unwrap_or(true) {
+                    best = Some((x, cov.containment));
+                }
+            }
+        }
+        best.map(|(x, _)| OutageScope::Ixp(x))
+    }
+
+    /// Deduplicates incidents converging on one scope and abstracts
+    /// multiple same-city epicenters to a city-level incident.
+    fn merge_incidents(&self, incidents: Vec<LocalizedIncident>) -> Vec<LocalizedIncident> {
+        // 1. Merge identical scopes.
+        let mut by_scope: BTreeMap<OutageScope, LocalizedIncident> = BTreeMap::new();
+        for inc in incidents {
+            match by_scope.get_mut(&inc.scope) {
+                None => {
+                    by_scope.insert(inc.scope, inc);
+                }
+                Some(existing) => {
+                    existing.affected_near.extend(inc.affected_near.iter().copied());
+                    existing.affected_far.extend(inc.affected_far.iter().copied());
+                    existing.affected_keys.extend(inc.affected_keys.iter().copied());
+                    existing.affected_keys.sort();
+                    existing.affected_keys.dedup();
+                    existing.watch.extend(inc.watch.iter().cloned());
+                }
+            }
+        }
+        // 2. City abstraction: ≥2 distinct physical scopes in one city
+        // (including a city-level verdict corroborating a sharper one).
+        let mut by_city: BTreeMap<CityId, Vec<OutageScope>> = BTreeMap::new();
+        for scope in by_scope.keys() {
+            let city = match scope {
+                OutageScope::Facility(f) => self.colo.facility(*f).map(|f| f.city),
+                OutageScope::Ixp(x) => self.colo.ixp(*x).map(|x| x.city),
+                OutageScope::City(c) => Some(*c),
+            };
+            if let Some(c) = city {
+                by_city.entry(c).or_default().push(*scope);
+            }
+        }
+        let mut out: Vec<LocalizedIncident> = Vec::new();
+        let mut absorbed: BTreeSet<OutageScope> = BTreeSet::new();
+        for (city, scopes) in by_city {
+            if scopes.len() < 2 {
+                continue;
+            }
+            // A city-level verdict next to exactly one sharper verdict
+            // merely corroborates it: merge *into* the sharp scope. Two or
+            // more distinct physical scopes abstract to the city.
+            let sharp: Vec<OutageScope> =
+                scopes.iter().filter(|s| !matches!(s, OutageScope::City(_))).copied().collect();
+            let target = match sharp.as_slice() {
+                [only] => *only,
+                _ => OutageScope::City(city),
+            };
+            let mut merged: Option<LocalizedIncident> = None;
+            for s in &scopes {
+                let inc = by_scope.get(s).expect("scope present").clone();
+                absorbed.insert(*s);
+                match &mut merged {
+                    None => {
+                        let mut m = inc;
+                        m.scope = target;
+                        merged = Some(m);
+                    }
+                    Some(m) => {
+                        m.affected_near.extend(inc.affected_near);
+                        m.affected_far.extend(inc.affected_far);
+                        m.affected_keys.extend(inc.affected_keys);
+                        m.affected_keys.sort();
+                        m.affected_keys.dedup();
+                        m.watch.extend(inc.watch);
+                    }
+                }
+            }
+            out.push(merged.expect("at least one scope"));
+        }
+        for (scope, inc) in by_scope {
+            if !absorbed.contains(&scope) {
+                out.push(inc);
+            }
+        }
+        out.sort_by_key(|i| i.scope);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_topology::entities::{Facility, Ixp};
+    use kepler_topology::{Continent, GeoPoint};
+
+    fn facility(id: u32, city: u32) -> Facility {
+        Facility {
+            id: FacilityId(id),
+            name: format!("F{id}"),
+            address: String::new(),
+            postcode: format!("P{id}"),
+            country: "GB".into(),
+            city: CityId(city),
+            continent: Continent::Europe,
+            point: GeoPoint::new(51.5, 0.0),
+            operator: "Op".into(),
+        }
+    }
+
+    /// World: facility 0 ("TH East", near end, signal source), facility 1
+    /// ("TC HEX", hosts fars 201..205) — both in city 0 — and facility 2
+    /// (hosts fars 301..305) in another city.
+    fn build() -> Investigator {
+        let mut colo = ColocationMap::new();
+        colo.add_facility(facility(0, 0));
+        colo.add_facility(facility(1, 0));
+        colo.add_facility(facility(2, 1));
+        colo.add_ixp(Ixp {
+            id: IxpId(0),
+            name: "LINX".into(),
+            url: "linx.net".into(),
+            city: CityId(0),
+            continent: Continent::Europe,
+            route_server_asn: None,
+        });
+        for a in 201..=205u32 {
+            colo.add_fac_member(FacilityId(1), Asn(a));
+            colo.add_fac_member(FacilityId(0), Asn(a));
+        }
+        for a in 301..=305u32 {
+            colo.add_fac_member(FacilityId(2), Asn(a));
+            colo.add_fac_member(FacilityId(0), Asn(a));
+        }
+        for a in (201..=205).chain(301..=305) {
+            colo.add_ixp_member(IxpId(0), Asn(a));
+        }
+        colo.link_ixp_facility(IxpId(0), FacilityId(0));
+        Investigator::new(KeplerConfig::default(), colo, OrgMap::new())
+    }
+
+    fn signal(pop: LocationTag, near: u32, fars: &[u32]) -> OutageSignal {
+        OutageSignal {
+            pop,
+            near: Asn(near),
+            bin_start: 0,
+            deviated: vec![],
+            stable_total: fars.len().max(1),
+            far_ases: fars.iter().map(|&f| Asn(f)).collect(),
+            fraction: 1.0,
+        }
+    }
+
+    fn stable_all() -> BTreeMap<Asn, usize> {
+        (201..=205).chain(301..=305).map(|a| (Asn(a), 2)).collect()
+    }
+
+    #[test]
+    fn classify_link_level() {
+        let inv = build();
+        let s = signal(LocationTag::Facility(FacilityId(0)), 1, &[2]);
+        assert_eq!(inv.classify(&[&s]), SignalClass::LinkLevel);
+    }
+
+    #[test]
+    fn classify_as_level_common_near() {
+        let inv = build();
+        let s = signal(LocationTag::Facility(FacilityId(0)), 1, &[2, 3, 4, 5]);
+        assert_eq!(inv.classify(&[&s]), SignalClass::AsLevel);
+    }
+
+    #[test]
+    fn classify_as_level_common_far() {
+        let inv = build();
+        let s1 = signal(LocationTag::Facility(FacilityId(0)), 1, &[9]);
+        let s2 = signal(LocationTag::Facility(FacilityId(0)), 2, &[9]);
+        let s3 = signal(LocationTag::Facility(FacilityId(0)), 3, &[9]);
+        assert_eq!(inv.classify(&[&s1, &s2, &s3]), SignalClass::AsLevel);
+    }
+
+    #[test]
+    fn classify_operator_level() {
+        let mut inv = build();
+        let org = inv.orgs.add_org("Bell");
+        for a in [11u32, 12, 13] {
+            inv.orgs.assign(Asn(a), org);
+        }
+        let s1 = signal(LocationTag::Facility(FacilityId(0)), 1, &[11]);
+        let s2 = signal(LocationTag::Facility(FacilityId(0)), 2, &[12]);
+        let s3 = signal(LocationTag::Facility(FacilityId(0)), 3, &[13]);
+        assert_eq!(inv.classify(&[&s1, &s2, &s3]), SignalClass::OperatorLevel);
+    }
+
+    #[test]
+    fn classify_pop_level() {
+        let inv = build();
+        let s1 = signal(LocationTag::Facility(FacilityId(0)), 1, &[201, 202]);
+        let s2 = signal(LocationTag::Facility(FacilityId(0)), 2, &[203, 204]);
+        let s3 = signal(LocationTag::Facility(FacilityId(0)), 3, &[205, 201]);
+        assert_eq!(inv.classify(&[&s1, &s2, &s3]), SignalClass::PopLevel);
+    }
+
+    #[test]
+    fn siblings_do_not_count_as_disjoint() {
+        let mut inv = build();
+        let org = inv.orgs.add_org("One");
+        for a in [1u32, 2, 3] {
+            inv.orgs.assign(Asn(a), org);
+        }
+        // Near-ends 1,2,3 are siblings: only 1 near-side org.
+        let s1 = signal(LocationTag::Facility(FacilityId(0)), 1, &[201, 202]);
+        let s2 = signal(LocationTag::Facility(FacilityId(0)), 2, &[203, 204]);
+        let s3 = signal(LocationTag::Facility(FacilityId(0)), 3, &[205, 202]);
+        assert_ne!(inv.classify(&[&s1, &s2, &s3]), SignalClass::PopLevel);
+    }
+
+    #[test]
+    fn near_end_facility_localization() {
+        let inv = build();
+        // All far-end members of facility 0 are affected.
+        let affected: BTreeSet<Asn> = (201..=205).chain(301..=305).map(Asn).collect();
+        let scope = inv.localize(LocationTag::Facility(FacilityId(0)), &affected, &stable_all());
+        assert_eq!(scope, Some(OutageScope::Facility(FacilityId(0))));
+    }
+
+    #[test]
+    fn far_end_facility_disambiguation() {
+        let inv = build();
+        // Only the fars at facility 1 are affected: epicenter must be
+        // facility 1, not the near-end facility 0 (the London case).
+        let affected: BTreeSet<Asn> = (201..=205).map(Asn).collect();
+        let scope = inv.localize(LocationTag::Facility(FacilityId(0)), &affected, &stable_all());
+        assert_eq!(scope, Some(OutageScope::Facility(FacilityId(1))));
+    }
+
+    #[test]
+    fn ixp_signal_resolves_to_whole_exchange() {
+        let inv = build();
+        let affected: BTreeSet<Asn> = (201..=205).chain(301..=305).map(Asn).collect();
+        // Facility 0 hosts the fabric and all those fars are members of
+        // facility 0 too, so the facility test fires first — which is the
+        // desired "outage is the building, not the IXP" resolution.
+        let scope = inv.localize(LocationTag::Ixp(IxpId(0)), &affected, &stable_all());
+        assert_eq!(scope, Some(OutageScope::Facility(FacilityId(0))));
+    }
+
+    #[test]
+    fn ixp_signal_with_spread_members_stays_ixp() {
+        let mut colo = ColocationMap::new();
+        colo.add_facility(facility(0, 0));
+        colo.add_facility(facility(1, 0));
+        colo.add_ixp(Ixp {
+            id: IxpId(0),
+            name: "IX".into(),
+            url: "ix.net".into(),
+            city: CityId(0),
+            continent: Continent::Europe,
+            route_server_asn: None,
+        });
+        // Members split across two fabric facilities.
+        for a in 1..=4u32 {
+            colo.add_fac_member(FacilityId(0), Asn(a));
+            colo.add_ixp_member(IxpId(0), Asn(a));
+        }
+        for a in 5..=8u32 {
+            colo.add_fac_member(FacilityId(1), Asn(a));
+            colo.add_ixp_member(IxpId(0), Asn(a));
+        }
+        colo.link_ixp_facility(IxpId(0), FacilityId(0));
+        colo.link_ixp_facility(IxpId(0), FacilityId(1));
+        let inv = Investigator::new(KeplerConfig::default(), colo, OrgMap::new());
+        let affected: BTreeSet<Asn> = (1..=8).map(Asn).collect();
+        let stable: BTreeMap<Asn, usize> = (1..=8).map(|a| (Asn(a), 1)).collect();
+        let scope = inv.localize(LocationTag::Ixp(IxpId(0)), &affected, &stable);
+        assert_eq!(scope, Some(OutageScope::Ixp(IxpId(0))));
+        // Only facility 0's members affected -> the building, not the IXP.
+        let affected0: BTreeSet<Asn> = (1..=4).map(Asn).collect();
+        let scope0 = inv.localize(LocationTag::Ixp(IxpId(0)), &affected0, &stable);
+        assert_eq!(scope0, Some(OutageScope::Facility(FacilityId(0))));
+    }
+
+    #[test]
+    fn city_signal_sharpen_and_fallback() {
+        let inv = build();
+        // All members of facility 1 affected: city tag sharpens to it.
+        let affected: BTreeSet<Asn> = (201..=205).map(Asn).collect();
+        let scope = inv.localize(LocationTag::City(CityId(0)), &affected, &stable_all());
+        assert_eq!(scope, Some(OutageScope::Facility(FacilityId(1))));
+        // Mixed affected set that matches nothing cleanly stays city-wide.
+        let mixed: BTreeSet<Asn> = [201u32, 301, 999].iter().map(|&a| Asn(a)).collect();
+        let scope2 = inv.localize(LocationTag::City(CityId(0)), &mixed, &stable_all());
+        assert_eq!(scope2, Some(OutageScope::City(CityId(0))));
+    }
+
+    #[test]
+    fn full_investigation_dismisses_and_localizes() {
+        let inv = build();
+        let mut outcome = BinOutcome { bin_start: 600, ..Default::default() };
+        // PoP-level group at facility 0.
+        outcome.signals.push(signal(LocationTag::Facility(FacilityId(0)), 1, &[201, 202]));
+        outcome.signals.push(signal(LocationTag::Facility(FacilityId(0)), 2, &[203, 204]));
+        outcome.signals.push(signal(LocationTag::Facility(FacilityId(0)), 3, &[205]));
+        // Link-level group at facility 2.
+        outcome.signals.push(signal(LocationTag::Facility(FacilityId(2)), 7, &[8]));
+        // Every signaling near-end (1, 2, 3) sees the full far set.
+        let by_near: BTreeMap<Asn, BTreeMap<Asn, usize>> =
+            [(Asn(1), stable_all()), (Asn(2), stable_all()), (Asn(3), stable_all())].into();
+        outcome.stable_fars.insert(LocationTag::Facility(FacilityId(0)), by_near);
+        outcome.stable_fars.insert(LocationTag::Facility(FacilityId(2)), BTreeMap::new());
+        let result = inv.investigate(&outcome);
+        assert_eq!(result.incidents.len(), 1);
+        assert_eq!(result.incidents[0].scope, OutageScope::Facility(FacilityId(1)));
+        assert_eq!(result.dismissed, vec![(LocationTag::Facility(FacilityId(2)), SignalClass::LinkLevel)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Kepler — detecting peering infrastructure outages from BGP communities.
+//!
+//! This crate is the paper's contribution: a passive monitoring system that
+//! localizes colocation-facility and IXP outages to the level of a building
+//! from public BGP data. The pipeline (paper Figures 6 and Algorithm 1):
+//!
+//! 1. [`input`] — sanitize updates, map location-encoding communities to
+//!    the PoPs (facility / IXP / city) each route traverses.
+//! 2. [`monitor`] — maintain a stable-path baseline (routes unchanged for
+//!    2 days), bin updates at 60 s, and raise an **outage signal** when,
+//!    for some (PoP, near-end AS), more than `T_fail` of the stable paths
+//!    deviate within a bin.
+//! 3. [`investigate`] — classify concurrent signals as link-level,
+//!    AS-level, operator-level or PoP-level, then disambiguate the true
+//!    epicenter with the colocation map (the 95% co-location rule,
+//!    facility↔IXP resolution escalation, city abstraction).
+//! 4. [`dataplane`] — optionally confirm incidents and their durations
+//!    against traceroute measurements, eliminating false positives.
+//! 5. [`tracker`] — outage lifecycle: start, oscillation merging (<12 h),
+//!    restoration (>50% of paths return), duration accounting.
+//! 6. [`metrics`] — evaluation against ground truth (TP/FP/FN).
+//!
+//! The [`system::Kepler`] type wires all of it together behind a
+//! feed-records-in, get-outages-out API.
+
+pub mod config;
+pub mod dataplane;
+pub mod events;
+pub mod input;
+pub mod investigate;
+pub mod metrics;
+pub mod monitor;
+pub mod system;
+pub mod tracker;
+
+pub use config::KeplerConfig;
+pub use events::{OutageReport, OutageScope, RouteKey, SignalClass};
+pub use system::{Kepler, KeplerInputs};

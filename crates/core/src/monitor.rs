@@ -1,0 +1,580 @@
+//! Monitoring module (paper §4.2).
+//!
+//! Maintains the stable-path baseline and bins route events at
+//! `bin_secs`. A route is *stable* once its located crossings have been
+//! unchanged for `stable_secs` (default 2 days). Within each bin, any
+//! stable route that loses a (PoP, near-end AS) crossing — by explicit
+//! withdrawal, by moving to a path without the PoP, or by an announcement
+//! with a different community (*implicit withdrawal*) — counts as a
+//! deviation for that group. At bin close, groups whose deviation fraction
+//! exceeds `T_fail` raise outage signals; changed paths leave the stable
+//! set. Grouping per near-end AS avoids the Tier-1 bias the paper warns
+//! about: an aggregate fraction would hide partial outages that spare one
+//! huge AS.
+
+use crate::config::KeplerConfig;
+use crate::events::RouteKey;
+use crate::input::{PopCrossing, RouteEvent};
+use kepler_bgp::Asn;
+use kepler_bgpstream::Timestamp;
+use kepler_docmine::LocationTag;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// One (PoP, near-end AS) group whose stable paths deviated beyond
+/// `T_fail` within a bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageSignal {
+    /// The PoP the paths left.
+    pub pop: LocationTag,
+    /// The near-end AS group.
+    pub near: Asn,
+    /// Bin start time.
+    pub bin_start: Timestamp,
+    /// The deviated stable routes.
+    pub deviated: Vec<RouteKey>,
+    /// Stable routes in the group before the bin.
+    pub stable_total: usize,
+    /// Far-end ASes of the deviated crossings.
+    pub far_ases: BTreeSet<Asn>,
+    /// Deviation fraction.
+    pub fraction: f64,
+}
+
+/// Everything a closed bin hands to the investigator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BinOutcome {
+    /// Bin start time.
+    pub bin_start: Timestamp,
+    /// Raised signals.
+    pub signals: Vec<OutageSignal>,
+    /// For each signaled PoP: stable far-end ASes with path counts, broken
+    /// down by near-end AS (denominators for the colocation coverage
+    /// checks — the paper scopes them to the *affected* near-ends).
+    /// Snapshotted before stable-set pruning.
+    pub stable_fars: HashMap<LocationTag, BTreeMap<Asn, BTreeMap<Asn, usize>>>,
+    /// For each signaled PoP: stable near-end ASes with path counts.
+    pub stable_nears: HashMap<LocationTag, BTreeMap<Asn, usize>>,
+}
+
+#[derive(Debug, Clone)]
+struct CurrentRoute {
+    crossings: Arc<Vec<PopCrossing>>,
+    since: Timestamp,
+}
+
+/// The monitoring module.
+pub struct Monitor {
+    config: KeplerConfig,
+    current: HashMap<RouteKey, CurrentRoute>,
+    baseline: HashMap<RouteKey, Arc<Vec<PopCrossing>>>,
+    pop_index: HashMap<LocationTag, HashMap<Asn, HashSet<RouteKey>>>,
+    promotions: BinaryHeap<Reverse<(Timestamp, RouteKey)>>,
+    bin_start: Option<Timestamp>,
+    deviations: HashMap<(LocationTag, Asn), HashSet<RouteKey>>,
+    deviation_fars: HashMap<(LocationTag, Asn), BTreeSet<Asn>>,
+    watches: HashMap<LocationTag, Vec<(Timestamp, f64)>>,
+    /// High-water coverage per PoP: every near/far AS ever seen in a
+    /// *stable* crossing. Determines which PoPs are trackable (the paper's
+    /// ≥3 near-end + ≥3 far-end rule).
+    coverage: HashMap<LocationTag, (BTreeSet<Asn>, BTreeSet<Asn>)>,
+}
+
+impl Monitor {
+    /// A monitor with the given configuration.
+    pub fn new(config: KeplerConfig) -> Self {
+        Monitor {
+            config,
+            current: HashMap::new(),
+            baseline: HashMap::new(),
+            pop_index: HashMap::new(),
+            promotions: BinaryHeap::new(),
+            bin_start: None,
+            deviations: HashMap::new(),
+            deviation_fars: HashMap::new(),
+            watches: HashMap::new(),
+            coverage: HashMap::new(),
+        }
+    }
+
+    /// Registers a PoP whose per-bin aggregate change fraction should be
+    /// recorded (for the paper's time-series figures).
+    pub fn watch(&mut self, pop: LocationTag) {
+        self.watches.entry(pop).or_default();
+    }
+
+    /// The recorded (bin start, change fraction) series of a watched PoP.
+    pub fn watch_series(&self, pop: LocationTag) -> Option<&[(Timestamp, f64)]> {
+        self.watches.get(&pop).map(Vec::as_slice)
+    }
+
+    /// Number of stable routes currently indexed at `pop`.
+    pub fn stable_count(&self, pop: LocationTag) -> usize {
+        self.pop_index.get(&pop).map(|m| m.values().map(HashSet::len).sum()).unwrap_or(0)
+    }
+
+    /// Total stable routes.
+    pub fn baseline_size(&self) -> usize {
+        self.baseline.len()
+    }
+
+    /// Whether the current route of `key` still crosses `pop` at `near`.
+    pub fn route_has_crossing(&self, key: &RouteKey, pop: LocationTag, near: Asn) -> bool {
+        self.current
+            .get(key)
+            .map(|c| c.crossings.iter().any(|x| x.pop == pop && x.near == near))
+            .unwrap_or(false)
+    }
+
+    /// Feeds one event, returning any bins closed by time advancing.
+    pub fn observe(&mut self, t: Timestamp, event: RouteEvent) -> Vec<BinOutcome> {
+        let closed = self.advance_to(t);
+        match event {
+            RouteEvent::Withdraw { key } => {
+                if let Some(base) = self.baseline.get(&key).cloned() {
+                    for c in base.iter() {
+                        self.mark_deviation(c, key);
+                    }
+                }
+                self.current.remove(&key);
+            }
+            RouteEvent::Update { key, crossings, .. } => {
+                if let Some(base) = self.baseline.get(&key).cloned() {
+                    for c in base.iter() {
+                        let still_there =
+                            crossings.iter().any(|n| n.pop == c.pop && n.near == c.near);
+                        if !still_there {
+                            self.mark_deviation(c, key);
+                        }
+                    }
+                }
+                let crossings = Arc::new(crossings);
+                match self.current.get_mut(&key) {
+                    Some(cur) if *cur.crossings == *crossings => {
+                        // Same located route: stability clock keeps running.
+                    }
+                    _ => {
+                        self.current.insert(key, CurrentRoute { crossings, since: t });
+                        self.promotions.push(Reverse((t + self.config.stable_secs, key)));
+                    }
+                }
+            }
+        }
+        closed
+    }
+
+    fn mark_deviation(&mut self, c: &PopCrossing, key: RouteKey) {
+        self.deviations.entry((c.pop, c.near)).or_default().insert(key);
+        self.deviation_fars.entry((c.pop, c.near)).or_default().insert(c.far);
+    }
+
+    /// Advances virtual time to `t`, closing every bin that ends at or
+    /// before it.
+    pub fn advance_to(&mut self, t: Timestamp) -> Vec<BinOutcome> {
+        let mut out = Vec::new();
+        match self.bin_start {
+            None => {
+                self.bin_start = Some(t - t % self.config.bin_secs);
+            }
+            Some(start) => {
+                let mut bin_start = start;
+                while t >= bin_start + self.config.bin_secs {
+                    out.push(self.close_bin(bin_start));
+                    // Skip empty stretches in one step (only when nothing
+                    // needs a per-bin sample).
+                    let next = bin_start + self.config.bin_secs;
+                    if out.last().map(|o| o.signals.is_empty()).unwrap_or(false)
+                        && self.deviations.is_empty()
+                        && self.watches.is_empty()
+                        && t >= next + self.config.bin_secs
+                    {
+                        bin_start = t - t % self.config.bin_secs;
+                        // Still run promotions for the skipped stretch.
+                        self.run_promotions(bin_start);
+                    } else {
+                        bin_start = next;
+                    }
+                }
+                self.bin_start = Some(bin_start);
+            }
+        }
+        out
+    }
+
+    fn close_bin(&mut self, bin_start: Timestamp) -> BinOutcome {
+        let bin_end = bin_start + self.config.bin_secs;
+        let mut outcome = BinOutcome { bin_start, ..Default::default() };
+
+        // 1. Signals from this bin's deviations, denominators pre-pruning.
+        for ((pop, near), keys) in &self.deviations {
+            let stable_total = self
+                .pop_index
+                .get(pop)
+                .and_then(|m| m.get(near))
+                .map(HashSet::len)
+                .unwrap_or(0);
+            if stable_total < self.config.min_stable_paths {
+                continue;
+            }
+            let fraction = keys.len() as f64 / stable_total as f64;
+            if fraction > self.config.t_fail {
+                let mut deviated: Vec<RouteKey> = keys.iter().copied().collect();
+                deviated.sort();
+                outcome.signals.push(OutageSignal {
+                    pop: *pop,
+                    near: *near,
+                    bin_start,
+                    deviated,
+                    stable_total,
+                    far_ases: self.deviation_fars.get(&(*pop, *near)).cloned().unwrap_or_default(),
+                    fraction,
+                });
+            }
+        }
+        outcome.signals.sort_by_key(|s| (pop_order(&s.pop), s.near));
+
+        // 2. Snapshot denominators for signaled pops.
+        for pop in outcome.signals.iter().map(|s| s.pop).collect::<BTreeSet<_>>() {
+            outcome.stable_fars.insert(pop, self.stable_fars(pop));
+            outcome.stable_nears.insert(pop, self.stable_nears(pop));
+        }
+
+        // 3. Watched series.
+        let watched: Vec<LocationTag> = self.watches.keys().copied().collect();
+        for pop in watched {
+            let stable: usize = self.stable_count(pop);
+            let deviated: usize = self
+                .deviations
+                .iter()
+                .filter(|((p, _), _)| *p == pop)
+                .map(|(_, k)| k.len())
+                .sum();
+            let frac = if stable == 0 { 0.0 } else { deviated as f64 / stable as f64 };
+            self.watches.get_mut(&pop).expect("watched").push((bin_start, frac));
+        }
+
+        // 4. Prune every changed path from the stable set.
+        let changed: HashSet<RouteKey> =
+            self.deviations.values().flat_map(|s| s.iter().copied()).collect();
+        for key in &changed {
+            self.remove_from_baseline(key);
+        }
+        self.deviations.clear();
+        self.deviation_fars.clear();
+
+        // 5. Promote routes that have been stable long enough.
+        self.run_promotions(bin_end);
+
+        outcome
+    }
+
+    fn run_promotions(&mut self, now: Timestamp) {
+        while let Some(Reverse((due, key))) = self.promotions.peek().copied() {
+            if due > now {
+                break;
+            }
+            self.promotions.pop();
+            let Some(cur) = self.current.get(&key) else { continue };
+            if cur.since + self.config.stable_secs > now {
+                continue; // changed again since scheduling
+            }
+            if cur.crossings.is_empty() {
+                continue; // nothing locatable to monitor
+            }
+            let crossings = Arc::clone(&cur.crossings);
+            if self.baseline.get(&key).map(|b| Arc::ptr_eq(b, &crossings) || **b == *crossings).unwrap_or(false) {
+                continue;
+            }
+            self.remove_from_baseline(&key);
+            for c in crossings.iter() {
+                self.pop_index.entry(c.pop).or_default().entry(c.near).or_default().insert(key);
+                let cov = self.coverage.entry(c.pop).or_default();
+                cov.0.insert(c.near);
+                cov.1.insert(c.far);
+            }
+            self.baseline.insert(key, crossings);
+        }
+    }
+
+    fn remove_from_baseline(&mut self, key: &RouteKey) {
+        if let Some(base) = self.baseline.remove(key) {
+            for c in base.iter() {
+                if let Some(by_near) = self.pop_index.get_mut(&c.pop) {
+                    if let Some(set) = by_near.get_mut(&c.near) {
+                        set.remove(key);
+                        if set.is_empty() {
+                            by_near.remove(&c.near);
+                        }
+                    }
+                    if by_near.is_empty() {
+                        self.pop_index.remove(&c.pop);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Far-end ASes (with stable path counts) of the baseline routes
+    /// crossing `pop`, grouped by the near-end AS of the crossing.
+    pub fn stable_fars(&self, pop: LocationTag) -> BTreeMap<Asn, BTreeMap<Asn, usize>> {
+        let mut out: BTreeMap<Asn, BTreeMap<Asn, usize>> = BTreeMap::new();
+        if let Some(by_near) = self.pop_index.get(&pop) {
+            for (near, keys) in by_near {
+                let entry = out.entry(*near).or_default();
+                for key in keys {
+                    if let Some(base) = self.baseline.get(key) {
+                        for c in base.iter().filter(|c| c.pop == pop && c.near == *near) {
+                            *entry.entry(c.far).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// High-water observability of a PoP: distinct near-end and far-end
+    /// ASes ever located there through stable paths.
+    pub fn pop_coverage(&self, pop: LocationTag) -> (usize, usize) {
+        self.coverage.get(&pop).map(|(n, f)| (n.len(), f.len())).unwrap_or((0, 0))
+    }
+
+    /// All PoPs whose observed coverage reaches `min_nears`/`min_fars` —
+    /// the PoPs where the methodology is applicable (trackable).
+    pub fn trackable_pops(&self, min_nears: usize, min_fars: usize) -> Vec<LocationTag> {
+        let mut v: Vec<LocationTag> = self
+            .coverage
+            .iter()
+            .filter(|(_, (n, f))| n.len() >= min_nears && f.len() >= min_fars)
+            .map(|(p, _)| *p)
+            .collect();
+        v.sort_by_key(pop_order);
+        v
+    }
+
+    /// Near-end ASes (with stable path counts) of the baseline routes
+    /// crossing `pop`.
+    pub fn stable_nears(&self, pop: LocationTag) -> BTreeMap<Asn, usize> {
+        let mut out = BTreeMap::new();
+        if let Some(by_near) = self.pop_index.get(&pop) {
+            for (near, keys) in by_near {
+                out.insert(*near, keys.len());
+            }
+        }
+        out
+    }
+}
+
+fn pop_order(p: &LocationTag) -> (u8, u32) {
+    match p {
+        LocationTag::Facility(f) => (0, f.0),
+        LocationTag::Ixp(x) => (1, x.0),
+        LocationTag::City(c) => (2, c.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_bgp::Prefix;
+    use kepler_bgpstream::{CollectorId, PeerId};
+    use kepler_topology::FacilityId;
+
+    const DAY: u64 = 86_400;
+
+    fn cfg() -> KeplerConfig {
+        KeplerConfig { min_stable_paths: 2, ..KeplerConfig::default() }
+    }
+
+    fn key(i: u8) -> RouteKey {
+        RouteKey {
+            collector: CollectorId(0),
+            peer: PeerId { asn: Asn(100 + i as u32), addr: "10.0.0.9".parse().unwrap() },
+            prefix: Prefix::v4(20, i, 0, 0, 16),
+        }
+    }
+
+    fn fac(pop: u32, near: u32, far: u32) -> PopCrossing {
+        PopCrossing { pop: LocationTag::Facility(FacilityId(pop)), near: Asn(near), far: Asn(far) }
+    }
+
+    #[test]
+    fn baseline_promotion_after_stable_window() {
+        let mut m = Monitor::new(cfg());
+        let t0 = 1_000_000u64;
+        for i in 0..4u8 {
+            m.observe(
+                t0,
+                RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60 + i as u32)], hops: vec![] },
+            );
+        }
+        assert_eq!(m.baseline_size(), 0);
+        m.advance_to(t0 + 2 * DAY + 120);
+        assert_eq!(m.baseline_size(), 4);
+        assert_eq!(m.stable_count(LocationTag::Facility(FacilityId(1))), 4);
+    }
+
+    #[test]
+    fn withdrawals_of_stable_routes_raise_signal() {
+        let mut m = Monitor::new(cfg());
+        let t0 = 1_000_000u64;
+        for i in 0..4u8 {
+            m.observe(
+                t0,
+                RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60 + i as u32)], hops: vec![] },
+            );
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        m.advance_to(t1);
+        // Withdraw 3 of 4 in one bin.
+        for i in 0..3u8 {
+            m.observe(t1 + 5, RouteEvent::Withdraw { key: key(i) });
+        }
+        let outcomes = m.advance_to(t1 + 120);
+        let signals: Vec<&OutageSignal> =
+            outcomes.iter().flat_map(|o| o.signals.iter()).collect();
+        assert_eq!(signals.len(), 1);
+        let s = signals[0];
+        assert_eq!(s.pop, LocationTag::Facility(FacilityId(1)));
+        assert_eq!(s.near, Asn(50));
+        assert_eq!(s.deviated.len(), 3);
+        assert_eq!(s.stable_total, 4);
+        assert!(s.fraction > 0.7);
+        assert_eq!(s.far_ases.len(), 3);
+        // Changed paths pruned from the stable set.
+        assert_eq!(m.stable_count(LocationTag::Facility(FacilityId(1))), 1);
+    }
+
+    #[test]
+    fn implicit_withdrawal_community_change_counts() {
+        let mut m = Monitor::new(cfg());
+        let t0 = 1_000_000u64;
+        for i in 0..4u8 {
+            m.observe(
+                t0,
+                RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] },
+            );
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        m.advance_to(t1);
+        // Re-announce with a *different facility tag*, same AS pair: the
+        // paper's implicit withdrawal.
+        for i in 0..4u8 {
+            m.observe(
+                t1 + 2,
+                RouteEvent::Update { key: key(i), crossings: vec![fac(2, 50, 60)], hops: vec![] },
+            );
+        }
+        let outcomes = m.advance_to(t1 + 120);
+        let signals: Vec<_> = outcomes.iter().flat_map(|o| o.signals.iter()).collect();
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].pop, LocationTag::Facility(FacilityId(1)));
+    }
+
+    #[test]
+    fn as_path_change_keeping_tag_is_not_a_deviation() {
+        let mut m = Monitor::new(cfg());
+        let t0 = 1_000_000u64;
+        for i in 0..4u8 {
+            m.observe(
+                t0,
+                RouteEvent::Update {
+                    key: key(i),
+                    crossings: vec![fac(1, 50, 60)],
+                    hops: vec![Asn(1), Asn(50), Asn(60)],
+                },
+            );
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        m.advance_to(t1);
+        // Far end changes (different AS path) but the tag (pop 1, near 50)
+        // survives: not a route change for pop 1.
+        for i in 0..4u8 {
+            m.observe(
+                t1 + 2,
+                RouteEvent::Update {
+                    key: key(i),
+                    crossings: vec![fac(1, 50, 61)],
+                    hops: vec![Asn(1), Asn(50), Asn(61)],
+                },
+            );
+        }
+        let outcomes = m.advance_to(t1 + 120);
+        assert!(outcomes.iter().all(|o| o.signals.is_empty()));
+    }
+
+    #[test]
+    fn per_as_grouping_avoids_tier1_bias() {
+        let mut m = Monitor::new(cfg());
+        let t0 = 1_000_000u64;
+        // Group A: 3 paths via near-AS 50; Group B: 30 paths via near-AS 99.
+        for i in 0..3u8 {
+            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+        }
+        for i in 3..33u8 {
+            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 99, 70)], hops: vec![] });
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        m.advance_to(t1);
+        // Only group A is wiped out: 3/33 < 10% aggregate, but 3/3 per-AS.
+        for i in 0..3u8 {
+            m.observe(t1 + 1, RouteEvent::Withdraw { key: key(i) });
+        }
+        let outcomes = m.advance_to(t1 + 120);
+        let signals: Vec<_> = outcomes.iter().flat_map(|o| o.signals.iter()).collect();
+        assert_eq!(signals.len(), 1);
+        assert_eq!(signals[0].near, Asn(50));
+    }
+
+    #[test]
+    fn watch_records_fraction_series() {
+        let mut m = Monitor::new(cfg());
+        let pop = LocationTag::Facility(FacilityId(1));
+        m.watch(pop);
+        let t0 = 1_000_000u64;
+        for i in 0..4u8 {
+            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        m.advance_to(t1);
+        for i in 0..2u8 {
+            m.observe(t1 + 1, RouteEvent::Withdraw { key: key(i) });
+        }
+        m.advance_to(t1 + 180);
+        let series = m.watch_series(pop).unwrap();
+        assert!(!series.is_empty());
+        let max = series.iter().map(|(_, f)| *f).fold(0.0f64, f64::max);
+        assert!((max - 0.5).abs() < 1e-9, "peak fraction 2/4, got {max}");
+    }
+
+    #[test]
+    fn small_groups_do_not_signal() {
+        let mut m = Monitor::new(KeplerConfig { min_stable_paths: 3, ..KeplerConfig::default() });
+        let t0 = 1_000_000u64;
+        for i in 0..2u8 {
+            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        m.advance_to(t1);
+        for i in 0..2u8 {
+            m.observe(t1 + 1, RouteEvent::Withdraw { key: key(i) });
+        }
+        let outcomes = m.advance_to(t1 + 120);
+        assert!(outcomes.iter().all(|o| o.signals.is_empty()));
+    }
+
+    #[test]
+    fn route_change_resets_stability_clock() {
+        let mut m = Monitor::new(cfg());
+        let t0 = 1_000_000u64;
+        m.observe(t0, RouteEvent::Update { key: key(0), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+        // Change the route after one day; stability clock restarts.
+        m.observe(t0 + DAY, RouteEvent::Update { key: key(0), crossings: vec![fac(2, 50, 60)], hops: vec![] });
+        m.advance_to(t0 + 2 * DAY + 300);
+        assert_eq!(m.baseline_size(), 0, "not yet stable on new route");
+        m.advance_to(t0 + 3 * DAY + 300);
+        assert_eq!(m.baseline_size(), 1);
+        assert_eq!(m.stable_count(LocationTag::Facility(FacilityId(2))), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The Kepler system: all modules wired per the paper's Figure 6.
+
+use crate::config::KeplerConfig;
+use crate::dataplane::{confirm, DataPlaneProbe};
+use crate::events::{OutageReport, SignalClass};
+use crate::input::InputModule;
+use crate::investigate::Investigator;
+use crate::monitor::{BinOutcome, Monitor};
+use crate::tracker::Tracker;
+use kepler_bgpstream::{BgpRecord, GapTracker, Timestamp};
+use kepler_docmine::CommunityDictionary;
+use kepler_topology::{ColocationMap, OrgMap};
+
+/// Everything Kepler needs to start.
+pub struct KeplerInputs {
+    /// Pipeline configuration.
+    pub config: KeplerConfig,
+    /// The community dictionary (mined or ground-truth).
+    pub dictionary: CommunityDictionary,
+    /// The colocation map (merged from public sources).
+    pub colo: ColocationMap,
+    /// AS-to-organization map.
+    pub orgs: OrgMap,
+}
+
+/// Classification counters over a run (drives the Figure 7a sweep).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Signal groups dismissed as link-level.
+    pub link_level: usize,
+    /// Signal groups dismissed as AS-level.
+    pub as_level: usize,
+    /// Signal groups dismissed as operator-level.
+    pub operator_level: usize,
+    /// PoP-level incidents localized.
+    pub pop_level: usize,
+    /// PoP-level groups that could not be localized.
+    pub unresolved: usize,
+    /// Incidents discarded because the data plane contradicted them.
+    pub dataplane_rejected: usize,
+}
+
+/// The Kepler detection system.
+pub struct Kepler {
+    config: KeplerConfig,
+    input: InputModule,
+    monitor: Monitor,
+    investigator: Investigator,
+    tracker: Tracker,
+    gap: GapTracker,
+    dataplane: Option<Box<dyn DataPlaneProbe>>,
+    counts: ClassCounts,
+    last_time: Timestamp,
+}
+
+impl Kepler {
+    /// Builds the system.
+    pub fn new(inputs: KeplerInputs) -> Self {
+        let config = inputs.config.clone();
+        let mut tracker = Tracker::new(config.clone());
+        tracker.set_geography(&inputs.colo);
+        Kepler {
+            input: InputModule::new(inputs.dictionary, inputs.colo.clone()),
+            monitor: Monitor::new(config.clone()),
+            investigator: Investigator::new(config.clone(), inputs.colo, inputs.orgs),
+            tracker,
+            gap: GapTracker::new(config.quarantine_secs),
+            dataplane: None,
+            counts: ClassCounts::default(),
+            config,
+            last_time: 0,
+        }
+    }
+
+    /// Attaches a data-plane measurement backend for incident confirmation.
+    pub fn with_dataplane(mut self, probe: Box<dyn DataPlaneProbe>) -> Self {
+        self.dataplane = Some(probe);
+        self
+    }
+
+    /// Registers a PoP whose per-bin change fraction should be recorded.
+    pub fn watch(&mut self, pop: kepler_docmine::LocationTag) {
+        self.monitor.watch(pop);
+    }
+
+    /// The recorded series of a watched PoP.
+    pub fn watch_series(&self, pop: kepler_docmine::LocationTag) -> Option<&[(Timestamp, f64)]> {
+        self.monitor.watch_series(pop)
+    }
+
+    /// Input-module statistics (coverage fractions etc.).
+    pub fn input_stats(&self) -> &crate::input::InputStats {
+        self.input.stats()
+    }
+
+    /// Classification counters.
+    pub fn class_counts(&self) -> ClassCounts {
+        self.counts
+    }
+
+    /// The monitor (for inspection in tests and harnesses).
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Feeds one record through the pipeline.
+    pub fn process_record(&mut self, rec: &BgpRecord) {
+        self.last_time = self.last_time.max(rec.time);
+        self.gap.observe(rec);
+        if !self.gap.is_usable(rec.collector, rec.peer, rec.time) {
+            return;
+        }
+        for elem in rec.explode() {
+            if let Some(event) = self.input.process(&elem) {
+                let outcomes = self.monitor.observe(elem.time, event);
+                for outcome in outcomes {
+                    self.handle_bin(outcome);
+                }
+            }
+        }
+    }
+
+    fn handle_bin(&mut self, outcome: BinOutcome) {
+        let investigation = self.investigator.investigate(&outcome);
+        for (_, class) in &investigation.dismissed {
+            match class {
+                SignalClass::LinkLevel => self.counts.link_level += 1,
+                SignalClass::AsLevel => self.counts.as_level += 1,
+                SignalClass::OperatorLevel => self.counts.operator_level += 1,
+                SignalClass::PopLevel => {}
+            }
+        }
+        self.counts.unresolved += investigation.unresolved.len();
+        // Data-plane confirmation: incidents contradicted by traceroutes
+        // are discarded as false positives (paper §4.4).
+        let mut kept = Vec::new();
+        let mut confirmations = Vec::new();
+        for inc in investigation.incidents {
+            let verdict = self
+                .dataplane
+                .as_ref()
+                .and_then(|dp| dp.probe(&inc.scope, outcome.bin_start))
+                .map(|r| confirm(r, self.config.t_fail));
+            if verdict == Some(false) {
+                self.counts.dataplane_rejected += 1;
+                continue;
+            }
+            self.counts.pop_level += 1;
+            kept.push(inc);
+            confirmations.push(verdict);
+        }
+        self.tracker.record(&kept, &confirmations);
+        let bin_end = outcome.bin_start + self.config.bin_secs;
+        self.tracker.check_restorations(bin_end, &self.monitor);
+    }
+
+    /// Feeds a whole stream, then finishes.
+    pub fn run<I: IntoIterator<Item = BgpRecord>>(mut self, records: I) -> Vec<OutageReport> {
+        for rec in records {
+            self.process_record(&rec);
+        }
+        self.finish()
+    }
+
+    /// Flushes pending bins and closes the run.
+    pub fn finish(mut self) -> Vec<OutageReport> {
+        let outcomes = self.monitor.advance_to(self.last_time + 2 * self.config.bin_secs);
+        for outcome in outcomes {
+            self.handle_bin(outcome);
+        }
+        self.tracker.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataplane::{FixedProbe, ProbeResult};
+    use crate::events::OutageScope;
+    use kepler_bgp::{AsPath, Asn, BgpUpdate, Community, PathAttributes, Prefix};
+    use kepler_bgpstream::{CollectorId, PeerId, RecordPayload};
+    use kepler_docmine::LocationTag;
+    use kepler_topology::entities::Facility;
+    use kepler_topology::{CityId, Continent, FacilityId, GeoPoint};
+
+    const DAY: u64 = 86_400;
+    const T0: u64 = 1_000_000;
+
+    /// A synthetic world: facility 0 with near-end ASes 10,11,12 tagging
+    /// routes received from far-end ASes 20..26, observed by peer AS 3356.
+    fn inputs() -> KeplerInputs {
+        let mut colo = ColocationMap::new();
+        colo.add_facility(Facility {
+            id: FacilityId(0),
+            name: "F0".into(),
+            address: String::new(),
+            postcode: "P0".into(),
+            country: "GB".into(),
+            city: CityId(0),
+            continent: Continent::Europe,
+            point: GeoPoint::new(51.5, 0.0),
+            operator: "Op".into(),
+        });
+        for a in [10u32, 11, 12, 20, 21, 22, 23, 24, 25] {
+            colo.add_fac_member(FacilityId(0), Asn(a));
+        }
+        let mut dictionary = CommunityDictionary::new();
+        for near in [10u16, 11, 12] {
+            dictionary.insert(Community::new(near, 500), LocationTag::Facility(FacilityId(0)));
+        }
+        KeplerInputs {
+            config: KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() },
+            dictionary,
+            colo,
+            orgs: OrgMap::new(),
+        }
+    }
+
+    fn peer() -> PeerId {
+        PeerId { asn: Asn(3356), addr: "10.0.0.1".parse().unwrap() }
+    }
+
+    fn announce(t: u64, near: u32, far: u32, pfx: u8) -> BgpRecord {
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, near, far]),
+            vec![Community::new(near as u16, 500)],
+        );
+        BgpRecord {
+            time: t,
+            collector: CollectorId(0),
+            peer: peer(),
+            payload: RecordPayload::Update(BgpUpdate::announce(
+                vec![Prefix::v4(20, pfx, 0, 0, 16)],
+                attrs,
+            )),
+        }
+    }
+
+    fn announce_detour(t: u64, far: u32, pfx: u8) -> BgpRecord {
+        // Route now avoids the facility (no community).
+        let attrs = PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 99, far]),
+            vec![],
+        );
+        BgpRecord {
+            time: t,
+            collector: CollectorId(0),
+            peer: peer(),
+            payload: RecordPayload::Update(BgpUpdate::announce(
+                vec![Prefix::v4(20, pfx, 0, 0, 16)],
+                attrs,
+            )),
+        }
+    }
+
+    /// Builds the base table: prefix i (0..6) via near 10+i%3, far 20+i.
+    fn base_records() -> Vec<BgpRecord> {
+        (0..6u8).map(|i| announce(T0, 10 + (i % 3) as u32, 20 + i as u32, i)).collect()
+    }
+
+    fn outage_records(t: u64) -> Vec<BgpRecord> {
+        (0..6u8).map(|i| announce_detour(t + i as u64, 20 + i as u32, i)).collect()
+    }
+
+    fn restore_records(t: u64) -> Vec<BgpRecord> {
+        (0..6u8).map(|i| announce(t + i as u64, 10 + (i % 3) as u32, 20 + i as u32, i)).collect()
+    }
+
+    #[test]
+    fn detects_facility_outage_end_to_end() {
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        let t_restore = t_fail + 1800;
+        records.extend(restore_records(t_restore));
+        // A closing marker so bins flush well past the merge window.
+        records.push(announce(t_restore + 13 * 3600, 10, 20, 0));
+        let kepler = Kepler::new(inputs());
+        let reports = kepler.run(records);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        let r = &reports[0];
+        assert_eq!(r.scope, OutageScope::Facility(FacilityId(0)));
+        assert!(r.start >= t_fail - 60 && r.start <= t_fail + 120, "start {}", r.start);
+        let end = r.end.expect("restored");
+        assert!(end >= t_restore && end <= t_restore + 600, "end {end}");
+        assert_eq!(r.affected_near, [Asn(10), Asn(11), Asn(12)].into());
+        assert!(r.affected_far.len() >= 3);
+    }
+
+    #[test]
+    fn single_as_event_is_not_an_outage() {
+        let mut records = base_records();
+        let t_ev = T0 + 2 * DAY + 3600;
+        // Only near-AS 10's routes detour (prefixes 0 and 3).
+        records.push(announce_detour(t_ev, 20, 0));
+        records.push(announce_detour(t_ev + 1, 23, 3));
+        records.push(announce(t_ev + 10_000, 11, 21, 1));
+        let kepler = Kepler::new(inputs());
+        let reports = kepler.run(records);
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn dataplane_rejection_discards_incident() {
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        records.push(announce(t_fail + 13 * 3600, 10, 20, 0));
+        let kepler = Kepler::new(inputs()).with_dataplane(Box::new(FixedProbe(Some(ProbeResult {
+            still_crossing: 10,
+            baseline: 10,
+        }))));
+        let reports = kepler.run(records);
+        assert!(reports.is_empty(), "dataplane contradiction discards: {reports:?}");
+    }
+
+    #[test]
+    fn dataplane_confirmation_marks_report() {
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        records.push(announce(t_fail + 13 * 3600, 10, 20, 0));
+        let kepler = Kepler::new(inputs()).with_dataplane(Box::new(FixedProbe(Some(ProbeResult {
+            still_crossing: 0,
+            baseline: 10,
+        }))));
+        let reports = kepler.run(records);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].dataplane_confirmed, Some(true));
+    }
+
+    #[test]
+    fn collector_session_loss_is_not_an_outage() {
+        use kepler_bgp::{PeerState, StateChange};
+        let mut records = base_records();
+        let t_ev = T0 + 2 * DAY + 3600;
+        records.push(BgpRecord {
+            time: t_ev,
+            collector: CollectorId(0),
+            peer: peer(),
+            payload: RecordPayload::State(StateChange {
+                old: PeerState::Established,
+                new: PeerState::Idle,
+            }),
+        });
+        // The session drop is followed by withdraw-looking noise that must
+        // be ignored because the feed is down.
+        for i in 0..6u8 {
+            records.push(BgpRecord {
+                time: t_ev + 5,
+                collector: CollectorId(0),
+                peer: peer(),
+                payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(20, i, 0, 0, 16)])),
+            });
+        }
+        records.push(announce(t_ev + 10_000, 10, 20, 0));
+        let kepler = Kepler::new(inputs());
+        let reports = kepler.run(records);
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn input_stats_track_coverage() {
+        let records = base_records();
+        let mut kepler = Kepler::new(inputs());
+        for r in &records {
+            kepler.process_record(r);
+        }
+        assert_eq!(kepler.input_stats().located, 6);
+        assert!((kepler.input_stats().located_fraction() - 1.0).abs() < 1e-9);
+    }
+}

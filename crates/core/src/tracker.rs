@@ -1,0 +1,389 @@
+//! Outage lifecycle tracking (paper §4.3–4.4).
+//!
+//! An incident opens when the investigator localizes it; it closes when
+//! more than `restore_fraction` of its affected paths carry their original
+//! (PoP, near-end) tag again. Two outages of the same scope separated by
+//! less than `merge_window_secs` are one oscillating incident whose
+//! downtime is the sum of the individual outage durations.
+
+use crate::config::KeplerConfig;
+use crate::events::{OutageReport, OutageScope, RouteKey};
+use crate::investigate::LocalizedIncident;
+use crate::monitor::Monitor;
+use kepler_bgp::Asn;
+use kepler_bgpstream::Timestamp;
+use kepler_docmine::LocationTag;
+use kepler_topology::{CityId, ColocationMap};
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug)]
+struct Ongoing {
+    scope: OutageScope,
+    started: Timestamp,
+    /// Duration accumulated by earlier oscillation segments.
+    prior_duration: u64,
+    segment_start: Timestamp,
+    oscillations: usize,
+    affected_near: BTreeSet<Asn>,
+    affected_far: BTreeSet<Asn>,
+    affected_keys: BTreeSet<RouteKey>,
+    watch: Vec<(RouteKey, LocationTag, Asn)>,
+    dataplane_confirmed: Option<bool>,
+}
+
+/// Tracks ongoing and closed outages.
+#[derive(Debug, Default)]
+pub struct Tracker {
+    config: KeplerConfig,
+    ongoing: HashMap<OutageScope, Ongoing>,
+    /// Closed segments waiting for possible oscillation-reopen: scope →
+    /// (closed report, end time).
+    cooling: HashMap<OutageScope, (OutageReport, u64 /* accumulated duration */)>,
+    finished: Vec<OutageReport>,
+    /// Facility → city, for cross-scope incident reconciliation.
+    fac_city: HashMap<u32, CityId>,
+    /// IXP → city.
+    ixp_city: HashMap<u32, CityId>,
+}
+
+impl Tracker {
+    /// A tracker with the given configuration.
+    pub fn new(config: KeplerConfig) -> Self {
+        Tracker { config, ..Default::default() }
+    }
+
+    /// Loads facility/IXP geography so that shadows of one incident seen
+    /// through different PoP tags (the facility, its IXP, its city) merge
+    /// into one report instead of three.
+    pub fn set_geography(&mut self, colo: &ColocationMap) {
+        for f in colo.facilities() {
+            self.fac_city.insert(f.id.0, f.city);
+        }
+        for x in colo.ixps() {
+            self.ixp_city.insert(x.id.0, x.city);
+        }
+    }
+
+    fn city_of(&self, scope: &OutageScope) -> Option<CityId> {
+        match scope {
+            OutageScope::Facility(f) => self.fac_city.get(&f.0).copied(),
+            OutageScope::Ixp(x) => self.ixp_city.get(&x.0).copied(),
+            OutageScope::City(c) => Some(*c),
+        }
+    }
+
+    /// Whether two scopes plausibly describe the same physical incident.
+    fn related(&self, a: &OutageScope, b: &OutageScope) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.city_of(a), self.city_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// The scope to keep when merging two related scopes: identical scopes
+    /// stay; a city-level scope corroborating a sharper one is absorbed
+    /// into the sharp scope; two distinct physical scopes abstract to
+    /// their city.
+    fn merged_scope(&self, a: OutageScope, b: OutageScope) -> OutageScope {
+        if a == b {
+            return a;
+        }
+        match (a, b) {
+            (OutageScope::City(_), sharp) => sharp,
+            (sharp, OutageScope::City(_)) => sharp,
+            _ => match self.city_of(&a) {
+                Some(c) => OutageScope::City(c),
+                None => a,
+            },
+        }
+    }
+
+    /// Records this bin's localized incidents.
+    pub fn record(&mut self, incidents: &[LocalizedIncident], confirmed: &[Option<bool>]) {
+        for (inc, conf) in incidents.iter().zip(confirmed.iter()) {
+            // Merge target among ongoing outages: exact scope first, then
+            // any related scope (same city).
+            let target = if self.ongoing.contains_key(&inc.scope) {
+                Some(inc.scope)
+            } else {
+                self.ongoing.keys().find(|s| self.related(s, &inc.scope)).copied()
+            };
+            if let Some(key) = target {
+                let mut on = self.ongoing.remove(&key).expect("target present");
+                on.affected_near.extend(inc.affected_near.iter().copied());
+                on.affected_far.extend(inc.affected_far.iter().copied());
+                on.affected_keys.extend(inc.affected_keys.iter().copied());
+                on.watch.extend(inc.watch.iter().cloned());
+                if on.dataplane_confirmed.is_none() {
+                    on.dataplane_confirmed = *conf;
+                }
+                on.scope = self.merged_scope(key, inc.scope);
+                // A previously separate ongoing entry under the merged
+                // scope is the same incident too.
+                if let Some(other) = self.ongoing.remove(&on.scope) {
+                    on.started = on.started.min(other.started);
+                    on.segment_start = on.segment_start.min(other.segment_start);
+                    on.prior_duration = on.prior_duration.max(other.prior_duration);
+                    on.oscillations = on.oscillations.max(other.oscillations);
+                    on.affected_near.extend(other.affected_near);
+                    on.affected_far.extend(other.affected_far);
+                    on.affected_keys.extend(other.affected_keys);
+                    on.watch.extend(other.watch);
+                }
+                self.ongoing.insert(on.scope, on);
+                continue;
+            }
+            // Oscillation? Reopen a recently closed incident of a related
+            // scope.
+            let ckey = if self.cooling.contains_key(&inc.scope) {
+                Some(inc.scope)
+            } else {
+                self.cooling.keys().find(|s| self.related(s, &inc.scope)).copied()
+            };
+            if let Some(key) = ckey {
+                let (report, acc) = self.cooling.remove(&key).expect("cooling present");
+                let gap_ok = report
+                    .end
+                    .map(|e| inc.bin_start.saturating_sub(e) < self.config.merge_window_secs)
+                    .unwrap_or(false);
+                if gap_ok {
+                    let scope = self.merged_scope(key, inc.scope);
+                    let mut on = Ongoing {
+                        scope,
+                        started: report.start,
+                        prior_duration: acc,
+                        segment_start: inc.bin_start,
+                        oscillations: report.oscillations + 1,
+                        affected_near: report.affected_near.clone(),
+                        affected_far: report.affected_far.clone(),
+                        affected_keys: BTreeSet::new(),
+                        watch: inc.watch.clone(),
+                        dataplane_confirmed: report.dataplane_confirmed,
+                    };
+                    on.affected_near.extend(inc.affected_near.iter().copied());
+                    on.affected_far.extend(inc.affected_far.iter().copied());
+                    on.affected_keys.extend(inc.affected_keys.iter().copied());
+                    self.ongoing.insert(on.scope, on);
+                    continue;
+                }
+                // Too old: the cooled incident is final.
+                self.finished.push(report);
+            }
+            self.ongoing.insert(
+                inc.scope,
+                Ongoing {
+                    scope: inc.scope,
+                    started: inc.bin_start,
+                    prior_duration: 0,
+                    segment_start: inc.bin_start,
+                    oscillations: 1,
+                    affected_near: inc.affected_near.clone(),
+                    affected_far: inc.affected_far.clone(),
+                    affected_keys: inc.affected_keys.iter().copied().collect(),
+                    watch: inc.watch.clone(),
+                    dataplane_confirmed: *conf,
+                },
+            );
+        }
+    }
+
+    /// Checks ongoing outages for restoration at the close of a bin.
+    pub fn check_restorations(&mut self, now: Timestamp, monitor: &Monitor) {
+        let scopes: Vec<OutageScope> = self.ongoing.keys().copied().collect();
+        for scope in scopes {
+            let restored = {
+                let on = &self.ongoing[&scope];
+                if on.watch.is_empty() {
+                    false
+                } else {
+                    let returned = on
+                        .watch
+                        .iter()
+                        .filter(|(k, pop, near)| monitor.route_has_crossing(k, *pop, *near))
+                        .count();
+                    returned as f64 / on.watch.len() as f64 > self.config.restore_fraction
+                }
+            };
+            if !restored {
+                continue;
+            }
+            let on = self.ongoing.remove(&scope).expect("present");
+            let seg = now.saturating_sub(on.segment_start);
+            let report = OutageReport {
+                scope: on.scope,
+                start: on.started,
+                end: Some(now),
+                affected_near: on.affected_near,
+                affected_far: on.affected_far,
+                affected_paths: on.affected_keys.len(),
+                oscillations: on.oscillations,
+                dataplane_confirmed: on.dataplane_confirmed,
+            };
+            self.cooling.insert(scope, (report, on.prior_duration + seg));
+        }
+        // Promote cooled incidents older than the merge window to final.
+        let expired: Vec<OutageScope> = self
+            .cooling
+            .iter()
+            .filter(|(_, (r, _))| {
+                r.end.map(|e| now.saturating_sub(e) >= self.config.merge_window_secs).unwrap_or(true)
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        for s in expired {
+            let (report, _) = self.cooling.remove(&s).expect("present");
+            self.finished.push(report);
+        }
+    }
+
+    /// Total downtime of a scope's report, accounting for oscillations.
+    pub fn downtime_of(report: &OutageReport) -> Option<u64> {
+        report.duration()
+    }
+
+    /// Ends the run: ongoing outages close as ongoing (`end = None`),
+    /// cooled ones become final.
+    pub fn finish(mut self) -> Vec<OutageReport> {
+        for (_, (report, _)) in self.cooling.drain() {
+            self.finished.push(report);
+        }
+        for (_, on) in self.ongoing.drain() {
+            self.finished.push(OutageReport {
+                scope: on.scope,
+                start: on.started,
+                end: None,
+                affected_near: on.affected_near,
+                affected_far: on.affected_far,
+                affected_paths: on.affected_keys.len(),
+                oscillations: on.oscillations,
+                dataplane_confirmed: on.dataplane_confirmed,
+            });
+        }
+        self.finished.sort_by_key(|r| (r.start, r.scope));
+        self.finished
+    }
+
+    /// Finalized reports so far (not including ongoing/cooling).
+    pub fn finished(&self) -> &[OutageReport] {
+        &self.finished
+    }
+
+    /// Number of currently ongoing outages.
+    pub fn ongoing_count(&self) -> usize {
+        self.ongoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::{PopCrossing, RouteEvent};
+    use kepler_bgp::Prefix;
+    use kepler_bgpstream::{CollectorId, PeerId};
+    use kepler_topology::FacilityId;
+
+    fn key(i: u8) -> RouteKey {
+        RouteKey {
+            collector: CollectorId(0),
+            peer: PeerId { asn: Asn(1), addr: "10.0.0.1".parse().unwrap() },
+            prefix: Prefix::v4(20, i, 0, 0, 16),
+        }
+    }
+
+    fn incident(t: u64, keys: &[u8]) -> LocalizedIncident {
+        LocalizedIncident {
+            scope: OutageScope::Facility(FacilityId(1)),
+            bin_start: t,
+            affected_near: [Asn(5)].into(),
+            affected_far: [Asn(6)].into(),
+            affected_keys: keys.iter().map(|&i| key(i)).collect(),
+            watch: keys
+                .iter()
+                .map(|&i| (key(i), LocationTag::Facility(FacilityId(1)), Asn(5)))
+                .collect(),
+        }
+    }
+
+    /// Monitor whose `current` holds crossings for the given keys.
+    fn monitor_with(keys_present: &[u8]) -> Monitor {
+        let mut m = Monitor::new(KeplerConfig::default());
+        for &i in keys_present {
+            m.observe(
+                1000,
+                RouteEvent::Update {
+                    key: key(i),
+                    crossings: vec![PopCrossing {
+                        pop: LocationTag::Facility(FacilityId(1)),
+                        near: Asn(5),
+                        far: Asn(6),
+                    }],
+                    hops: vec![],
+                },
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn open_then_restore() {
+        let mut t = Tracker::new(KeplerConfig::default());
+        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None]);
+        assert_eq!(t.ongoing_count(), 1);
+        // 2 of 4 back: exactly 50%, not >50% — still ongoing.
+        t.check_restorations(2000, &monitor_with(&[0, 1]));
+        assert_eq!(t.ongoing_count(), 1);
+        // 3 of 4 back: restored.
+        t.check_restorations(3000, &monitor_with(&[0, 1, 2]));
+        assert_eq!(t.ongoing_count(), 0);
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].start, 1000);
+        assert_eq!(reports[0].end, Some(3000));
+        assert_eq!(reports[0].oscillations, 1);
+    }
+
+    #[test]
+    fn oscillations_merge_within_window() {
+        let mut t = Tracker::new(KeplerConfig::default());
+        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None]);
+        t.check_restorations(2000, &monitor_with(&[0, 1, 2, 3]));
+        assert_eq!(t.ongoing_count(), 0);
+        // Re-fails 1h later (< 12h window): same incident.
+        t.record(&[incident(2000 + 3600, &[0, 1])], &[None]);
+        assert_eq!(t.ongoing_count(), 1);
+        t.check_restorations(2000 + 7200, &monitor_with(&[0, 1, 2, 3]));
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1, "one merged incident");
+        assert_eq!(reports[0].oscillations, 2);
+        assert_eq!(reports[0].start, 1000);
+    }
+
+    #[test]
+    fn separate_outages_beyond_window() {
+        let cfg = KeplerConfig::default();
+        let w = cfg.merge_window_secs;
+        let mut t = Tracker::new(cfg);
+        t.record(&[incident(1000, &[0, 1])], &[None]);
+        t.check_restorations(2000, &monitor_with(&[0, 1]));
+        // Second outage far beyond the merge window.
+        t.record(&[incident(2000 + w + 100, &[0, 1])], &[None]);
+        t.check_restorations(2000 + w + 200, &monitor_with(&[0, 1]));
+        let reports = t.finish();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.oscillations == 1));
+    }
+
+    #[test]
+    fn unrestored_outage_finishes_open() {
+        let mut t = Tracker::new(KeplerConfig::default());
+        t.record(&[incident(1000, &[0, 1])], &[Some(true)]);
+        t.check_restorations(5000, &monitor_with(&[]));
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].end, None);
+        assert_eq!(reports[0].dataplane_confirmed, Some(true));
+    }
+}

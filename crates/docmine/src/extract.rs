@@ -1,0 +1,133 @@
+//! Community-value extraction from raw documentation text.
+//!
+//! The paper identifies "sub-strings that include community values using
+//! regular expression matching". This module implements the equivalent
+//! scanner by hand: it finds `<asn>:<value>` tokens with both halves in
+//! 16-bit range, tolerating surrounding punctuation.
+
+use kepler_bgp::Community;
+
+/// A community found in a line of text, with the span consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extracted {
+    /// The parsed community.
+    pub community: Community,
+    /// Byte offset where the token starts.
+    pub start: usize,
+    /// Byte offset one past the token end.
+    pub end: usize,
+}
+
+/// Scans one line for `X:Y` community tokens.
+pub fn extract_communities(line: &str) -> Vec<Extracted> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        // Token must not be glued to a preceding digit/':' (e.g. IPv6-ish).
+        if i > 0 && (bytes[i - 1].is_ascii_digit() || bytes[i - 1] == b':' || bytes[i - 1] == b'.') {
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            continue;
+        }
+        let colon = i;
+        i += 1;
+        let vstart = i;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        if i == vstart {
+            continue;
+        }
+        // Reject if more digits/colons follow immediately (large communities
+        // or timestamps like 12:30:05).
+        if i < bytes.len() && (bytes[i] == b':' || bytes[i] == b'.') {
+            continue;
+        }
+        let asn_txt = &line[start..colon];
+        let val_txt = &line[vstart..i];
+        if asn_txt.len() > 5 || val_txt.len() > 5 {
+            continue;
+        }
+        if let (Ok(a), Ok(v)) = (asn_txt.parse::<u32>(), val_txt.parse::<u32>()) {
+            if a <= u16::MAX as u32 && v <= u16::MAX as u32 {
+                out.push(Extracted { community: Community::new(a as u16, v as u16), start, end: i });
+            }
+        }
+    }
+    out
+}
+
+/// The free text of a line with all community tokens removed — the part
+/// handed to the entity recognizer.
+pub fn strip_communities(line: &str) -> String {
+    let spans = extract_communities(line);
+    let mut out = String::with_capacity(line.len());
+    let mut pos = 0;
+    for s in &spans {
+        out.push_str(&line[pos..s.start]);
+        pos = s.end;
+    }
+    out.push_str(&line[pos..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_communities() {
+        let found = extract_communities("13030:51904 - routes received at Coresite LAX1");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].community, Community::new(13030, 51904));
+        assert_eq!(&"13030:51904"[..], "13030:51904");
+    }
+
+    #[test]
+    fn finds_multiple_per_line() {
+        let found = extract_communities("use 2914:410 or 2914:420 for Europe");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[1].community, Community::new(2914, 420));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_triplets() {
+        assert!(extract_communities("70000:1 is not a community").is_empty());
+        assert!(extract_communities("1:70000 is not one either").is_empty());
+        assert!(extract_communities("large 196615:100:200 ignored").is_empty());
+        assert!(extract_communities("time 12:30:05 ignored").is_empty());
+    }
+
+    #[test]
+    fn tolerates_punctuation() {
+        let found = extract_communities("(13030:4006), received via LINX.");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].community, Community::new(13030, 4006));
+    }
+
+    #[test]
+    fn strip_removes_only_community_tokens() {
+        let s = strip_communities("13030:51702 - learned at Telehouse East London");
+        assert_eq!(s, " - learned at Telehouse East London");
+        assert_eq!(strip_communities("no communities here"), "no communities here");
+    }
+
+    #[test]
+    fn ignores_ip_like_sequences() {
+        assert!(extract_communities("peer at 192.0.2.1:179").is_empty());
+    }
+}

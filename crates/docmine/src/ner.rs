@@ -1,0 +1,182 @@
+//! Gazetteer-based named-entity recognition.
+//!
+//! Substitute for the paper's Stanford NER + Banerjee-style organization
+//! matching: entity names come from the colocation map (PeeringDB/Euro-IX
+//! equivalents) and the city gazetteer, and recognition is normalized
+//! substring/token matching with a facility > IXP > city precedence —
+//! facility names usually embed their city ("Telehouse East London"), so
+//! the most specific entity type must win.
+
+use kepler_topology::{CityGazetteer, ColocationMap, FacilityId, IxpId};
+
+/// A recognized infrastructure entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entity {
+    /// A colocation facility.
+    Facility(FacilityId),
+    /// An IXP.
+    Ixp(IxpId),
+    /// A city, as a gazetteer index.
+    City(usize),
+}
+
+/// Recognizer holding normalized name tables.
+#[derive(Debug, Clone)]
+pub struct EntityRecognizer {
+    facility_names: Vec<(String, FacilityId)>,
+    ixp_names: Vec<(String, IxpId)>,
+    gazetteer: CityGazetteer,
+}
+
+fn normalize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_uppercase() } else { ' ' })
+        .collect::<String>()
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl EntityRecognizer {
+    /// Builds a recognizer from the colocation map's entity names.
+    pub fn from_colomap(map: &ColocationMap, gazetteer: &CityGazetteer) -> Self {
+        let mut facility_names: Vec<(String, FacilityId)> =
+            map.facilities().iter().map(|f| (normalize(&f.name), f.id)).collect();
+        // Longest names first so "Telehouse East London" beats "Telehouse".
+        facility_names.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
+        let mut ixp_names: Vec<(String, IxpId)> =
+            map.ixps().iter().map(|x| (normalize(&x.name), x.id)).collect();
+        ixp_names.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
+        EntityRecognizer { facility_names, ixp_names, gazetteer: gazetteer.clone() }
+    }
+
+    /// Recognizes the most specific entity mentioned in `text`.
+    pub fn recognize(&self, text: &str) -> Option<Entity> {
+        let norm = normalize(text);
+        if norm.is_empty() {
+            return None;
+        }
+        let padded = format!(" {norm} ");
+        for (name, id) in &self.facility_names {
+            if !name.is_empty() && padded.contains(&format!(" {name} ")) {
+                return Some(Entity::Facility(*id));
+            }
+        }
+        for (name, id) in &self.ixp_names {
+            if !name.is_empty() && padded.contains(&format!(" {name} ")) {
+                return Some(Entity::Ixp(*id));
+            }
+        }
+        self.recognize_city(&norm).map(Entity::City)
+    }
+
+    /// City recognition over normalized text: bigrams first (multi-word
+    /// city names), then single tokens against names, IATA codes and
+    /// aliases. Tokens shorter than two characters never match.
+    pub fn recognize_city(&self, norm: &str) -> Option<usize> {
+        let tokens: Vec<&str> = norm.split(' ').filter(|t| t.len() >= 2).collect();
+        for w in tokens.windows(2) {
+            let bigram = format!("{} {}", w[0], w[1]);
+            if let Some(idx) = self
+                .gazetteer
+                .cities()
+                .iter()
+                .position(|c| normalize(c.name) == bigram)
+            {
+                return Some(idx);
+            }
+        }
+        for t in &tokens {
+            if let Some(idx) = self.gazetteer.cities().iter().position(|c| {
+                normalize(c.name) == *t || (t.len() >= 3 && (c.iata == *t || c.alias == *t))
+            }) {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_bgp::Asn;
+    use kepler_topology::entities::{CityId, Facility, Ixp};
+    use kepler_topology::{Continent, GeoPoint};
+
+    fn test_map() -> (ColocationMap, CityGazetteer) {
+        let g = CityGazetteer::new();
+        let london = g.geocode("London").unwrap() as u32;
+        let mut m = ColocationMap::new();
+        m.add_facility(Facility {
+            id: FacilityId(0),
+            name: "Telehouse East London".into(),
+            address: "Coriander Ave".into(),
+            postcode: "E142AA".into(),
+            country: "GB".into(),
+            city: CityId(london),
+            continent: Continent::Europe,
+            point: GeoPoint::new(51.51, -0.0),
+            operator: "Telehouse".into(),
+        });
+        m.add_ixp(Ixp {
+            id: IxpId(0),
+            name: "LINX".into(),
+            url: "linx.net".into(),
+            city: CityId(london),
+            continent: Continent::Europe,
+            route_server_asn: Some(Asn(8714)),
+        });
+        (m, g)
+    }
+
+    #[test]
+    fn facility_beats_city() {
+        let (m, g) = test_map();
+        let r = EntityRecognizer::from_colomap(&m, &g);
+        assert_eq!(
+            r.recognize("routes received at Telehouse East London"),
+            Some(Entity::Facility(FacilityId(0)))
+        );
+    }
+
+    #[test]
+    fn ixp_beats_city() {
+        let (m, g) = test_map();
+        let r = EntityRecognizer::from_colomap(&m, &g);
+        assert_eq!(
+            r.recognize("received from public peer at LINX in London"),
+            Some(Entity::Ixp(IxpId(0)))
+        );
+    }
+
+    #[test]
+    fn city_fallback_all_styles() {
+        let (m, g) = test_map();
+        let r = EntityRecognizer::from_colomap(&m, &g);
+        let london = g.geocode("London").unwrap();
+        assert_eq!(r.recognize("learned in London"), Some(Entity::City(london)));
+        assert_eq!(r.recognize("ingress at LHR"), Some(Entity::City(london)));
+        let ny = g.geocode("NYC").unwrap();
+        assert_eq!(r.recognize("received at NYC edge"), Some(Entity::City(ny)));
+        assert_eq!(r.recognize("received in New York metro"), Some(Entity::City(ny)));
+    }
+
+    #[test]
+    fn no_entity_means_none() {
+        let (m, g) = test_map();
+        let r = EntityRecognizer::from_colomap(&m, &g);
+        assert_eq!(r.recognize("routes of our customers"), None);
+        assert_eq!(r.recognize(""), None);
+    }
+
+    #[test]
+    fn punctuation_and_case_are_immaterial() {
+        let (m, g) = test_map();
+        let r = EntityRecognizer::from_colomap(&m, &g);
+        assert_eq!(
+            r.recognize("-- Received @ TELEHOUSE east,LONDON --"),
+            Some(Entity::Facility(FacilityId(0)))
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Verb-voice classification of documentation lines.
+//!
+//! Paper §3.2: "we perform Part-of-Speech tagging to distinguish verbs in
+//! passive voice used for documenting inbound communities (e.g. 'received',
+//! 'learned', 'exchanged'), and ones in active voice that define actions
+//! (e.g. 'announce', 'block')". This reproduction uses curated marker word
+//! lists instead of a statistical POS tagger; the decision structure
+//! (actions veto, passives admit) is the same.
+
+/// The inferred role of a documentation line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Voice {
+    /// Passive voice: the community *describes* where a route was received —
+    /// an inbound location community.
+    Inbound,
+    /// Active voice: the community *requests* an action (traffic
+    /// engineering) — excluded from the dictionary.
+    Outbound,
+    /// No marker found.
+    Unknown,
+}
+
+const PASSIVE_MARKERS: &[&str] = &[
+    "received", "learned", "learnt", "exchanged", "tagged", "ingress", "accepted", "heard", "originated",
+];
+
+const ACTIVE_MARKERS: &[&str] = &[
+    "announce",
+    "advertise",
+    "export",
+    "prepend",
+    "block",
+    "blackhole",
+    "suppress",
+    "do not",
+    "don't",
+    "set med",
+    "set local",
+    "lower pref",
+];
+
+/// Classifies one line. Action markers take precedence: a line like
+/// "do not announce routes received at X" defines an action.
+pub fn classify(line: &str) -> Voice {
+    let lower = line.to_ascii_lowercase();
+    if ACTIVE_MARKERS.iter().any(|m| lower.contains(m)) {
+        return Voice::Outbound;
+    }
+    if PASSIVE_MARKERS.iter().any(|m| lower.contains(m)) {
+        return Voice::Inbound;
+    }
+    Voice::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_lines_are_inbound() {
+        for l in [
+            "13030:51904 - routes received at Coresite LAX1",
+            "2914:410 learned from peer in Amsterdam",
+            "Tagged on ingress at FRA",
+            "routes EXCHANGED at DE-CIX",
+        ] {
+            assert_eq!(classify(l), Voice::Inbound, "{l}");
+        }
+    }
+
+    #[test]
+    fn action_lines_are_outbound() {
+        for l in [
+            "13030:9003 - announce to customers only",
+            "2914:666 blackhole this prefix",
+            "do not advertise to peers in London",
+            "prepend 3x towards AMS-IX",
+            "set MED to 50 in Frankfurt",
+        ] {
+            assert_eq!(classify(l), Voice::Outbound, "{l}");
+        }
+    }
+
+    #[test]
+    fn actions_veto_passives() {
+        assert_eq!(classify("do not announce routes received at LINX"), Voice::Outbound);
+    }
+
+    #[test]
+    fn unmarked_lines_are_unknown() {
+        assert_eq!(classify("community scheme of AS13030"), Voice::Unknown);
+        assert_eq!(classify(""), Voice::Unknown);
+    }
+}

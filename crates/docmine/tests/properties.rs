@@ -1,0 +1,61 @@
+//! Property-based tests for the mining pipeline's text handling.
+
+use kepler_docmine::attrition::compare;
+use kepler_docmine::dictionary::{CommunityDictionary, LocationTag};
+use kepler_docmine::extract::{extract_communities, strip_communities};
+use kepler_bgp::Community;
+use kepler_topology::CityId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every extracted span parses back to the same community, and spans
+    /// are disjoint and ordered.
+    #[test]
+    fn extraction_spans_are_sound(words in prop::collection::vec("[a-zA-Z0-9:. ]{0,12}", 0..12)) {
+        let line = words.join(" ");
+        let found = extract_communities(&line);
+        let mut last_end = 0usize;
+        for e in &found {
+            prop_assert!(e.start >= last_end);
+            last_end = e.end;
+            let text = &line[e.start..e.end];
+            let parsed: Community = text.parse().unwrap();
+            prop_assert_eq!(parsed, e.community);
+        }
+    }
+
+    /// Stripping removes exactly the extracted spans: the remainder has no
+    /// extractable communities whose text overlapped the original spans,
+    /// and length shrinks by the sum of span lengths.
+    #[test]
+    fn strip_removes_spans(asn in 1u16..60_000, value in 0u16..60_000, pre in "[a-z ]{0,10}", post in "[a-z ]{0,10}") {
+        let line = format!("{pre} {asn}:{value} {post}");
+        let found = extract_communities(&line);
+        prop_assert_eq!(found.len(), 1);
+        let stripped = strip_communities(&line);
+        prop_assert!(extract_communities(&stripped).is_empty());
+        prop_assert_eq!(stripped.len(), line.len() - (found[0].end - found[0].start));
+    }
+
+    /// Attrition accounting: shared + adopted = new size, shared + retired
+    /// = old size, changed ⊆ shared.
+    #[test]
+    fn attrition_accounting(
+        old_vals in prop::collection::btree_set((1u16..50, 0u16..50), 0..40),
+        new_vals in prop::collection::btree_set((1u16..50, 0u16..50), 0..40),
+    ) {
+        let build = |vals: &std::collections::BTreeSet<(u16, u16)>, city: u32| {
+            let mut d = CommunityDictionary::new();
+            for (a, v) in vals {
+                d.insert(Community::new(*a, *v), LocationTag::City(CityId(city + (*v as u32 % 2))));
+            }
+            d
+        };
+        let old = build(&old_vals, 0);
+        let new = build(&new_vals, 1);
+        let r = compare(&old, &new);
+        prop_assert_eq!(r.shared + r.adopted, r.new_size);
+        prop_assert_eq!(r.shared + r.retired, r.old_size);
+        prop_assert!(r.changed_meaning <= r.shared);
+    }
+}

@@ -1,0 +1,433 @@
+//! Traceroute data-plane substitute.
+//!
+//! Stands in for RIPE Atlas / CAIDA Ark / iPlane plus the paper's targeted
+//! campaigns: interface-level paths are derived from the same physical
+//! topology the control plane routes over, so control-plane inferences can
+//! be *validated* against an independent-looking view, exactly as Kepler's
+//! data-plane analysis module does (§4.4).
+//!
+//! Fidelity notes:
+//! * interface addresses are synthesized deterministically per (AS,
+//!   facility) port and per IXP peering LAN, and the reverse mapping is
+//!   exposed through [`DataplaneSim::locate`] — the traIXroute-style
+//!   IP-to-infrastructure resolution of [50, 76];
+//! * RTTs are great-circle propagation over the traversed facilities plus
+//!   per-hop jitter;
+//! * after an outage is repaired the data plane converges *faster* than
+//!   BGP but not instantly: ≈85% of paths are back within an hour
+//!   (Figure 10b), modeled as a deterministic per-(pair, event) delay.
+
+use crate::events::{EventKind, ScheduledEvent};
+use crate::routing::policy::FailedSet;
+use crate::routing::propagate::compute_tree;
+use crate::routing::tag::snapshot_route;
+use crate::world::{AsIdx, PrefixIdx, World};
+use kepler_bgp::Asn;
+use kepler_topology::{FacilityId, GeoPoint, IxpId};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// A measured (source AS, destination prefix) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbePair {
+    /// Probe host's AS.
+    pub src: AsIdx,
+    /// Target prefix.
+    pub dst: PrefixIdx,
+}
+
+/// What an interface address resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IfaceOwner {
+    /// A router port of `asn` inside `facility`.
+    FacilityPort {
+        /// Port owner.
+        asn: Asn,
+        /// Building.
+        facility: FacilityId,
+    },
+    /// An address on an IXP peering LAN.
+    IxpLan {
+        /// The member using the address.
+        asn: Asn,
+        /// The exchange.
+        ixp: IxpId,
+    },
+}
+
+/// One traceroute hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceHop {
+    /// Responding interface.
+    pub addr: IpAddr,
+    /// Its resolution.
+    pub owner: IfaceOwner,
+    /// Cumulative RTT at this hop, milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// One traceroute measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceroutePath {
+    /// What was measured.
+    pub pair: ProbePair,
+    /// When.
+    pub time: u64,
+    /// The hops (empty if the destination was unreachable).
+    pub hops: Vec<TraceHop>,
+    /// Whether the destination answered.
+    pub reached: bool,
+}
+
+impl TraceroutePath {
+    /// End-to-end RTT (last hop), if reached.
+    pub fn rtt_ms(&self) -> Option<f64> {
+        if self.reached {
+            self.hops.last().map(|h| h.rtt_ms)
+        } else {
+            None
+        }
+    }
+
+    /// Whether any hop crosses the given IXP.
+    pub fn crosses_ixp(&self, ixp: IxpId) -> bool {
+        self.hops.iter().any(|h| matches!(h.owner, IfaceOwner::IxpLan { ixp: x, .. } if x == ixp))
+    }
+
+    /// Whether any hop crosses the given facility.
+    pub fn crosses_facility(&self, fac: FacilityId) -> bool {
+        self.hops
+            .iter()
+            .any(|h| matches!(h.owner, IfaceOwner::FacilityPort { facility: f, .. } if f == fac))
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The data-plane simulator for one event timeline.
+pub struct DataplaneSim<'w> {
+    world: &'w World,
+    timeline: Vec<ScheduledEvent>,
+    seed: u64,
+    iface_map: HashMap<IpAddr, IfaceOwner>,
+}
+
+impl<'w> DataplaneSim<'w> {
+    /// A lean simulator without the pre-registered interface map — enough
+    /// for probing (`traceroute`/`campaign`); `locate` only resolves
+    /// addresses seen in this instance's own traces.
+    pub fn probe_only(world: &'w World, timeline: &[ScheduledEvent], seed: u64) -> Self {
+        DataplaneSim { world, timeline: timeline.to_vec(), seed, iface_map: HashMap::new() }
+    }
+
+    /// Builds the simulator (and its interface map) for a timeline.
+    pub fn new(world: &'w World, timeline: &[ScheduledEvent], seed: u64) -> Self {
+        let mut sim = DataplaneSim {
+            world,
+            timeline: timeline.to_vec(),
+            seed,
+            iface_map: HashMap::new(),
+        };
+        // Pre-register every (AS, facility) port and IXP LAN address so
+        // `locate` works without having traced first.
+        for node in &world.ases {
+            for &f in &node.facilities {
+                let addr = sim.facility_port_addr(node.asn, f);
+                sim.iface_map.insert(addr, IfaceOwner::FacilityPort { asn: node.asn, facility: f });
+            }
+            for &x in node.local_ixps.iter().chain(node.remote_ixps.iter()) {
+                let addr = sim.ixp_lan_addr(node.asn, x);
+                sim.iface_map.insert(addr, IfaceOwner::IxpLan { asn: node.asn, ixp: x });
+            }
+        }
+        sim
+    }
+
+    /// Deterministic facility-port address (11.0.0.0/8 experiment space).
+    fn facility_port_addr(&self, asn: Asn, fac: FacilityId) -> IpAddr {
+        let h = splitmix((asn.0 as u64) << 32 | fac.0 as u64) as u32;
+        IpAddr::V4(Ipv4Addr::from(0x0B00_0000 | (h & 0x00FF_FFFF)))
+    }
+
+    /// Deterministic IXP LAN address: 193.<ixp>.<member-hash> style.
+    fn ixp_lan_addr(&self, asn: Asn, ixp: IxpId) -> IpAddr {
+        let h = splitmix((asn.0 as u64) << 20 | ixp.0 as u64) as u32;
+        IpAddr::V4(Ipv4Addr::new(193, (ixp.0 % 250) as u8, ((h >> 8) & 0xFF) as u8, (h & 0xFF) as u8))
+    }
+
+    /// Resolves an interface to its infrastructure (the traIXroute role).
+    pub fn locate(&self, addr: IpAddr) -> Option<IfaceOwner> {
+        self.iface_map.get(&addr).copied()
+    }
+
+    /// The failure state the *data plane* experiences at `t` for `pair`:
+    /// events apply during their window; after restoration the pair keeps
+    /// its detour for a deterministic extra delay (85% < 1 h).
+    pub fn failed_at(&self, t: u64, pair: ProbePair) -> FailedSet {
+        let mut failed = FailedSet::default();
+        for (i, ev) in self.timeline.iter().enumerate() {
+            if matches!(ev.kind, EventKind::CollectorFlap { .. }) {
+                continue;
+            }
+            let extra = {
+                let h = splitmix(
+                    self.seed ^ (i as u64) << 40
+                        ^ (pair.src.0 as u64) << 20
+                        ^ pair.dst.0 as u64,
+                );
+                let frac = (h % 1000) as f64 / 1000.0;
+                if frac < 0.85 {
+                    (frac / 0.85 * 3600.0) as u64
+                } else {
+                    3600 + (((frac - 0.85) / 0.15) * 7200.0) as u64
+                }
+            };
+            if t >= ev.start && t < ev.end() + extra {
+                apply_to(&mut failed, self.world, i, &ev.kind);
+            }
+        }
+        failed
+    }
+
+    /// Performs one traceroute measurement.
+    pub fn traceroute(&self, pair: ProbePair, t: u64) -> TraceroutePath {
+        let failed = self.failed_at(t, pair);
+        let origin = self.world.origin_of(pair.dst);
+        let tree = compute_tree(self.world, &failed, origin);
+        let is_v6 = self.world.prefix(pair.dst).is_ipv6();
+        let Some(snap) = snapshot_route(self.world, &failed, &tree, pair.src, is_v6) else {
+            return TraceroutePath { pair, time: t, hops: Vec::new(), reached: false };
+        };
+        let mut hops = Vec::new();
+        let src_city = self.world.ases[pair.src.0 as usize].info.home_city;
+        let mut here: GeoPoint = self.world.gazetteer.cities()[src_city.0 as usize].point;
+        let mut rtt = 0.5; // first-hop base
+        for v in &snap.visits {
+            // The responding interface is the far-end router's ingress port:
+            // the IXP LAN address for public peering, else its facility port.
+            let (owner, addr, point) = if let Some(x) = v.ixp {
+                let p = self
+                    .world
+                    .colo
+                    .ixp(x)
+                    .map(|i| self.world.gazetteer.cities()[i.city.0 as usize].point)
+                    .unwrap_or(here);
+                (IfaceOwner::IxpLan { asn: v.far, ixp: x }, self.ixp_lan_addr(v.far, x), p)
+            } else if let Some(f) = v.far_fac.or(v.near_fac) {
+                let p = self.world.colo.facility(f).map(|f| f.point).unwrap_or(here);
+                (
+                    IfaceOwner::FacilityPort { asn: v.far, facility: f },
+                    self.facility_port_addr(v.far, f),
+                    p,
+                )
+            } else {
+                continue;
+            };
+            let km = here.distance_km(&point);
+            // ~1 ms RTT per 100 km of great-circle fiber, plus router delay.
+            rtt += km * 0.01 * 2.0 + 0.3;
+            let jitter = (splitmix(self.seed ^ addr_hash(addr) ^ t / 60) % 100) as f64 / 100.0;
+            rtt += jitter * 0.4;
+            here = point;
+            hops.push(TraceHop { addr, owner, rtt_ms: rtt });
+        }
+        TraceroutePath { pair, time: t, hops, reached: true }
+    }
+
+    /// Measures a whole probe set at `t` (a "weekly dump" when invoked on
+    /// archive cadence, a targeted campaign otherwise).
+    pub fn campaign(&self, pairs: &[ProbePair], t: u64) -> Vec<TraceroutePath> {
+        pairs.iter().map(|&p| self.traceroute(p, t)).collect()
+    }
+
+    /// A default probe set: sources in edge (eyeball/stub) ASes — where
+    /// Atlas probes actually live — toward content prefixes.
+    pub fn default_pairs(&self, n: usize) -> Vec<ProbePair> {
+        use kepler_topology::AsType;
+        let sources: Vec<AsIdx> = self
+            .world
+            .ases
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a.info.as_type, AsType::Eyeball | AsType::Stub))
+            .map(|(i, _)| AsIdx(i as u32))
+            .collect();
+        let targets: Vec<PrefixIdx> = self
+            .world
+            .prefixes
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, o))| {
+                p.is_ipv4()
+                    && matches!(
+                        self.world.ases[o.0 as usize].info.as_type,
+                        AsType::Content | AsType::Tier2
+                    )
+            })
+            .map(|(i, _)| PrefixIdx(i as u32))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            if sources.is_empty() || targets.is_empty() {
+                break;
+            }
+            let s = sources[(splitmix(self.seed ^ (k as u64) << 1) as usize) % sources.len()];
+            let d = targets[(splitmix(self.seed ^ (k as u64) << 1 | 1) as usize) % targets.len()];
+            out.push(ProbePair { src: s, dst: d });
+        }
+        out.sort_by_key(|p| (p.src.0, p.dst.0));
+        out.dedup();
+        out
+    }
+}
+
+fn addr_hash(a: IpAddr) -> u64 {
+    match a {
+        IpAddr::V4(v) => u32::from(v) as u64,
+        IpAddr::V6(v) => u128::from(v) as u64,
+    }
+}
+
+/// Applies an event to a failure set (shared with the engine's semantics).
+fn apply_to(failed: &mut FailedSet, world: &World, id: usize, kind: &EventKind) {
+    use crate::events::partial_ports;
+    match kind {
+        EventKind::FacilityOutage { facility, affected_fraction }
+        | EventKind::FiberCut { facility, affected_fraction } => {
+            if *affected_fraction >= 1.0 {
+                failed.facilities.insert(*facility);
+            } else {
+                let members: Vec<Asn> =
+                    world.colo.members_of_facility(*facility).iter().copied().collect();
+                for asn in partial_ports(world, &members, *affected_fraction, id as u64) {
+                    failed.facility_ports.insert((*facility, asn));
+                }
+            }
+        }
+        EventKind::IxpOutage { ixp, affected_fraction } => {
+            if *affected_fraction >= 1.0 {
+                failed.ixps.insert(*ixp);
+            } else {
+                let members: Vec<Asn> = world.colo.members_of_ixp(*ixp).iter().copied().collect();
+                for asn in partial_ports(world, &members, *affected_fraction, id as u64) {
+                    failed.ixp_ports.insert((*ixp, asn));
+                }
+            }
+        }
+        EventKind::Depeering { a, b } => {
+            if let (Some(&ia), Some(&ib)) = (world.asn_to_idx.get(a), world.asn_to_idx.get(b)) {
+                let k = if ia.0 <= ib.0 { (ia, ib) } else { (ib, ia) };
+                if let Some(&adj) = world.adj_of.get(&k) {
+                    failed.dead_adjacencies.insert(adj);
+                }
+            }
+        }
+        EventKind::IxpMemberLeave { asn, ixp } => {
+            failed.dead_memberships.insert((*ixp, *asn));
+        }
+        EventKind::OperatorWithdraw { asns, facility } => {
+            for asn in asns {
+                failed.facility_ports.insert((*facility, *asn));
+            }
+        }
+        EventKind::CollectorFlap { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    const T0: u64 = 1_400_000_000;
+
+    #[test]
+    fn traceroutes_resolve_and_accumulate_rtt() {
+        let w = World::generate(WorldConfig::tiny(91));
+        let dp = DataplaneSim::new(&w, &[], 1);
+        let pairs = dp.default_pairs(20);
+        assert!(!pairs.is_empty());
+        let mut reached = 0;
+        for tr in dp.campaign(&pairs, T0) {
+            if !tr.reached {
+                continue;
+            }
+            reached += 1;
+            let mut last = 0.0;
+            for h in &tr.hops {
+                assert!(h.rtt_ms >= last, "RTT must be monotone");
+                last = h.rtt_ms;
+                assert_eq!(dp.locate(h.addr), Some(h.owner), "interface map agrees");
+            }
+        }
+        assert!(reached > pairs.len() / 2, "most probes reach");
+    }
+
+    #[test]
+    fn outage_window_changes_paths_then_recovers() {
+        let w = World::generate(WorldConfig::tiny(93));
+        let fac = w
+            .colo
+            .facilities()
+            .iter()
+            .max_by_key(|f| w.colo.members_of_facility(f.id).len())
+            .unwrap()
+            .id;
+        let ev = ScheduledEvent {
+            start: T0 + 1000,
+            duration: 600,
+            kind: EventKind::FacilityOutage { facility: fac, affected_fraction: 1.0 },
+        };
+        let dp = DataplaneSim::new(&w, &[ev], 2);
+        let pairs = dp.default_pairs(60);
+        let before = dp.campaign(&pairs, T0);
+        let during = dp.campaign(&pairs, T0 + 1200);
+        let long_after = dp.campaign(&pairs, T0 + 1000 + 600 + 11_000);
+        let crossing = |paths: &[TraceroutePath]| paths.iter().filter(|p| p.crosses_facility(fac)).count();
+        let b = crossing(&before);
+        let d = crossing(&during);
+        let a = crossing(&long_after);
+        assert_eq!(d, 0, "no path crosses a dead facility");
+        assert!(a >= d, "paths drift back after restoration");
+        // If any path crossed it before, recovery should restore some.
+        if b > 0 {
+            assert!(a > 0, "recovery restores crossings ({b} before, {a} after)");
+        }
+    }
+
+    #[test]
+    fn dataplane_recovery_is_gradual() {
+        let w = World::generate(WorldConfig::tiny(95));
+        let fac = w
+            .colo
+            .facilities()
+            .iter()
+            .max_by_key(|f| w.colo.members_of_facility(f.id).len())
+            .unwrap()
+            .id;
+        let ev = ScheduledEvent {
+            start: T0,
+            duration: 600,
+            kind: EventKind::FacilityOutage { facility: fac, affected_fraction: 1.0 },
+        };
+        let dp = DataplaneSim::new(&w, &[ev.clone()], 3);
+        // For a fixed pair, failed_at transitions from failed to clean at
+        // start+duration+extra, with extra bounded by 3 hours.
+        let pair = ProbePair { src: AsIdx(0), dst: PrefixIdx(0) };
+        assert!(!dp.failed_at(T0 + 1, pair).is_empty());
+        assert!(dp.failed_at(T0 + 600 + 3 * 3600 + 7200 + 1, pair).is_empty());
+    }
+
+    #[test]
+    fn determinism() {
+        let w = World::generate(WorldConfig::tiny(97));
+        let dp = DataplaneSim::new(&w, &[], 9);
+        let pairs = dp.default_pairs(10);
+        assert_eq!(dp.campaign(&pairs, T0), dp.campaign(&pairs, T0));
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-prefix Gao-Rexford route propagation.
+//!
+//! For one origin, computes every AS's best route simultaneously as a
+//! routing tree (the standard three-phase algorithm):
+//!
+//! 1. **Customer routes** climb provider chains from the origin — every AS
+//!    on the way prefers them above all else and re-exports them to
+//!    everyone.
+//! 2. **Peer routes** hop exactly one settlement-free edge from an AS with
+//!    a customer/origin route.
+//! 3. **Provider routes** descend customer cones from any routed AS —
+//!    customers receive everything and re-export what they learned from
+//!    providers only further down.
+//!
+//! Selection inside a class is shortest AS path, then lowest neighbor ASN —
+//! fully deterministic. Only adjacencies with a usable physical instance
+//! (per [`FailedSet`]) participate, which is how physical outages reshape
+//! control-plane paths.
+
+use super::policy::FailedSet;
+use crate::world::{AdjIdx, AsIdx, Rel, World};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Route preference class, higher is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PrefClass {
+    /// Learned from a provider.
+    Provider = 0,
+    /// Learned from a settlement-free peer.
+    Peer = 1,
+    /// Learned from a customer.
+    Customer = 2,
+    /// Locally originated.
+    Origin = 3,
+}
+
+/// One AS's best route to the tree's prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Preference class.
+    pub pref: PrefClass,
+    /// AS-path hop count to the origin.
+    pub hops: u16,
+    /// Next hop toward the origin and the adjacency used (None at origin).
+    pub parent: Option<(AsIdx, AdjIdx)>,
+}
+
+/// The routing tree for one prefix.
+#[derive(Debug, Clone)]
+pub struct RouteTree {
+    /// The origin AS.
+    pub origin: AsIdx,
+    /// Per-AS best route (indexed by `AsIdx`).
+    pub routes: Vec<Option<RouteInfo>>,
+}
+
+impl RouteTree {
+    /// The AS-level path from `vantage` to the origin, with the adjacency
+    /// used at each step; `None` if the vantage has no route.
+    pub fn path_from(&self, vantage: AsIdx) -> Option<Vec<(AsIdx, Option<AdjIdx>)>> {
+        self.routes[vantage.0 as usize]?;
+        let mut out = Vec::new();
+        let mut cur = vantage;
+        loop {
+            let info = self.routes[cur.0 as usize].expect("parent chain is routed");
+            match info.parent {
+                Some((next, adj)) => {
+                    out.push((cur, Some(adj)));
+                    cur = next;
+                }
+                None => {
+                    out.push((cur, None));
+                    return Some(out);
+                }
+            }
+        }
+    }
+
+    /// Number of ASes holding a route.
+    pub fn routed_count(&self) -> usize {
+        self.routes.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// Computes the routing tree for the prefix originated by `origin`.
+pub fn compute_tree(world: &World, failed: &FailedSet, origin: AsIdx) -> RouteTree {
+    let n = world.ases.len();
+    let mut routes: Vec<Option<RouteInfo>> = vec![None; n];
+    routes[origin.0 as usize] = Some(RouteInfo { pref: PrefClass::Origin, hops: 0, parent: None });
+
+    // Phase 1: customer routes, Dijkstra by (hops, parent asn).
+    let mut heap: BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>> = BinaryHeap::new();
+    // tuple: (hops, parent_asn, node, parent, adj)
+    let push_provider_exports =
+        |heap: &mut BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>>, world: &World, failed: &FailedSet, u: AsIdx, hops: u16| {
+            let u_node = &world.ases[u.0 as usize];
+            for &(v, adj_idx) in &u_node.neighbors {
+                let adj = &world.adjacencies[adj_idx.0 as usize];
+                // u exports to its provider v.
+                let u_is_customer = adj.rel == Rel::C2P && adj.a == u && adj.b == v;
+                if !u_is_customer {
+                    continue;
+                }
+                if failed.active_instance(world, adj_idx).is_none() {
+                    continue;
+                }
+                heap.push(Reverse((hops + 1, u_node.asn.0, v.0, u.0, adj_idx.0)));
+            }
+        };
+    push_provider_exports(&mut heap, world, failed, origin, 0);
+    while let Some(Reverse((hops, _pasn, v, u, adj))) = heap.pop() {
+        let v_idx = AsIdx(v);
+        if routes[v as usize].is_some() {
+            continue;
+        }
+        routes[v as usize] = Some(RouteInfo {
+            pref: PrefClass::Customer,
+            hops,
+            parent: Some((AsIdx(u), AdjIdx(adj))),
+        });
+        push_provider_exports(&mut heap, world, failed, v_idx, hops);
+    }
+
+    // Phase 2: peer routes — one settlement-free hop off a customer/origin
+    // route. Single pass over P2P adjacencies; best candidate per node.
+    let mut peer_cand: Vec<Option<(u16, u32, u32, u32)>> = vec![None; n]; // (hops, src asn, src, adj)
+    for (adj_i, adj) in world.adjacencies.iter().enumerate() {
+        if adj.rel != Rel::P2P {
+            continue;
+        }
+        if failed.active_instance(world, AdjIdx(adj_i as u32)).is_none() {
+            continue;
+        }
+        for (u, v) in [(adj.a, adj.b), (adj.b, adj.a)] {
+            let Some(u_route) = routes[u.0 as usize] else { continue };
+            if !matches!(u_route.pref, PrefClass::Customer | PrefClass::Origin) {
+                continue;
+            }
+            if routes[v.0 as usize].is_some() {
+                continue; // customer/origin route always wins at v
+            }
+            let cand = (u_route.hops + 1, world.ases[u.0 as usize].asn.0, u.0, adj_i as u32);
+            let better = match &peer_cand[v.0 as usize] {
+                None => true,
+                Some(existing) => cand < *existing,
+            };
+            if better {
+                peer_cand[v.0 as usize] = Some(cand);
+            }
+        }
+    }
+    for (v, cand) in peer_cand.into_iter().enumerate() {
+        if let Some((hops, _, u, adj)) = cand {
+            routes[v] = Some(RouteInfo {
+                pref: PrefClass::Peer,
+                hops,
+                parent: Some((AsIdx(u), AdjIdx(adj))),
+            });
+        }
+    }
+
+    // Phase 3: provider routes descend customer cones from every routed AS.
+    let mut heap: BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>> = BinaryHeap::new();
+    let push_customer_exports =
+        |heap: &mut BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>>, world: &World, failed: &FailedSet, u: AsIdx, hops: u16| {
+            let u_node = &world.ases[u.0 as usize];
+            for &(v, adj_idx) in &u_node.neighbors {
+                let adj = &world.adjacencies[adj_idx.0 as usize];
+                // u exports to its customer v (u is the provider side).
+                let u_is_provider = adj.rel == Rel::C2P && adj.b == u && adj.a == v;
+                if !u_is_provider {
+                    continue;
+                }
+                if failed.active_instance(world, adj_idx).is_none() {
+                    continue;
+                }
+                heap.push(Reverse((hops + 1, u_node.asn.0, v.0, u.0, adj_idx.0)));
+            }
+        };
+    for u in 0..n {
+        if let Some(r) = routes[u] {
+            push_customer_exports(&mut heap, world, failed, AsIdx(u as u32), r.hops);
+        }
+    }
+    while let Some(Reverse((hops, _pasn, v, u, adj))) = heap.pop() {
+        if routes[v as usize].is_some() {
+            continue;
+        }
+        routes[v as usize] = Some(RouteInfo {
+            pref: PrefClass::Provider,
+            hops,
+            parent: Some((AsIdx(u), AdjIdx(adj))),
+        });
+        push_customer_exports(&mut heap, world, failed, AsIdx(v), hops);
+    }
+
+    RouteTree { origin, routes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(41))
+    }
+
+    #[test]
+    fn most_ases_reach_most_prefixes() {
+        let w = world();
+        let failed = FailedSet::default();
+        let mut total_routed = 0usize;
+        for (i, _) in w.prefixes.iter().enumerate().take(10) {
+            let tree = compute_tree(&w, &failed, w.origin_of(crate::world::PrefixIdx(i as u32)));
+            total_routed += tree.routed_count();
+        }
+        let expect = 10 * w.ases.len();
+        assert!(
+            total_routed as f64 > 0.9 * expect as f64,
+            "connectivity too low: {total_routed}/{expect}"
+        );
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        let w = world();
+        let failed = FailedSet::default();
+        for pi in 0..w.prefixes.len().min(20) {
+            let origin = w.origin_of(crate::world::PrefixIdx(pi as u32));
+            let tree = compute_tree(&w, &failed, origin);
+            for v in 0..w.ases.len() {
+                let Some(path) = tree.path_from(AsIdx(v as u32)) else { continue };
+                // Walking vantage -> origin, classify each step; valley-free
+                // means: once we pass a peer or customer-side step (toward
+                // origin it looks like provider->customer), we may not go
+                // back up.
+                // Reconstruct classes: step near -> far where far is parent.
+                let mut seen_down = false; // "down" = far is customer of near
+                let mut peer_steps = 0;
+                for w2 in path.windows(2) {
+                    let (near, adj_idx) = (w2[0].0, w2[0].1.unwrap());
+                    let far = w2[1].0;
+                    let adj = &w.adjacencies[adj_idx.0 as usize];
+                    let class = if adj.rel == Rel::P2P {
+                        peer_steps += 1;
+                        "peer"
+                    } else if adj.a == far && adj.b == near {
+                        // far is customer of near: near learned from customer
+                        "down"
+                    } else {
+                        assert!(adj.a == near && adj.b == far);
+                        "up"
+                    };
+                    match class {
+                        "down" => seen_down = true,
+                        "up" | "peer" => {
+                            assert!(
+                                !seen_down,
+                                "valley: up/peer after down at AS{v} prefix {pi}"
+                            );
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                assert!(peer_steps <= 1, "at most one peer edge per path");
+            }
+        }
+    }
+
+    #[test]
+    fn origin_has_zero_hops_and_no_parent() {
+        let w = world();
+        let tree = compute_tree(&w, &FailedSet::default(), AsIdx(0));
+        let r = tree.routes[0].unwrap();
+        assert_eq!(r.pref, PrefClass::Origin);
+        assert_eq!(r.hops, 0);
+        assert!(r.parent.is_none());
+        assert_eq!(tree.path_from(AsIdx(0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn path_hops_match_route_info() {
+        let w = world();
+        let tree = compute_tree(&w, &FailedSet::default(), AsIdx(0));
+        for v in 0..w.ases.len() {
+            if let Some(path) = tree.path_from(AsIdx(v as u32)) {
+                let info = tree.routes[v].unwrap();
+                assert_eq!(path.len() as u16, info.hops + 1, "AS index {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn failures_reroute_or_disconnect_deterministically() {
+        let w = world();
+        let origin = AsIdx(0);
+        let base = compute_tree(&w, &FailedSet::default(), origin);
+        // Fail every facility one at a time; trees must stay valid.
+        for f in w.colo.facilities().iter().take(8) {
+            let mut failed = FailedSet::default();
+            failed.facilities.insert(f.id);
+            let t1 = compute_tree(&w, &failed, origin);
+            let t2 = compute_tree(&w, &failed, origin);
+            for v in 0..w.ases.len() {
+                assert_eq!(t1.routes[v], t2.routes[v], "determinism");
+            }
+            assert!(t1.routed_count() <= base.routed_count() + w.ases.len());
+        }
+    }
+}

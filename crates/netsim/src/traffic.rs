@@ -1,0 +1,252 @@
+//! IXP traffic substitute (Figure 10d).
+//!
+//! Stands in for the IPFIX feed of the paper's "EU-IXP": per-member-pair
+//! traffic volumes with a diurnal baseline, sampled at 1/10K. The
+//! counter-intuitive phenomenon it reproduces: when a *different* IXP
+//! hundreds of kilometers away fails, members whose forward/reverse paths
+//! are split across the two fabrics (asymmetric routing) lose traffic
+//! *here* — and a catch-up overshoot follows restoration.
+
+use crate::world::World;
+use kepler_bgp::Asn;
+use kepler_topology::IxpId;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One point of the exported traffic series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficPoint {
+    /// Timestamp (Unix seconds).
+    pub time: u64,
+    /// IPv4 traffic in Gbps, after IPFIX sampling.
+    pub gbps: f64,
+}
+
+/// Per-member traffic delta across an outage window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemberDelta {
+    /// The member.
+    pub asn: Asn,
+    /// Mean Gbps before the outage.
+    pub before: f64,
+    /// Mean Gbps during the outage.
+    pub during: f64,
+}
+
+impl MemberDelta {
+    /// Traffic change (negative = loss).
+    pub fn delta(&self) -> f64 {
+        self.during - self.before
+    }
+}
+
+/// Traffic simulator for one observation IXP.
+pub struct TrafficSim<'w> {
+    world: &'w World,
+    /// The IXP whose fabric we observe (the "EU-IXP").
+    pub observed: IxpId,
+    /// The remote IXP whose outage we study.
+    pub remote: IxpId,
+    seed: u64,
+}
+
+impl<'w> TrafficSim<'w> {
+    /// Builds a simulator observing `observed` while `remote` fails.
+    pub fn new(world: &'w World, observed: IxpId, remote: IxpId, seed: u64) -> Self {
+        TrafficSim { world, observed, remote, seed }
+    }
+
+    /// Member base volume in Gbps: heavy-tailed across members.
+    fn member_volume(&self, asn: Asn) -> f64 {
+        let h = splitmix(self.seed ^ asn.0 as u64);
+        let rank = (h % 1000) as f64 / 1000.0;
+        // Pareto-ish: a few members carry tens of Gbps, most < 1.
+        let v = 0.2 + 24.0 * (1.0 - rank).powi(4);
+        v
+    }
+
+    /// Whether this member's paths through the observed IXP are asymmetric
+    /// with the remote IXP (forward here, reverse there). Only members of
+    /// both exchanges qualify; ≈40% of those are flagged (the first
+    /// dual-member always is — large content networks split paths across
+    /// fabrics), yielding ≈10% of (src, dst) combinations overall, as the
+    /// paper measures.
+    fn is_asymmetric(&self, asn: Asn) -> bool {
+        let obs = self.world.colo.members_of_ixp(self.observed);
+        let rem = self.world.colo.members_of_ixp(self.remote);
+        if !(obs.contains(&asn) && rem.contains(&asn)) {
+            return false;
+        }
+        let first_dual = obs.intersection(rem).next();
+        first_dual == Some(&asn) || splitmix(self.seed ^ 0xA5 ^ asn.0 as u64) % 10 < 4
+    }
+
+    /// Diurnal multiplier: traffic rises through the (UTC) morning.
+    fn diurnal(&self, t: u64) -> f64 {
+        let day_frac = (t % 86_400) as f64 / 86_400.0;
+        1.0 + 0.08 * (std::f64::consts::TAU * (day_frac - 0.3)).sin()
+    }
+
+    /// The exported series over `[start, end)` at `step` seconds, given the
+    /// remote IXP is down during `[outage_start, outage_end)`.
+    pub fn series(
+        &self,
+        start: u64,
+        end: u64,
+        step: u64,
+        outage_start: u64,
+        outage_end: u64,
+    ) -> Vec<TrafficPoint> {
+        let members: Vec<Asn> = self.world.colo.members_of_ixp(self.observed).iter().copied().collect();
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            let mut gbps = 0.0;
+            for &m in &members {
+                let v = self.member_volume(m) * self.diurnal(t);
+                let lost = self.is_asymmetric(m);
+                let in_outage = t >= outage_start && t < outage_end;
+                let in_overshoot = t >= outage_end && t < outage_end + 900;
+                let f = if lost && in_outage {
+                    0.12 // asymmetric traffic collapses
+                } else if lost && in_overshoot {
+                    1.45 // catch-up burst
+                } else if in_overshoot {
+                    1.03
+                } else {
+                    1.0
+                };
+                gbps += v * f;
+            }
+            // IPFIX 1/10K sampling noise: ~0.4% relative.
+            let h = splitmix(self.seed ^ t) % 1000;
+            let noise = 1.0 + ((h as f64 / 1000.0) - 0.5) * 0.008;
+            out.push(TrafficPoint { time: t, gbps: gbps * noise });
+            t += step;
+        }
+        out
+    }
+
+    /// Per-member before/during deltas for the outage window.
+    pub fn member_deltas(&self, outage_start: u64, outage_end: u64) -> Vec<MemberDelta> {
+        let members: Vec<Asn> = self.world.colo.members_of_ixp(self.observed).iter().copied().collect();
+        let mut out = Vec::new();
+        for m in members {
+            let before = self.member_volume(m) * self.diurnal(outage_start.saturating_sub(1200));
+            let mid = (outage_start + outage_end) / 2;
+            let during = {
+                let v = self.member_volume(m) * self.diurnal(mid);
+                if self.is_asymmetric(m) {
+                    v * 0.12
+                } else {
+                    v
+                }
+            };
+            out.push(MemberDelta { asn: m, before, during });
+        }
+        out.sort_by(|a, b| a.delta().partial_cmp(&b.delta()).expect("finite"));
+        out
+    }
+
+    /// Summary of an outage's remote traffic impact.
+    pub fn impact_summary(&self, outage_start: u64, outage_end: u64) -> TrafficImpact {
+        let deltas = self.member_deltas(outage_start, outage_end);
+        let losers: Vec<&MemberDelta> = deltas.iter().filter(|d| d.delta() < -0.05).collect();
+        let total_loss: f64 = losers.iter().map(|d| -d.delta()).sum();
+        let top25: f64 = losers.iter().take(25).map(|d| -d.delta()).sum();
+        TrafficImpact {
+            members: deltas.len(),
+            members_losing: losers.len(),
+            total_loss_gbps: total_loss,
+            top25_share: if total_loss > 0.0 { top25 / total_loss } else { 0.0 },
+        }
+    }
+}
+
+/// Aggregate remote-impact statistics (paper: 136/533 members lost traffic;
+/// the top-25 losers account for 83% of the loss).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficImpact {
+    /// Total members at the observed IXP.
+    pub members: usize,
+    /// Members with significant traffic loss.
+    pub members_losing: usize,
+    /// Aggregate loss in Gbps.
+    pub total_loss_gbps: f64,
+    /// Share of the loss carried by the 25 biggest losers.
+    pub top25_share: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    const T0: u64 = 1_431_497_700; // 2015-05-13 ~09:35 UTC
+
+    fn biggest_two_ixps(w: &World) -> (IxpId, IxpId) {
+        let mut by_size: Vec<(usize, IxpId)> = w
+            .colo
+            .ixps()
+            .iter()
+            .map(|x| (w.colo.members_of_ixp(x.id).len(), x.id))
+            .collect();
+        by_size.sort_by_key(|(n, id)| (std::cmp::Reverse(*n), id.0));
+        (by_size[0].1, by_size[1].1)
+    }
+
+    #[test]
+    fn outage_dips_then_overshoots_vs_counterfactual() {
+        let w = World::generate(WorldConfig::small(101));
+        let (remote, observed) = biggest_two_ixps(&w);
+        let overlap = w
+            .colo
+            .members_of_ixp(observed)
+            .intersection(w.colo.members_of_ixp(remote))
+            .count();
+        assert!(overlap > 0, "scenario needs members on both exchanges");
+        let ts = TrafficSim::new(&w, observed, remote, 5);
+        let (os, oe) = (T0 + 1800, T0 + 1800 + 600);
+        let with_outage = ts.series(T0, T0 + 5400, 60, os, oe);
+        // Counterfactual: same window, outage pushed out of range.
+        let baseline = ts.series(T0, T0 + 5400, 60, T0 + 999_999, T0 + 999_999);
+        let pair = |t: u64| {
+            let i = with_outage.iter().position(|p| p.time >= t).expect("point");
+            (with_outage[i].gbps, baseline[i].gbps)
+        };
+        let (d_out, d_base) = pair(os + 300);
+        assert!(d_out < d_base, "dip vs counterfactual: {d_out} < {d_base}");
+        let (o_out, o_base) = pair(oe + 300);
+        assert!(o_out > o_base, "overshoot vs counterfactual: {o_out} > {o_base}");
+        let (a_out, a_base) = pair(oe + 1800);
+        assert!((a_out / a_base - 1.0).abs() < 0.02, "returns to baseline");
+    }
+
+    #[test]
+    fn loss_concentrated_in_few_members() {
+        let w = World::generate(WorldConfig::small(103));
+        let (remote, observed) = biggest_two_ixps(&w);
+        let ts = TrafficSim::new(&w, observed, remote, 7);
+        let impact = ts.impact_summary(T0, T0 + 600);
+        assert!(impact.members > 0);
+        if impact.members_losing > 0 {
+            assert!(impact.members_losing < impact.members, "only a subset loses");
+            assert!(impact.top25_share > 0.5, "top-25 dominate losses");
+        }
+    }
+
+    #[test]
+    fn series_is_deterministic() {
+        let w = World::generate(WorldConfig::tiny(105));
+        let (remote, observed) = biggest_two_ixps(&w);
+        let ts = TrafficSim::new(&w, observed, remote, 11);
+        let a = ts.series(T0, T0 + 1200, 60, T0 + 300, T0 + 600);
+        let b = ts.series(T0, T0 + 1200, 60, T0 + 300, T0 + 600);
+        assert_eq!(a, b);
+    }
+}

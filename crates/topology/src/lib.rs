@@ -1,0 +1,30 @@
+//! Colocation-map substrate for Kepler.
+//!
+//! Paper §3.3: community values mostly geolocate routes at *city* level,
+//! which is too coarse to pinpoint a building. Kepler therefore maintains a
+//! high-resolution **colocation map** of three interconnection relations —
+//! AS↔facility, AS↔IXP, IXP↔facility — mined from PeeringDB and
+//! DataCenterMap, merged by postal address (facilities) and URL/city (IXPs)
+//! because names are not standardized across sources.
+//!
+//! * [`geo`] — coordinates, haversine distances, continents and the city
+//!   gazetteer shared by every other crate.
+//! * [`entities`] — facilities, IXPs, AS records and their id spaces.
+//! * [`org`] — AS-to-organization (sibling) mapping, after CAIDA's
+//!   AS-to-Org method, used by the operator-level signal classifier.
+//! * [`sources`] — the two heterogeneous colocation data sources with
+//!   their diverging naming conventions.
+//! * [`merge`] — source merging into a single [`colomap::ColocationMap`].
+//! * [`colomap`] — the queryable map with all indices Kepler needs.
+
+pub mod colomap;
+pub mod entities;
+pub mod geo;
+pub mod merge;
+pub mod org;
+pub mod sources;
+
+pub use colomap::ColocationMap;
+pub use entities::{AsInfo, AsType, CityId, Facility, FacilityId, Ixp, IxpId};
+pub use geo::{CityGazetteer, Continent, GeoPoint};
+pub use org::{OrgId, OrgMap};

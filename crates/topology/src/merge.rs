@@ -1,0 +1,224 @@
+//! Cross-source merging (paper §3.3).
+//!
+//! "Since names of facilities and facility operators are not standardized,
+//! we use the facility address (postcode and country) to identify common
+//! facilities among the different data sources. ... To identify and merge
+//! the records that refer to the same IXP we use the URLs of the IXP
+//! websites, and the location (city/country) where the IXP operates."
+
+use crate::colomap::ColocationMap;
+use crate::entities::{CityId, Facility, FacilityId, Ixp, IxpId};
+use crate::geo::{CityGazetteer, GeoPoint};
+use crate::sources::{normalize_country, normalize_postcode, normalize_url, ColoSnapshot};
+use std::collections::HashMap;
+
+/// Statistics describing one merge run, for observability and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Facility records read across all snapshots.
+    pub facility_records: usize,
+    /// Distinct facilities after address-based merging.
+    pub merged_facilities: usize,
+    /// IXP records read across all snapshots.
+    pub ixp_records: usize,
+    /// Distinct IXPs after URL/city-based merging.
+    pub merged_ixps: usize,
+    /// Records dropped because the city could not be geocoded.
+    pub dropped_ungeocodable: usize,
+}
+
+/// Merges snapshots from multiple sources into one [`ColocationMap`].
+///
+/// Later snapshots only *add* information (extra tenants/members, filled-in
+/// operator names); identity is decided by the normalized keys.
+pub fn merge_snapshots(snapshots: &[ColoSnapshot], gazetteer: &CityGazetteer) -> (ColocationMap, MergeStats) {
+    let mut stats = MergeStats::default();
+    let mut map = ColocationMap::new();
+
+    // facility key -> id
+    let mut fac_index: HashMap<(String, String), FacilityId> = HashMap::new();
+    // ixp key -> id
+    let mut ixp_index: HashMap<String, IxpId> = HashMap::new();
+    let mut next_fac = 0u32;
+    let mut next_ixp = 0u32;
+
+    for snap in snapshots {
+        for f in &snap.facilities {
+            stats.facility_records += 1;
+            let Some(city_idx) = gazetteer.geocode(&f.city_name) else {
+                stats.dropped_ungeocodable += 1;
+                continue;
+            };
+            let key = (normalize_postcode(&f.postcode), normalize_country(&f.country));
+            let id = *fac_index.entry(key).or_insert_with(|| {
+                let city = &gazetteer.cities()[city_idx];
+                let id = FacilityId(next_fac);
+                next_fac += 1;
+                map.add_facility(Facility {
+                    id,
+                    name: f.name.clone(),
+                    address: f.address.clone(),
+                    postcode: normalize_postcode(&f.postcode),
+                    country: normalize_country(&f.country),
+                    city: CityId(city_idx as u32),
+                    continent: city.continent,
+                    point: f.point.unwrap_or(GeoPoint { lat: city.point.lat, lon: city.point.lon }),
+                    operator: f.operator.clone(),
+                });
+                id
+            });
+            for &t in &f.tenants {
+                map.add_fac_member(id, t);
+            }
+        }
+    }
+
+    // IXPs second so facility keys resolve regardless of snapshot order.
+    for snap in snapshots {
+        for x in &snap.ixps {
+            stats.ixp_records += 1;
+            let Some(city_idx) = gazetteer.geocode(&x.city_name) else {
+                stats.dropped_ungeocodable += 1;
+                continue;
+            };
+            let url_key = normalize_url(&x.url);
+            let key = if url_key.is_empty() {
+                format!("name:{}@{}", x.name.to_ascii_lowercase(), city_idx)
+            } else {
+                format!("url:{url_key}")
+            };
+            let id = *ixp_index.entry(key).or_insert_with(|| {
+                let city = &gazetteer.cities()[city_idx];
+                let id = IxpId(next_ixp);
+                next_ixp += 1;
+                map.add_ixp(Ixp {
+                    id,
+                    name: x.name.clone(),
+                    url: url_key.clone(),
+                    city: CityId(city_idx as u32),
+                    continent: city.continent,
+                    route_server_asn: x.route_server_asn,
+                });
+                id
+            });
+            for &m in &x.members {
+                map.add_ixp_member(id, m);
+            }
+            for (pc, cc) in &x.facility_keys {
+                let fkey = (normalize_postcode(pc), normalize_country(cc));
+                if let Some(&fid) = fac_index.get(&fkey) {
+                    map.link_ixp_facility(id, fid);
+                }
+            }
+        }
+    }
+
+    stats.merged_facilities = map.facilities().len();
+    stats.merged_ixps = map.ixps().len();
+    (map, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{SourceFacility, SourceIxp};
+    use kepler_bgp::Asn;
+
+    fn fac(name: &str, pc: &str, cc: &str, city: &str, tenants: &[u32]) -> SourceFacility {
+        SourceFacility {
+            name: name.into(),
+            address: "addr".into(),
+            postcode: pc.into(),
+            country: cc.into(),
+            city_name: city.into(),
+            operator: String::new(),
+            point: None,
+            tenants: tenants.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    #[test]
+    fn facilities_merge_by_postcode_despite_names() {
+        let mut a = ColoSnapshot::new("peeringdb");
+        a.facilities.push(fac("Telehouse East", "E14 2AA", "GB", "London", &[1, 2]));
+        let mut b = ColoSnapshot::new("datacentermap");
+        b.facilities.push(fac("TELEHOUSE London East", "e142aa", "gb", "LON", &[2, 3]));
+        let (map, stats) = merge_snapshots(&[a, b], &CityGazetteer::new());
+        assert_eq!(stats.facility_records, 2);
+        assert_eq!(stats.merged_facilities, 1);
+        assert_eq!(map.members_of_facility(FacilityId(0)).len(), 3, "tenant union");
+        assert_eq!(map.facility(FacilityId(0)).unwrap().name, "Telehouse East", "first name wins");
+    }
+
+    #[test]
+    fn distinct_postcodes_stay_separate() {
+        let mut a = ColoSnapshot::new("peeringdb");
+        a.facilities.push(fac("F1", "E14 2AA", "GB", "London", &[1]));
+        a.facilities.push(fac("F2", "EC1A 1BB", "GB", "London", &[1]));
+        let (map, stats) = merge_snapshots(&[a], &CityGazetteer::new());
+        assert_eq!(stats.merged_facilities, 2);
+        assert_eq!(map.facilities_of_as(Asn(1)).len(), 2);
+    }
+
+    #[test]
+    fn ixps_merge_by_url_and_link_to_facilities() {
+        let mut a = ColoSnapshot::new("peeringdb");
+        a.facilities.push(fac("Telehouse East", "E14 2AA", "GB", "London", &[1]));
+        a.ixps.push(SourceIxp {
+            name: "LINX LON1".into(),
+            url: "https://www.linx.net/".into(),
+            city_name: "London".into(),
+            members: vec![Asn(1), Asn(2)],
+            facility_keys: vec![("E14 2AA".into(), "GB".into())],
+            route_server_asn: Some(Asn(8714)),
+        });
+        let mut b = ColoSnapshot::new("euro-ix");
+        b.ixps.push(SourceIxp {
+            name: "London Internet Exchange".into(),
+            url: "linx.net".into(),
+            city_name: "LON".into(),
+            members: vec![Asn(3)],
+            facility_keys: vec![],
+            route_server_asn: None,
+        });
+        let (map, stats) = merge_snapshots(&[a, b], &CityGazetteer::new());
+        assert_eq!(stats.merged_ixps, 1);
+        assert_eq!(map.members_of_ixp(IxpId(0)).len(), 3);
+        assert_eq!(map.facilities_of_ixp(IxpId(0)).len(), 1);
+        assert_eq!(map.route_server_ixp(Asn(8714)), Some(IxpId(0)));
+    }
+
+    #[test]
+    fn ungeocodable_records_dropped() {
+        let mut a = ColoSnapshot::new("peeringdb");
+        a.facilities.push(fac("F", "123", "XX", "Atlantis", &[1]));
+        let (_, stats) = merge_snapshots(&[a], &CityGazetteer::new());
+        assert_eq!(stats.dropped_ungeocodable, 1);
+        assert_eq!(stats.merged_facilities, 0);
+    }
+
+    #[test]
+    fn urlless_ixps_key_by_name_and_city() {
+        let mut a = ColoSnapshot::new("s1");
+        a.ixps.push(SourceIxp {
+            name: "Tiny-IX".into(),
+            url: String::new(),
+            city_name: "Oslo".into(),
+            members: vec![Asn(5)],
+            facility_keys: vec![],
+            route_server_asn: None,
+        });
+        let mut b = ColoSnapshot::new("s2");
+        b.ixps.push(SourceIxp {
+            name: "tiny-ix".into(),
+            url: String::new(),
+            city_name: "OSL".into(),
+            members: vec![Asn(6)],
+            facility_keys: vec![],
+            route_server_asn: None,
+        });
+        let (map, stats) = merge_snapshots(&[a, b], &CityGazetteer::new());
+        assert_eq!(stats.merged_ixps, 1);
+        assert_eq!(map.members_of_ixp(IxpId(0)).len(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the colocation-map substrate.
+
+use kepler_bgp::Asn;
+use kepler_topology::geo::GeoPoint;
+use kepler_topology::merge::merge_snapshots;
+use kepler_topology::sources::{normalize_postcode, normalize_url, ColoSnapshot, SourceFacility};
+use kepler_topology::CityGazetteer;
+use proptest::prelude::*;
+
+fn facility(name: String, pc: String, tenants: Vec<u32>) -> SourceFacility {
+    SourceFacility {
+        name,
+        address: "addr".into(),
+        postcode: pc,
+        country: "GB".into(),
+        city_name: "London".into(),
+        operator: String::new(),
+        point: None,
+        tenants: tenants.into_iter().map(Asn).collect(),
+    }
+}
+
+proptest! {
+    /// Postcode normalization is idempotent and whitespace/case-invariant.
+    #[test]
+    fn postcode_normalization_idempotent(pc in "[a-zA-Z0-9 ]{0,12}") {
+        let once = normalize_postcode(&pc);
+        prop_assert_eq!(normalize_postcode(&once), once.clone());
+        prop_assert_eq!(normalize_postcode(&pc.to_ascii_lowercase()), once.clone());
+        prop_assert_eq!(normalize_postcode(&format!("  {pc}  ")), once);
+    }
+
+    /// URL normalization strips scheme/www/trailing slash and is idempotent.
+    #[test]
+    fn url_normalization_idempotent(host in "[a-z0-9.-]{1,20}") {
+        let once = normalize_url(&host);
+        prop_assert_eq!(normalize_url(&once), once.clone());
+        prop_assert_eq!(normalize_url(&format!("https://www.{host}/")), once);
+    }
+
+    /// Merging a snapshot with itself is idempotent: same facilities, same
+    /// tenant sets as merging it once.
+    #[test]
+    fn merge_self_idempotent(
+        facs in prop::collection::vec(
+            ("[A-Z][a-z]{2,8}", "[A-Z0-9]{4,6}", prop::collection::vec(1u32..500, 0..6)),
+            0..8,
+        )
+    ) {
+        let mut snap = ColoSnapshot::new("s");
+        for (name, pc, tenants) in &facs {
+            snap.facilities.push(facility(name.clone(), pc.clone(), tenants.clone()));
+        }
+        let g = CityGazetteer::new();
+        let (once, s1) = merge_snapshots(&[snap.clone()], &g);
+        let (twice, s2) = merge_snapshots(&[snap.clone(), snap.clone()], &g);
+        prop_assert_eq!(s1.merged_facilities, s2.merged_facilities);
+        prop_assert_eq!(once.facilities().len(), twice.facilities().len());
+        for f in once.facilities() {
+            prop_assert_eq!(
+                once.members_of_facility(f.id),
+                twice.members_of_facility(f.id),
+                "tenants differ for {}", f.id
+            );
+        }
+    }
+
+    /// Membership relations stay bidirectionally consistent after any merge.
+    #[test]
+    fn membership_bidirectional(
+        facs in prop::collection::vec(
+            ("[A-Z0-9]{5}", prop::collection::vec(1u32..100, 0..5)),
+            1..8,
+        )
+    ) {
+        let mut snap = ColoSnapshot::new("s");
+        for (pc, tenants) in &facs {
+            snap.facilities.push(facility(format!("F{pc}"), pc.clone(), tenants.clone()));
+        }
+        let (map, _) = merge_snapshots(&[snap], &CityGazetteer::new());
+        for f in map.facilities() {
+            for asn in map.members_of_facility(f.id) {
+                prop_assert!(map.facilities_of_as(*asn).contains(&f.id));
+                prop_assert!(map.is_at_facility(*asn, f.id));
+            }
+        }
+    }
+
+    /// Haversine distance is a (pseudo)metric on sane coordinates:
+    /// symmetric, zero on identity, triangle inequality within tolerance.
+    #[test]
+    fn haversine_metric(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+        lat3 in -80.0f64..80.0, lon3 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint::new(lat1, lon1);
+        let b = GeoPoint::new(lat2, lon2);
+        let c = GeoPoint::new(lat3, lon3);
+        prop_assert!(a.distance_km(&a) < 1e-6);
+        prop_assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-6);
+        prop_assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+    }
+}

@@ -1,0 +1,79 @@
+//! Community-dictionary mining (paper §3.2): render operator documentation
+//! from ground-truth schemes, mine it back with the gazetteer-NER pipeline,
+//! and validate the result — including the attrition comparison against an
+//! "older" dictionary.
+//!
+//! ```sh
+//! cargo run --release --example dictionary_mining
+//! ```
+
+use kepler::docmine::attrition::compare;
+use kepler::docmine::corpus::render_corpus;
+use kepler::docmine::dictionary::{dictionary_from_schemes, validate, DictionaryMiner};
+use kepler::netsim::world::{World, WorldConfig};
+
+fn main() {
+    let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(13u64);
+    let world = World::generate(WorldConfig::small(seed));
+    let colo = world.detector_colomap();
+
+    // Render the documentation corpus the way IRR remarks / support pages
+    // would publish it.
+    let corpus = render_corpus(&world.schemes, seed);
+    println!(
+        "corpus: {} documents from {} schemes ({} documented)",
+        corpus.len(),
+        world.schemes.len(),
+        world.schemes.iter().filter(|s| s.documented).count()
+    );
+    println!("\n--- sample document ---");
+    for line in corpus[0].text.lines().take(8) {
+        println!("{line}");
+    }
+    println!("-----------------------\n");
+
+    // Mine it.
+    let miner = DictionaryMiner::new(&colo, &world.gazetteer);
+    let (mut dict, stats) = miner.mine(&corpus);
+    dict.add_route_servers_from(&colo);
+    println!(
+        "mining: {} lines scanned, {} outbound dropped, {} unrecognized, {} admitted",
+        stats.lines, stats.outbound_dropped, stats.unrecognized, stats.admitted
+    );
+
+    // Dictionary statistics (paper's §3.2 table).
+    let dstats = dict.stats(&world.gazetteer, &colo);
+    println!("\ndictionary statistics:");
+    println!("  communities:   {}", dstats.communities);
+    println!("  tagging ASes:  {}", dstats.ases);
+    println!("  route servers: {}", dstats.route_servers);
+    println!("  cities:        {} in {} countries", dstats.cities, dstats.countries);
+    println!("  IXPs:          {}", dstats.ixps);
+    println!("  facilities:    {}", dstats.facilities);
+
+    // Validation against ground truth.
+    let report = validate(&dict, &world.schemes);
+    println!(
+        "\nvalidation vs ground truth: {} exact, {} wrong tag, {} spurious, {} missed",
+        report.true_positives, report.wrong_tag, report.false_positives, report.false_negatives
+    );
+    println!("  precision {:.3}, recall {:.3}", report.precision(), report.recall());
+
+    // Attrition: compare with an "older" dictionary — a world generated
+    // with lower community adoption stands in for Donnet & Bonaventure's
+    // 2008 snapshot.
+    let mut older_cfg = WorldConfig::small(seed);
+    older_cfg.documentation_rate = 0.4;
+    let old_world = World::generate(older_cfg);
+    let old_dict = dictionary_from_schemes(&old_world.schemes, false);
+    let att = compare(&old_dict, &dict);
+    println!("\nattrition vs the older dictionary:");
+    println!("  old size {}, new size {}", att.old_size, att.new_size);
+    println!(
+        "  shared {}, meaning changed {} ({:.1}%)",
+        att.shared,
+        att.changed_meaning,
+        att.meaning_change_rate() * 100.0
+    );
+    println!("  retired {}, newly adopted {}", att.retired, att.adopted);
+}

@@ -1,0 +1,326 @@
+//! Glue between the simulator and the detector.
+//!
+//! `kepler-netsim` deliberately does not depend on `kepler-core` (the
+//! detector must stay substrate-agnostic), so the adapters that wire a
+//! simulated world into the detection pipeline live here:
+//!
+//! * [`SimProbe`] — implements the detector's [`DataPlaneProbe`] trait on
+//!   top of the simulated traceroute plane, including the baseline-path
+//!   selection the paper's §4.4 describes;
+//! * [`detector_for`] — builds a ready-to-run [`Kepler`] instance from a
+//!   scenario (mined dictionary + merged colocation map + org map);
+//! * [`truth_outages`] — converts simulator ground truth into the
+//!   detector-agnostic [`TruthOutage`] records used for evaluation,
+//!   including the paper's trackability rule.
+
+use kepler_core::dataplane::{DataPlaneProbe, ProbeResult};
+use kepler_core::events::OutageScope;
+use kepler_core::metrics::TruthOutage;
+use kepler_core::{Kepler, KeplerConfig, KeplerInputs};
+use kepler_docmine::CommunityDictionary;
+use kepler_netsim::dataplane::{DataplaneSim, ProbePair, TraceroutePath};
+use kepler_netsim::events::{Epicenter, ScheduledEvent};
+use kepler_netsim::scenario::Scenario;
+use kepler_netsim::world::World;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A data-plane backend over the simulated traceroute plane.
+///
+/// At construction it measures a probe set during the quiet warm-up and
+/// indexes which pairs' baseline paths cross which facility/IXP — exactly
+/// the "stable subpaths from archived weekly dumps" selection of §4.4.
+/// Probing a scope re-traces only those pairs.
+pub struct SimProbe {
+    world: Arc<World>,
+    timeline: Vec<ScheduledEvent>,
+    seed: u64,
+    baseline: HashMap<OutageScope, Vec<ProbePair>>,
+}
+
+impl SimProbe {
+    /// Builds the probe backend. `quiet_t` must lie in the warm-up period
+    /// (before the first event); `n_pairs` bounds the probe set.
+    pub fn new(world: Arc<World>, timeline: &[ScheduledEvent], seed: u64, quiet_t: u64, n_pairs: usize) -> Self {
+        let mut baseline: HashMap<OutageScope, Vec<ProbePair>> = HashMap::new();
+        {
+            let dp = DataplaneSim::probe_only(&world, timeline, seed);
+            let pairs = dp.default_pairs(n_pairs);
+            for tr in dp.campaign(&pairs, quiet_t) {
+                if !tr.reached {
+                    continue;
+                }
+                for scope in scopes_of(&world, &tr) {
+                    baseline.entry(scope).or_default().push(tr.pair);
+                }
+            }
+        }
+        SimProbe { world, timeline: timeline.to_vec(), seed, baseline }
+    }
+
+    /// Number of scopes with baseline coverage.
+    pub fn covered_scopes(&self) -> usize {
+        self.baseline.len()
+    }
+}
+
+/// All outage scopes a traceroute path traverses (facilities, IXPs, and
+/// their cities).
+fn scopes_of(world: &World, tr: &TraceroutePath) -> Vec<OutageScope> {
+    use kepler_netsim::dataplane::IfaceOwner;
+    let mut out = Vec::new();
+    for h in &tr.hops {
+        match h.owner {
+            IfaceOwner::FacilityPort { facility, .. } => {
+                out.push(OutageScope::Facility(facility));
+                if let Some(f) = world.colo.facility(facility) {
+                    out.push(OutageScope::City(f.city));
+                }
+            }
+            IfaceOwner::IxpLan { ixp, .. } => {
+                out.push(OutageScope::Ixp(ixp));
+                if let Some(x) = world.colo.ixp(ixp) {
+                    out.push(OutageScope::City(x.city));
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn crosses(world: &World, tr: &TraceroutePath, scope: &OutageScope) -> bool {
+    match scope {
+        OutageScope::Facility(f) => tr.crosses_facility(*f),
+        OutageScope::Ixp(x) => tr.crosses_ixp(*x),
+        OutageScope::City(c) => scopes_of(world, tr).contains(&OutageScope::City(*c)),
+    }
+}
+
+impl DataPlaneProbe for SimProbe {
+    fn probe(&self, scope: &OutageScope, t: u64) -> Option<ProbeResult> {
+        let pairs = self.baseline.get(scope)?;
+        if pairs.is_empty() {
+            return None;
+        }
+        let dp = DataplaneSim::probe_only(&self.world, &self.timeline, self.seed);
+        let still = pairs
+            .iter()
+            .filter(|&&p| {
+                let tr = dp.traceroute(p, t);
+                tr.reached && crosses(&self.world, &tr, scope)
+            })
+            .count();
+        Some(ProbeResult { still_crossing: still, baseline: pairs.len() })
+    }
+}
+
+/// Builds a detector for a scenario: mined dictionary, merged colocation
+/// map, organization map, and the given configuration.
+pub fn detector_for(scenario: &Scenario, config: KeplerConfig) -> Kepler {
+    Kepler::new(KeplerInputs {
+        config,
+        dictionary: scenario.mined_dictionary(),
+        colo: scenario.detector_colo(),
+        orgs: scenario.world.orgs.clone(),
+    })
+}
+
+/// Like [`detector_for`] but with the simulated data plane attached.
+pub fn detector_with_dataplane(scenario: &Scenario, config: KeplerConfig, n_pairs: usize) -> Kepler {
+    let probe = SimProbe::new(
+        Arc::new(scenario.world.clone()),
+        &scenario.timeline,
+        scenario.seed,
+        scenario.start + 600,
+        n_pairs,
+    );
+    detector_for(scenario, config).with_dataplane(Box::new(probe))
+}
+
+/// Whether a facility/IXP is *trackable* under the paper's rule: at least
+/// `min_members` of its members are locatable through the dictionary.
+pub fn is_trackable(
+    world: &World,
+    dictionary: &CommunityDictionary,
+    epicenter: &Epicenter,
+    min_members: usize,
+) -> bool {
+    let locatable = |asn: kepler_bgp::Asn| asn.is_16bit() && dictionary.covers_asn(asn.0 as u16);
+    match epicenter {
+        Epicenter::Facility(f) => {
+            world.colo.members_of_facility(*f).iter().filter(|&&a| locatable(a)).count() >= min_members
+        }
+        Epicenter::Ixp(x) => {
+            world.colo.members_of_ixp(*x).iter().filter(|&&a| locatable(a)).count() >= min_members
+        }
+    }
+}
+
+/// Surveys which facilities are *observably trackable* in a world: emits a
+/// quiet (event-free) stream, warms a monitor past the stability window,
+/// and ranks facilities by the near/far AS coverage of the PoP tags that
+/// locate them. This is the paper's trackability criterion (≥3 near-end +
+/// ≥3 far-end locatable members) evaluated against what the vantage points
+/// actually deliver.
+pub fn survey_trackable_facilities(
+    world: &World,
+    seed: u64,
+) -> Vec<(kepler_topology::FacilityId, usize, usize)> {
+    use kepler_core::input::InputModule;
+    use kepler_core::monitor::Monitor;
+    use kepler_docmine::dictionary::dictionary_from_schemes;
+    use kepler_docmine::LocationTag;
+    use kepler_netsim::engine::{CollectorSetup, Simulation};
+
+    let start = 1_000_000_000u64;
+    let setup = CollectorSetup::default_for(world, 4, 48, seed);
+    let output = Simulation::new(world, setup, start, seed).run(&[], start + 3600);
+    let mut dictionary = dictionary_from_schemes(&world.schemes, false);
+    dictionary.add_route_servers_from(&world.colo);
+    let mut input = InputModule::new(dictionary, world.detector_colomap());
+    let config = KeplerConfig::default();
+    let stable = config.stable_secs;
+    let mut monitor = Monitor::new(config);
+    for rec in &output.records {
+        for elem in rec.explode() {
+            if let Some(ev) = input.process(&elem) {
+                monitor.observe(elem.time, ev);
+            }
+        }
+    }
+    monitor.advance_to(start + stable + 3600);
+    let mut ranked: Vec<(kepler_topology::FacilityId, usize, usize)> = world
+        .colo
+        .facilities()
+        .iter()
+        .map(|f| {
+            let (n, fa) = monitor.pop_coverage(LocationTag::Facility(f.id));
+            (f.id, n, fa)
+        })
+        .collect();
+    ranked.sort_by_key(|(id, n, f)| (std::cmp::Reverse(n.min(f).to_owned()), id.0));
+    ranked
+}
+
+/// Whether an epicenter was *observably* trackable during a run: some PoP
+/// tag locating it (its own facility/IXP tag, its city tag, or a co-located
+/// IXP tag) accumulated ≥3 near-end and ≥3 far-end ASes in the stable
+/// baseline. This is the paper's applicability criterion evaluated against
+/// what the vantage points actually delivered.
+pub fn observed_trackable(
+    world: &World,
+    monitor: &kepler_core::monitor::Monitor,
+    epicenter: &Epicenter,
+) -> bool {
+    use kepler_docmine::LocationTag;
+    let mut tags: Vec<LocationTag> = Vec::new();
+    match epicenter {
+        Epicenter::Facility(f) => {
+            tags.push(LocationTag::Facility(*f));
+            if let Some(fac) = world.colo.facility(*f) {
+                tags.push(LocationTag::City(fac.city));
+            }
+            for x in world.colo.ixps_at_facility(*f) {
+                tags.push(LocationTag::Ixp(*x));
+            }
+        }
+        Epicenter::Ixp(x) => {
+            tags.push(LocationTag::Ixp(*x));
+            if let Some(ixp) = world.colo.ixp(*x) {
+                tags.push(LocationTag::City(ixp.city));
+            }
+            for f in world.colo.facilities_of_ixp(*x) {
+                tags.push(LocationTag::Facility(*f));
+            }
+        }
+    }
+    tags.iter().any(|t| {
+        let (n, f) = monitor.pop_coverage(*t);
+        n >= 3 && f >= 3
+    })
+}
+
+/// Like [`truth_outages`] but with trackability determined from the
+/// detector's *observed* baseline coverage instead of the static
+/// dictionary heuristic.
+pub fn truth_outages_observed(
+    scenario: &Scenario,
+    config: &KeplerConfig,
+    monitor: &kepler_core::monitor::Monitor,
+) -> Vec<TruthOutage> {
+    let mut out = truth_outages(scenario, config);
+    for t in &mut out {
+        if !t.trackable {
+            continue;
+        }
+        let epicenter = match t.scope {
+            OutageScope::Facility(f) => Epicenter::Facility(f),
+            OutageScope::Ixp(x) => Epicenter::Ixp(x),
+            OutageScope::City(_) => continue,
+        };
+        t.trackable = observed_trackable(&scenario.world, monitor, &epicenter);
+    }
+    out
+}
+
+/// Converts simulator ground truth into detector-agnostic truth records.
+pub fn truth_outages(scenario: &Scenario, config: &KeplerConfig) -> Vec<TruthOutage> {
+    let dictionary = scenario.mined_dictionary();
+    scenario
+        .output
+        .ground_truth
+        .iter()
+        .filter_map(|gt| {
+            let epicenter = gt.kind.epicenter()?;
+            let scope = match epicenter {
+                Epicenter::Facility(f) => OutageScope::Facility(f),
+                Epicenter::Ixp(x) => OutageScope::Ixp(x),
+            };
+            let city = match epicenter {
+                Epicenter::Facility(f) => scenario.world.colo.facility(f).map(|f| f.city),
+                Epicenter::Ixp(x) => scenario.world.colo.ixp(x).map(|x| x.city),
+            };
+            let aliases = match epicenter {
+                // An IXP outage may be pinned to a fabric building when no
+                // surviving path discriminates.
+                Epicenter::Ixp(x) => scenario
+                    .world
+                    .colo
+                    .facilities_of_ixp(x)
+                    .iter()
+                    .map(|f| OutageScope::Facility(*f))
+                    .collect(),
+                // A facility outage equals the outage of any IXP whose
+                // entire fabric lives inside it.
+                Epicenter::Facility(f) => scenario
+                    .world
+                    .colo
+                    .ixps_at_facility(f)
+                    .iter()
+                    .filter(|x| {
+                        let fabric = scenario.world.colo.facilities_of_ixp(**x);
+                        fabric.len() == 1 && fabric.contains(&f)
+                    })
+                    .map(|x| OutageScope::Ixp(*x))
+                    .collect(),
+            };
+            Some(TruthOutage {
+                id: gt.id,
+                scope,
+                city,
+                aliases,
+                start: gt.start,
+                duration: gt.duration,
+                is_infrastructure: gt.kind.is_infrastructure_outage(),
+                trackable: is_trackable(
+                    &scenario.world,
+                    &dictionary,
+                    &epicenter,
+                    config.trackable_min_members,
+                ),
+            })
+        })
+        .collect()
+}
