@@ -11,8 +11,14 @@ use kepler_topology::{CityGazetteer, ColocationMap, FacilityId};
 fn bench_mapping(c: &mut Criterion) {
     let mut dict = CommunityDictionary::new();
     for v in 0..100u16 {
-        dict.insert(Community::new(13030, 51_000 + v), LocationTag::Facility(FacilityId(v as u32 % 7)));
-        dict.insert(Community::new(3356, 2000 + v), LocationTag::City(kepler_topology::CityId(v as u32 % 30)));
+        dict.insert(
+            Community::new(13030, 51_000 + v),
+            LocationTag::Facility(FacilityId(v as u32 % 7)),
+        );
+        dict.insert(
+            Community::new(3356, 2000 + v),
+            LocationTag::City(kepler_topology::CityId(v as u32 % 30)),
+        );
     }
     let _ = CityGazetteer::new();
     let records: Vec<_> = (0..5000u64).map(sample_record).collect();

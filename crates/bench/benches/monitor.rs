@@ -1,5 +1,9 @@
 //! Monitoring-module throughput: route events per second through binning,
 //! baseline maintenance and deviation tracking.
+//!
+//! The timed path includes interning (`RouteEvent` → `DenseRouteEvent`),
+//! i.e. the full per-event pipeline cost downstream of the input module,
+//! for both the single monitor and the sharded one.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kepler_bgp::{Asn, Prefix};
@@ -7,7 +11,9 @@ use kepler_bgpstream::{CollectorId, PeerId};
 use kepler_core::config::KeplerConfig;
 use kepler_core::events::RouteKey;
 use kepler_core::input::{PopCrossing, RouteEvent};
+use kepler_core::intern::Interner;
 use kepler_core::monitor::Monitor;
+use kepler_core::shard::ShardedMonitor;
 use kepler_docmine::LocationTag;
 use kepler_topology::FacilityId;
 
@@ -37,30 +43,49 @@ fn bench_monitor(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("observe_20k_events", |b| {
         b.iter(|| {
+            let mut interner = Interner::new();
             let mut m = Monitor::new(KeplerConfig::default());
             let t0 = 1_000_000u64;
             for i in 0..N {
-                m.observe(t0 + (i / 100) as u64, event(i));
+                let ev = interner.intern_event(&event(i));
+                m.observe(t0 + (i / 100) as u64, &ev);
             }
             // Close the stable window and a few bins.
             let out = m.advance_to(t0 + 3 * 86_400);
             (m.baseline_size(), out.len())
         })
     });
+    g.bench_function("observe_20k_events_sharded_4", |b| {
+        b.iter(|| {
+            let mut interner = Interner::new();
+            let mut m = ShardedMonitor::new(KeplerConfig::default(), 4);
+            let t0 = 1_000_000u64;
+            for i in 0..N {
+                let ev = interner.intern_event(&event(i));
+                m.observe(t0 + (i / 100) as u64, &ev);
+            }
+            let out = m.advance_to(t0 + 3 * 86_400);
+            (m.baseline_size(), out.len())
+        })
+    });
     g.bench_function("bin_close_with_deviations", |b| {
         // Pre-build a warm monitor, then measure deviation marking + close.
+        let mut interner = Interner::new();
         let mut m = Monitor::new(KeplerConfig::default());
         let t0 = 1_000_000u64;
         for i in 0..N {
-            m.observe(t0, event(i));
+            let ev = interner.intern_event(&event(i));
+            m.observe(t0, &ev);
         }
         m.advance_to(t0 + 3 * 86_400);
         let t1 = t0 + 3 * 86_400 + 60;
         b.iter(|| {
             for i in 0..2000u32 {
-                m.observe(t1, RouteEvent::Withdraw { key: key(i) });
+                let w = interner.intern_event(&RouteEvent::Withdraw { key: key(i) });
+                m.observe(t1, &w);
                 // Re-announce so the baseline refills for the next iter.
-                m.observe(t1, event(i));
+                let ev = interner.intern_event(&event(i));
+                m.observe(t1, &ev);
             }
             m.advance_to(t1 + 60).len()
         })

@@ -64,7 +64,7 @@ impl Cache {
             for r in scenario.records() {
                 detector.process_record(&r);
             }
-            let truth = truth_outages_observed(&scenario, &config, detector.monitor());
+            let truth = truth_outages_observed(&scenario, &config, &mut detector);
             let counts = detector.class_counts();
             let reports = detector.finish();
             let eval = evaluate(&reports, &truth, 1800);
@@ -76,8 +76,11 @@ impl Cache {
     fn amsix(&mut self, ctx: &Ctx) -> &AmsIxStudy {
         if self.amsix.is_none() {
             eprintln!("[building AMS-IX scenario...]");
-            let cfg =
-                if ctx.compact { WorldConfig::tiny(ctx.seed) } else { WorldConfig::small(ctx.seed) };
+            let cfg = if ctx.compact {
+                WorldConfig::tiny(ctx.seed)
+            } else {
+                WorldConfig::small(ctx.seed)
+            };
             self.amsix = Some(AmsIxScenario::new(ctx.seed).with_config(cfg).build());
         }
         self.amsix.as_ref().expect("just built")
@@ -92,6 +95,80 @@ impl Cache {
     }
 }
 
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or
+/// `None` where /proc is unavailable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// The perf-trajectory artifact tracked across PRs: pushes 1M synthetic
+/// records through input module → interner → monitor (single-shard and
+/// 8-way sharded) and writes events/sec plus peak RSS to
+/// `BENCH_monitor.json`.
+fn bench_monitor_json() {
+    use kepler::core::config::KeplerConfig;
+    use kepler::core::input::InputModule;
+    use kepler::core::intern::Interner;
+    use kepler::core::monitor::Monitor;
+    use kepler::core::shard::ShardedMonitor;
+    use kepler::topology::ColocationMap;
+    use kepler_bench::{pipeline_dictionary, pipeline_record, PIPELINE_TIME_COMPRESSION};
+    use std::time::Instant;
+
+    const N: u64 = 1_000_000;
+
+    eprintln!("[bench: 1M-record pipeline, single-shard...]");
+    let t = Instant::now();
+    let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+    let mut interner = Interner::new();
+    let mut monitor = Monitor::new(KeplerConfig::default());
+    let mut single_bins = 0usize;
+    for i in 0..N {
+        let rec = pipeline_record(i);
+        for elem in rec.explode() {
+            if let Some(ev) = input.process_dense(&elem, &mut interner) {
+                single_bins += monitor.observe(elem.time, &ev).len();
+            }
+        }
+    }
+    single_bins +=
+        monitor.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
+    let single_secs = t.elapsed().as_secs_f64();
+    let single_eps = N as f64 / single_secs;
+
+    eprintln!("[bench: 1M-record pipeline, 8-way sharded...]");
+    let t = Instant::now();
+    let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+    let mut interner = Interner::new();
+    let mut sharded = ShardedMonitor::new(KeplerConfig::default(), 8);
+    let mut sharded_bins = 0usize;
+    for i in 0..N {
+        let rec = pipeline_record(i);
+        for elem in rec.explode() {
+            if let Some(ev) = input.process_dense(&elem, &mut interner) {
+                sharded_bins += sharded.observe(elem.time, &ev).len();
+            }
+        }
+    }
+    sharded_bins +=
+        sharded.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
+    let sharded_secs = t.elapsed().as_secs_f64();
+    assert_eq!(single_bins, sharded_bins, "single and sharded runs must close the same bins");
+    let sharded_eps = N as f64 / sharded_secs;
+
+    let rss = peak_rss_bytes();
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
+    );
+    std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");
+    println!("{json}");
+    println!("wrote BENCH_monitor.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = Ctx { seed: 31, compact: false };
@@ -103,12 +180,16 @@ fn main() {
                 ctx.seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N");
             }
             "--compact" => ctx.compact = true,
+            "--bench" => {
+                bench_monitor_json();
+                return;
+            }
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--compact] <exp>...\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all"
+            "usage: repro [--seed N] [--compact] [--bench] <exp>...\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all\n  --bench: run the monitor throughput benchmark and write BENCH_monitor.json"
         );
         std::process::exit(2);
     }
@@ -735,9 +816,8 @@ fn fig10a(ctx: &Ctx, cache: &mut Cache) {
     println!("t-rel | AMS-IX-tagged routes still on baseline");
     for r in scenario.output.records.iter() {
         while gi < grid.len() && (r.time as i64) > OUTAGE_START as i64 + grid[gi] {
-            let b = baseline.get_or_insert_with(|| {
-                state.iter().filter(|(_, &v)| v).map(|(k, _)| *k).collect()
-            });
+            let b = baseline
+                .get_or_insert_with(|| state.iter().filter(|(_, &v)| v).map(|(k, _)| *k).collect());
             let on = b.iter().filter(|k| state.get(*k).copied().unwrap_or(false)).count();
             println!(
                 "{:>6}s | {:>5} / {} ({})",

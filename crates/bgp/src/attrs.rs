@@ -120,7 +120,11 @@ mod tests {
     fn community_filtering() {
         let attrs = PathAttributes::with_path_and_communities(
             AsPath::from_sequence([13030, 20940]),
-            vec![Community::new(13030, 51904), Community::new(13030, 4006), Community::new(2914, 410)],
+            vec![
+                Community::new(13030, 51904),
+                Community::new(13030, 4006),
+                Community::new(2914, 410),
+            ],
         );
         assert!(attrs.has_community_from(13030));
         assert!(attrs.has_community_from(2914));

@@ -125,7 +125,8 @@ mod tests {
 
     #[test]
     fn announce_and_withdraw_shapes() {
-        let a = BgpUpdate::announce(vec![Prefix::v4(184, 84, 242, 0, 24)], PathAttributes::default());
+        let a =
+            BgpUpdate::announce(vec![Prefix::v4(184, 84, 242, 0, 24)], PathAttributes::default());
         assert!(!a.is_empty());
         assert!(a.attrs.is_some());
         let w = BgpUpdate::withdraw(vec![Prefix::v4(184, 84, 242, 0, 24)]);

@@ -100,7 +100,14 @@ impl Bgp4mpMessage {
     /// Serializes the record body (everything after the MRT header).
     pub fn encode_body(&self) -> Result<Vec<u8>, MrtError> {
         let mut out = Vec::new();
-        encode_peer_header(&mut out, self.peer_as, self.local_as, self.interface_index, self.peer_ip, self.local_ip)?;
+        encode_peer_header(
+            &mut out,
+            self.peer_as,
+            self.local_as,
+            self.interface_index,
+            self.peer_ip,
+            self.local_ip,
+        )?;
         out.extend_from_slice(&encode_bgp_update(&self.update));
         Ok(out)
     }
@@ -125,7 +132,14 @@ impl Bgp4mpStateChange {
     /// Serializes the record body.
     pub fn encode_body(&self) -> Result<Vec<u8>, MrtError> {
         let mut out = Vec::new();
-        encode_peer_header(&mut out, self.peer_as, self.local_as, self.interface_index, self.peer_ip, self.local_ip)?;
+        encode_peer_header(
+            &mut out,
+            self.peer_as,
+            self.local_as,
+            self.interface_index,
+            self.peer_ip,
+            self.local_ip,
+        )?;
         out.extend_from_slice(&self.change.old.code().to_be_bytes());
         out.extend_from_slice(&self.change.new.code().to_be_bytes());
         Ok(out)

@@ -21,7 +21,9 @@ pub enum MrtError {
 impl fmt::Display for MrtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MrtError::UnexpectedEof { context } => write!(f, "unexpected EOF while reading {context}"),
+            MrtError::UnexpectedEof { context } => {
+                write!(f, "unexpected EOF while reading {context}")
+            }
             MrtError::BadMarker => write!(f, "BGP message marker is not all-ones"),
             MrtError::UnsupportedRecord { mrt_type, subtype } => {
                 write!(f, "unsupported MRT record type {mrt_type} subtype {subtype}")

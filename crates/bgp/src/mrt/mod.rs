@@ -81,15 +81,13 @@ mod proptests {
     use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
     fn arb_prefix_v4() -> impl Strategy<Value = Prefix> {
-        (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| {
-            Prefix::new(IpAddr::V4(Ipv4Addr::from(addr)), len).unwrap()
-        })
+        (any::<u32>(), 0u8..=32)
+            .prop_map(|(addr, len)| Prefix::new(IpAddr::V4(Ipv4Addr::from(addr)), len).unwrap())
     }
 
     fn arb_prefix_v6() -> impl Strategy<Value = Prefix> {
-        (any::<u128>(), 0u8..=128).prop_map(|(addr, len)| {
-            Prefix::new(IpAddr::V6(Ipv6Addr::from(addr)), len).unwrap()
-        })
+        (any::<u128>(), 0u8..=128)
+            .prop_map(|(addr, len)| Prefix::new(IpAddr::V6(Ipv6Addr::from(addr)), len).unwrap())
     }
 
     fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
@@ -103,19 +101,21 @@ mod proptests {
             prop::collection::vec(any::<u32>(), 0..8),
             prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..3),
         )
-            .prop_map(|(origin, path, nh, med, lp, atomic, comms, larges)| PathAttributes {
-                origin,
-                as_path: AsPath::from_sequence(path),
-                next_hop: IpAddr::V4(Ipv4Addr::from(nh)),
-                med,
-                local_pref: lp,
-                atomic_aggregate: atomic,
-                communities: comms.into_iter().map(Community).collect(),
-                extended_communities: vec![],
-                large_communities: larges
-                    .into_iter()
-                    .map(|(g, l1, l2)| LargeCommunity::new(g, l1, l2))
-                    .collect(),
+            .prop_map(|(origin, path, nh, med, lp, atomic, comms, larges)| {
+                PathAttributes {
+                    origin,
+                    as_path: AsPath::from_sequence(path),
+                    next_hop: IpAddr::V4(Ipv4Addr::from(nh)),
+                    med,
+                    local_pref: lp,
+                    atomic_aggregate: atomic,
+                    communities: comms.into_iter().map(Community).collect(),
+                    extended_communities: vec![],
+                    large_communities: larges
+                        .into_iter()
+                        .map(|(g, l1, l2)| LargeCommunity::new(g, l1, l2))
+                        .collect(),
+                }
             })
     }
 

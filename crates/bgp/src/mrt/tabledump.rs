@@ -4,7 +4,9 @@
 //! waiting two days of updates when it starts on archived data.
 
 use super::error::MrtError;
-use super::wire::{decode_attrs, decode_nlri_prefix, encode_attrs, encode_nlri_prefix, AttrMode, Cursor};
+use super::wire::{
+    decode_attrs, decode_nlri_prefix, encode_attrs, encode_nlri_prefix, AttrMode, Cursor,
+};
 use crate::attrs::PathAttributes;
 use crate::prefix::Prefix;
 use crate::Asn;
@@ -221,7 +223,8 @@ mod tests {
 
     #[test]
     fn empty_rib_entries_allowed() {
-        let r = RibPrefixEntries { sequence: 0, prefix: Prefix::v4(10, 0, 0, 0, 8), entries: vec![] };
+        let r =
+            RibPrefixEntries { sequence: 0, prefix: Prefix::v4(10, 0, 0, 0, 8), entries: vec![] };
         let body = r.encode_body().unwrap();
         assert_eq!(RibPrefixEntries::decode_body(&body, false).unwrap(), r);
     }

@@ -293,7 +293,8 @@ pub(crate) fn decode_attrs(raw: &[u8], mode: AttrMode) -> Result<DecodedAttrs, M
         match attr_type {
             ATTR_ORIGIN => {
                 let code = *body.first().ok_or(MrtError::BadValue { context: "ORIGIN" })?;
-                attrs.origin = Origin::from_code(code).ok_or(MrtError::BadValue { context: "ORIGIN code" })?;
+                attrs.origin =
+                    Origin::from_code(code).ok_or(MrtError::BadValue { context: "ORIGIN code" })?;
             }
             ATTR_AS_PATH => attrs.as_path = decode_as_path(body)?,
             ATTR_NEXT_HOP => {
@@ -567,7 +568,8 @@ mod tests {
 
     #[test]
     fn unknown_attribute_is_skipped() {
-        let attrs = PathAttributes::with_path_and_communities(AsPath::from_sequence([1, 2]), vec![]);
+        let attrs =
+            PathAttributes::with_path_and_communities(AsPath::from_sequence([1, 2]), vec![]);
         let mut raw = encode_attrs(&attrs, &[], &[], AttrMode::Bgp4mp);
         // Append an unknown optional-transitive attribute type 99.
         raw.extend_from_slice(&[FLAG_OPTIONAL | FLAG_TRANSITIVE, 99, 2, 0xAB, 0xCD]);

@@ -19,14 +19,18 @@ impl<W: Write> MrtWriter<W> {
     /// Serializes one record (header + body).
     pub fn write_record(&mut self, record: &MrtRecord) -> Result<(), MrtError> {
         let (mrt_type, subtype, body) = match &record.body {
-            MrtBody::Message(m) => (super::MRT_TYPE_BGP4MP, super::BGP4MP_MESSAGE_AS4, m.encode_body()?),
+            MrtBody::Message(m) => {
+                (super::MRT_TYPE_BGP4MP, super::BGP4MP_MESSAGE_AS4, m.encode_body()?)
+            }
             MrtBody::StateChange(s) => {
                 (super::MRT_TYPE_BGP4MP, super::BGP4MP_STATE_CHANGE_AS4, s.encode_body()?)
             }
             MrtBody::PeerIndexTable(t) => {
                 (super::MRT_TYPE_TABLE_DUMP_V2, super::TDV2_PEER_INDEX_TABLE, t.encode_body()?)
             }
-            MrtBody::RibEntries(r) => (super::MRT_TYPE_TABLE_DUMP_V2, r.subtype(), r.encode_body()?),
+            MrtBody::RibEntries(r) => {
+                (super::MRT_TYPE_TABLE_DUMP_V2, r.subtype(), r.encode_body()?)
+            }
         };
         let mut header = [0u8; 12];
         header[0..4].copy_from_slice(&record.timestamp.to_be_bytes());

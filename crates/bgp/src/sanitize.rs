@@ -77,7 +77,12 @@ pub struct SanitizeStats {
 impl SanitizeStats {
     /// Total rejected routes.
     pub fn rejected(&self) -> u64 {
-        self.as_loops + self.special_asns + self.bogons + self.bad_lengths + self.empty_paths + self.long_paths
+        self.as_loops
+            + self.special_asns
+            + self.bogons
+            + self.bad_lengths
+            + self.empty_paths
+            + self.long_paths
     }
 
     fn count(&mut self, r: RejectReason) {
@@ -227,7 +232,8 @@ mod tests {
             s.check_route(&p, &Prefix::v4(184, 84, 242, 0, 28)),
             Err(RejectReason::UnconventionalPrefixLength)
         );
-        let mut lax = Sanitizer::new(SanitizerConfig { enforce_prefix_length: false, ..Default::default() });
+        let mut lax =
+            Sanitizer::new(SanitizerConfig { enforce_prefix_length: false, ..Default::default() });
         assert!(lax.check_route(&p, &Prefix::v4(184, 84, 242, 0, 28)).is_ok());
     }
 
@@ -242,7 +248,8 @@ mod tests {
     #[test]
     fn sanitize_update_filters_partially() {
         let mut s = Sanitizer::default();
-        let attrs = PathAttributes::with_path_and_communities(AsPath::from_sequence([3356, 20940]), vec![]);
+        let attrs =
+            PathAttributes::with_path_and_communities(AsPath::from_sequence([3356, 20940]), vec![]);
         let upd = BgpUpdate {
             withdrawn: vec![Prefix::v4(10, 0, 0, 0, 16), Prefix::v4(184, 84, 0, 0, 16)],
             attrs: Some(attrs),

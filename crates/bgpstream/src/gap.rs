@@ -102,6 +102,10 @@ mod tests {
         g.observe(&state(100, PeerState::Established, PeerState::Idle));
         let other = PeerId { asn: Asn(6), addr: "192.0.2.6".parse().unwrap() };
         assert!(g.is_usable(CollectorId(0), other, 150));
-        assert!(g.is_usable(CollectorId(1), PeerId { asn: Asn(5), addr: "192.0.2.5".parse().unwrap() }, 150));
+        assert!(g.is_usable(
+            CollectorId(1),
+            PeerId { asn: Asn(5), addr: "192.0.2.5".parse().unwrap() },
+            150
+        ));
     }
 }

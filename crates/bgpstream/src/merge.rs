@@ -58,7 +58,9 @@ mod tests {
             time,
             collector: CollectorId(collector),
             peer: PeerId { asn: Asn(1), addr: "192.0.2.1".parse().unwrap() },
-            payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(184, 84, 0, 0, 16)])),
+            payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(
+                184, 84, 0, 0, 16,
+            )])),
         }
     }
 

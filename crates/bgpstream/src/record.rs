@@ -206,7 +206,8 @@ mod tests {
 
     #[test]
     fn mrt_conversion_roundtrip() {
-        let attrs = PathAttributes::with_path_and_communities(AsPath::from_sequence([13030]), vec![]);
+        let attrs =
+            PathAttributes::with_path_and_communities(AsPath::from_sequence([13030]), vec![]);
         let r = rec(BgpUpdate::announce(vec![Prefix::v4(184, 84, 242, 0, 24)], attrs));
         let mrt = r.to_mrt(Asn(6447), "192.0.2.254".parse().unwrap());
         let back = BgpRecord::from_mrt(&mrt, CollectorId(0)).unwrap();

@@ -2,8 +2,7 @@
 
 use kepler_bgp::{Asn, BgpUpdate, Prefix};
 use kepler_bgpstream::{
-    BgpRecord, Broker, CollectorId, MemorySource, MergedStream, PeerId, RecordPayload,
-    RecordSource,
+    BgpRecord, Broker, CollectorId, MemorySource, MergedStream, PeerId, RecordPayload, RecordSource,
 };
 use proptest::prelude::*;
 

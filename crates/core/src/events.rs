@@ -141,7 +141,10 @@ mod tests {
             OutageScope::Facility(FacilityId(3))
         );
         assert_eq!(OutageScope::from_tag(LocationTag::Ixp(IxpId(1))), OutageScope::Ixp(IxpId(1)));
-        assert_eq!(OutageScope::from_tag(LocationTag::City(CityId(9))), OutageScope::City(CityId(9)));
+        assert_eq!(
+            OutageScope::from_tag(LocationTag::City(CityId(9))),
+            OutageScope::City(CityId(9))
+        );
     }
 
     #[test]

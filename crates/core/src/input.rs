@@ -9,6 +9,7 @@
 //! path, the method of Giotsas & Zhou [51].
 
 use crate::events::RouteKey;
+use crate::intern::{DenseRouteEvent, Interner};
 use kepler_bgp::sanitize::{SanitizeStats, Sanitizer, SanitizerConfig};
 use kepler_bgp::{Asn, PathAttributes};
 use kepler_bgpstream::{BgpElem, ElemKind};
@@ -144,6 +145,18 @@ impl InputModule {
                 Some(RouteEvent::Update { key, crossings, hops })
             }
         }
+    }
+
+    /// Processes one element straight into dense-id space — the input-time
+    /// interning boundary: everything downstream of this call works on
+    /// [`DenseRouteEvent`]s, and fat keys are only resolved back at report
+    /// time.
+    pub fn process_dense(
+        &mut self,
+        elem: &BgpElem,
+        interner: &mut Interner,
+    ) -> Option<DenseRouteEvent> {
+        self.process(elem).map(|ev| interner.intern_event(&ev))
     }
 
     /// Maps the communities of an announcement onto path crossings.
@@ -324,7 +337,9 @@ mod tests {
             time: 5,
             collector: CollectorId(1),
             peer: PeerId { asn: Asn(3356), addr: "10.0.0.1".parse().unwrap() },
-            payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(184, 84, 242, 0, 24)])),
+            payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(
+                184, 84, 242, 0, 24,
+            )])),
         };
         let e = rec.explode().pop().unwrap();
         assert!(matches!(input.process(&e), Some(RouteEvent::Withdraw { .. })));

@@ -220,10 +220,8 @@ impl Investigator {
             }
         }
         // Operator-level: all links touch one organization's siblings.
-        let candidate_orgs: BTreeSet<_> = [first.0, first.1]
-            .iter()
-            .filter_map(|a| self.orgs.org_of(*a))
-            .collect();
+        let candidate_orgs: BTreeSet<_> =
+            [first.0, first.1].iter().filter_map(|a| self.orgs.org_of(*a)).collect();
         for org in candidate_orgs {
             if links.iter().all(|(a, b)| {
                 self.orgs.org_of(*a) == Some(org) || self.orgs.org_of(*b) == Some(org)
@@ -391,10 +389,12 @@ impl Investigator {
         for x in candidates {
             let members = self.colo.members_of_ixp(x);
             let cov = self.coverage(affected_far, stable_fars, members);
-            if cov.denom >= 2 && cov.fraction() >= margin && cov.containment >= margin {
-                if best.map(|(_, s)| cov.containment > s).unwrap_or(true) {
-                    best = Some((x, cov.containment));
-                }
+            if cov.denom >= 2
+                && cov.fraction() >= margin
+                && cov.containment >= margin
+                && best.map(|(_, s)| cov.containment > s).unwrap_or(true)
+            {
+                best = Some((x, cov.containment));
             }
         }
         best.map(|(x, _)| OutageScope::Ixp(x))
@@ -702,6 +702,9 @@ mod tests {
         let result = inv.investigate(&outcome);
         assert_eq!(result.incidents.len(), 1);
         assert_eq!(result.incidents[0].scope, OutageScope::Facility(FacilityId(1)));
-        assert_eq!(result.dismissed, vec![(LocationTag::Facility(FacilityId(2)), SignalClass::LinkLevel)]);
+        assert_eq!(
+            result.dismissed,
+            vec![(LocationTag::Facility(FacilityId(2)), SignalClass::LinkLevel)]
+        );
     }
 }

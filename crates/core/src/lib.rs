@@ -26,13 +26,18 @@
 pub mod config;
 pub mod dataplane;
 pub mod events;
+pub mod fx;
 pub mod input;
+pub mod intern;
 pub mod investigate;
 pub mod metrics;
 pub mod monitor;
+pub mod shard;
 pub mod system;
 pub mod tracker;
 
 pub use config::KeplerConfig;
 pub use events::{OutageReport, OutageScope, RouteKey, SignalClass};
+pub use intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId};
+pub use shard::{AnyMonitor, ShardedMonitor};
 pub use system::{Kepler, KeplerInputs};

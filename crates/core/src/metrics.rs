@@ -121,7 +121,8 @@ pub fn evaluate(reports: &[OutageReport], truth: &[TruthOutage], slack: u64) -> 
         // Find the best unused matching truth record.
         let mut matched: Option<usize> = None;
         for (ti, t) in truth.iter().enumerate() {
-            if truth_used[ti] || !scope_matches(&report.scope, t) || !time_matches(report, t, slack) {
+            if truth_used[ti] || !scope_matches(&report.scope, t) || !time_matches(report, t, slack)
+            {
                 continue;
             }
             matched = Some(ti);
@@ -192,8 +193,8 @@ mod tests {
         let fac = OutageScope::Facility(FacilityId(1));
         let ixp = OutageScope::Ixp(IxpId(2));
         let reports = vec![
-            report(fac, 1000, 2000),                      // TP
-            report(ixp, 50_000, 51_000),                  // FP (no truth)
+            report(fac, 1000, 2000),                                        // TP
+            report(ixp, 50_000, 51_000),                                    // FP (no truth)
             report(OutageScope::Facility(FacilityId(9)), 100_000, 101_000), // FP: fiber cut
         ];
         let truths = vec![

@@ -1,4 +1,4 @@
-//! Monitoring module (paper §4.2).
+//! Monitoring module (paper §4.2), rebuilt on dense interned identities.
 //!
 //! Maintains the stable-path baseline and bins route events at
 //! `bin_secs`. A route is *stable* once its located crossings have been
@@ -11,19 +11,36 @@
 //! set. Grouping per near-end AS avoids the Tier-1 bias the paper warns
 //! about: an aggregate fraction would hide partial outages that spare one
 //! huge AS.
+//!
+//! # Hot-path layout
+//!
+//! All per-event state is keyed by dense ids from [`crate::intern`]:
+//! `current` and `baseline` are flat `Vec`s indexed by [`RouteId`] (so the
+//! per-event lookups are array indexing, not hashing), deviation groups
+//! are small-int maps keyed by packed `(PopId, AsnId)` words, and crossing
+//! lists are shared `Arc<[DenseCrossing]>` snapshots. The split between
+//! [`MonitorCore`] (pure event/baseline state machine) and [`Monitor`]
+//! (bin clock + watches) exists so [`crate::shard::ShardedMonitor`] can
+//! drive many cores in lockstep and merge their per-bin group counts
+//! exactly.
 
 use crate::config::KeplerConfig;
 use crate::events::RouteKey;
-use crate::input::{PopCrossing, RouteEvent};
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::intern::{
+    pack_group, unpack_group, AsnId, DenseCrossing, DenseRouteEvent, GroupKey, Interner, PopId,
+    RouteId,
+};
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
 use kepler_docmine::LocationTag;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 /// One (PoP, near-end AS) group whose stable paths deviated beyond
-/// `T_fail` within a bin.
+/// `T_fail` within a bin — display form, produced by
+/// [`DenseBinOutcome::resolve`] at report time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutageSignal {
     /// The PoP the paths left.
@@ -42,7 +59,7 @@ pub struct OutageSignal {
     pub fraction: f64,
 }
 
-/// Everything a closed bin hands to the investigator.
+/// Everything a closed bin hands to the investigator — display form.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BinOutcome {
     /// Bin start time.
@@ -58,140 +75,530 @@ pub struct BinOutcome {
     pub stable_nears: HashMap<LocationTag, BTreeMap<Asn, usize>>,
 }
 
+/// An outage signal in dense-id space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseOutageSignal {
+    /// The PoP the paths left.
+    pub pop: PopId,
+    /// The near-end AS group.
+    pub near: AsnId,
+    /// Bin start time.
+    pub bin_start: Timestamp,
+    /// The deviated stable routes (unsorted; display order is established
+    /// at resolve time).
+    pub deviated: Vec<RouteId>,
+    /// Stable routes in the group before the bin.
+    pub stable_total: usize,
+    /// Far-end ASes of the deviated crossings (deduplicated, unsorted).
+    pub far_ases: Vec<AsnId>,
+    /// Deviation fraction.
+    pub fraction: f64,
+}
+
+/// A closed bin in dense-id space. Field order inside the vectors is
+/// unspecified; [`resolve`](DenseBinOutcome::resolve) produces the
+/// deterministic display form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DenseBinOutcome {
+    /// Bin start time.
+    pub bin_start: Timestamp,
+    /// Raised signals.
+    pub signals: Vec<DenseOutageSignal>,
+    /// Per signaled PoP: near-end → (far-end → stable path count).
+    pub stable_fars: Vec<(PopId, PopFars)>,
+    /// Per signaled PoP: near-end → stable path count.
+    pub stable_nears: Vec<(PopId, PopNears)>,
+}
+
+/// Stable far-end ASes of one PoP with path counts, grouped by near-end.
+pub type PopFars = Vec<(AsnId, Vec<(AsnId, usize)>)>;
+
+/// Stable near-end ASes of one PoP with path counts.
+pub type PopNears = Vec<(AsnId, usize)>;
+
+impl DenseBinOutcome {
+    /// Resolves dense ids back to display types, restoring the canonical
+    /// ordering (signals by PoP kind/id then near-end ASN, route lists by
+    /// `RouteKey`). This is the only place the per-bin path touches fat
+    /// keys, and it runs once per *closed bin*, not per event.
+    pub fn resolve(&self, interner: &Interner) -> BinOutcome {
+        let mut out = BinOutcome { bin_start: self.bin_start, ..Default::default() };
+        for s in &self.signals {
+            let mut deviated: Vec<RouteKey> =
+                s.deviated.iter().map(|&r| interner.route_key(r)).collect();
+            deviated.sort();
+            out.signals.push(OutageSignal {
+                pop: interner.pop_tag(s.pop),
+                near: interner.asn(s.near),
+                bin_start: s.bin_start,
+                deviated,
+                stable_total: s.stable_total,
+                far_ases: s.far_ases.iter().map(|&a| interner.asn(a)).collect(),
+                fraction: s.fraction,
+            });
+        }
+        out.signals.sort_by_key(|s| (pop_order(&s.pop), s.near));
+        for (pop, by_near) in &self.stable_fars {
+            let entry = out.stable_fars.entry(interner.pop_tag(*pop)).or_default();
+            for (near, fars) in by_near {
+                let near_entry = entry.entry(interner.asn(*near)).or_default();
+                for (far, n) in fars {
+                    *near_entry.entry(interner.asn(*far)).or_insert(0) += n;
+                }
+            }
+        }
+        for (pop, nears) in &self.stable_nears {
+            let entry = out.stable_nears.entry(interner.pop_tag(*pop)).or_default();
+            for (near, n) in nears {
+                *entry.entry(interner.asn(*near)).or_insert(0) += n;
+            }
+        }
+        out
+    }
+}
+
+/// Per-group deviation statistics at bin close, before thresholding.
+/// Numerators and denominators are additive across shards, which is what
+/// makes the sharded merge exact.
+#[derive(Debug, Clone)]
+pub struct GroupStat {
+    /// Packed `(PopId, AsnId)` group key.
+    pub key: GroupKey,
+    /// Deviated stable routes of the group.
+    pub deviated: Vec<RouteId>,
+    /// Stable routes of the group before the bin (local denominator).
+    pub stable_total: usize,
+    /// Far-end ASes of the deviated crossings.
+    pub fars: Vec<AsnId>,
+}
+
 #[derive(Debug, Clone)]
 struct CurrentRoute {
-    crossings: Arc<Vec<PopCrossing>>,
+    crossings: Arc<[DenseCrossing]>,
     since: Timestamp,
 }
 
-/// The monitoring module.
-pub struct Monitor {
+/// The event/baseline state machine: everything the monitor does *except*
+/// bin bookkeeping. One instance per shard.
+///
+/// `stride` is the total shard count: a core only ever sees routes with
+/// `id % stride == shard`, so it stores them densely at `id / stride`.
+pub struct MonitorCore {
     config: KeplerConfig,
-    current: HashMap<RouteKey, CurrentRoute>,
-    baseline: HashMap<RouteKey, Arc<Vec<PopCrossing>>>,
-    pop_index: HashMap<LocationTag, HashMap<Asn, HashSet<RouteKey>>>,
-    promotions: BinaryHeap<Reverse<(Timestamp, RouteKey)>>,
-    bin_start: Option<Timestamp>,
-    deviations: HashMap<(LocationTag, Asn), HashSet<RouteKey>>,
-    deviation_fars: HashMap<(LocationTag, Asn), BTreeSet<Asn>>,
-    watches: HashMap<LocationTag, Vec<(Timestamp, f64)>>,
+    stride: u32,
+    current: Vec<Option<CurrentRoute>>,
+    baseline: Vec<Option<Arc<[DenseCrossing]>>>,
+    baseline_len: usize,
+    /// Group → stable routes crossing it.
+    pop_index: FxHashMap<GroupKey, FxHashSet<RouteId>>,
+    /// PoP → near-end ASes with a live group (secondary index over
+    /// `pop_index` for per-PoP queries).
+    pop_groups: FxHashMap<PopId, FxHashSet<AsnId>>,
+    promotions: BinaryHeap<Reverse<(Timestamp, RouteId)>>,
+    deviations: FxHashMap<GroupKey, FxHashSet<RouteId>>,
+    deviation_fars: FxHashMap<GroupKey, FxHashSet<AsnId>>,
     /// High-water coverage per PoP: every near/far AS ever seen in a
     /// *stable* crossing. Determines which PoPs are trackable (the paper's
     /// ≥3 near-end + ≥3 far-end rule).
-    coverage: HashMap<LocationTag, (BTreeSet<Asn>, BTreeSet<Asn>)>,
+    coverage: FxHashMap<PopId, (FxHashSet<AsnId>, FxHashSet<AsnId>)>,
+}
+
+impl MonitorCore {
+    /// A core for one shard out of `stride`.
+    pub fn new(config: KeplerConfig, stride: u32) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        MonitorCore {
+            config,
+            stride,
+            current: Vec::new(),
+            baseline: Vec::new(),
+            baseline_len: 0,
+            pop_index: FxHashMap::default(),
+            pop_groups: FxHashMap::default(),
+            promotions: BinaryHeap::new(),
+            deviations: FxHashMap::default(),
+            deviation_fars: FxHashMap::default(),
+            coverage: FxHashMap::default(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, route: RouteId) -> usize {
+        (route.0 / self.stride) as usize
+    }
+
+    /// Applies one event (no bin logic). The caller drives bin closes via
+    /// [`bin_groups`](Self::bin_groups) / [`finish_bin`](Self::finish_bin).
+    pub fn apply(&mut self, t: Timestamp, event: &DenseRouteEvent) {
+        match event {
+            DenseRouteEvent::Withdraw { route } => {
+                let slot = self.slot(*route);
+                if let Some(Some(base)) = self.baseline.get(slot) {
+                    let base = Arc::clone(base);
+                    for c in base.iter() {
+                        self.mark_deviation(c, *route);
+                    }
+                }
+                if slot < self.current.len() {
+                    self.current[slot] = None;
+                }
+            }
+            DenseRouteEvent::Update { route, crossings } => {
+                let slot = self.slot(*route);
+                if let Some(Some(base)) = self.baseline.get(slot) {
+                    let base = Arc::clone(base);
+                    for c in base.iter() {
+                        let still_there =
+                            crossings.iter().any(|n| n.pop == c.pop && n.near == c.near);
+                        if !still_there {
+                            self.mark_deviation(c, *route);
+                        }
+                    }
+                }
+                if slot >= self.current.len() {
+                    self.current.resize_with(slot + 1, || None);
+                }
+                match &self.current[slot] {
+                    Some(cur) if cur.crossings[..] == crossings[..] => {
+                        // Same located route: stability clock keeps running.
+                    }
+                    _ => {
+                        self.current[slot] =
+                            Some(CurrentRoute { crossings: Arc::clone(crossings), since: t });
+                        self.promotions.push(Reverse((t + self.config.stable_secs, *route)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn mark_deviation(&mut self, c: &DenseCrossing, route: RouteId) {
+        let key = c.group();
+        self.deviations.entry(key).or_default().insert(route);
+        self.deviation_fars.entry(key).or_default().insert(c.far);
+    }
+
+    /// Whether any deviation was marked since the last
+    /// [`finish_bin`](Self::finish_bin).
+    pub fn has_deviations(&self) -> bool {
+        !self.deviations.is_empty()
+    }
+
+    /// This bin's per-group deviation statistics (pre-threshold,
+    /// pre-pruning). Order is unspecified.
+    pub fn bin_groups(&self) -> Vec<GroupStat> {
+        self.deviations
+            .iter()
+            .map(|(key, routes)| GroupStat {
+                key: *key,
+                deviated: routes.iter().copied().collect(),
+                stable_total: self.pop_index.get(key).map(FxHashSet::len).unwrap_or(0),
+                fars: self
+                    .deviation_fars
+                    .get(key)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    /// Stable-route counts for the given groups (denominator lookups for
+    /// the sharded merge: every shard holds part of a group's stable set,
+    /// including shards that saw no deviation for it this bin).
+    pub fn group_totals(&self, keys: &[GroupKey]) -> Vec<usize> {
+        keys.iter().map(|key| self.pop_index.get(key).map(FxHashSet::len).unwrap_or(0)).collect()
+    }
+
+    /// Number of this bin's deviated stable routes crossing `pop`.
+    pub fn deviation_count(&self, pop: PopId) -> usize {
+        self.deviations
+            .iter()
+            .filter(|(key, _)| unpack_group(**key).0 == pop)
+            .map(|(_, routes)| routes.len())
+            .sum()
+    }
+
+    /// Closes the bin's bookkeeping: prunes every deviated path from the
+    /// stable set, clears deviation state, and promotes routes that became
+    /// stable by `now`.
+    pub fn finish_bin(&mut self, now: Timestamp) {
+        let changed: Vec<RouteId> =
+            self.deviations.values().flat_map(|s| s.iter().copied()).collect();
+        for route in changed {
+            self.remove_from_baseline(route);
+        }
+        self.deviations.clear();
+        self.deviation_fars.clear();
+        self.run_promotions(now);
+    }
+
+    /// Promotes routes whose crossings have been unchanged for the
+    /// stability window as of `now`.
+    pub fn run_promotions(&mut self, now: Timestamp) {
+        while let Some(Reverse((due, route))) = self.promotions.peek().copied() {
+            if due > now {
+                break;
+            }
+            self.promotions.pop();
+            let slot = self.slot(route);
+            let Some(Some(cur)) = self.current.get(slot) else { continue };
+            if cur.since + self.config.stable_secs > now {
+                continue; // changed again since scheduling
+            }
+            if cur.crossings.is_empty() {
+                continue; // nothing locatable to monitor
+            }
+            let crossings = Arc::clone(&cur.crossings);
+            if self
+                .baseline
+                .get(slot)
+                .and_then(Option::as_ref)
+                .map(|b| Arc::ptr_eq(b, &crossings) || b[..] == crossings[..])
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            self.remove_from_baseline(route);
+            for c in crossings.iter() {
+                self.pop_index.entry(c.group()).or_default().insert(route);
+                self.pop_groups.entry(c.pop).or_default().insert(c.near);
+                let cov = self.coverage.entry(c.pop).or_default();
+                cov.0.insert(c.near);
+                cov.1.insert(c.far);
+            }
+            if slot >= self.baseline.len() {
+                self.baseline.resize_with(slot + 1, || None);
+            }
+            if self.baseline[slot].is_none() {
+                self.baseline_len += 1;
+            }
+            self.baseline[slot] = Some(crossings);
+        }
+    }
+
+    fn remove_from_baseline(&mut self, route: RouteId) {
+        let slot = self.slot(route);
+        let Some(opt) = self.baseline.get_mut(slot) else { return };
+        let Some(base) = opt.take() else { return };
+        self.baseline_len -= 1;
+        for c in base.iter() {
+            let key = c.group();
+            if let Some(set) = self.pop_index.get_mut(&key) {
+                set.remove(&route);
+                if set.is_empty() {
+                    self.pop_index.remove(&key);
+                    if let Some(nears) = self.pop_groups.get_mut(&c.pop) {
+                        nears.remove(&c.near);
+                        if nears.is_empty() {
+                            self.pop_groups.remove(&c.pop);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of stable routes currently indexed at `pop`.
+    pub fn stable_count(&self, pop: PopId) -> usize {
+        self.pop_groups
+            .get(&pop)
+            .map(|nears| {
+                nears
+                    .iter()
+                    .map(|&near| {
+                        self.pop_index.get(&pack_group(pop, near)).map(FxHashSet::len).unwrap_or(0)
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total stable routes.
+    pub fn baseline_size(&self) -> usize {
+        self.baseline_len
+    }
+
+    /// Whether the current route of `route` still crosses `pop` at `near`.
+    pub fn route_has_crossing(&self, route: RouteId, pop: PopId, near: AsnId) -> bool {
+        self.current
+            .get(self.slot(route))
+            .and_then(Option::as_ref)
+            .map(|c| c.crossings.iter().any(|x| x.pop == pop && x.near == near))
+            .unwrap_or(false)
+    }
+
+    /// Far-end ASes (with stable path counts) of the baseline routes
+    /// crossing `pop`, grouped by the near-end AS of the crossing.
+    pub fn stable_fars(&self, pop: PopId) -> PopFars {
+        let Some(nears) = self.pop_groups.get(&pop) else { return Vec::new() };
+        let mut out = Vec::with_capacity(nears.len());
+        for &near in nears {
+            let Some(routes) = self.pop_index.get(&pack_group(pop, near)) else { continue };
+            let mut by_far: FxHashMap<AsnId, usize> = FxHashMap::default();
+            for &route in routes {
+                if let Some(Some(base)) = self.baseline.get(self.slot(route)) {
+                    for c in base.iter().filter(|c| c.pop == pop && c.near == near) {
+                        *by_far.entry(c.far).or_insert(0) += 1;
+                    }
+                }
+            }
+            out.push((near, by_far.into_iter().collect()));
+        }
+        out
+    }
+
+    /// Near-end ASes (with stable path counts) of the baseline routes
+    /// crossing `pop`.
+    pub fn stable_nears(&self, pop: PopId) -> PopNears {
+        let Some(nears) = self.pop_groups.get(&pop) else { return Vec::new() };
+        nears
+            .iter()
+            .map(|&near| {
+                (near, self.pop_index.get(&pack_group(pop, near)).map(FxHashSet::len).unwrap_or(0))
+            })
+            .collect()
+    }
+
+    /// High-water observability of a PoP: distinct near-end and far-end
+    /// ASes ever located there through stable paths.
+    pub fn pop_coverage(&self, pop: PopId) -> (usize, usize) {
+        self.coverage.get(&pop).map(|(n, f)| (n.len(), f.len())).unwrap_or((0, 0))
+    }
+
+    /// The raw coverage sets of a PoP (for cross-shard unioning).
+    pub fn coverage_sets(&self, pop: PopId) -> (Vec<AsnId>, Vec<AsnId>) {
+        self.coverage
+            .get(&pop)
+            .map(|(n, f)| (n.iter().copied().collect(), f.iter().copied().collect()))
+            .unwrap_or_default()
+    }
+
+    /// All PoPs with any recorded coverage.
+    pub fn covered_pops(&self) -> Vec<PopId> {
+        self.coverage.keys().copied().collect()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KeplerConfig {
+        &self.config
+    }
+}
+
+/// The single-threaded monitoring module: one [`MonitorCore`] plus the bin
+/// clock and watch series.
+pub struct Monitor {
+    core: MonitorCore,
+    bin_start: Option<Timestamp>,
+    watches: FxHashMap<PopId, Vec<(Timestamp, f64)>>,
 }
 
 impl Monitor {
     /// A monitor with the given configuration.
     pub fn new(config: KeplerConfig) -> Self {
         Monitor {
-            config,
-            current: HashMap::new(),
-            baseline: HashMap::new(),
-            pop_index: HashMap::new(),
-            promotions: BinaryHeap::new(),
+            core: MonitorCore::new(config, 1),
             bin_start: None,
-            deviations: HashMap::new(),
-            deviation_fars: HashMap::new(),
-            watches: HashMap::new(),
-            coverage: HashMap::new(),
+            watches: FxHashMap::default(),
         }
     }
 
     /// Registers a PoP whose per-bin aggregate change fraction should be
     /// recorded (for the paper's time-series figures).
-    pub fn watch(&mut self, pop: LocationTag) {
+    pub fn watch(&mut self, pop: PopId) {
         self.watches.entry(pop).or_default();
     }
 
     /// The recorded (bin start, change fraction) series of a watched PoP.
-    pub fn watch_series(&self, pop: LocationTag) -> Option<&[(Timestamp, f64)]> {
+    pub fn watch_series(&self, pop: PopId) -> Option<&[(Timestamp, f64)]> {
         self.watches.get(&pop).map(Vec::as_slice)
     }
 
+    /// All registered watch PoPs.
+    pub fn watched_pops(&self) -> Vec<PopId> {
+        self.watches.keys().copied().collect()
+    }
+
     /// Number of stable routes currently indexed at `pop`.
-    pub fn stable_count(&self, pop: LocationTag) -> usize {
-        self.pop_index.get(&pop).map(|m| m.values().map(HashSet::len).sum()).unwrap_or(0)
+    pub fn stable_count(&self, pop: PopId) -> usize {
+        self.core.stable_count(pop)
     }
 
     /// Total stable routes.
     pub fn baseline_size(&self) -> usize {
-        self.baseline.len()
+        self.core.baseline_size()
     }
 
-    /// Whether the current route of `key` still crosses `pop` at `near`.
-    pub fn route_has_crossing(&self, key: &RouteKey, pop: LocationTag, near: Asn) -> bool {
-        self.current
-            .get(key)
-            .map(|c| c.crossings.iter().any(|x| x.pop == pop && x.near == near))
-            .unwrap_or(false)
+    /// Whether the current route of `route` still crosses `pop` at `near`.
+    pub fn route_has_crossing(&self, route: RouteId, pop: PopId, near: AsnId) -> bool {
+        self.core.route_has_crossing(route, pop, near)
+    }
+
+    /// Bulk [`route_has_crossing`](Self::route_has_crossing) (one call per
+    /// restoration check; the sharded monitor answers it with one
+    /// round-trip per shard).
+    pub fn crossings_present(&self, items: &[(RouteId, PopId, AsnId)]) -> Vec<bool> {
+        items.iter().map(|&(r, p, a)| self.core.route_has_crossing(r, p, a)).collect()
+    }
+
+    /// High-water observability of a PoP.
+    pub fn pop_coverage(&self, pop: PopId) -> (usize, usize) {
+        self.core.pop_coverage(pop)
+    }
+
+    /// All PoPs whose observed coverage reaches `min_nears`/`min_fars` —
+    /// the PoPs where the methodology is applicable (trackable). Sorted by
+    /// display order via `interner`.
+    pub fn trackable_pops(
+        &self,
+        interner: &Interner,
+        min_nears: usize,
+        min_fars: usize,
+    ) -> Vec<PopId> {
+        let mut v: Vec<PopId> = self
+            .core
+            .covered_pops()
+            .into_iter()
+            .filter(|&p| {
+                let (n, f) = self.core.pop_coverage(p);
+                n >= min_nears && f >= min_fars
+            })
+            .collect();
+        v.sort_by_key(|&p| pop_order(&interner.pop_tag(p)));
+        v
     }
 
     /// Feeds one event, returning any bins closed by time advancing.
-    pub fn observe(&mut self, t: Timestamp, event: RouteEvent) -> Vec<BinOutcome> {
+    pub fn observe(&mut self, t: Timestamp, event: &DenseRouteEvent) -> Vec<DenseBinOutcome> {
         let closed = self.advance_to(t);
-        match event {
-            RouteEvent::Withdraw { key } => {
-                if let Some(base) = self.baseline.get(&key).cloned() {
-                    for c in base.iter() {
-                        self.mark_deviation(c, key);
-                    }
-                }
-                self.current.remove(&key);
-            }
-            RouteEvent::Update { key, crossings, .. } => {
-                if let Some(base) = self.baseline.get(&key).cloned() {
-                    for c in base.iter() {
-                        let still_there =
-                            crossings.iter().any(|n| n.pop == c.pop && n.near == c.near);
-                        if !still_there {
-                            self.mark_deviation(c, key);
-                        }
-                    }
-                }
-                let crossings = Arc::new(crossings);
-                match self.current.get_mut(&key) {
-                    Some(cur) if *cur.crossings == *crossings => {
-                        // Same located route: stability clock keeps running.
-                    }
-                    _ => {
-                        self.current.insert(key, CurrentRoute { crossings, since: t });
-                        self.promotions.push(Reverse((t + self.config.stable_secs, key)));
-                    }
-                }
-            }
-        }
+        self.core.apply(t, event);
         closed
-    }
-
-    fn mark_deviation(&mut self, c: &PopCrossing, key: RouteKey) {
-        self.deviations.entry((c.pop, c.near)).or_default().insert(key);
-        self.deviation_fars.entry((c.pop, c.near)).or_default().insert(c.far);
     }
 
     /// Advances virtual time to `t`, closing every bin that ends at or
     /// before it.
-    pub fn advance_to(&mut self, t: Timestamp) -> Vec<BinOutcome> {
+    pub fn advance_to(&mut self, t: Timestamp) -> Vec<DenseBinOutcome> {
+        let bin_secs = self.core.config.bin_secs;
         let mut out = Vec::new();
         match self.bin_start {
             None => {
-                self.bin_start = Some(t - t % self.config.bin_secs);
+                self.bin_start = Some(t - t % bin_secs);
             }
             Some(start) => {
                 let mut bin_start = start;
-                while t >= bin_start + self.config.bin_secs {
+                while t >= bin_start + bin_secs {
                     out.push(self.close_bin(bin_start));
                     // Skip empty stretches in one step (only when nothing
                     // needs a per-bin sample).
-                    let next = bin_start + self.config.bin_secs;
+                    let next = bin_start + bin_secs;
                     if out.last().map(|o| o.signals.is_empty()).unwrap_or(false)
-                        && self.deviations.is_empty()
+                        && !self.core.has_deviations()
                         && self.watches.is_empty()
-                        && t >= next + self.config.bin_secs
+                        && t >= next + bin_secs
                     {
-                        bin_start = t - t % self.config.bin_secs;
+                        bin_start = t - t % bin_secs;
                         // Still run promotions for the skipped stretch.
-                        self.run_promotions(bin_start);
+                        self.core.run_promotions(bin_start);
                     } else {
                         bin_start = next;
                     }
@@ -202,171 +609,80 @@ impl Monitor {
         out
     }
 
-    fn close_bin(&mut self, bin_start: Timestamp) -> BinOutcome {
-        let bin_end = bin_start + self.config.bin_secs;
-        let mut outcome = BinOutcome { bin_start, ..Default::default() };
+    fn close_bin(&mut self, bin_start: Timestamp) -> DenseBinOutcome {
+        let config = self.core.config.clone();
+        let bin_end = bin_start + config.bin_secs;
+        let groups = self.core.bin_groups();
+        let outcome = finalize_bin(&config, bin_start, groups, |pop| {
+            (self.core.stable_fars(pop), self.core.stable_nears(pop))
+        });
 
-        // 1. Signals from this bin's deviations, denominators pre-pruning.
-        for ((pop, near), keys) in &self.deviations {
-            let stable_total = self
-                .pop_index
-                .get(pop)
-                .and_then(|m| m.get(near))
-                .map(HashSet::len)
-                .unwrap_or(0);
-            if stable_total < self.config.min_stable_paths {
-                continue;
-            }
-            let fraction = keys.len() as f64 / stable_total as f64;
-            if fraction > self.config.t_fail {
-                let mut deviated: Vec<RouteKey> = keys.iter().copied().collect();
-                deviated.sort();
-                outcome.signals.push(OutageSignal {
-                    pop: *pop,
-                    near: *near,
-                    bin_start,
-                    deviated,
-                    stable_total,
-                    far_ases: self.deviation_fars.get(&(*pop, *near)).cloned().unwrap_or_default(),
-                    fraction,
-                });
-            }
-        }
-        outcome.signals.sort_by_key(|s| (pop_order(&s.pop), s.near));
-
-        // 2. Snapshot denominators for signaled pops.
-        for pop in outcome.signals.iter().map(|s| s.pop).collect::<BTreeSet<_>>() {
-            outcome.stable_fars.insert(pop, self.stable_fars(pop));
-            outcome.stable_nears.insert(pop, self.stable_nears(pop));
-        }
-
-        // 3. Watched series.
-        let watched: Vec<LocationTag> = self.watches.keys().copied().collect();
-        for pop in watched {
-            let stable: usize = self.stable_count(pop);
-            let deviated: usize = self
-                .deviations
-                .iter()
-                .filter(|((p, _), _)| *p == pop)
-                .map(|(_, k)| k.len())
-                .sum();
+        // Watched series (pre-pruning stable counts, like the snapshot).
+        for (&pop, series) in self.watches.iter_mut() {
+            let stable = self.core.stable_count(pop);
+            let deviated = self.core.deviation_count(pop);
             let frac = if stable == 0 { 0.0 } else { deviated as f64 / stable as f64 };
-            self.watches.get_mut(&pop).expect("watched").push((bin_start, frac));
+            series.push((bin_start, frac));
         }
 
-        // 4. Prune every changed path from the stable set.
-        let changed: HashSet<RouteKey> =
-            self.deviations.values().flat_map(|s| s.iter().copied()).collect();
-        for key in &changed {
-            self.remove_from_baseline(key);
-        }
-        self.deviations.clear();
-        self.deviation_fars.clear();
-
-        // 5. Promote routes that have been stable long enough.
-        self.run_promotions(bin_end);
-
+        self.core.finish_bin(bin_end);
         outcome
-    }
-
-    fn run_promotions(&mut self, now: Timestamp) {
-        while let Some(Reverse((due, key))) = self.promotions.peek().copied() {
-            if due > now {
-                break;
-            }
-            self.promotions.pop();
-            let Some(cur) = self.current.get(&key) else { continue };
-            if cur.since + self.config.stable_secs > now {
-                continue; // changed again since scheduling
-            }
-            if cur.crossings.is_empty() {
-                continue; // nothing locatable to monitor
-            }
-            let crossings = Arc::clone(&cur.crossings);
-            if self.baseline.get(&key).map(|b| Arc::ptr_eq(b, &crossings) || **b == *crossings).unwrap_or(false) {
-                continue;
-            }
-            self.remove_from_baseline(&key);
-            for c in crossings.iter() {
-                self.pop_index.entry(c.pop).or_default().entry(c.near).or_default().insert(key);
-                let cov = self.coverage.entry(c.pop).or_default();
-                cov.0.insert(c.near);
-                cov.1.insert(c.far);
-            }
-            self.baseline.insert(key, crossings);
-        }
-    }
-
-    fn remove_from_baseline(&mut self, key: &RouteKey) {
-        if let Some(base) = self.baseline.remove(key) {
-            for c in base.iter() {
-                if let Some(by_near) = self.pop_index.get_mut(&c.pop) {
-                    if let Some(set) = by_near.get_mut(&c.near) {
-                        set.remove(key);
-                        if set.is_empty() {
-                            by_near.remove(&c.near);
-                        }
-                    }
-                    if by_near.is_empty() {
-                        self.pop_index.remove(&c.pop);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Far-end ASes (with stable path counts) of the baseline routes
-    /// crossing `pop`, grouped by the near-end AS of the crossing.
-    pub fn stable_fars(&self, pop: LocationTag) -> BTreeMap<Asn, BTreeMap<Asn, usize>> {
-        let mut out: BTreeMap<Asn, BTreeMap<Asn, usize>> = BTreeMap::new();
-        if let Some(by_near) = self.pop_index.get(&pop) {
-            for (near, keys) in by_near {
-                let entry = out.entry(*near).or_default();
-                for key in keys {
-                    if let Some(base) = self.baseline.get(key) {
-                        for c in base.iter().filter(|c| c.pop == pop && c.near == *near) {
-                            *entry.entry(c.far).or_insert(0) += 1;
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// High-water observability of a PoP: distinct near-end and far-end
-    /// ASes ever located there through stable paths.
-    pub fn pop_coverage(&self, pop: LocationTag) -> (usize, usize) {
-        self.coverage.get(&pop).map(|(n, f)| (n.len(), f.len())).unwrap_or((0, 0))
-    }
-
-    /// All PoPs whose observed coverage reaches `min_nears`/`min_fars` —
-    /// the PoPs where the methodology is applicable (trackable).
-    pub fn trackable_pops(&self, min_nears: usize, min_fars: usize) -> Vec<LocationTag> {
-        let mut v: Vec<LocationTag> = self
-            .coverage
-            .iter()
-            .filter(|(_, (n, f))| n.len() >= min_nears && f.len() >= min_fars)
-            .map(|(p, _)| *p)
-            .collect();
-        v.sort_by_key(pop_order);
-        v
-    }
-
-    /// Near-end ASes (with stable path counts) of the baseline routes
-    /// crossing `pop`.
-    pub fn stable_nears(&self, pop: LocationTag) -> BTreeMap<Asn, usize> {
-        let mut out = BTreeMap::new();
-        if let Some(by_near) = self.pop_index.get(&pop) {
-            for (near, keys) in by_near {
-                out.insert(*near, keys.len());
-            }
-        }
-        out
     }
 }
 
-fn pop_order(p: &LocationTag) -> (u8, u32) {
+/// Thresholds merged group statistics into a [`DenseBinOutcome`] and
+/// snapshots denominators for the signaled PoPs via `snapshot`. Shared by
+/// [`Monitor`] and [`crate::shard::ShardedMonitor`] so both paths apply
+/// identical signal logic.
+pub fn finalize_bin(
+    config: &KeplerConfig,
+    bin_start: Timestamp,
+    groups: Vec<GroupStat>,
+    mut snapshot: impl FnMut(PopId) -> SnapshotPair,
+) -> DenseBinOutcome {
+    let mut outcome = DenseBinOutcome { bin_start, ..Default::default() };
+    for g in groups {
+        if !group_signals(config, &g) {
+            continue;
+        }
+        let fraction = g.deviated.len() as f64 / g.stable_total as f64;
+        {
+            let (pop, near) = unpack_group(g.key);
+            outcome.signals.push(DenseOutageSignal {
+                pop,
+                near,
+                bin_start,
+                deviated: g.deviated,
+                stable_total: g.stable_total,
+                far_ases: g.fars,
+                fraction,
+            });
+        }
+    }
+    let mut pops: Vec<PopId> = outcome.signals.iter().map(|s| s.pop).collect();
+    pops.sort_unstable();
+    pops.dedup();
+    for pop in pops {
+        let (fars, nears) = snapshot(pop);
+        outcome.stable_fars.push((pop, fars));
+        outcome.stable_nears.push((pop, nears));
+    }
+    outcome
+}
+
+/// Whether a group's deviations cross the signal thresholds — the single
+/// predicate both [`finalize_bin`] and the sharded pre-scan
+/// ([`crate::shard::ShardedMonitor`]) apply, so they cannot drift apart.
+pub fn group_signals(config: &KeplerConfig, g: &GroupStat) -> bool {
+    g.stable_total >= config.min_stable_paths
+        && g.deviated.len() as f64 / g.stable_total as f64 > config.t_fail
+}
+
+/// `(stable_fars, stable_nears)` of one PoP, as returned by the snapshot
+/// callback of [`finalize_bin`].
+pub type SnapshotPair = (PopFars, PopNears);
+
+pub(crate) fn pop_order(p: &LocationTag) -> (u8, u32) {
     match p {
         LocationTag::Facility(f) => (0, f.0),
         LocationTag::Ixp(x) => (1, x.0),
@@ -377,6 +693,7 @@ fn pop_order(p: &LocationTag) -> (u8, u32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::input::{PopCrossing, RouteEvent};
     use kepler_bgp::Prefix;
     use kepler_bgpstream::{CollectorId, PeerId};
     use kepler_topology::FacilityId;
@@ -399,41 +716,60 @@ mod tests {
         PopCrossing { pop: LocationTag::Facility(FacilityId(pop)), near: Asn(near), far: Asn(far) }
     }
 
+    /// Interns and feeds a display-typed update.
+    fn update(
+        m: &mut Monitor,
+        interner: &mut Interner,
+        t: u64,
+        i: u8,
+        crossings: Vec<PopCrossing>,
+        hops: Vec<Asn>,
+    ) -> Vec<BinOutcome> {
+        let ev = interner.intern_event(&RouteEvent::Update { key: key(i), crossings, hops });
+        m.observe(t, &ev).iter().map(|o| o.resolve(interner)).collect()
+    }
+
+    fn withdraw(m: &mut Monitor, interner: &mut Interner, t: u64, i: u8) -> Vec<BinOutcome> {
+        let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(i) });
+        m.observe(t, &ev).iter().map(|o| o.resolve(interner)).collect()
+    }
+
+    fn pop_of(interner: &mut Interner, fac_id: u32) -> PopId {
+        interner.pop_id(LocationTag::Facility(FacilityId(fac_id)))
+    }
+
     #[test]
     fn baseline_promotion_after_stable_window() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(cfg());
         let t0 = 1_000_000u64;
         for i in 0..4u8 {
-            m.observe(
-                t0,
-                RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60 + i as u32)], hops: vec![] },
-            );
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 50, 60 + i as u32)], vec![]);
         }
         assert_eq!(m.baseline_size(), 0);
         m.advance_to(t0 + 2 * DAY + 120);
         assert_eq!(m.baseline_size(), 4);
-        assert_eq!(m.stable_count(LocationTag::Facility(FacilityId(1))), 4);
+        let pop = pop_of(&mut interner, 1);
+        assert_eq!(m.stable_count(pop), 4);
     }
 
     #[test]
     fn withdrawals_of_stable_routes_raise_signal() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(cfg());
         let t0 = 1_000_000u64;
         for i in 0..4u8 {
-            m.observe(
-                t0,
-                RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60 + i as u32)], hops: vec![] },
-            );
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 50, 60 + i as u32)], vec![]);
         }
         let t1 = t0 + 2 * DAY + 300;
         m.advance_to(t1);
         // Withdraw 3 of 4 in one bin.
         for i in 0..3u8 {
-            m.observe(t1 + 5, RouteEvent::Withdraw { key: key(i) });
+            withdraw(&mut m, &mut interner, t1 + 5, i);
         }
-        let outcomes = m.advance_to(t1 + 120);
-        let signals: Vec<&OutageSignal> =
-            outcomes.iter().flat_map(|o| o.signals.iter()).collect();
+        let outcomes: Vec<BinOutcome> =
+            m.advance_to(t1 + 120).iter().map(|o| o.resolve(&interner)).collect();
+        let signals: Vec<&OutageSignal> = outcomes.iter().flat_map(|o| o.signals.iter()).collect();
         assert_eq!(signals.len(), 1);
         let s = signals[0];
         assert_eq!(s.pop, LocationTag::Facility(FacilityId(1)));
@@ -443,30 +779,26 @@ mod tests {
         assert!(s.fraction > 0.7);
         assert_eq!(s.far_ases.len(), 3);
         // Changed paths pruned from the stable set.
-        assert_eq!(m.stable_count(LocationTag::Facility(FacilityId(1))), 1);
+        assert_eq!(m.stable_count(pop_of(&mut interner, 1)), 1);
     }
 
     #[test]
     fn implicit_withdrawal_community_change_counts() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(cfg());
         let t0 = 1_000_000u64;
         for i in 0..4u8 {
-            m.observe(
-                t0,
-                RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] },
-            );
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 50, 60)], vec![]);
         }
         let t1 = t0 + 2 * DAY + 300;
         m.advance_to(t1);
         // Re-announce with a *different facility tag*, same AS pair: the
         // paper's implicit withdrawal.
         for i in 0..4u8 {
-            m.observe(
-                t1 + 2,
-                RouteEvent::Update { key: key(i), crossings: vec![fac(2, 50, 60)], hops: vec![] },
-            );
+            update(&mut m, &mut interner, t1 + 2, i, vec![fac(2, 50, 60)], vec![]);
         }
-        let outcomes = m.advance_to(t1 + 120);
+        let outcomes: Vec<BinOutcome> =
+            m.advance_to(t1 + 120).iter().map(|o| o.resolve(&interner)).collect();
         let signals: Vec<_> = outcomes.iter().flat_map(|o| o.signals.iter()).collect();
         assert_eq!(signals.len(), 1);
         assert_eq!(signals[0].pop, LocationTag::Facility(FacilityId(1)));
@@ -474,16 +806,17 @@ mod tests {
 
     #[test]
     fn as_path_change_keeping_tag_is_not_a_deviation() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(cfg());
         let t0 = 1_000_000u64;
         for i in 0..4u8 {
-            m.observe(
+            update(
+                &mut m,
+                &mut interner,
                 t0,
-                RouteEvent::Update {
-                    key: key(i),
-                    crossings: vec![fac(1, 50, 60)],
-                    hops: vec![Asn(1), Asn(50), Asn(60)],
-                },
+                i,
+                vec![fac(1, 50, 60)],
+                vec![Asn(1), Asn(50), Asn(60)],
             );
         }
         let t1 = t0 + 2 * DAY + 300;
@@ -491,13 +824,13 @@ mod tests {
         // Far end changes (different AS path) but the tag (pop 1, near 50)
         // survives: not a route change for pop 1.
         for i in 0..4u8 {
-            m.observe(
+            update(
+                &mut m,
+                &mut interner,
                 t1 + 2,
-                RouteEvent::Update {
-                    key: key(i),
-                    crossings: vec![fac(1, 50, 61)],
-                    hops: vec![Asn(1), Asn(50), Asn(61)],
-                },
+                i,
+                vec![fac(1, 50, 61)],
+                vec![Asn(1), Asn(50), Asn(61)],
             );
         }
         let outcomes = m.advance_to(t1 + 120);
@@ -506,22 +839,24 @@ mod tests {
 
     #[test]
     fn per_as_grouping_avoids_tier1_bias() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(cfg());
         let t0 = 1_000_000u64;
         // Group A: 3 paths via near-AS 50; Group B: 30 paths via near-AS 99.
         for i in 0..3u8 {
-            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 50, 60)], vec![]);
         }
         for i in 3..33u8 {
-            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 99, 70)], hops: vec![] });
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 99, 70)], vec![]);
         }
         let t1 = t0 + 2 * DAY + 300;
         m.advance_to(t1);
         // Only group A is wiped out: 3/33 < 10% aggregate, but 3/3 per-AS.
         for i in 0..3u8 {
-            m.observe(t1 + 1, RouteEvent::Withdraw { key: key(i) });
+            withdraw(&mut m, &mut interner, t1 + 1, i);
         }
-        let outcomes = m.advance_to(t1 + 120);
+        let outcomes: Vec<BinOutcome> =
+            m.advance_to(t1 + 120).iter().map(|o| o.resolve(&interner)).collect();
         let signals: Vec<_> = outcomes.iter().flat_map(|o| o.signals.iter()).collect();
         assert_eq!(signals.len(), 1);
         assert_eq!(signals[0].near, Asn(50));
@@ -529,17 +864,18 @@ mod tests {
 
     #[test]
     fn watch_records_fraction_series() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(cfg());
-        let pop = LocationTag::Facility(FacilityId(1));
+        let pop = pop_of(&mut interner, 1);
         m.watch(pop);
         let t0 = 1_000_000u64;
         for i in 0..4u8 {
-            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 50, 60)], vec![]);
         }
         let t1 = t0 + 2 * DAY + 300;
         m.advance_to(t1);
         for i in 0..2u8 {
-            m.observe(t1 + 1, RouteEvent::Withdraw { key: key(i) });
+            withdraw(&mut m, &mut interner, t1 + 1, i);
         }
         m.advance_to(t1 + 180);
         let series = m.watch_series(pop).unwrap();
@@ -550,15 +886,16 @@ mod tests {
 
     #[test]
     fn small_groups_do_not_signal() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(KeplerConfig { min_stable_paths: 3, ..KeplerConfig::default() });
         let t0 = 1_000_000u64;
         for i in 0..2u8 {
-            m.observe(t0, RouteEvent::Update { key: key(i), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 50, 60)], vec![]);
         }
         let t1 = t0 + 2 * DAY + 300;
         m.advance_to(t1);
         for i in 0..2u8 {
-            m.observe(t1 + 1, RouteEvent::Withdraw { key: key(i) });
+            withdraw(&mut m, &mut interner, t1 + 1, i);
         }
         let outcomes = m.advance_to(t1 + 120);
         assert!(outcomes.iter().all(|o| o.signals.is_empty()));
@@ -566,15 +903,41 @@ mod tests {
 
     #[test]
     fn route_change_resets_stability_clock() {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(cfg());
         let t0 = 1_000_000u64;
-        m.observe(t0, RouteEvent::Update { key: key(0), crossings: vec![fac(1, 50, 60)], hops: vec![] });
+        update(&mut m, &mut interner, t0, 0, vec![fac(1, 50, 60)], vec![]);
         // Change the route after one day; stability clock restarts.
-        m.observe(t0 + DAY, RouteEvent::Update { key: key(0), crossings: vec![fac(2, 50, 60)], hops: vec![] });
+        update(&mut m, &mut interner, t0 + DAY, 0, vec![fac(2, 50, 60)], vec![]);
         m.advance_to(t0 + 2 * DAY + 300);
         assert_eq!(m.baseline_size(), 0, "not yet stable on new route");
         m.advance_to(t0 + 3 * DAY + 300);
         assert_eq!(m.baseline_size(), 1);
-        assert_eq!(m.stable_count(LocationTag::Facility(FacilityId(2))), 1);
+        assert_eq!(m.stable_count(pop_of(&mut interner, 2)), 1);
+    }
+
+    #[test]
+    fn sharded_slot_packing_is_dense() {
+        // A stride-4 core owning routes 2, 6, 10 stores them at slots 0..3.
+        let mut core = MonitorCore::new(cfg(), 4);
+        let mut interner = Interner::new();
+        let t0 = 1_000_000u64;
+        let events: Vec<DenseRouteEvent> = (0..12u8)
+            .map(|i| {
+                interner.intern_event(&RouteEvent::Update {
+                    key: key(i),
+                    crossings: vec![fac(1, 50, 60 + i as u32)],
+                    hops: vec![],
+                })
+            })
+            .collect();
+        for ev in &events {
+            if ev.route().0 % 4 == 2 {
+                core.apply(t0, ev);
+            }
+        }
+        core.run_promotions(t0 + 3 * DAY);
+        assert_eq!(core.baseline_size(), 3);
+        assert!(core.current.len() <= 3, "dense packing, got {}", core.current.len());
     }
 }

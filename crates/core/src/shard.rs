@@ -1,0 +1,688 @@
+//! N-way sharded monitor: fan [`DenseRouteEvent`]s to per-shard
+//! [`MonitorCore`]s on worker threads and merge per-shard deviation counts
+//! into one [`DenseBinOutcome`] at bin close.
+//!
+//! Routes are partitioned by `RouteId % shards`, so each route's entire
+//! history lives on exactly one shard and per-(PoP, near-AS) group
+//! fractions are *additive*: the merged numerator is the concatenation of
+//! per-shard deviated route sets (disjoint by construction) and the merged
+//! denominator is the sum of per-shard stable counts. The merge is
+//! therefore exact — a [`ShardedMonitor`] produces bit-identical resolved
+//! [`BinOutcome`](crate::monitor::BinOutcome)s to a single [`Monitor`] fed
+//! the same stream (property-tested in `tests/differential.rs`).
+//!
+//! Bin closes run in three lockstep phases per shard:
+//!
+//! 1. **collect** — each shard reports its deviation groups (numerators +
+//!    local denominators) and per-watched-PoP stable counts, *before* any
+//!    pruning;
+//! 2. **snapshot** — after thresholding the merged groups, the signaled
+//!    PoPs' `stable_fars`/`stable_nears` denominators are gathered (still
+//!    pre-pruning);
+//! 3. **finish** — shards prune deviated paths, clear bin state and run
+//!    promotions.
+//!
+//! Events are batched per shard (`BATCH` events per channel send) so the
+//! per-event cost is one `Vec` push; the channel hop is amortized.
+
+use crate::config::KeplerConfig;
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::intern::{AsnId, DenseRouteEvent, GroupKey, PopId, RouteId};
+use crate::monitor::{
+    finalize_bin, group_signals, DenseBinOutcome, GroupStat, Monitor, MonitorCore, SnapshotPair,
+};
+use kepler_bgpstream::Timestamp;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Events buffered per shard before a channel send.
+const BATCH: usize = 1024;
+
+enum ToShard {
+    Events(Vec<(Timestamp, DenseRouteEvent)>),
+    /// Phase 1: report bin groups plus stable counts for the given pops.
+    CollectBin(Vec<PopId>),
+    /// Phase 1b: report stable-route counts for the given group keys.
+    QueryGroupTotals(Vec<GroupKey>),
+    /// Phase 2: report `stable_fars`/`stable_nears` for the given pops.
+    SnapshotPops(Vec<PopId>),
+    /// Phase 3: prune + promote up to the timestamp.
+    FinishBin(Timestamp),
+    /// Promotions only (empty-stretch skip).
+    RunPromotions(Timestamp),
+    QueryCrossings(Vec<(RouteId, PopId, AsnId)>),
+    QueryBaselineSize,
+    QueryStableCount(PopId),
+    QueryCoverage(PopId),
+}
+
+enum FromShard {
+    Bin { groups: Vec<GroupStat>, stable_counts: Vec<usize> },
+    GroupTotals(Vec<usize>),
+    Snapshot(Vec<(PopId, SnapshotPair)>),
+    Bools(Vec<bool>),
+    Count(usize),
+    Coverage(Vec<AsnId>, Vec<AsnId>),
+}
+
+fn shard_loop(mut core: MonitorCore, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Events(batch) => {
+                for (t, ev) in &batch {
+                    core.apply(*t, ev);
+                }
+            }
+            ToShard::CollectBin(pops) => {
+                let groups = core.bin_groups();
+                let stable_counts = pops.iter().map(|&p| core.stable_count(p)).collect();
+                if tx.send(FromShard::Bin { groups, stable_counts }).is_err() {
+                    return;
+                }
+            }
+            ToShard::QueryGroupTotals(keys) => {
+                if tx.send(FromShard::GroupTotals(core.group_totals(&keys))).is_err() {
+                    return;
+                }
+            }
+            ToShard::SnapshotPops(pops) => {
+                let snap = pops
+                    .iter()
+                    .map(|&p| (p, (core.stable_fars(p), core.stable_nears(p))))
+                    .collect();
+                if tx.send(FromShard::Snapshot(snap)).is_err() {
+                    return;
+                }
+            }
+            ToShard::FinishBin(now) => core.finish_bin(now),
+            ToShard::RunPromotions(now) => core.run_promotions(now),
+            ToShard::QueryCrossings(items) => {
+                let bools =
+                    items.iter().map(|&(r, p, a)| core.route_has_crossing(r, p, a)).collect();
+                if tx.send(FromShard::Bools(bools)).is_err() {
+                    return;
+                }
+            }
+            ToShard::QueryBaselineSize => {
+                if tx.send(FromShard::Count(core.baseline_size())).is_err() {
+                    return;
+                }
+            }
+            ToShard::QueryStableCount(pop) => {
+                if tx.send(FromShard::Count(core.stable_count(pop))).is_err() {
+                    return;
+                }
+            }
+            ToShard::QueryCoverage(pop) => {
+                let (n, f) = core.coverage_sets(pop);
+                if tx.send(FromShard::Coverage(n, f)).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The sharded monitoring module. API mirrors [`Monitor`].
+pub struct ShardedMonitor {
+    config: KeplerConfig,
+    txs: Vec<Sender<ToShard>>,
+    rxs: Vec<Receiver<FromShard>>,
+    handles: Vec<JoinHandle<()>>,
+    bin_start: Option<Timestamp>,
+    watches: FxHashMap<PopId, Vec<(Timestamp, f64)>>,
+    buffers: Vec<Vec<(Timestamp, DenseRouteEvent)>>,
+    buffered: usize,
+}
+
+impl ShardedMonitor {
+    /// A monitor with `shards` worker shards.
+    pub fn new(config: KeplerConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, shard_rx) = channel::<ToShard>();
+            let (shard_tx, rx) = channel::<FromShard>();
+            let core = MonitorCore::new(config.clone(), shards as u32);
+            handles.push(std::thread::spawn(move || shard_loop(core, shard_rx, shard_tx)));
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        ShardedMonitor {
+            config,
+            txs,
+            rxs,
+            handles,
+            bin_start: None,
+            watches: FxHashMap::default(),
+            buffers: vec![Vec::new(); shards],
+            buffered: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Registers a PoP whose per-bin aggregate change fraction should be
+    /// recorded.
+    pub fn watch(&mut self, pop: PopId) {
+        self.watches.entry(pop).or_default();
+    }
+
+    /// The recorded (bin start, change fraction) series of a watched PoP.
+    pub fn watch_series(&self, pop: PopId) -> Option<&[(Timestamp, f64)]> {
+        self.watches.get(&pop).map(Vec::as_slice)
+    }
+
+    /// All registered watch PoPs.
+    pub fn watched_pops(&self) -> Vec<PopId> {
+        self.watches.keys().copied().collect()
+    }
+
+    fn send(&self, shard: usize, msg: ToShard) {
+        self.txs[shard].send(msg).expect("shard thread alive");
+    }
+
+    fn flush(&mut self) {
+        if self.buffered == 0 {
+            return;
+        }
+        for shard in 0..self.buffers.len() {
+            if !self.buffers[shard].is_empty() {
+                let batch = std::mem::take(&mut self.buffers[shard]);
+                self.send(shard, ToShard::Events(batch));
+            }
+        }
+        self.buffered = 0;
+    }
+
+    /// Feeds one event, returning any bins closed by time advancing.
+    pub fn observe(&mut self, t: Timestamp, event: &DenseRouteEvent) -> Vec<DenseBinOutcome> {
+        let closed = self.advance_to(t);
+        let shard = (event.route().0 as usize) % self.buffers.len();
+        self.buffers[shard].push((t, event.clone()));
+        self.buffered += 1;
+        if self.buffered >= BATCH {
+            self.flush();
+        }
+        closed
+    }
+
+    /// Advances virtual time to `t`, closing every bin that ends at or
+    /// before it (same clock logic as [`Monitor::advance_to`]).
+    pub fn advance_to(&mut self, t: Timestamp) -> Vec<DenseBinOutcome> {
+        let bin_secs = self.config.bin_secs;
+        let mut out = Vec::new();
+        match self.bin_start {
+            None => {
+                self.bin_start = Some(t - t % bin_secs);
+            }
+            Some(start) => {
+                let mut bin_start = start;
+                while t >= bin_start + bin_secs {
+                    out.push(self.close_bin(bin_start));
+                    let next = bin_start + bin_secs;
+                    // Post-close, shard deviation state is always empty, so
+                    // the skip condition matches the single monitor's.
+                    if out.last().map(|o| o.signals.is_empty()).unwrap_or(false)
+                        && self.watches.is_empty()
+                        && t >= next + bin_secs
+                    {
+                        bin_start = t - t % bin_secs;
+                        for shard in 0..self.txs.len() {
+                            self.send(shard, ToShard::RunPromotions(bin_start));
+                        }
+                    } else {
+                        bin_start = next;
+                    }
+                }
+                self.bin_start = Some(bin_start);
+            }
+        }
+        out
+    }
+
+    fn close_bin(&mut self, bin_start: Timestamp) -> DenseBinOutcome {
+        let bin_end = bin_start + self.config.bin_secs;
+        self.flush();
+        // Phase 1: gather per-shard groups and watched stable counts.
+        let watched: Vec<PopId> = self.watches.keys().copied().collect();
+        for shard in 0..self.txs.len() {
+            self.send(shard, ToShard::CollectBin(watched.clone()));
+        }
+        let mut merged: FxHashMap<GroupKey, GroupStat> = FxHashMap::default();
+        let mut watch_stables = vec![0usize; watched.len()];
+        for rx in &self.rxs {
+            match rx.recv().expect("shard reply") {
+                FromShard::Bin { groups, stable_counts } => {
+                    for g in groups {
+                        match merged.get_mut(&g.key) {
+                            None => {
+                                merged.insert(g.key, g);
+                            }
+                            Some(m) => {
+                                // Numerators and far sets merge here;
+                                // denominators come from phase 1b, which
+                                // overwrites `stable_total` with the
+                                // all-shard count.
+                                m.deviated.extend(g.deviated);
+                                m.fars.extend(g.fars);
+                            }
+                        }
+                    }
+                    for (acc, n) in watch_stables.iter_mut().zip(stable_counts) {
+                        *acc += n;
+                    }
+                }
+                _ => unreachable!("protocol: expected Bin"),
+            }
+        }
+        // Watched series from merged counts (same pre-pruning view as the
+        // single monitor).
+        let mut watch_devs = vec![0usize; watched.len()];
+        for g in merged.values() {
+            let (pop, _) = crate::intern::unpack_group(g.key);
+            if let Some(i) = watched.iter().position(|&p| p == pop) {
+                watch_devs[i] += g.deviated.len();
+            }
+        }
+        for ((pop, stable), deviated) in watched.iter().zip(watch_stables).zip(watch_devs) {
+            let frac = if stable == 0 { 0.0 } else { deviated as f64 / stable as f64 };
+            self.watches.get_mut(pop).expect("watched").push((bin_start, frac));
+        }
+        // Dedup merged far sets (unioned across shards).
+        let mut groups: Vec<GroupStat> = merged.into_values().collect();
+        for g in &mut groups {
+            let set: FxHashSet<AsnId> = g.fars.iter().copied().collect();
+            g.fars = set.into_iter().collect();
+        }
+        // Phase 1b: a group's denominator must count *every* shard's stable
+        // routes, including shards that saw no deviation for it this bin —
+        // re-gather totals for the merged group keys from all shards.
+        if !groups.is_empty() {
+            let keys: Vec<GroupKey> = groups.iter().map(|g| g.key).collect();
+            for shard in 0..self.txs.len() {
+                self.send(shard, ToShard::QueryGroupTotals(keys.clone()));
+            }
+            let mut totals = vec![0usize; keys.len()];
+            for rx in &self.rxs {
+                match rx.recv().expect("shard reply") {
+                    FromShard::GroupTotals(t) => {
+                        for (acc, n) in totals.iter_mut().zip(t) {
+                            *acc += n;
+                        }
+                    }
+                    _ => unreachable!("protocol: expected GroupTotals"),
+                }
+            }
+            for (g, total) in groups.iter_mut().zip(totals) {
+                g.stable_total = total;
+            }
+        }
+        // Phase 2: snapshot denominators for signaled pops across shards.
+        let mut snapshots: FxHashMap<PopId, SnapshotPair> = FxHashMap::default();
+        let outcome = {
+            // Scan the merged groups for signaled pops (same thresholds
+            // finalize_bin applies) without cloning the route lists.
+            let mut pops: Vec<PopId> = groups
+                .iter()
+                .filter(|g| group_signals(&self.config, g))
+                .map(|g| crate::intern::unpack_group(g.key).0)
+                .collect();
+            pops.sort_unstable();
+            pops.dedup();
+            if !pops.is_empty() {
+                for shard in 0..self.txs.len() {
+                    self.send(shard, ToShard::SnapshotPops(pops.clone()));
+                }
+                for rx in &self.rxs {
+                    match rx.recv().expect("shard reply") {
+                        FromShard::Snapshot(snap) => {
+                            for (pop, (fars, nears)) in snap {
+                                let entry = snapshots.entry(pop).or_default();
+                                merge_fars(&mut entry.0, fars);
+                                merge_nears(&mut entry.1, nears);
+                            }
+                        }
+                        _ => unreachable!("protocol: expected Snapshot"),
+                    }
+                }
+            }
+            finalize_bin(&self.config, bin_start, groups, |pop| {
+                snapshots.remove(&pop).unwrap_or_default()
+            })
+        };
+        // Phase 3: prune + promote.
+        for shard in 0..self.txs.len() {
+            self.send(shard, ToShard::FinishBin(bin_end));
+        }
+        outcome
+    }
+
+    /// Total stable routes across shards.
+    pub fn baseline_size(&mut self) -> usize {
+        self.flush();
+        for shard in 0..self.txs.len() {
+            self.send(shard, ToShard::QueryBaselineSize);
+        }
+        self.gather_counts()
+    }
+
+    /// Number of stable routes currently indexed at `pop`, across shards.
+    pub fn stable_count(&mut self, pop: PopId) -> usize {
+        self.flush();
+        for shard in 0..self.txs.len() {
+            self.send(shard, ToShard::QueryStableCount(pop));
+        }
+        self.gather_counts()
+    }
+
+    fn gather_counts(&self) -> usize {
+        self.rxs
+            .iter()
+            .map(|rx| match rx.recv().expect("shard reply") {
+                FromShard::Count(n) => n,
+                _ => unreachable!("protocol: expected Count"),
+            })
+            .sum()
+    }
+
+    /// Bulk crossing-presence query, answered with one round-trip per
+    /// shard (used by the tracker's restoration checks).
+    pub fn crossings_present(&mut self, items: &[(RouteId, PopId, AsnId)]) -> Vec<bool> {
+        self.flush();
+        let shards = self.txs.len();
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        let mut queries: Vec<Vec<(RouteId, PopId, AsnId)>> = vec![Vec::new(); shards];
+        for (i, item) in items.iter().enumerate() {
+            let s = (item.0 .0 as usize) % shards;
+            per_shard[s].push(i);
+            queries[s].push(*item);
+        }
+        for (shard, q) in queries.into_iter().enumerate() {
+            if !per_shard[shard].is_empty() {
+                self.send(shard, ToShard::QueryCrossings(q));
+            }
+        }
+        let mut out = vec![false; items.len()];
+        for (shard, idxs) in per_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            match self.rxs[shard].recv().expect("shard reply") {
+                FromShard::Bools(bools) => {
+                    for (&i, b) in idxs.iter().zip(bools) {
+                        out[i] = b;
+                    }
+                }
+                _ => unreachable!("protocol: expected Bools"),
+            }
+        }
+        out
+    }
+
+    /// High-water observability of a PoP: distinct near/far ASes across
+    /// all shards' stable crossings.
+    pub fn pop_coverage(&mut self, pop: PopId) -> (usize, usize) {
+        self.flush();
+        for shard in 0..self.txs.len() {
+            self.send(shard, ToShard::QueryCoverage(pop));
+        }
+        let mut nears: FxHashSet<AsnId> = FxHashSet::default();
+        let mut fars: FxHashSet<AsnId> = FxHashSet::default();
+        for rx in &self.rxs {
+            match rx.recv().expect("shard reply") {
+                FromShard::Coverage(n, f) => {
+                    nears.extend(n);
+                    fars.extend(f);
+                }
+                _ => unreachable!("protocol: expected Coverage"),
+            }
+        }
+        (nears.len(), fars.len())
+    }
+}
+
+fn merge_fars(acc: &mut Vec<(AsnId, Vec<(AsnId, usize)>)>, add: Vec<(AsnId, Vec<(AsnId, usize)>)>) {
+    for (near, fars) in add {
+        match acc.iter_mut().find(|(n, _)| *n == near) {
+            None => acc.push((near, fars)),
+            Some((_, existing)) => {
+                for (far, count) in fars {
+                    match existing.iter_mut().find(|(f, _)| *f == far) {
+                        None => existing.push((far, count)),
+                        Some((_, c)) => *c += count,
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn merge_nears(acc: &mut Vec<(AsnId, usize)>, add: Vec<(AsnId, usize)>) {
+    for (near, count) in add {
+        match acc.iter_mut().find(|(n, _)| *n == near) {
+            None => acc.push((near, count)),
+            Some((_, c)) => *c += count,
+        }
+    }
+}
+
+impl Drop for ShardedMonitor {
+    fn drop(&mut self) {
+        // Hang up the command channels; workers exit their recv loops.
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Either monitor behind one dispatching surface, so the system pipeline
+/// ([`crate::system::Kepler`]) and the tracker work with both.
+pub enum AnyMonitor {
+    /// Single-threaded monitor.
+    Single(Monitor),
+    /// Sharded monitor on worker threads.
+    Sharded(ShardedMonitor),
+}
+
+impl AnyMonitor {
+    /// Feeds one event.
+    pub fn observe(&mut self, t: Timestamp, event: &DenseRouteEvent) -> Vec<DenseBinOutcome> {
+        match self {
+            AnyMonitor::Single(m) => m.observe(t, event),
+            AnyMonitor::Sharded(m) => m.observe(t, event),
+        }
+    }
+
+    /// Advances virtual time.
+    pub fn advance_to(&mut self, t: Timestamp) -> Vec<DenseBinOutcome> {
+        match self {
+            AnyMonitor::Single(m) => m.advance_to(t),
+            AnyMonitor::Sharded(m) => m.advance_to(t),
+        }
+    }
+
+    /// Registers a watched PoP.
+    pub fn watch(&mut self, pop: PopId) {
+        match self {
+            AnyMonitor::Single(m) => m.watch(pop),
+            AnyMonitor::Sharded(m) => m.watch(pop),
+        }
+    }
+
+    /// The recorded series of a watched PoP.
+    pub fn watch_series(&self, pop: PopId) -> Option<&[(Timestamp, f64)]> {
+        match self {
+            AnyMonitor::Single(m) => m.watch_series(pop),
+            AnyMonitor::Sharded(m) => m.watch_series(pop),
+        }
+    }
+
+    /// All registered watch PoPs.
+    pub fn watched_pops(&self) -> Vec<PopId> {
+        match self {
+            AnyMonitor::Single(m) => m.watched_pops(),
+            AnyMonitor::Sharded(m) => m.watched_pops(),
+        }
+    }
+
+    /// Total stable routes.
+    pub fn baseline_size(&mut self) -> usize {
+        match self {
+            AnyMonitor::Single(m) => m.baseline_size(),
+            AnyMonitor::Sharded(m) => m.baseline_size(),
+        }
+    }
+
+    /// Stable routes currently indexed at `pop`.
+    pub fn stable_count(&mut self, pop: PopId) -> usize {
+        match self {
+            AnyMonitor::Single(m) => m.stable_count(pop),
+            AnyMonitor::Sharded(m) => m.stable_count(pop),
+        }
+    }
+
+    /// Bulk crossing-presence query.
+    pub fn crossings_present(&mut self, items: &[(RouteId, PopId, AsnId)]) -> Vec<bool> {
+        match self {
+            AnyMonitor::Single(m) => m.crossings_present(items),
+            AnyMonitor::Sharded(m) => m.crossings_present(items),
+        }
+    }
+
+    /// High-water observability of a PoP.
+    pub fn pop_coverage(&mut self, pop: PopId) -> (usize, usize) {
+        match self {
+            AnyMonitor::Single(m) => m.pop_coverage(pop),
+            AnyMonitor::Sharded(m) => m.pop_coverage(pop),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::RouteKey;
+    use crate::input::{PopCrossing, RouteEvent};
+    use crate::intern::Interner;
+    use kepler_bgp::{Asn, Prefix};
+    use kepler_bgpstream::{CollectorId, PeerId};
+    use kepler_docmine::LocationTag;
+    use kepler_topology::FacilityId;
+
+    const DAY: u64 = 86_400;
+
+    fn cfg() -> KeplerConfig {
+        KeplerConfig { min_stable_paths: 2, ..KeplerConfig::default() }
+    }
+
+    fn key(i: u8) -> RouteKey {
+        RouteKey {
+            collector: CollectorId(0),
+            peer: PeerId { asn: Asn(100 + i as u32), addr: "10.0.0.9".parse().unwrap() },
+            prefix: Prefix::v4(20, i, 0, 0, 16),
+        }
+    }
+
+    fn fac(pop: u32, near: u32, far: u32) -> PopCrossing {
+        PopCrossing { pop: LocationTag::Facility(FacilityId(pop)), near: Asn(near), far: Asn(far) }
+    }
+
+    #[test]
+    fn sharded_matches_single_on_simple_outage() {
+        for shards in [1usize, 2, 3, 8] {
+            let mut interner = Interner::new();
+            let mut single = Monitor::new(cfg());
+            let mut sharded = ShardedMonitor::new(cfg(), shards);
+            let t0 = 1_000_000u64;
+            for i in 0..8u8 {
+                let ev = interner.intern_event(&RouteEvent::Update {
+                    key: key(i),
+                    crossings: vec![fac(1, 50, 60 + i as u32)],
+                    hops: vec![],
+                });
+                single.observe(t0, &ev);
+                sharded.observe(t0, &ev);
+            }
+            let t1 = t0 + 2 * DAY + 300;
+            single.advance_to(t1);
+            sharded.advance_to(t1);
+            for i in 0..6u8 {
+                let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(i) });
+                single.observe(t1 + 5, &ev);
+                sharded.observe(t1 + 5, &ev);
+            }
+            let a: Vec<_> =
+                single.advance_to(t1 + 120).iter().map(|o| o.resolve(&interner)).collect();
+            let b: Vec<_> =
+                sharded.advance_to(t1 + 120).iter().map(|o| o.resolve(&interner)).collect();
+            assert_eq!(a, b, "shards={shards}");
+            assert_eq!(a.iter().map(|o| o.signals.len()).sum::<usize>(), 1);
+            assert_eq!(single.baseline_size(), sharded.baseline_size(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_watch_series_matches_single() {
+        let mut interner = Interner::new();
+        let pop = interner.pop_id(LocationTag::Facility(FacilityId(1)));
+        let mut single = Monitor::new(cfg());
+        let mut sharded = ShardedMonitor::new(cfg(), 4);
+        single.watch(pop);
+        sharded.watch(pop);
+        let t0 = 1_000_000u64;
+        for i in 0..8u8 {
+            let ev = interner.intern_event(&RouteEvent::Update {
+                key: key(i),
+                crossings: vec![fac(1, 50, 60)],
+                hops: vec![],
+            });
+            single.observe(t0, &ev);
+            sharded.observe(t0, &ev);
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        single.advance_to(t1);
+        sharded.advance_to(t1);
+        for i in 0..4u8 {
+            let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(i) });
+            single.observe(t1 + 1, &ev);
+            sharded.observe(t1 + 1, &ev);
+        }
+        single.advance_to(t1 + 180);
+        sharded.advance_to(t1 + 180);
+        assert_eq!(single.watch_series(pop), sharded.watch_series(pop));
+    }
+
+    #[test]
+    fn crossings_present_routes_to_right_shard() {
+        let mut interner = Interner::new();
+        let mut sharded = ShardedMonitor::new(cfg(), 3);
+        let t0 = 1_000_000u64;
+        let mut items = Vec::new();
+        for i in 0..9u8 {
+            let ev = interner.intern_event(&RouteEvent::Update {
+                key: key(i),
+                crossings: vec![fac(1, 50, 60)],
+                hops: vec![],
+            });
+            sharded.observe(t0, &ev);
+            items.push((
+                ev.route(),
+                interner.pop_id(LocationTag::Facility(FacilityId(1))),
+                interner.asn_id(Asn(50)),
+            ));
+        }
+        let present = sharded.crossings_present(&items);
+        assert!(present.iter().all(|&b| b), "{present:?}");
+        // A route that was never announced is absent.
+        let ghost = interner.route_id(&key(200));
+        let absent = sharded.crossings_present(&[(ghost, items[0].1, items[0].2)]);
+        assert_eq!(absent, vec![false]);
+    }
+}

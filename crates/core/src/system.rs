@@ -4,8 +4,10 @@ use crate::config::KeplerConfig;
 use crate::dataplane::{confirm, DataPlaneProbe};
 use crate::events::{OutageReport, SignalClass};
 use crate::input::InputModule;
+use crate::intern::Interner;
 use crate::investigate::Investigator;
-use crate::monitor::{BinOutcome, Monitor};
+use crate::monitor::{DenseBinOutcome, Monitor};
+use crate::shard::{AnyMonitor, ShardedMonitor};
 use crate::tracker::Tracker;
 use kepler_bgpstream::{BgpRecord, GapTracker, Timestamp};
 use kepler_docmine::CommunityDictionary;
@@ -44,7 +46,8 @@ pub struct ClassCounts {
 pub struct Kepler {
     config: KeplerConfig,
     input: InputModule,
-    monitor: Monitor,
+    interner: Interner,
+    monitor: AnyMonitor,
     investigator: Investigator,
     tracker: Tracker,
     gap: GapTracker,
@@ -61,7 +64,8 @@ impl Kepler {
         tracker.set_geography(&inputs.colo);
         Kepler {
             input: InputModule::new(inputs.dictionary, inputs.colo.clone()),
-            monitor: Monitor::new(config.clone()),
+            interner: Interner::new(),
+            monitor: AnyMonitor::Single(Monitor::new(config.clone())),
             investigator: Investigator::new(config.clone(), inputs.colo, inputs.orgs),
             tracker,
             gap: GapTracker::new(config.quarantine_secs),
@@ -78,13 +82,29 @@ impl Kepler {
         self
     }
 
+    /// Replaces the monitor with an N-way sharded one. Must be called
+    /// before the first record is processed (monitor state is not
+    /// migrated).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert_eq!(self.last_time, 0, "with_shards must precede processing");
+        // Carry registered watches over to the replacement monitor.
+        let watched = self.monitor.watched_pops();
+        self.monitor = AnyMonitor::Sharded(ShardedMonitor::new(self.config.clone(), shards));
+        for pop in watched {
+            self.monitor.watch(pop);
+        }
+        self
+    }
+
     /// Registers a PoP whose per-bin change fraction should be recorded.
     pub fn watch(&mut self, pop: kepler_docmine::LocationTag) {
+        let pop = self.interner.pop_id(pop);
         self.monitor.watch(pop);
     }
 
     /// The recorded series of a watched PoP.
     pub fn watch_series(&self, pop: kepler_docmine::LocationTag) -> Option<&[(Timestamp, f64)]> {
+        let pop = self.interner.lookup_pop(pop)?;
         self.monitor.watch_series(pop)
     }
 
@@ -99,8 +119,19 @@ impl Kepler {
     }
 
     /// The monitor (for inspection in tests and harnesses).
-    pub fn monitor(&self) -> &Monitor {
-        &self.monitor
+    pub fn monitor(&mut self) -> &mut AnyMonitor {
+        &mut self.monitor
+    }
+
+    /// The dense-id interner of this run.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The monitor and interner together — a split borrow for callers
+    /// that resolve tags while querying the monitor.
+    pub fn monitor_and_interner(&mut self) -> (&mut AnyMonitor, &Interner) {
+        (&mut self.monitor, &self.interner)
     }
 
     /// Feeds one record through the pipeline.
@@ -111,8 +142,8 @@ impl Kepler {
             return;
         }
         for elem in rec.explode() {
-            if let Some(event) = self.input.process(&elem) {
-                let outcomes = self.monitor.observe(elem.time, event);
+            if let Some(event) = self.input.process_dense(&elem, &mut self.interner) {
+                let outcomes = self.monitor.observe(elem.time, &event);
                 for outcome in outcomes {
                     self.handle_bin(outcome);
                 }
@@ -120,7 +151,10 @@ impl Kepler {
         }
     }
 
-    fn handle_bin(&mut self, outcome: BinOutcome) {
+    fn handle_bin(&mut self, outcome: DenseBinOutcome) {
+        // Resolution back to display space happens here, once per closed
+        // bin — the per-event path upstream is entirely dense.
+        let outcome = outcome.resolve(&self.interner);
         let investigation = self.investigator.investigate(&outcome);
         for (_, class) in &investigation.dismissed {
             match class {
@@ -149,9 +183,9 @@ impl Kepler {
             kept.push(inc);
             confirmations.push(verdict);
         }
-        self.tracker.record(&kept, &confirmations);
+        self.tracker.record(&kept, &confirmations, &mut self.interner);
         let bin_end = outcome.bin_start + self.config.bin_secs;
-        self.tracker.check_restorations(bin_end, &self.monitor);
+        self.tracker.check_restorations(bin_end, &mut self.monitor);
     }
 
     /// Feeds a whole stream, then finishes.
@@ -306,10 +340,11 @@ mod tests {
         let t_fail = T0 + 2 * DAY + 3600;
         records.extend(outage_records(t_fail));
         records.push(announce(t_fail + 13 * 3600, 10, 20, 0));
-        let kepler = Kepler::new(inputs()).with_dataplane(Box::new(FixedProbe(Some(ProbeResult {
-            still_crossing: 10,
-            baseline: 10,
-        }))));
+        let kepler =
+            Kepler::new(inputs()).with_dataplane(Box::new(FixedProbe(Some(ProbeResult {
+                still_crossing: 10,
+                baseline: 10,
+            }))));
         let reports = kepler.run(records);
         assert!(reports.is_empty(), "dataplane contradiction discards: {reports:?}");
     }
@@ -320,10 +355,11 @@ mod tests {
         let t_fail = T0 + 2 * DAY + 3600;
         records.extend(outage_records(t_fail));
         records.push(announce(t_fail + 13 * 3600, 10, 20, 0));
-        let kepler = Kepler::new(inputs()).with_dataplane(Box::new(FixedProbe(Some(ProbeResult {
-            still_crossing: 0,
-            baseline: 10,
-        }))));
+        let kepler =
+            Kepler::new(inputs()).with_dataplane(Box::new(FixedProbe(Some(ProbeResult {
+                still_crossing: 0,
+                baseline: 10,
+            }))));
         let reports = kepler.run(records);
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].dataplane_confirmed, Some(true));
@@ -350,7 +386,9 @@ mod tests {
                 time: t_ev + 5,
                 collector: CollectorId(0),
                 peer: peer(),
-                payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(20, i, 0, 0, 16)])),
+                payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(
+                    20, i, 0, 0, 16,
+                )])),
             });
         }
         records.push(announce(t_ev + 10_000, 10, 20, 0));

@@ -8,11 +8,11 @@
 
 use crate::config::KeplerConfig;
 use crate::events::{OutageReport, OutageScope, RouteKey};
+use crate::intern::{AsnId, Interner, PopId, RouteId};
 use crate::investigate::LocalizedIncident;
-use crate::monitor::Monitor;
+use crate::shard::AnyMonitor;
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
-use kepler_docmine::LocationTag;
 use kepler_topology::{CityId, ColocationMap};
 use std::collections::{BTreeSet, HashMap};
 
@@ -27,7 +27,9 @@ struct Ongoing {
     affected_near: BTreeSet<Asn>,
     affected_far: BTreeSet<Asn>,
     affected_keys: BTreeSet<RouteKey>,
-    watch: Vec<(RouteKey, LocationTag, Asn)>,
+    /// Crossings to watch for restoration, in dense-id space — restoration
+    /// checks run every bin, so they must not touch fat keys.
+    watch: Vec<(RouteId, PopId, AsnId)>,
     dataplane_confirmed: Option<bool>,
 }
 
@@ -101,9 +103,23 @@ impl Tracker {
         }
     }
 
-    /// Records this bin's localized incidents.
-    pub fn record(&mut self, incidents: &[LocalizedIncident], confirmed: &[Option<bool>]) {
+    /// Records this bin's localized incidents. The incidents' display-typed
+    /// watch crossings are interned once here; every later restoration
+    /// check runs dense.
+    pub fn record(
+        &mut self,
+        incidents: &[LocalizedIncident],
+        confirmed: &[Option<bool>],
+        interner: &mut Interner,
+    ) {
         for (inc, conf) in incidents.iter().zip(confirmed.iter()) {
+            let dense_watch: Vec<(RouteId, PopId, AsnId)> = inc
+                .watch
+                .iter()
+                .map(|(k, pop, near)| {
+                    (interner.route_id(k), interner.pop_id(*pop), interner.asn_id(*near))
+                })
+                .collect();
             // Merge target among ongoing outages: exact scope first, then
             // any related scope (same city).
             let target = if self.ongoing.contains_key(&inc.scope) {
@@ -116,7 +132,7 @@ impl Tracker {
                 on.affected_near.extend(inc.affected_near.iter().copied());
                 on.affected_far.extend(inc.affected_far.iter().copied());
                 on.affected_keys.extend(inc.affected_keys.iter().copied());
-                on.watch.extend(inc.watch.iter().cloned());
+                on.watch.extend(dense_watch.iter().copied());
                 if on.dataplane_confirmed.is_none() {
                     on.dataplane_confirmed = *conf;
                 }
@@ -160,7 +176,7 @@ impl Tracker {
                         affected_near: report.affected_near.clone(),
                         affected_far: report.affected_far.clone(),
                         affected_keys: BTreeSet::new(),
-                        watch: inc.watch.clone(),
+                        watch: dense_watch.clone(),
                         dataplane_confirmed: report.dataplane_confirmed,
                     };
                     on.affected_near.extend(inc.affected_near.iter().copied());
@@ -183,15 +199,17 @@ impl Tracker {
                     affected_near: inc.affected_near.clone(),
                     affected_far: inc.affected_far.clone(),
                     affected_keys: inc.affected_keys.iter().copied().collect(),
-                    watch: inc.watch.clone(),
+                    watch: dense_watch,
                     dataplane_confirmed: *conf,
                 },
             );
         }
     }
 
-    /// Checks ongoing outages for restoration at the close of a bin.
-    pub fn check_restorations(&mut self, now: Timestamp, monitor: &Monitor) {
+    /// Checks ongoing outages for restoration at the close of a bin. The
+    /// per-scope watch lists are queried in bulk (one round-trip per shard
+    /// on a sharded monitor).
+    pub fn check_restorations(&mut self, now: Timestamp, monitor: &mut AnyMonitor) {
         let scopes: Vec<OutageScope> = self.ongoing.keys().copied().collect();
         for scope in scopes {
             let restored = {
@@ -199,11 +217,8 @@ impl Tracker {
                 if on.watch.is_empty() {
                     false
                 } else {
-                    let returned = on
-                        .watch
-                        .iter()
-                        .filter(|(k, pop, near)| monitor.route_has_crossing(k, *pop, *near))
-                        .count();
+                    let present = monitor.crossings_present(&on.watch);
+                    let returned = present.iter().filter(|&&b| b).count();
                     returned as f64 / on.watch.len() as f64 > self.config.restore_fraction
                 }
             };
@@ -229,7 +244,9 @@ impl Tracker {
             .cooling
             .iter()
             .filter(|(_, (r, _))| {
-                r.end.map(|e| now.saturating_sub(e) >= self.config.merge_window_secs).unwrap_or(true)
+                r.end
+                    .map(|e| now.saturating_sub(e) >= self.config.merge_window_secs)
+                    .unwrap_or(true)
             })
             .map(|(s, _)| *s)
             .collect();
@@ -281,8 +298,10 @@ impl Tracker {
 mod tests {
     use super::*;
     use crate::input::{PopCrossing, RouteEvent};
+    use crate::monitor::Monitor;
     use kepler_bgp::Prefix;
     use kepler_bgpstream::{CollectorId, PeerId};
+    use kepler_docmine::LocationTag;
     use kepler_topology::FacilityId;
 
     fn key(i: u8) -> RouteKey {
@@ -308,35 +327,34 @@ mod tests {
     }
 
     /// Monitor whose `current` holds crossings for the given keys.
-    fn monitor_with(keys_present: &[u8]) -> Monitor {
+    fn monitor_with(interner: &mut Interner, keys_present: &[u8]) -> AnyMonitor {
         let mut m = Monitor::new(KeplerConfig::default());
         for &i in keys_present {
-            m.observe(
-                1000,
-                RouteEvent::Update {
-                    key: key(i),
-                    crossings: vec![PopCrossing {
-                        pop: LocationTag::Facility(FacilityId(1)),
-                        near: Asn(5),
-                        far: Asn(6),
-                    }],
-                    hops: vec![],
-                },
-            );
+            let ev = interner.intern_event(&RouteEvent::Update {
+                key: key(i),
+                crossings: vec![PopCrossing {
+                    pop: LocationTag::Facility(FacilityId(1)),
+                    near: Asn(5),
+                    far: Asn(6),
+                }],
+                hops: vec![],
+            });
+            m.observe(1000, &ev);
         }
-        m
+        AnyMonitor::Single(m)
     }
 
     #[test]
     fn open_then_restore() {
+        let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
-        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None]);
+        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None], &mut interner);
         assert_eq!(t.ongoing_count(), 1);
         // 2 of 4 back: exactly 50%, not >50% — still ongoing.
-        t.check_restorations(2000, &monitor_with(&[0, 1]));
+        t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
         assert_eq!(t.ongoing_count(), 1);
         // 3 of 4 back: restored.
-        t.check_restorations(3000, &monitor_with(&[0, 1, 2]));
+        t.check_restorations(3000, &mut monitor_with(&mut interner, &[0, 1, 2]));
         assert_eq!(t.ongoing_count(), 0);
         let reports = t.finish();
         assert_eq!(reports.len(), 1);
@@ -347,14 +365,15 @@ mod tests {
 
     #[test]
     fn oscillations_merge_within_window() {
+        let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
-        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None]);
-        t.check_restorations(2000, &monitor_with(&[0, 1, 2, 3]));
+        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None], &mut interner);
+        t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1, 2, 3]));
         assert_eq!(t.ongoing_count(), 0);
         // Re-fails 1h later (< 12h window): same incident.
-        t.record(&[incident(2000 + 3600, &[0, 1])], &[None]);
+        t.record(&[incident(2000 + 3600, &[0, 1])], &[None], &mut interner);
         assert_eq!(t.ongoing_count(), 1);
-        t.check_restorations(2000 + 7200, &monitor_with(&[0, 1, 2, 3]));
+        t.check_restorations(2000 + 7200, &mut monitor_with(&mut interner, &[0, 1, 2, 3]));
         let reports = t.finish();
         assert_eq!(reports.len(), 1, "one merged incident");
         assert_eq!(reports[0].oscillations, 2);
@@ -365,12 +384,13 @@ mod tests {
     fn separate_outages_beyond_window() {
         let cfg = KeplerConfig::default();
         let w = cfg.merge_window_secs;
+        let mut interner = Interner::new();
         let mut t = Tracker::new(cfg);
-        t.record(&[incident(1000, &[0, 1])], &[None]);
-        t.check_restorations(2000, &monitor_with(&[0, 1]));
+        t.record(&[incident(1000, &[0, 1])], &[None], &mut interner);
+        t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
         // Second outage far beyond the merge window.
-        t.record(&[incident(2000 + w + 100, &[0, 1])], &[None]);
-        t.check_restorations(2000 + w + 200, &monitor_with(&[0, 1]));
+        t.record(&[incident(2000 + w + 100, &[0, 1])], &[None], &mut interner);
+        t.check_restorations(2000 + w + 200, &mut monitor_with(&mut interner, &[0, 1]));
         let reports = t.finish();
         assert_eq!(reports.len(), 2);
         assert!(reports.iter().all(|r| r.oscillations == 1));
@@ -378,9 +398,10 @@ mod tests {
 
     #[test]
     fn unrestored_outage_finishes_open() {
+        let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
-        t.record(&[incident(1000, &[0, 1])], &[Some(true)]);
-        t.check_restorations(5000, &monitor_with(&[]));
+        t.record(&[incident(1000, &[0, 1])], &[Some(true)], &mut interner);
+        t.check_restorations(5000, &mut monitor_with(&mut interner, &[]));
         let reports = t.finish();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].end, None);

@@ -1,0 +1,175 @@
+//! Differential property test: a [`ShardedMonitor`] must produce
+//! bit-identical resolved [`BinOutcome`]s to a single [`Monitor`] fed the
+//! same event stream, for any shard count — the sharded merge is exact,
+//! not approximate (per-group numerators and denominators are additive
+//! because routes are partitioned by `RouteId`).
+
+use kepler_bgp::{Asn, Prefix};
+use kepler_bgpstream::{CollectorId, PeerId};
+use kepler_core::config::KeplerConfig;
+use kepler_core::events::RouteKey;
+use kepler_core::input::{PopCrossing, RouteEvent};
+use kepler_core::intern::Interner;
+use kepler_core::monitor::{BinOutcome, Monitor};
+use kepler_core::shard::ShardedMonitor;
+use kepler_docmine::LocationTag;
+use kepler_topology::{FacilityId, IxpId};
+use proptest::prelude::*;
+
+fn key(i: u8) -> RouteKey {
+    RouteKey {
+        collector: CollectorId((i % 3) as u16),
+        peer: PeerId { asn: Asn(1 + (i % 4) as u32), addr: "10.0.0.1".parse().unwrap() },
+        prefix: Prefix::v4(20, i, 0, 0, 16),
+    }
+}
+
+fn crossing(pop: u8, near: u8, far: u8) -> PopCrossing {
+    let tag = if pop.is_multiple_of(2) {
+        LocationTag::Facility(FacilityId((pop as u32 / 2) % 4))
+    } else {
+        LocationTag::Ixp(IxpId((pop as u32 / 2) % 3))
+    };
+    PopCrossing { pop: tag, near: Asn(100 + (near % 5) as u32), far: Asn(200 + (far % 6) as u32) }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Update { key: u8, crossings: Vec<(u8, u8, u8)> },
+    Withdraw { key: u8 },
+    Advance { dt: u32 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..4))
+            .prop_map(|(key, crossings)| Op::Update { key: key % 24, crossings }),
+        any::<u8>().prop_map(|key| Op::Withdraw { key: key % 24 }),
+        // Mix of intra-bin jitter and multi-day jumps so streams cross the
+        // stability window and produce real deviation bins.
+        prop_oneof![1u32..300, 50_000u32..300_000].prop_map(|dt| Op::Advance { dt }),
+    ]
+}
+
+/// Runs one op stream through a monitor-like observer, resolving outcomes.
+fn run_single(ops: &[Op], interner: &mut Interner) -> (Vec<BinOutcome>, usize) {
+    let config = KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() };
+    let mut m = Monitor::new(config);
+    let mut t = 1_000_000u64;
+    let mut outcomes = Vec::new();
+    for op in ops {
+        let dense = match op {
+            Op::Update { key: k, crossings } => {
+                let cs: Vec<PopCrossing> =
+                    crossings.iter().map(|&(p, n, f)| crossing(p, n, f)).collect();
+                let ev = interner.intern_event(&RouteEvent::Update {
+                    key: key(*k),
+                    crossings: cs,
+                    hops: vec![],
+                });
+                m.observe(t, &ev)
+            }
+            Op::Withdraw { key: k } => {
+                let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(*k) });
+                m.observe(t, &ev)
+            }
+            Op::Advance { dt } => {
+                t += *dt as u64;
+                m.advance_to(t)
+            }
+        };
+        outcomes.extend(dense.iter().map(|o| o.resolve(interner)));
+    }
+    outcomes.extend(m.advance_to(t + 200_000).iter().map(|o| o.resolve(interner)));
+    (outcomes, m.baseline_size())
+}
+
+fn run_sharded(ops: &[Op], interner: &mut Interner, shards: usize) -> (Vec<BinOutcome>, usize) {
+    let config = KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() };
+    let mut m = ShardedMonitor::new(config, shards);
+    let mut t = 1_000_000u64;
+    let mut outcomes = Vec::new();
+    for op in ops {
+        let dense = match op {
+            Op::Update { key: k, crossings } => {
+                let cs: Vec<PopCrossing> =
+                    crossings.iter().map(|&(p, n, f)| crossing(p, n, f)).collect();
+                let ev = interner.intern_event(&RouteEvent::Update {
+                    key: key(*k),
+                    crossings: cs,
+                    hops: vec![],
+                });
+                m.observe(t, &ev)
+            }
+            Op::Withdraw { key: k } => {
+                let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(*k) });
+                m.observe(t, &ev)
+            }
+            Op::Advance { dt } => {
+                t += *dt as u64;
+                m.advance_to(t)
+            }
+        };
+        outcomes.extend(dense.iter().map(|o| o.resolve(interner)));
+    }
+    outcomes.extend(m.advance_to(t + 200_000).iter().map(|o| o.resolve(interner)));
+    (outcomes, m.baseline_size())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical random streams yield identical resolved bin outcomes for
+    /// 1, 2 and 8 shards.
+    #[test]
+    fn sharded_monitor_is_bit_identical(ops in prop::collection::vec(arb_op(), 1..100)) {
+        let mut interner = Interner::new();
+        let (single, single_baseline) = run_single(&ops, &mut interner);
+        for shards in [1usize, 2, 8] {
+            let (sharded, sharded_baseline) = run_sharded(&ops, &mut interner, shards);
+            prop_assert_eq!(&single, &sharded, "outcome mismatch at {} shards", shards);
+            prop_assert_eq!(single_baseline, sharded_baseline, "baseline mismatch at {} shards", shards);
+        }
+    }
+}
+
+/// Deterministic regression case: a multi-group outage spread over shards
+/// where one group only crosses the threshold after the merge (its
+/// deviated routes live on different shards than most of its stable set).
+#[test]
+fn cross_shard_group_thresholds_after_merge() {
+    let config = KeplerConfig { min_stable_paths: 2, ..KeplerConfig::default() };
+    let mut interner = Interner::new();
+    let mut single = Monitor::new(config.clone());
+    let mut sharded = ShardedMonitor::new(config, 8);
+    let t0 = 1_000_000u64;
+    // 10 stable routes in one (pop, near) group.
+    for i in 0..10u8 {
+        let ev = interner.intern_event(&RouteEvent::Update {
+            key: key(i),
+            crossings: vec![crossing(0, 1, i)],
+            hops: vec![],
+        });
+        single.observe(t0, &ev);
+        sharded.observe(t0, &ev);
+    }
+    let t1 = t0 + 2 * 86_400 + 300;
+    single.advance_to(t1);
+    sharded.advance_to(t1);
+    // Withdraw 2 of 10: 20% > T_fail=10%, but each shard alone sees a
+    // fraction computed over its local stable subset.
+    for i in 0..2u8 {
+        let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(i) });
+        single.observe(t1 + 5, &ev);
+        sharded.observe(t1 + 5, &ev);
+    }
+    let a: Vec<BinOutcome> =
+        single.advance_to(t1 + 120).iter().map(|o| o.resolve(&interner)).collect();
+    let b: Vec<BinOutcome> =
+        sharded.advance_to(t1 + 120).iter().map(|o| o.resolve(&interner)).collect();
+    assert_eq!(a, b);
+    let signals: Vec<_> = a.iter().flat_map(|o| o.signals.iter()).collect();
+    assert_eq!(signals.len(), 1);
+    assert_eq!(signals[0].stable_total, 10, "merged denominator counts every shard");
+    assert!((signals[0].fraction - 0.2).abs() < 1e-12);
+}

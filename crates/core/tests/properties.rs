@@ -5,6 +5,7 @@ use kepler_bgpstream::{CollectorId, PeerId};
 use kepler_core::config::KeplerConfig;
 use kepler_core::events::RouteKey;
 use kepler_core::input::{PopCrossing, RouteEvent};
+use kepler_core::intern::Interner;
 use kepler_core::monitor::Monitor;
 use kepler_docmine::LocationTag;
 use kepler_topology::FacilityId;
@@ -50,6 +51,7 @@ proptest! {
     /// the baseline only contains keys that currently have a route.
     #[test]
     fn monitor_invariants(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() });
         let mut t = 1_000_000u64;
         let mut last_bin = 0u64;
@@ -58,15 +60,23 @@ proptest! {
                 Op::Update { key: k, crossings } => {
                     let cs: Vec<PopCrossing> =
                         crossings.iter().map(|&(p, n, f)| crossing(p, n, f)).collect();
-                    m.observe(t, RouteEvent::Update { key: key(k), crossings: cs, hops: vec![] })
+                    let ev = interner.intern_event(&RouteEvent::Update {
+                        key: key(k),
+                        crossings: cs,
+                        hops: vec![],
+                    });
+                    m.observe(t, &ev)
                 }
-                Op::Withdraw { key: k } => m.observe(t, RouteEvent::Withdraw { key: key(k) }),
+                Op::Withdraw { key: k } => {
+                    let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(k) });
+                    m.observe(t, &ev)
+                }
                 Op::Advance { dt } => {
                     t += dt as u64;
                     m.advance_to(t)
                 }
             };
-            for o in &outcomes {
+            for o in outcomes.iter().map(|o| o.resolve(&interner)) {
                 prop_assert!(o.bin_start >= last_bin, "bins close in order");
                 last_bin = o.bin_start;
                 for s in &o.signals {
@@ -77,9 +87,14 @@ proptest! {
             }
         }
         // Coverage counters are monotone upper bounds on current stability.
-        for pop in (0..5).map(|i| LocationTag::Facility(FacilityId(i))) {
-            let (n, f) = m.pop_coverage(pop);
-            let stable = m.stable_count(pop);
+        for tag in (0..5).map(|i| LocationTag::Facility(FacilityId(i))) {
+            let (n, f, stable) = match interner.lookup_pop(tag) {
+                Some(pop) => {
+                    let (n, f) = m.pop_coverage(pop);
+                    (n, f, m.stable_count(pop))
+                }
+                None => (0, 0, 0),
+            };
             prop_assert!(stable == 0 || (n >= 1 && f >= 1));
             let _ = (n, f, stable);
         }
@@ -89,22 +104,23 @@ proptest! {
     /// keys whose crossings reference the PoP.
     #[test]
     fn stable_counts_match_baseline(keys in prop::collection::btree_set(0u8..16, 1..12)) {
+        let mut interner = Interner::new();
         let mut m = Monitor::new(KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() });
         let t0 = 1_000_000u64;
         for &k in &keys {
-            m.observe(
-                t0,
-                RouteEvent::Update {
-                    key: key(k),
-                    crossings: vec![crossing(k % 3, k, k)],
-                    hops: vec![],
-                },
-            );
+            let ev = interner.intern_event(&RouteEvent::Update {
+                key: key(k),
+                crossings: vec![crossing(k % 3, k, k)],
+                hops: vec![],
+            });
+            m.observe(t0, &ev);
         }
         m.advance_to(t0 + 3 * 86_400);
         prop_assert_eq!(m.baseline_size(), keys.len());
-        let total: usize =
-            (0..5).map(|i| m.stable_count(LocationTag::Facility(FacilityId(i)))).sum();
+        let total: usize = (0..5)
+            .filter_map(|i| interner.lookup_pop(LocationTag::Facility(FacilityId(i))))
+            .map(|pop| m.stable_count(pop))
+            .sum();
         prop_assert_eq!(total, keys.len());
     }
 }

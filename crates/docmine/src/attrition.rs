@@ -48,11 +48,8 @@ impl AttritionReport {
 
 /// Compares `old` and `new` dictionaries.
 pub fn compare(old: &CommunityDictionary, new: &CommunityDictionary) -> AttritionReport {
-    let mut report = AttritionReport {
-        old_size: old.len(),
-        new_size: new.len(),
-        ..Default::default()
-    };
+    let mut report =
+        AttritionReport { old_size: old.len(), new_size: new.len(), ..Default::default() };
     let old_set: std::collections::HashMap<Community, _> =
         old.entries().map(|e| (e.community, e.tag)).collect();
     for entry in new.entries() {
@@ -92,9 +89,9 @@ mod tests {
             (2, 30, LocationTag::Facility(FacilityId(0))),
         ]);
         let new = dict(&[
-            (1, 10, LocationTag::City(CityId(0))),          // survivor
-            (1, 20, LocationTag::Facility(FacilityId(9))),  // meaning change
-            (3, 40, LocationTag::City(CityId(2))),          // adopted
+            (1, 10, LocationTag::City(CityId(0))),         // survivor
+            (1, 20, LocationTag::Facility(FacilityId(9))), // meaning change
+            (3, 40, LocationTag::City(CityId(2))),         // adopted
         ]);
         let r = compare(&old, &new);
         assert_eq!(r.old_size, 3);

@@ -108,9 +108,15 @@ mod tests {
             entries: vec![
                 SchemeEntry {
                     value: 51904,
-                    target: SchemeTarget::Facility { name: "Coresite LAX1".into(), id: FacilityId(3) },
+                    target: SchemeTarget::Facility {
+                        name: "Coresite LAX1".into(),
+                        id: FacilityId(3),
+                    },
                 },
-                SchemeEntry { value: 100, target: SchemeTarget::City { ident: "NYC".into(), city: CityId(0) } },
+                SchemeEntry {
+                    value: 100,
+                    target: SchemeTarget::City { ident: "NYC".into(), city: CityId(0) },
+                },
             ],
             action_values: vec![9003],
             documented,

@@ -98,8 +98,9 @@ impl CommunityDictionary {
     /// unknown value from a registered route-server ASN still reveals the
     /// IXP that redistributed the route.
     pub fn locate(&self, community: Community) -> Option<LocationTag> {
-        self.lookup(community)
-            .or_else(|| self.route_servers.get(&community.asn16()).map(|&ixp| LocationTag::Ixp(ixp)))
+        self.lookup(community).or_else(|| {
+            self.route_servers.get(&community.asn16()).map(|&ixp| LocationTag::Ixp(ixp))
+        })
     }
 
     /// Whether the dictionary covers any community of `asn16`.
@@ -307,7 +308,7 @@ pub fn validate(dict: &CommunityDictionary, schemes: &[CommunityScheme]) -> Vali
             None => report.false_positives += 1,
         }
     }
-    for (c, _) in &truth {
+    for c in truth.keys() {
         if dict.lookup(*c).is_none() {
             report.false_negatives += 1;
         }
@@ -317,7 +318,10 @@ pub fn validate(dict: &CommunityDictionary, schemes: &[CommunityScheme]) -> Vali
 
 /// Scheme-driven ground-truth dictionary: what a perfect miner would
 /// produce. Used by ablations and by the simulator's own tagging layer.
-pub fn dictionary_from_schemes(schemes: &[CommunityScheme], include_undocumented: bool) -> CommunityDictionary {
+pub fn dictionary_from_schemes(
+    schemes: &[CommunityScheme],
+    include_undocumented: bool,
+) -> CommunityDictionary {
     let mut dict = CommunityDictionary::new();
     for s in schemes {
         if !s.asn.is_16bit() || (!s.documented && !include_undocumented) {
@@ -380,9 +384,15 @@ mod tests {
             entries: vec![
                 SchemeEntry {
                     value: 51904,
-                    target: SchemeTarget::Facility { name: "Coresite LAX1".into(), id: FacilityId(0) },
+                    target: SchemeTarget::Facility {
+                        name: "Coresite LAX1".into(),
+                        id: FacilityId(0),
+                    },
                 },
-                SchemeEntry { value: 4006, target: SchemeTarget::Ixp { name: "LINX".into(), id: IxpId(0) } },
+                SchemeEntry {
+                    value: 4006,
+                    target: SchemeTarget::Ixp { name: "LINX".into(), id: IxpId(0) },
+                },
                 SchemeEntry {
                     value: 51702,
                     target: SchemeTarget::City { ident: "London".into(), city: CityId(london) },

@@ -29,7 +29,8 @@ pub fn extract_communities(line: &str) -> Vec<Extracted> {
             continue;
         }
         // Token must not be glued to a preceding digit/':' (e.g. IPv6-ish).
-        if i > 0 && (bytes[i - 1].is_ascii_digit() || bytes[i - 1] == b':' || bytes[i - 1] == b'.') {
+        if i > 0 && (bytes[i - 1].is_ascii_digit() || bytes[i - 1] == b':' || bytes[i - 1] == b'.')
+        {
             i += 1;
             while i < bytes.len() && bytes[i].is_ascii_digit() {
                 i += 1;
@@ -64,7 +65,11 @@ pub fn extract_communities(line: &str) -> Vec<Extracted> {
         }
         if let (Ok(a), Ok(v)) = (asn_txt.parse::<u32>(), val_txt.parse::<u32>()) {
             if a <= u16::MAX as u32 && v <= u16::MAX as u32 {
-                out.push(Extracted { community: Community::new(a as u16, v as u16), start, end: i });
+                out.push(Extracted {
+                    community: Community::new(a as u16, v as u16),
+                    start,
+                    end: i,
+                });
             }
         }
     }
@@ -94,7 +99,7 @@ mod tests {
         let found = extract_communities("13030:51904 - routes received at Coresite LAX1");
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].community, Community::new(13030, 51904));
-        assert_eq!(&"13030:51904"[..], "13030:51904");
+        assert_eq!("13030:51904", "13030:51904");
     }
 
     #[test]

@@ -77,11 +77,8 @@ impl EntityRecognizer {
         let tokens: Vec<&str> = norm.split(' ').filter(|t| t.len() >= 2).collect();
         for w in tokens.windows(2) {
             let bigram = format!("{} {}", w[0], w[1]);
-            if let Some(idx) = self
-                .gazetteer
-                .cities()
-                .iter()
-                .position(|c| normalize(c.name) == bigram)
+            if let Some(idx) =
+                self.gazetteer.cities().iter().position(|c| normalize(c.name) == bigram)
             {
                 return Some(idx);
             }

@@ -21,7 +21,15 @@ pub enum Voice {
 }
 
 const PASSIVE_MARKERS: &[&str] = &[
-    "received", "learned", "learnt", "exchanged", "tagged", "ingress", "accepted", "heard", "originated",
+    "received",
+    "learned",
+    "learnt",
+    "exchanged",
+    "tagged",
+    "ingress",
+    "accepted",
+    "heard",
+    "originated",
 ];
 
 const ACTIVE_MARKERS: &[&str] = &[

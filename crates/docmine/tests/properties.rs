@@ -1,9 +1,9 @@
 //! Property-based tests for the mining pipeline's text handling.
 
+use kepler_bgp::Community;
 use kepler_docmine::attrition::compare;
 use kepler_docmine::dictionary::{CommunityDictionary, LocationTag};
 use kepler_docmine::extract::{extract_communities, strip_communities};
-use kepler_bgp::Community;
 use kepler_topology::CityId;
 use proptest::prelude::*;
 

@@ -127,12 +127,8 @@ impl<'w> DataplaneSim<'w> {
 
     /// Builds the simulator (and its interface map) for a timeline.
     pub fn new(world: &'w World, timeline: &[ScheduledEvent], seed: u64) -> Self {
-        let mut sim = DataplaneSim {
-            world,
-            timeline: timeline.to_vec(),
-            seed,
-            iface_map: HashMap::new(),
-        };
+        let mut sim =
+            DataplaneSim { world, timeline: timeline.to_vec(), seed, iface_map: HashMap::new() };
         // Pre-register every (AS, facility) port and IXP LAN address so
         // `locate` works without having traced first.
         for node in &world.ases {
@@ -157,7 +153,12 @@ impl<'w> DataplaneSim<'w> {
     /// Deterministic IXP LAN address: 193.<ixp>.<member-hash> style.
     fn ixp_lan_addr(&self, asn: Asn, ixp: IxpId) -> IpAddr {
         let h = splitmix((asn.0 as u64) << 20 | ixp.0 as u64) as u32;
-        IpAddr::V4(Ipv4Addr::new(193, (ixp.0 % 250) as u8, ((h >> 8) & 0xFF) as u8, (h & 0xFF) as u8))
+        IpAddr::V4(Ipv4Addr::new(
+            193,
+            (ixp.0 % 250) as u8,
+            ((h >> 8) & 0xFF) as u8,
+            (h & 0xFF) as u8,
+        ))
     }
 
     /// Resolves an interface to its infrastructure (the traIXroute role).
@@ -176,9 +177,7 @@ impl<'w> DataplaneSim<'w> {
             }
             let extra = {
                 let h = splitmix(
-                    self.seed ^ (i as u64) << 40
-                        ^ (pair.src.0 as u64) << 20
-                        ^ pair.dst.0 as u64,
+                    self.seed ^ (i as u64) << 40 ^ (pair.src.0 as u64) << 20 ^ pair.dst.0 as u64,
                 );
                 let frac = (h % 1000) as f64 / 1000.0;
                 if frac < 0.85 {
@@ -231,7 +230,7 @@ impl<'w> DataplaneSim<'w> {
             let km = here.distance_km(&point);
             // ~1 ms RTT per 100 km of great-circle fiber, plus router delay.
             rtt += km * 0.01 * 2.0 + 0.3;
-            let jitter = (splitmix(self.seed ^ addr_hash(addr) ^ t / 60) % 100) as f64 / 100.0;
+            let jitter = (splitmix(self.seed ^ addr_hash(addr) ^ (t / 60)) % 100) as f64 / 100.0;
             rtt += jitter * 0.4;
             here = point;
             hops.push(TraceHop { addr, owner, rtt_ms: rtt });
@@ -388,7 +387,8 @@ mod tests {
         let before = dp.campaign(&pairs, T0);
         let during = dp.campaign(&pairs, T0 + 1200);
         let long_after = dp.campaign(&pairs, T0 + 1000 + 600 + 11_000);
-        let crossing = |paths: &[TraceroutePath]| paths.iter().filter(|p| p.crosses_facility(fac)).count();
+        let crossing =
+            |paths: &[TraceroutePath]| paths.iter().filter(|p| p.crosses_facility(fac)).count();
         let b = crossing(&before);
         let d = crossing(&during);
         let a = crossing(&long_after);
@@ -415,7 +415,7 @@ mod tests {
             duration: 600,
             kind: EventKind::FacilityOutage { facility: fac, affected_fraction: 1.0 },
         };
-        let dp = DataplaneSim::new(&w, &[ev.clone()], 3);
+        let dp = DataplaneSim::new(&w, std::slice::from_ref(&ev), 3);
         // For a fixed pair, failed_at transitions from failed to clean at
         // start+duration+extra, with extra bounded by 3 hours.
         let pair = ProbePair { src: AsIdx(0), dst: PrefixIdx(0) };

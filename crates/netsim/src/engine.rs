@@ -54,7 +54,13 @@ impl CollectorSetup {
         use kepler_topology::AsType;
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC011EC7);
         let names: Vec<String> = (0..n_collectors)
-            .map(|i| if i % 2 == 0 { format!("rrc{:02}", i / 2) } else { format!("route-views{}", i / 2 + 2) })
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("rrc{:02}", i / 2)
+                } else {
+                    format!("route-views{}", i / 2 + 2)
+                }
+            })
             .collect();
         let mut peers = Vec::new();
         for (i, node) in world.ases.iter().enumerate() {
@@ -76,7 +82,11 @@ impl CollectorSetup {
             if rng.gen_bool(0.2) && n_collectors > 1 {
                 collectors.push(CollectorId(((slot + 1) % n_collectors) as u16));
             }
-            peers.push(PeerSpec { as_idx: AsIdx(i as u32), addr: World::peer_addr(slot), collectors });
+            peers.push(PeerSpec {
+                as_idx: AsIdx(i as u32),
+                addr: World::peer_addr(slot),
+                collectors,
+            });
         }
         CollectorSetup { names, peers }
     }
@@ -175,7 +185,8 @@ impl<'w> Simulation<'w> {
             let tree = compute_tree(self.world, &self.failed, origin);
             for slot in 0..self.setup.peers.len() {
                 let vantage = self.setup.peers[slot].as_idx;
-                if let Some(snap) = snapshot_route(self.world, &self.failed, &tree, vantage, is_v6) {
+                if let Some(snap) = snapshot_route(self.world, &self.failed, &tree, vantage, is_v6)
+                {
                     let t = self.start + self.rng.gen_range(0..120);
                     self.emit_announce(slot as u32, p as u32, &snap, t);
                     self.visible.insert((slot as u32, p as u32), snap);
@@ -302,7 +313,8 @@ impl<'w> Simulation<'w> {
                 }
             }
             EventKind::Depeering { a, b } => {
-                let (Some(&ia), Some(&ib)) = (self.world.asn_to_idx.get(a), self.world.asn_to_idx.get(b))
+                let (Some(&ia), Some(&ib)) =
+                    (self.world.asn_to_idx.get(a), self.world.asn_to_idx.get(b))
                 else {
                     return;
                 };
@@ -345,7 +357,8 @@ impl<'w> Simulation<'w> {
                 vec![ElementKey::Ixp(*ixp)]
             }
             EventKind::Depeering { a, b } => {
-                let (Some(&ia), Some(&ib)) = (self.world.asn_to_idx.get(a), self.world.asn_to_idx.get(b))
+                let (Some(&ia), Some(&ib)) =
+                    (self.world.asn_to_idx.get(a), self.world.asn_to_idx.get(b))
                 else {
                     return vec![];
                 };
@@ -405,7 +418,10 @@ impl<'w> Simulation<'w> {
     pub fn run(mut self, timeline: &[ScheduledEvent], end: u64) -> SimOutput {
         let mut actions: Vec<Action> = Vec::new();
         let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-        let push = |actions: &mut Vec<Action>, heap: &mut BinaryHeap<Reverse<(u64, u64)>>, t: u64, a: Action| {
+        let push = |actions: &mut Vec<Action>,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                    t: u64,
+                    a: Action| {
             let idx = actions.len() as u64;
             actions.push(a);
             heap.push(Reverse((t, idx)));
@@ -643,10 +659,10 @@ mod tests {
         }];
         let out = sim.run(&timeline, T0 + 4 * 86_400);
         let outage_window = (T0 + 2 * 86_400)..(T0 + 2 * 86_400 + 1800 + 120);
-        let during: Vec<_> = out.records.iter().filter(|r| outage_window.contains(&r.time)).collect();
+        let during: Vec<_> =
+            out.records.iter().filter(|r| outage_window.contains(&r.time)).collect();
         assert!(!during.is_empty(), "outage must cause visible updates");
-        let after: Vec<_> =
-            out.records.iter().filter(|r| r.time >= outage_window.end).collect();
+        let after: Vec<_> = out.records.iter().filter(|r| r.time >= outage_window.end).collect();
         assert!(!after.is_empty(), "restoration must cause returns");
         assert_eq!(out.ground_truth.len(), 1);
         assert_eq!(out.ground_truth[0].duration, 1800);
@@ -681,17 +697,16 @@ mod tests {
             kind: EventKind::CollectorFlap { peer_slot: 0 },
         }];
         let out = sim.run(&timeline, T0 + 300_000);
-        let states: Vec<_> = out
-            .records
-            .iter()
-            .filter(|r| matches!(r.payload, RecordPayload::State(_)))
-            .collect();
+        let states: Vec<_> =
+            out.records.iter().filter(|r| matches!(r.payload, RecordPayload::State(_))).collect();
         assert_eq!(states.len(), states.len().max(2), "down + up states");
         assert!(states.len() >= 2);
         let reann = out
             .records
             .iter()
-            .filter(|r| r.time > T0 + 200_000 + 600 && matches!(r.payload, RecordPayload::Update(_)))
+            .filter(|r| {
+                r.time > T0 + 200_000 + 600 && matches!(r.payload, RecordPayload::Update(_))
+            })
             .count();
         assert!(reann > 0, "bulk re-announcement after session up");
     }
@@ -700,11 +715,8 @@ mod tests {
     fn depeering_only_touches_prefixes_that_crossed_the_link() {
         let w = World::generate(WorldConfig::tiny(89));
         // Pick a P2P adjacency to tear down.
-        let adj = w
-            .adjacencies
-            .iter()
-            .find(|a| a.rel == crate::world::Rel::P2P)
-            .expect("peering exists");
+        let adj =
+            w.adjacencies.iter().find(|a| a.rel == crate::world::Rel::P2P).expect("peering exists");
         let (a, b) = (w.ases[adj.a.0 as usize].asn, w.ases[adj.b.0 as usize].asn);
         let out_link = Simulation::new(&w, setup(&w), T0, 6).run(
             &[ScheduledEvent {
@@ -737,9 +749,7 @@ mod tests {
             .iter()
             .filter(|r| r.time >= T0 + 200_000)
             .filter_map(|r| match &r.payload {
-                RecordPayload::Update(u) => {
-                    u.announced.first().or(u.withdrawn.first()).copied()
-                }
+                RecordPayload::Update(u) => u.announced.first().or(u.withdrawn.first()).copied(),
                 _ => None,
             })
             .collect();

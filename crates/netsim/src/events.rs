@@ -128,12 +128,7 @@ pub struct GroundTruthEvent {
 
 /// Resolves the member ports a partial event takes down, deterministically
 /// from the event identity.
-pub fn partial_ports(
-    world: &World,
-    members: &[Asn],
-    fraction: f64,
-    salt: u64,
-) -> Vec<Asn> {
+pub fn partial_ports(world: &World, members: &[Asn], fraction: f64, salt: u64) -> Vec<Asn> {
     if fraction >= 1.0 {
         return members.to_vec();
     }

@@ -44,7 +44,11 @@ fn epicenter_region(world: &World, kind: &EventKind) -> Option<(Continent, bool)
 
 /// Computes the publicly reported subset of ground-truth infrastructure
 /// outages, deterministically from `seed`.
-pub fn reported_subset(world: &World, truth: &[GroundTruthEvent], seed: u64) -> Vec<ReportedOutage> {
+pub fn reported_subset(
+    world: &World,
+    truth: &[GroundTruthEvent],
+    seed: u64,
+) -> Vec<ReportedOutage> {
     let mut out = Vec::new();
     for gt in truth {
         if !gt.kind.is_infrastructure_outage() {
@@ -61,7 +65,7 @@ pub fn reported_subset(world: &World, truth: &[GroundTruthEvent], seed: u64) -> 
             }
         };
         // Size factor: a 40+-member incident is big news.
-        let size_factor = (gt.affected_members as f64 / 40.0).min(1.0).max(0.25);
+        let size_factor = (gt.affected_members as f64 / 40.0).clamp(0.25, 1.0);
         // Duration factor: sub-10-minute blips rarely get posted.
         let dur_factor = if gt.duration < 600 { 0.4 } else { 1.0 };
         let p = (base * size_factor * dur_factor).min(0.95);
@@ -112,7 +116,12 @@ mod tests {
         let b = reported_subset(&w, &truth, 3);
         assert_eq!(a, b);
         assert!(!a.is_empty(), "some outages get reported");
-        assert!(a.len() < truth.len() / 2, "most outages go unreported: {}/{}", a.len(), truth.len());
+        assert!(
+            a.len() < truth.len() / 2,
+            "most outages go unreported: {}/{}",
+            a.len(),
+            truth.len()
+        );
     }
 
     #[test]

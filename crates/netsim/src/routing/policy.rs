@@ -1,6 +1,6 @@
 //! Failure state and physical instance selection.
 
-use crate::world::{AdjIdx, Adjacency, AdjInstance, World};
+use crate::world::{AdjIdx, AdjInstance, Adjacency, World};
 use kepler_bgp::Asn;
 use kepler_topology::{FacilityId, IxpId};
 use std::collections::HashSet;

@@ -83,6 +83,9 @@ impl RouteTree {
     }
 }
 
+/// Export frontier ordered by (hops, parent ASN, node, parent, adjacency).
+type ExportHeap = BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>>;
+
 /// Computes the routing tree for the prefix originated by `origin`.
 pub fn compute_tree(world: &World, failed: &FailedSet, origin: AsIdx) -> RouteTree {
     let n = world.ases.len();
@@ -90,10 +93,10 @@ pub fn compute_tree(world: &World, failed: &FailedSet, origin: AsIdx) -> RouteTr
     routes[origin.0 as usize] = Some(RouteInfo { pref: PrefClass::Origin, hops: 0, parent: None });
 
     // Phase 1: customer routes, Dijkstra by (hops, parent asn).
-    let mut heap: BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>> = BinaryHeap::new();
+    let mut heap: ExportHeap = BinaryHeap::new();
     // tuple: (hops, parent_asn, node, parent, adj)
     let push_provider_exports =
-        |heap: &mut BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>>, world: &World, failed: &FailedSet, u: AsIdx, hops: u16| {
+        |heap: &mut ExportHeap, world: &World, failed: &FailedSet, u: AsIdx, hops: u16| {
             let u_node = &world.ases[u.0 as usize];
             for &(v, adj_idx) in &u_node.neighbors {
                 let adj = &world.adjacencies[adj_idx.0 as usize];
@@ -161,9 +164,9 @@ pub fn compute_tree(world: &World, failed: &FailedSet, origin: AsIdx) -> RouteTr
     }
 
     // Phase 3: provider routes descend customer cones from every routed AS.
-    let mut heap: BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>> = BinaryHeap::new();
+    let mut heap: ExportHeap = BinaryHeap::new();
     let push_customer_exports =
-        |heap: &mut BinaryHeap<Reverse<(u16, u32, u32, u32, u32)>>, world: &World, failed: &FailedSet, u: AsIdx, hops: u16| {
+        |heap: &mut ExportHeap, world: &World, failed: &FailedSet, u: AsIdx, hops: u16| {
             let u_node = &world.ases[u.0 as usize];
             for &(v, adj_idx) in &u_node.neighbors {
                 let adj = &world.adjacencies[adj_idx.0 as usize];
@@ -178,8 +181,8 @@ pub fn compute_tree(world: &World, failed: &FailedSet, origin: AsIdx) -> RouteTr
                 heap.push(Reverse((hops + 1, u_node.asn.0, v.0, u.0, adj_idx.0)));
             }
         };
-    for u in 0..n {
-        if let Some(r) = routes[u] {
+    for (u, route) in routes.iter().enumerate().take(n) {
+        if let Some(r) = route {
             push_customer_exports(&mut heap, world, failed, AsIdx(u as u32), r.hops);
         }
     }
@@ -256,10 +259,7 @@ mod tests {
                     match class {
                         "down" => seen_down = true,
                         "up" | "peer" => {
-                            assert!(
-                                !seen_down,
-                                "valley: up/peer after down at AS{v} prefix {pi}"
-                            );
+                            assert!(!seen_down, "valley: up/peer after down at AS{v} prefix {pi}");
                         }
                         _ => unreachable!(),
                     }

@@ -44,7 +44,13 @@ pub struct RouteSnapshot {
 }
 
 /// Communities an AS applies when receiving a route at `port`.
-fn ingress_communities(world: &World, asx: AsIdx, port: &PortLoc, is_v6: bool, out: &mut Vec<Community>) {
+fn ingress_communities(
+    world: &World,
+    asx: AsIdx,
+    port: &PortLoc,
+    is_v6: bool,
+    out: &mut Vec<Community>,
+) {
     let node = &world.ases[asx.0 as usize];
     let Some(scheme) = &node.scheme else { return };
     if is_v6 && !node.tags_v6 {
@@ -112,11 +118,14 @@ pub fn snapshot_route(
         let Some(adj_idx) = adj_opt else { continue };
         let adj = &world.adjacencies[adj_idx.0 as usize];
         let far = chain[i + 1].0;
-        let inst_i = failed
-            .active_instance(world, *adj_idx)
-            .expect("tree only uses available adjacencies");
+        let inst_i =
+            failed.active_instance(world, *adj_idx).expect("tree only uses available adjacencies");
         let inst = &adj.instances[inst_i];
-        let (near_side, far_side) = if adj.a == *node { (&inst.a_side, &inst.b_side) } else { (&inst.b_side, &inst.a_side) };
+        let (near_side, far_side) = if adj.a == *node {
+            (&inst.a_side, &inst.b_side)
+        } else {
+            (&inst.b_side, &inst.a_side)
+        };
         ingress_communities(world, *node, near_side, is_v6, &mut communities);
         if let Some(rs) = inst.via_rs {
             if let Ok(rs16) = u16::try_from(rs.0) {

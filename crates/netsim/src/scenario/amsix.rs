@@ -64,13 +64,8 @@ impl AmsIxScenario {
         by_size.sort_by_key(|(n, id)| (std::cmp::Reverse(*n), id.0));
         let amsix = by_size[0].1;
         let eu_ixp = by_size.get(1).map(|(_, id)| *id).unwrap_or(amsix);
-        let sara_facility = world
-            .colo
-            .facilities_of_ixp(amsix)
-            .iter()
-            .next()
-            .copied()
-            .unwrap_or(FacilityId(0));
+        let sara_facility =
+            world.colo.facilities_of_ixp(amsix).iter().next().copied().unwrap_or(FacilityId(0));
 
         // Warm-up starts 2.5 days before the outage so the stable baseline
         // exists; the stream runs one day past the outage to observe the
@@ -138,10 +133,7 @@ mod tests {
         let truth = study.scenario.truth_dictionary();
         // Every mined entry matches ground truth (precision 1.0 at tiny
         // scale where all names are unambiguous).
-        let report = kepler_docmine::dictionary::validate(
-            &dict,
-            &study.scenario.world.schemes,
-        );
+        let report = kepler_docmine::dictionary::validate(&dict, &study.scenario.world.schemes);
         assert_eq!(report.wrong_tag, 0, "no mis-tagged communities");
         assert!(truth.len() >= dict.len());
     }

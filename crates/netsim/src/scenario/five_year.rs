@@ -256,14 +256,7 @@ pub fn build(config: FiveYearConfig) -> Scenario {
         let sim = Simulation::new(&world, setup, STUDY_START, config.seed);
         sim.run(&timeline, STUDY_END)
     };
-    Scenario {
-        world,
-        output,
-        timeline,
-        start: STUDY_START,
-        end: STUDY_END,
-        seed: config.seed,
-    }
+    Scenario { world, output, timeline, start: STUDY_START, end: STUDY_END, seed: config.seed }
 }
 
 #[cfg(test)]
@@ -296,15 +289,18 @@ mod tests {
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2];
         assert!((600..=2400).contains(&median), "median ≈17 min, got {median}s");
-        let over_hour = durations.iter().filter(|&&d| d > 3600).count() as f64 / durations.len() as f64;
+        let over_hour =
+            durations.iter().filter(|&&d| d > 3600).count() as f64 / durations.len() as f64;
         assert!((0.25..=0.55).contains(&over_hour), "≈40% over an hour, got {over_hour:.2}");
     }
 
     #[test]
     fn ixp_outages_last_longer_on_average() {
         let mut rng = StdRng::seed_from_u64(43);
-        let fac: f64 = (0..2000).map(|_| outage_duration(&mut rng, 1.0) as f64).sum::<f64>() / 2000.0;
-        let ixp: f64 = (0..2000).map(|_| outage_duration(&mut rng, 1.8) as f64).sum::<f64>() / 2000.0;
+        let fac: f64 =
+            (0..2000).map(|_| outage_duration(&mut rng, 1.0) as f64).sum::<f64>() / 2000.0;
+        let ixp: f64 =
+            (0..2000).map(|_| outage_duration(&mut rng, 1.8) as f64).sum::<f64>() / 2000.0;
         assert!(ixp > fac);
     }
 }

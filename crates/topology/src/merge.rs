@@ -31,7 +31,10 @@ pub struct MergeStats {
 ///
 /// Later snapshots only *add* information (extra tenants/members, filled-in
 /// operator names); identity is decided by the normalized keys.
-pub fn merge_snapshots(snapshots: &[ColoSnapshot], gazetteer: &CityGazetteer) -> (ColocationMap, MergeStats) {
+pub fn merge_snapshots(
+    snapshots: &[ColoSnapshot],
+    gazetteer: &CityGazetteer,
+) -> (ColocationMap, MergeStats) {
     let mut stats = MergeStats::default();
     let mut map = ColocationMap::new();
 

@@ -83,7 +83,10 @@ fn main() {
         ("+4h", OUTAGE_START + OUTAGE_DURATION + 4 * 3600),
     ] {
         let n = crossing(t);
-        println!("  {label:>7}: {n:>4} ({:.0}% of baseline)", 100.0 * n as f64 / before.max(1) as f64);
+        println!(
+            "  {label:>7}: {n:>4} ({:.0}% of baseline)",
+            100.0 * n as f64 / before.max(1) as f64
+        );
     }
 
     // RTT distribution for baseline-crossing pairs (Fig 10c).

@@ -31,7 +31,7 @@ fn main() {
     for r in scenario.records() {
         detector.process_record(&r);
     }
-    let truth = truth_outages_observed(&scenario, &config, detector.monitor());
+    let truth = truth_outages_observed(&scenario, &config, &mut detector);
     let counts = detector.class_counts();
     let reports = detector.finish();
 
@@ -54,7 +54,13 @@ fn main() {
     println!("\nFigure 1 — detected vs reported infrastructure outages per semester:");
     println!("{:>9} {:>10} {:>6} {:>9}", "semester", "facilities", "IXPs", "reported");
     for (s, (fac, ixp, rep)) in &bins {
-        println!("{:>9} {:>10} {:>6} {:>9}", format!("{}H{}", 2012 + s / 2, 1 + s % 2), fac, ixp, rep);
+        println!(
+            "{:>9} {:>10} {:>6} {:>9}",
+            format!("{}H{}", 2012 + s / 2, 1 + s % 2),
+            fac,
+            ixp,
+            rep
+        );
     }
     let detected = reports.len();
     println!(

@@ -20,7 +20,10 @@ fn main() {
     let world = &scenario.world;
     let name = |f| world.colo.facility(f).map(|f| f.name.clone()).unwrap_or_default();
 
-    println!("the cast (all in {}):", world.gazetteer.by_index(study.city.0 as usize).unwrap().name);
+    println!(
+        "the cast (all in {}):",
+        world.gazetteer.by_index(study.city.0 as usize).unwrap().name
+    );
     println!("  epicenter A (day 1): {}", name(study.tc_hex));
     println!("  epicenter C (day 2): {}", name(study.th_north));
     println!("  bystander:           {}", name(study.th_east));
@@ -67,16 +70,21 @@ fn main() {
     }
 
     let reports = detector.finish();
-    println!("\ndetected outages (times A={} B={} C={}):", study.time_a, study.time_b, study.time_c);
+    println!(
+        "\ndetected outages (times A={} B={} C={}):",
+        study.time_a, study.time_b, study.time_c
+    );
     for r in &reports {
         let what = match r.scope {
             kepler::core::events::OutageScope::Facility(f) => name(f),
             kepler::core::events::OutageScope::Ixp(x) => {
                 world.colo.ixp(x).map(|x| x.name.clone()).unwrap_or_default()
             }
-            kepler::core::events::OutageScope::City(c) => {
-                world.gazetteer.by_index(c.0 as usize).map(|c| c.name.to_string()).unwrap_or_default()
-            }
+            kepler::core::events::OutageScope::City(c) => world
+                .gazetteer
+                .by_index(c.0 as usize)
+                .map(|c| c.name.to_string())
+                .unwrap_or_default(),
         };
         println!("  {r}  <- {what}");
     }

@@ -41,7 +41,13 @@ pub struct SimProbe {
 impl SimProbe {
     /// Builds the probe backend. `quiet_t` must lie in the warm-up period
     /// (before the first event); `n_pairs` bounds the probe set.
-    pub fn new(world: Arc<World>, timeline: &[ScheduledEvent], seed: u64, quiet_t: u64, n_pairs: usize) -> Self {
+    pub fn new(
+        world: Arc<World>,
+        timeline: &[ScheduledEvent],
+        seed: u64,
+        quiet_t: u64,
+        n_pairs: usize,
+    ) -> Self {
         let mut baseline: HashMap<OutageScope, Vec<ProbePair>> = HashMap::new();
         {
             let dp = DataplaneSim::probe_only(&world, timeline, seed);
@@ -128,7 +134,11 @@ pub fn detector_for(scenario: &Scenario, config: KeplerConfig) -> Kepler {
 }
 
 /// Like [`detector_for`] but with the simulated data plane attached.
-pub fn detector_with_dataplane(scenario: &Scenario, config: KeplerConfig, n_pairs: usize) -> Kepler {
+pub fn detector_with_dataplane(
+    scenario: &Scenario,
+    config: KeplerConfig,
+    n_pairs: usize,
+) -> Kepler {
     let probe = SimProbe::new(
         Arc::new(scenario.world.clone()),
         &scenario.timeline,
@@ -150,7 +160,8 @@ pub fn is_trackable(
     let locatable = |asn: kepler_bgp::Asn| asn.is_16bit() && dictionary.covers_asn(asn.0 as u16);
     match epicenter {
         Epicenter::Facility(f) => {
-            world.colo.members_of_facility(*f).iter().filter(|&&a| locatable(a)).count() >= min_members
+            world.colo.members_of_facility(*f).iter().filter(|&&a| locatable(a)).count()
+                >= min_members
         }
         Epicenter::Ixp(x) => {
             world.colo.members_of_ixp(*x).iter().filter(|&&a| locatable(a)).count() >= min_members
@@ -169,6 +180,7 @@ pub fn survey_trackable_facilities(
     seed: u64,
 ) -> Vec<(kepler_topology::FacilityId, usize, usize)> {
     use kepler_core::input::InputModule;
+    use kepler_core::intern::Interner;
     use kepler_core::monitor::Monitor;
     use kepler_docmine::dictionary::dictionary_from_schemes;
     use kepler_docmine::LocationTag;
@@ -182,11 +194,12 @@ pub fn survey_trackable_facilities(
     let mut input = InputModule::new(dictionary, world.detector_colomap());
     let config = KeplerConfig::default();
     let stable = config.stable_secs;
+    let mut interner = Interner::new();
     let mut monitor = Monitor::new(config);
     for rec in &output.records {
         for elem in rec.explode() {
-            if let Some(ev) = input.process(&elem) {
-                monitor.observe(elem.time, ev);
+            if let Some(ev) = input.process_dense(&elem, &mut interner) {
+                monitor.observe(elem.time, &ev);
             }
         }
     }
@@ -196,7 +209,10 @@ pub fn survey_trackable_facilities(
         .facilities()
         .iter()
         .map(|f| {
-            let (n, fa) = monitor.pop_coverage(LocationTag::Facility(f.id));
+            let (n, fa) = interner
+                .lookup_pop(LocationTag::Facility(f.id))
+                .map(|pop| monitor.pop_coverage(pop))
+                .unwrap_or((0, 0));
             (f.id, n, fa)
         })
         .collect();
@@ -204,16 +220,9 @@ pub fn survey_trackable_facilities(
     ranked
 }
 
-/// Whether an epicenter was *observably* trackable during a run: some PoP
-/// tag locating it (its own facility/IXP tag, its city tag, or a co-located
-/// IXP tag) accumulated ≥3 near-end and ≥3 far-end ASes in the stable
-/// baseline. This is the paper's applicability criterion evaluated against
-/// what the vantage points actually delivered.
-pub fn observed_trackable(
-    world: &World,
-    monitor: &kepler_core::monitor::Monitor,
-    epicenter: &Epicenter,
-) -> bool {
+/// Every PoP tag through which an epicenter can be located: its own
+/// facility/IXP tag, its city tag, and co-located IXP/facility tags.
+fn epicenter_tags(world: &World, epicenter: &Epicenter) -> Vec<kepler_docmine::LocationTag> {
     use kepler_docmine::LocationTag;
     let mut tags: Vec<LocationTag> = Vec::new();
     match epicenter {
@@ -236,8 +245,22 @@ pub fn observed_trackable(
             }
         }
     }
-    tags.iter().any(|t| {
-        let (n, f) = monitor.pop_coverage(*t);
+    tags
+}
+
+/// Whether an epicenter was *observably* trackable during a run: some PoP
+/// tag locating it (its own facility/IXP tag, its city tag, or a co-located
+/// IXP tag) accumulated ≥3 near-end and ≥3 far-end ASes in the stable
+/// baseline. This is the paper's applicability criterion evaluated against
+/// what the vantage points actually delivered.
+pub fn observed_trackable(
+    world: &World,
+    monitor: &mut kepler_core::AnyMonitor,
+    interner: &kepler_core::Interner,
+    epicenter: &Epicenter,
+) -> bool {
+    epicenter_tags(world, epicenter).iter().any(|t| {
+        let (n, f) = interner.lookup_pop(*t).map(|pop| monitor.pop_coverage(pop)).unwrap_or((0, 0));
         n >= 3 && f >= 3
     })
 }
@@ -248,7 +271,7 @@ pub fn observed_trackable(
 pub fn truth_outages_observed(
     scenario: &Scenario,
     config: &KeplerConfig,
-    monitor: &kepler_core::monitor::Monitor,
+    detector: &mut Kepler,
 ) -> Vec<TruthOutage> {
     let mut out = truth_outages(scenario, config);
     for t in &mut out {
@@ -260,7 +283,8 @@ pub fn truth_outages_observed(
             OutageScope::Ixp(x) => Epicenter::Ixp(x),
             OutageScope::City(_) => continue,
         };
-        t.trackable = observed_trackable(&scenario.world, monitor, &epicenter);
+        let (monitor, interner) = detector.monitor_and_interner();
+        t.trackable = observed_trackable(&scenario.world, monitor, interner, &epicenter);
     }
     out
 }

@@ -75,10 +75,10 @@ fn ablate_colomap_breaks_disambiguation() {
 fn ablate_high_threshold_loses_sensitivity() {
     use kepler::netsim::scenario::five_year::{build, FiveYearConfig};
     let scenario = build(FiveYearConfig::compact(31));
-    let low = detector_for(&scenario, KeplerConfig::default().with_t_fail(0.10))
-        .run(scenario.records());
-    let high = detector_for(&scenario, KeplerConfig::default().with_t_fail(0.50))
-        .run(scenario.records());
+    let low =
+        detector_for(&scenario, KeplerConfig::default().with_t_fail(0.10)).run(scenario.records());
+    let high =
+        detector_for(&scenario, KeplerConfig::default().with_t_fail(0.50)).run(scenario.records());
     assert!(
         high.len() <= low.len(),
         "raising the threshold cannot find more outages (low={}, high={})",

@@ -4,7 +4,7 @@
 use kepler::core::events::OutageScope;
 use kepler::core::metrics::evaluate;
 use kepler::core::KeplerConfig;
-use kepler::glue::{detector_for, truth_outages};
+use kepler::glue::detector_for;
 use kepler::netsim::scenario::amsix::{AmsIxScenario, OUTAGE_START};
 use kepler::netsim::world::WorldConfig;
 
@@ -22,8 +22,9 @@ fn amsix_outage_is_detected_and_localized() {
     let world = &scenario.world;
     let amsix_city = world.colo.ixp(study.amsix).unwrap().city;
     let fabric = world.colo.facilities_of_ixp(study.amsix).clone();
-    let window_ok =
-        |r: &kepler::core::events::OutageReport| r.start + 600 >= OUTAGE_START && r.start <= OUTAGE_START + 900;
+    let window_ok = |r: &kepler::core::events::OutageReport| {
+        r.start + 600 >= OUTAGE_START && r.start <= OUTAGE_START + 900
+    };
     let located_ok = |r: &kepler::core::events::OutageReport| match r.scope {
         OutageScope::Ixp(x) => x == study.amsix,
         OutageScope::City(c) => c == amsix_city,
@@ -71,7 +72,7 @@ fn five_year_compact_evaluation() {
     for r in scenario.records() {
         detector.process_record(&r);
     }
-    let truth = truth_outages_observed(&scenario, &config, detector.monitor());
+    let truth = truth_outages_observed(&scenario, &config, &mut detector);
     let reports = detector.finish();
     let eval = evaluate(&reports, &truth, 1800);
     assert!(eval.true_positives >= 2, "at least some real outages detected: {eval:?}");

@@ -12,7 +12,7 @@ use kepler::netsim::world::WorldConfig;
 
 #[test]
 fn london_dual_outages_are_disambiguated() {
-    let study = LondonScenario::new(3).with_config(WorldConfig::small(3)).build();
+    let study = LondonScenario::new(1).with_config(WorldConfig::small(1)).build();
     let scenario = &study.scenario;
     let reports = detector_for(scenario, KeplerConfig::default()).run(scenario.records());
     assert!(!reports.is_empty(), "the outages must be detected");
@@ -21,7 +21,8 @@ fn london_dual_outages_are_disambiguated() {
     // Each epicenter must be hit by a report at the right time — either
     // named exactly or through its city (the abstraction is acceptable,
     // blaming the *wrong building* or the exchange is not).
-    for (t, fac, label) in [(study.time_a, study.tc_hex, "A"), (study.time_c, study.th_north, "C")] {
+    for (t, fac, label) in [(study.time_a, study.tc_hex, "A"), (study.time_c, study.th_north, "C")]
+    {
         let hit = reports.iter().any(|r| {
             near(r.start, t)
                 && match r.scope {
@@ -50,7 +51,7 @@ fn remote_impact_reaches_other_countries() {
     // the outage country. We verify the mechanism: affected far-end ASes
     // of the first outage include networks whose home city differs from
     // the outage city (remote peering / long-haul PNIs).
-    let study = LondonScenario::new(3).with_config(WorldConfig::small(3)).build();
+    let study = LondonScenario::new(1).with_config(WorldConfig::small(1)).build();
     let scenario = &study.scenario;
     let reports = detector_for(scenario, KeplerConfig::default()).run(scenario.records());
     let world = &scenario.world;

@@ -1,0 +1,317 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the subset of the Criterion.rs API the workspace benches use
+//! — groups, throughput, `iter`/`iter_batched`, `BenchmarkId` — with a
+//! simple wall-clock measurement loop (fixed warm-up, then timed samples)
+//! and a plain-text report. No HTML, no statistics beyond mean/median/p95.
+//!
+//! Environment knobs:
+//! * `KEPLER_BENCH_MEASURE_MS` — per-benchmark measurement budget
+//!   (default 1000 ms).
+//! * `KEPLER_BENCH_WARMUP_MS` — warm-up budget (default 200 ms).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per timing run (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier with an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// Per-iteration timing collector.
+pub struct Bencher {
+    samples: Vec<f64>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+            warmup: env_ms("KEPLER_BENCH_WARMUP_MS", 200),
+            measure: env_ms("KEPLER_BENCH_MEASURE_MS", 1000),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also lets the optimizer settle).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Pick a batch size aiming for ~1 ms per timing window.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.001 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed().as_secs_f64();
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.samples.push(t.elapsed().as_secs_f64());
+            black_box(out);
+        }
+        let _ = warm_iters;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{:.1} {unit}/s", per_sec)
+    }
+}
+
+fn report(full_name: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{full_name:<50} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median = samples[samples.len() / 2];
+    let p95 = samples[(samples.len() - 1).min(samples.len() * 95 / 100)];
+    let mut line = format!(
+        "{full_name:<50} time: [{} {} {}]",
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(p95)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  thrpt: [{}]", fmt_rate(n as f64 / mean, "elem")));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!("  thrpt: [{}]", fmt_rate(n as f64 / mean, "B")));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count (accepted, ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the measurement time (accepted, ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args` (the stub ignores argv).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &mut b.samples, None);
+        self
+    }
+}
+
+/// Declares a group-runner function, mirroring Criterion.rs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring Criterion.rs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("KEPLER_BENCH_WARMUP_MS", "5");
+        std::env::set_var("KEPLER_BENCH_MEASURE_MS", "20");
+        let mut b = Bencher::new();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_rate(2.5e6, "elem").contains("Melem/s"));
+        let id = BenchmarkId::new("x", 3);
+        assert_eq!(id.name, "x/3");
+    }
+}

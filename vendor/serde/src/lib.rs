@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait *and* derive-macro
+//! namespaces, like the real crate) so `use serde::{Deserialize,
+//! Serialize};` plus `#[derive(Serialize, Deserialize)]` compile without
+//! network access. No actual serialization is implemented; nothing in this
+//! workspace calls it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

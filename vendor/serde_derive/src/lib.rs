@@ -1,0 +1,23 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes values — the `#[derive(Serialize,
+//! Deserialize)]` attributes exist so downstream consumers *could* wire in
+//! real serde. The stub derives therefore accept the same surface syntax
+//! (including `#[serde(...)]` helper attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` with optional `#[serde(...)]` helper
+/// attributes and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` with optional `#[serde(...)]` helper
+/// attributes and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
