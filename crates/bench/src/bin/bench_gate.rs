@@ -1,0 +1,86 @@
+//! CI perf-regression gate.
+//!
+//! ```sh
+//! cargo run --release -p kepler-bench --bin bench_gate -- \
+//!     <baseline.json> <fresh.json> [--max-regression 0.25]
+//! ```
+//!
+//! Compares the `events_per_sec` figures of two `BENCH_monitor.json`
+//! documents and exits non-zero when any metric present in both regresses
+//! by more than the allowed fraction. Used by the `bench-gate` job in
+//! `.github/workflows/ci.yml`; run it locally with a fresh
+//! `repro --bench` output against the committed baseline.
+
+use kepler_bench::gate::{compare, gate_fails, parse_events_per_sec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-regression" => {
+                max_regression = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-regression takes a fraction, e.g. 0.25");
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--max-regression 0.25]");
+        std::process::exit(2);
+    }
+    let read = |p: &str| -> String {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("cannot read {p}: {e}"))
+    };
+    let baseline = parse_events_per_sec(&read(&paths[0]));
+    let fresh = parse_events_per_sec(&read(&paths[1]));
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no events_per_sec metrics in baseline {}", paths[0]);
+        std::process::exit(2);
+    }
+    if fresh.is_empty() {
+        eprintln!("bench_gate: no events_per_sec metrics in fresh run {}", paths[1]);
+        std::process::exit(2);
+    }
+    if !fresh.keys().any(|k| baseline.contains_key(k)) {
+        // A wholesale metric rename (or corrupt fresh output) must not
+        // silently disable the gate as "all retired / all new".
+        eprintln!("bench_gate: baseline and fresh share no metric names — re-record the baseline");
+        std::process::exit(2);
+    }
+    let verdicts = compare(&baseline, &fresh, max_regression);
+    println!(
+        "{:<16} {:>14} {:>14} {:>9}  verdict (budget: -{:.0}%)",
+        "metric",
+        "baseline",
+        "fresh",
+        "change",
+        max_regression * 100.0
+    );
+    for v in &verdicts {
+        let change =
+            if v.change.is_nan() { "-".to_string() } else { format!("{:+.1}%", v.change * 100.0) };
+        let verdict = if v.regressed {
+            "REGRESSED"
+        } else if v.baseline.is_nan() {
+            "new"
+        } else if v.fresh.is_nan() {
+            "retired"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>9}  {verdict}",
+            v.metric, v.baseline, v.fresh, change
+        );
+    }
+    if gate_fails(&verdicts) {
+        eprintln!("bench_gate: events_per_sec regression beyond {:.0}%", max_regression * 100.0);
+        std::process::exit(1);
+    }
+    println!("bench_gate: ok");
+}

@@ -1,0 +1,69 @@
+//! Stage-by-stage cost breakdown of the 1M-record ingest pipeline.
+//!
+//! Times cumulative prefixes of the pipeline (construct → explode →
+//! decode+intern → monitor) so the marginal cost of each stage is the
+//! difference between consecutive rows. Guides ingest optimization work;
+//! not part of the perf-trajectory artifact (`repro --bench`).
+
+use kepler_bench::{pipeline_dictionary, pipeline_record, PIPELINE_TIME_COMPRESSION};
+use kepler_core::config::KeplerConfig;
+use kepler_core::input::InputModule;
+use kepler_core::intern::Interner;
+use kepler_core::monitor::Monitor;
+use kepler_topology::ColocationMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: u64 = 1_000_000;
+
+fn main() {
+    let t = Instant::now();
+    for i in 0..N {
+        black_box(pipeline_record(i));
+    }
+    report("construct", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let mut n = 0usize;
+    for i in 0..N {
+        n += pipeline_record(i).explode().len();
+    }
+    black_box(n);
+    report("construct+explode", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+    let mut interner = Interner::new();
+    let mut n = 0usize;
+    for i in 0..N {
+        for elem in pipeline_record(i).explode() {
+            n += usize::from(input.process_dense(&elem, &mut interner).is_some());
+        }
+    }
+    black_box(n);
+    report("construct+explode+decode", t.elapsed().as_secs_f64());
+
+    let t = Instant::now();
+    let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+    let mut interner = Interner::new();
+    let mut monitor = Monitor::new(KeplerConfig::default());
+    let mut bins = 0usize;
+    for i in 0..N {
+        for elem in pipeline_record(i).explode() {
+            if let Some(ev) = input.process_dense(&elem, &mut interner) {
+                bins += monitor.observe(elem.time, &ev).len();
+            }
+        }
+    }
+    bins += monitor.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
+    black_box(bins);
+    report("full pipeline", t.elapsed().as_secs_f64());
+}
+
+fn report(stage: &str, secs: f64) {
+    println!(
+        "{stage:<28} {secs:>7.3}s  {:>9.0} rec/s  {:>6.0} ns/rec",
+        N as f64 / secs,
+        secs * 1e9 / N as f64
+    );
+}

@@ -105,11 +105,12 @@ fn peak_rss_bytes() -> Option<u64> {
 }
 
 /// The perf-trajectory artifact tracked across PRs: pushes 1M synthetic
-/// records through input module → interner → monitor (single-shard and
-/// 8-way sharded) and writes events/sec plus peak RSS to
-/// `BENCH_monitor.json`.
+/// records through input module → interner → monitor (single-shard,
+/// 8-way sharded monitor, and the fully parallel 8×8 ingest+monitor
+/// pipeline) and writes events/sec plus peak RSS to `BENCH_monitor.json`.
 fn bench_monitor_json() {
     use kepler::core::config::KeplerConfig;
+    use kepler::core::ingest::ParallelIngest;
     use kepler::core::input::InputModule;
     use kepler::core::intern::Interner;
     use kepler::core::monitor::Monitor;
@@ -159,9 +160,34 @@ fn bench_monitor_json() {
     assert_eq!(single_bins, sharded_bins, "single and sharded runs must close the same bins");
     let sharded_eps = N as f64 / sharded_secs;
 
+    eprintln!("[bench: 1M-record pipeline, 8-way parallel ingest + 8-way sharded monitor...]");
+    let t = Instant::now();
+    let template = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+    let mut ingest = ParallelIngest::new(&template, KeplerConfig::default().quarantine_secs, 8);
+    let mut interner = Interner::new();
+    let mut monitor = ShardedMonitor::new(KeplerConfig::default(), 8);
+    let mut events = Vec::new();
+    let mut parallel_bins = 0usize;
+    for i in 0..N {
+        ingest.push_owned(pipeline_record(i));
+        ingest.drain_ready(&mut interner, &mut events);
+        for (time, ev) in events.drain(..) {
+            parallel_bins += monitor.observe(time, &ev).len();
+        }
+    }
+    ingest.finish(&mut interner, &mut events);
+    for (time, ev) in events.drain(..) {
+        parallel_bins += monitor.observe(time, &ev).len();
+    }
+    parallel_bins +=
+        monitor.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
+    let parallel_secs = t.elapsed().as_secs_f64();
+    assert_eq!(single_bins, parallel_bins, "parallel ingest must close the same bins");
+    let parallel_eps = N as f64 / parallel_secs;
+
     let rss = peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
         rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
     );
     std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");

@@ -1,0 +1,187 @@
+//! Perf-regression gate over `BENCH_monitor.json`.
+//!
+//! The CI `bench-gate` job re-runs `repro --bench` and compares the fresh
+//! `events_per_sec` figures against the committed baseline, failing the
+//! build when any shared metric regresses by more than the allowed
+//! fraction. The vendored `serde` is a no-op stub (no crates.io access),
+//! so the parser here is a purpose-built scanner for the benchmark
+//! artifact's shape: top-level sections of the form
+//! `"name": { ..., "events_per_sec": N, ... }`.
+
+use std::collections::BTreeMap;
+
+/// Extracts `section name → events_per_sec` from a `BENCH_monitor.json`
+/// document. Sections without an `events_per_sec` field are ignored.
+pub fn parse_events_per_sec(json: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    // The artifact keeps each section on one line; scan per line so a
+    // malformed or reordered field cannot cross-contaminate sections.
+    for line in json.lines() {
+        let Some(name) = quoted_prefix(line) else { continue };
+        let Some(pos) = line.find("\"events_per_sec\"") else { continue };
+        let tail = &line[pos + "\"events_per_sec\"".len()..];
+        let Some(colon) = tail.find(':') else { continue };
+        let num: String = tail[colon + 1..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.insert(name, v);
+        }
+    }
+    out
+}
+
+/// The first quoted token of a line (the section key), if any.
+fn quoted_prefix(line: &str) -> Option<String> {
+    let trimmed = line.trim_start();
+    let rest = trimmed.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// One gate verdict row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Section name (`single_shard`, `sharded_8`, ...).
+    pub metric: String,
+    /// Baseline events/s.
+    pub baseline: f64,
+    /// Freshly measured events/s.
+    pub fresh: f64,
+    /// `fresh / baseline - 1` (negative = slower).
+    pub change: f64,
+    /// Whether the row breaches the allowed regression.
+    pub regressed: bool,
+}
+
+/// Compares fresh measurements against a baseline. A metric regresses
+/// when `fresh < baseline * (1 - max_regression)`. Metrics present in
+/// only one document are reported with `baseline`/`fresh` of `NaN` and
+/// never fail the gate (new benchmarks appear across PRs; retired ones
+/// disappear).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    max_regression: f64,
+) -> Vec<Verdict> {
+    let mut out = Vec::new();
+    for (metric, &base) in baseline {
+        match fresh.get(metric) {
+            Some(&now) => out.push(Verdict {
+                metric: metric.clone(),
+                baseline: base,
+                fresh: now,
+                change: now / base - 1.0,
+                regressed: now < base * (1.0 - max_regression),
+            }),
+            None => out.push(Verdict {
+                metric: metric.clone(),
+                baseline: base,
+                fresh: f64::NAN,
+                change: f64::NAN,
+                regressed: false,
+            }),
+        }
+    }
+    for (metric, &now) in fresh {
+        if !baseline.contains_key(metric) {
+            out.push(Verdict {
+                metric: metric.clone(),
+                baseline: f64::NAN,
+                fresh: now,
+                change: f64::NAN,
+                regressed: false,
+            });
+        }
+    }
+    out
+}
+
+/// Whether any verdict fails the gate.
+pub fn gate_fails(verdicts: &[Verdict]) -> bool {
+    verdicts.iter().any(|v| v.regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "bench": "pipeline_1m",
+  "events": 1000000,
+  "bins_closed": 334,
+  "single_shard": { "seconds": 0.664, "events_per_sec": 1505476 },
+  "sharded_8": { "seconds": 0.713, "events_per_sec": 1402659 },
+  "peak_rss_bytes": 37838848
+}
+"#;
+
+    fn doc(single: f64, sharded: f64) -> String {
+        format!(
+            "{{\n  \"single_shard\": {{ \"seconds\": 1.0, \"events_per_sec\": {single} }},\n  \"sharded_8\": {{ \"seconds\": 1.0, \"events_per_sec\": {sharded} }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn parses_all_sections() {
+        let m = parse_events_per_sec(BASELINE);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["single_shard"], 1_505_476.0);
+        assert_eq!(m["sharded_8"], 1_402_659.0);
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = parse_events_per_sec(BASELINE);
+        // 20% slower on both: inside the 25% budget.
+        let fresh = parse_events_per_sec(&doc(1_505_476.0 * 0.8, 1_402_659.0 * 0.8));
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(!gate_fails(&verdicts), "{verdicts:?}");
+        // Faster is always fine.
+        let fresh = parse_events_per_sec(&doc(3e6, 3e6));
+        assert!(!gate_fails(&compare(&base, &fresh, 0.25)));
+    }
+
+    #[test]
+    fn synthetic_regression_fails() {
+        let base = parse_events_per_sec(BASELINE);
+        // One metric 30% slower: breaches the 25% budget.
+        let fresh = parse_events_per_sec(&doc(1_505_476.0 * 0.7, 1_402_659.0));
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(gate_fails(&verdicts));
+        let bad: Vec<_> = verdicts.iter().filter(|v| v.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "single_shard");
+        assert!((bad[0].change + 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equivalently_a_regressed_baseline_fails_the_fresh_run() {
+        // The negative test the CI job encodes: feed a baseline that is
+        // far *faster* than reality — the fresh run must fail the gate.
+        let inflated = parse_events_per_sec(&doc(1e9, 1e9));
+        let fresh = parse_events_per_sec(BASELINE);
+        assert!(gate_fails(&compare(&inflated, &fresh, 0.25)));
+    }
+
+    #[test]
+    fn disjoint_metrics_never_fail() {
+        let base = parse_events_per_sec(BASELINE);
+        let fresh = parse_events_per_sec(
+            "{\n  \"parallel_8x8\": { \"seconds\": 1.0, \"events_per_sec\": 10 }\n}\n",
+        );
+        let verdicts = compare(&base, &fresh, 0.25);
+        assert!(!gate_fails(&verdicts), "new/retired metrics are informational: {verdicts:?}");
+        assert_eq!(verdicts.len(), 3);
+    }
+
+    #[test]
+    fn parser_ignores_unrelated_lines_and_junk() {
+        let m = parse_events_per_sec("not json at all\n\"x\": {}\n42\n");
+        assert!(m.is_empty());
+        let m = parse_events_per_sec("\"weird\": { \"events_per_sec\": notanumber }\n");
+        assert!(m.is_empty());
+    }
+}

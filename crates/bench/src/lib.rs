@@ -1,5 +1,7 @@
-//! Shared plumbing for the figure-reproduction harness (`repro` binary)
-//! and the Criterion micro-benchmarks.
+//! Shared plumbing for the figure-reproduction harness (`repro` binary),
+//! the Criterion micro-benchmarks and the CI perf gate ([`gate`]).
+
+pub mod gate;
 
 use kepler_bgp::{AsPath, Asn, BgpUpdate, Community, PathAttributes, Prefix};
 use kepler_bgpstream::{BgpRecord, CollectorId, PeerId, RecordPayload};

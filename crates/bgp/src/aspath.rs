@@ -74,12 +74,19 @@ impl AsPath {
     /// the "hops" Kepler matches community tags against.
     pub fn hops(&self) -> Vec<Asn> {
         let mut out: Vec<Asn> = Vec::new();
+        self.hops_into(&mut out);
+        out
+    }
+
+    /// [`hops`](Self::hops) into a caller-provided buffer (cleared first),
+    /// so the batch ingest decoder pays no per-record allocation.
+    pub fn hops_into(&self, out: &mut Vec<Asn>) {
+        out.clear();
         for asn in self.asns() {
             if out.last() != Some(&asn) {
                 out.push(asn);
             }
         }
-        out
     }
 
     /// The origin AS (last ASN), if the path is non-empty and ends in a

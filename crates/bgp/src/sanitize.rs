@@ -2,6 +2,7 @@
 //! discarding paths with AS loops, private ASNs, or special-purpose ASNs",
 //! and drops bogon prefixes before any analysis.
 
+use crate::asn::Asn;
 use crate::aspath::AsPath;
 use crate::message::BgpUpdate;
 use crate::prefix::Prefix;
@@ -164,19 +165,49 @@ impl Sanitizer {
         }
     }
 
-    fn verdict(&self, path: &AsPath, prefix: &Prefix) -> Result<(), RejectReason> {
+    /// Path-level verdict alone, without touching the counters. `hops`
+    /// must be the collapsed hop list of `path` (see
+    /// [`AsPath::hops`]); passing it in lets the batch ingest decoder
+    /// check a multi-prefix update's path once and then account per
+    /// prefix via [`assess_prefix`](Self::assess_prefix) +
+    /// [`tally`](Self::tally), with byte-identical statistics to calling
+    /// [`check_route`](Self::check_route) per prefix.
+    pub fn path_verdict(&self, path: &AsPath, hops: &[Asn]) -> Result<(), RejectReason> {
         if path.is_empty() {
             return Err(RejectReason::EmptyAsPath);
         }
-        if path.has_loop() {
-            return Err(RejectReason::AsLoop);
+        {
+            let mut seen = std::collections::HashSet::with_capacity(hops.len());
+            if hops.iter().any(|a| !seen.insert(*a)) {
+                return Err(RejectReason::AsLoop);
+            }
         }
         if path.has_special_purpose_asn() {
             return Err(RejectReason::SpecialPurposeAsn);
         }
-        if path.hops().len() > self.config.max_hops {
+        if hops.len() > self.config.max_hops {
             return Err(RejectReason::ExcessivePathLength);
         }
+        Ok(())
+    }
+
+    /// Prefix-level verdict alone, without touching the counters.
+    pub fn assess_prefix(&self, prefix: &Prefix) -> Result<(), RejectReason> {
+        self.prefix_verdict(prefix)
+    }
+
+    /// Applies one verdict to the counters (one accepted/rejected entry,
+    /// exactly what [`check_route`](Self::check_route) /
+    /// [`check_prefix`](Self::check_prefix) record internally).
+    pub fn tally(&mut self, verdict: Result<(), RejectReason>) {
+        match verdict {
+            Ok(()) => self.stats.accepted += 1,
+            Err(r) => self.stats.count(r),
+        }
+    }
+
+    fn verdict(&self, path: &AsPath, prefix: &Prefix) -> Result<(), RejectReason> {
+        self.path_verdict(path, &path.hops())?;
         self.prefix_verdict(prefix)
     }
 

@@ -1,0 +1,153 @@
+//! Per-collector-session record batching for parallel ingest.
+//!
+//! The parallel ingest pipeline (`kepler-core::ingest`) shards the decode
+//! stage by collector session: every record of one `(collector, peer)`
+//! feed goes to the same worker, so each route's event order (a route is a
+//! `(collector, peer, prefix)` triple) is preserved inside one worker and
+//! per-session state (the gap tracker) stays worker-local. This module
+//! owns the routing rule and the per-shard accumulation buffers; the
+//! coordinator layers its own order bookkeeping on top.
+
+use crate::collector::{CollectorId, PeerId};
+use crate::record::BgpRecord;
+use std::net::IpAddr;
+
+/// Deterministic dispatch key of a collector session. All records of one
+/// `(collector, peer)` pair map to the same key on every run — the
+/// parallel ingest remap protocol depends on it.
+pub fn session_key(collector: CollectorId, peer: &PeerId) -> u64 {
+    let mut x = (collector.0 as u64) << 32 | peer.asn.0 as u64;
+    x = mix(x);
+    match peer.addr {
+        IpAddr::V4(v4) => x = mix(x ^ u32::from(v4) as u64),
+        IpAddr::V6(v6) => {
+            let b = u128::from(v6);
+            x = mix(x ^ b as u64);
+            x = mix(x ^ (b >> 64) as u64);
+        }
+    }
+    x
+}
+
+/// splitmix64 finalizer — cheap, well-mixed, dependency-free.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Accumulates records into per-shard batches, routing by
+/// [`session_key`].
+#[derive(Debug)]
+pub struct RecordBatcher {
+    shards: usize,
+    batch_size: usize,
+    buffers: Vec<Vec<BgpRecord>>,
+}
+
+impl RecordBatcher {
+    /// A batcher for `shards` workers emitting batches of `batch_size`.
+    pub fn new(shards: usize, batch_size: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(batch_size >= 1, "need a positive batch size");
+        RecordBatcher { shards, batch_size, buffers: vec![Vec::new(); shards] }
+    }
+
+    /// Number of shards records are routed across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard the record's collector session is pinned to.
+    pub fn shard_of(&self, rec: &BgpRecord) -> usize {
+        (session_key(rec.collector, &rec.peer) % self.shards as u64) as usize
+    }
+
+    /// Buffers one record; returns a full batch when the record's shard
+    /// buffer reaches the batch size.
+    pub fn push(&mut self, shard: usize, rec: BgpRecord) -> Option<Vec<BgpRecord>> {
+        let buf = &mut self.buffers[shard];
+        buf.push(rec);
+        if buf.len() >= self.batch_size {
+            Some(std::mem::replace(buf, Vec::with_capacity(self.batch_size)))
+        } else {
+            None
+        }
+    }
+
+    /// Records currently buffered (unsent) for a shard.
+    pub fn buffered(&self, shard: usize) -> usize {
+        self.buffers[shard].len()
+    }
+
+    /// Takes the partial batch of one shard (possibly empty).
+    pub fn take(&mut self, shard: usize) -> Vec<BgpRecord> {
+        std::mem::take(&mut self.buffers[shard])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordPayload;
+    use kepler_bgp::{Asn, BgpUpdate, PathAttributes, Prefix};
+
+    fn rec(collector: u16, peer_asn: u32) -> BgpRecord {
+        BgpRecord {
+            time: 1,
+            collector: CollectorId(collector),
+            peer: PeerId { asn: Asn(peer_asn), addr: "10.0.0.1".parse().unwrap() },
+            payload: RecordPayload::Update(BgpUpdate::announce(
+                vec![Prefix::v4(10, 0, 0, 0, 24)],
+                PathAttributes::with_path_and_communities(
+                    kepler_bgp::AsPath::from_sequence([1, 2]),
+                    vec![],
+                ),
+            )),
+        }
+    }
+
+    #[test]
+    fn same_session_same_shard() {
+        let b = RecordBatcher::new(8, 4);
+        for c in 0..20u16 {
+            let r = rec(c, 100);
+            assert_eq!(b.shard_of(&r), b.shard_of(&r.clone()));
+        }
+    }
+
+    #[test]
+    fn sessions_spread_across_shards() {
+        let b = RecordBatcher::new(8, 4);
+        let shards: std::collections::HashSet<usize> =
+            (0..64u16).map(|c| b.shard_of(&rec(c, 100 + c as u32))).collect();
+        assert!(shards.len() >= 6, "64 sessions hit only {} of 8 shards", shards.len());
+    }
+
+    #[test]
+    fn batches_emit_at_capacity_and_drain() {
+        let mut b = RecordBatcher::new(2, 3);
+        let mut emitted = Vec::new();
+        for i in 0..7 {
+            let r = rec(0, 100);
+            let s = b.shard_of(&r);
+            if let Some(batch) = b.push(s, r) {
+                emitted.push((i, batch.len()));
+            }
+        }
+        assert_eq!(emitted, vec![(2, 3), (5, 3)]);
+        let s = b.shard_of(&rec(0, 100));
+        assert_eq!(b.buffered(s), 1);
+        assert_eq!(b.take(s).len(), 1);
+        assert_eq!(b.buffered(s), 0);
+    }
+
+    #[test]
+    fn v6_peers_key_deterministically() {
+        let peer = PeerId { asn: Asn(7), addr: "2001:db8::9".parse().unwrap() };
+        assert_eq!(session_key(CollectorId(3), &peer), session_key(CollectorId(3), &peer));
+        let other = PeerId { asn: Asn(7), addr: "2001:db8::a".parse().unwrap() };
+        assert_ne!(session_key(CollectorId(3), &peer), session_key(CollectorId(3), &other));
+    }
+}

@@ -17,7 +17,10 @@
 //!   affected by collector feed disruptions rather than real outages.
 //! * [`broker`] — time-windowed queries over a set of registered archives
 //!   (the "broker" interface of BGPStream).
+//! * [`batch`] — per-collector-session record batching, the routing layer
+//!   of the parallel ingest pipeline in `kepler-core`.
 
+pub mod batch;
 pub mod broker;
 pub mod collector;
 pub mod gap;
@@ -25,6 +28,7 @@ pub mod merge;
 pub mod record;
 pub mod source;
 
+pub use batch::{session_key, RecordBatcher};
 pub use broker::Broker;
 pub use collector::{CollectorId, CollectorRegistry, PeerId};
 pub use gap::GapTracker;

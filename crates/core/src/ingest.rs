@@ -1,0 +1,516 @@
+//! Staged parallel ingest: sharded decode → intern → remap → merge.
+//!
+//! PR 1 parallelized the monitor, but record decode, input mapping and
+//! interning stayed serial and dominate end-to-end throughput (the
+//! `pipeline_1m` breakdown: ~60% of per-record cost is the decode+intern
+//! stage). This module converts that stage into the same dense/sharded
+//! architecture as the monitor:
+//!
+//! * **Dispatch.** Records are routed to worker threads by collector
+//!   session (`kepler_bgpstream::batch`): every `(collector, peer)` feed
+//!   is pinned to one worker, so each route's event order (a route is a
+//!   `(collector, peer, prefix)` triple) is preserved inside one worker
+//!   and the per-session gap tracker stays worker-local.
+//! * **Decode.** Each worker owns an [`InputModule`] and a **local
+//!   [`Interner`]** and runs sanitize + community→PoP mapping + interning
+//!   on whole records ([`InputModule::process_record_dense`]) — no
+//!   per-prefix `BgpElem` explosion, no per-event allocations. Events
+//!   leave the worker in *local* dense-id space as flat batches.
+//! * **Remap.** The coordinator unifies id spaces. Along with its events,
+//!   every batch carries the worker's **intern delta**: the display keys
+//!   minted since the previous batch, in local-id order
+//!   ([`Interner::route_keys_since`] and friends). Because local ids are
+//!   dense and append-only, the coordinator's per-worker remap table is a
+//!   plain `Vec` — absorbing a delta appends `global_id =
+//!   global_interner.intern(key)` for each new local id, and remapping an
+//!   event is pure indexing. Identities seen by several workers (the same
+//!   ASN or PoP tag crossing many collectors) thus collapse to one global
+//!   id, which is what keeps `(PoP, near-AS)` deviation groups — and the
+//!   monitor's merge — exact. Route keys never collide across workers
+//!   (they embed the collector session), so their remap is collision-free
+//!   by construction.
+//! * **Merge.** The coordinator reassembles the *original stream order*
+//!   (a per-record worker queue recorded at dispatch time) before handing
+//!   events to the monitor, so the parallel pipeline is bit-identical to
+//!   the serial path — property-tested in `tests/ingest_differential.rs`
+//!   for 1/2/8 ingest shards. Remapped crossing lists are deduplicated
+//!   through a crossing-set cache (`Arc<[DenseCrossing]>` per distinct
+//!   set), so re-announcements share one allocation.
+//!
+//! The global [`Interner`] is owned by the caller (the
+//! [`Kepler`](crate::system::Kepler) system), so display resolution at
+//! report time works identically in serial and parallel modes.
+
+use crate::fx::FxHashMap;
+use crate::input::{DenseElem, InputModule, InputStats};
+use crate::intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId};
+use kepler_bgp::Asn;
+use kepler_bgpstream::{BgpRecord, GapTracker, RecordBatcher, Timestamp};
+use kepler_docmine::LocationTag;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Records accumulated per worker before a batch is shipped.
+const INGEST_BATCH: usize = 512;
+
+/// In-flight record high-water mark: beyond this the coordinator flushes
+/// partial batches and drains blockingly, bounding memory.
+const MAX_INFLIGHT: usize = 64 * 1024;
+
+/// One decoded element in worker-local id space.
+#[derive(Debug, Clone, Copy)]
+struct LocalEvent {
+    /// Local route id (dense in the worker's interner).
+    route: u32,
+    /// Offset into the batch's flat crossing buffer, or `u32::MAX` for a
+    /// withdrawal.
+    start: u32,
+    /// Crossings consumed from the flat buffer.
+    len: u32,
+}
+
+const WITHDRAW: u32 = u32::MAX;
+
+/// One processed batch leaving a worker.
+#[derive(Debug, Default)]
+struct BatchOut {
+    /// Per input record, in batch order: arrival time + events produced.
+    records: Vec<(Timestamp, u32)>,
+    /// Flattened events of all records, in order.
+    events: Vec<LocalEvent>,
+    /// Flat crossing buffer the events' ranges point into (local ids).
+    crossings: Vec<DenseCrossing>,
+    /// Intern delta: route keys minted by this batch, in local-id order.
+    new_routes: Vec<crate::events::RouteKey>,
+    /// Intern delta: PoP tags minted by this batch.
+    new_pops: Vec<LocationTag>,
+    /// Intern delta: ASNs minted by this batch.
+    new_asns: Vec<Asn>,
+    /// Input statistics accumulated by this batch alone.
+    stats: InputStats,
+}
+
+fn stats_delta(now: &InputStats, prev: &InputStats) -> InputStats {
+    InputStats {
+        elems: now.elems - prev.elems,
+        located: now.located - prev.located,
+        unlocated: now.unlocated - prev.unlocated,
+        rejected: now.rejected - prev.rejected,
+    }
+}
+
+fn add_stats(acc: &mut InputStats, d: &InputStats) {
+    acc.elems += d.elems;
+    acc.located += d.located;
+    acc.unlocated += d.unlocated;
+    acc.rejected += d.rejected;
+}
+
+fn worker_loop(
+    mut input: InputModule,
+    quarantine_secs: u64,
+    rx: Receiver<Vec<BgpRecord>>,
+    tx: Sender<BatchOut>,
+) {
+    let mut interner = Interner::new();
+    let mut gap = GapTracker::new(quarantine_secs);
+    let mut seen_routes = 0usize;
+    let mut seen_pops = 0usize;
+    let mut seen_asns = 0usize;
+    let mut prev_stats = InputStats::default();
+    while let Ok(batch) = rx.recv() {
+        let mut out = BatchOut { records: Vec::with_capacity(batch.len()), ..BatchOut::default() };
+        for rec in &batch {
+            gap.observe(rec);
+            let before = out.events.len();
+            if gap.is_usable(rec.collector, rec.peer, rec.time) {
+                let events = &mut out.events;
+                let flat = &mut out.crossings;
+                input.process_record_dense(rec, &mut interner, |elem| match elem {
+                    DenseElem::Withdraw { route } => {
+                        events.push(LocalEvent { route: route.0, start: WITHDRAW, len: 0 });
+                    }
+                    DenseElem::Update { route, crossings } => {
+                        let start = u32::try_from(flat.len()).expect("crossing buffer overflow");
+                        flat.extend_from_slice(crossings);
+                        events.push(LocalEvent {
+                            route: route.0,
+                            start,
+                            len: crossings.len() as u32,
+                        });
+                    }
+                });
+            }
+            out.records.push((rec.time, (out.events.len() - before) as u32));
+        }
+        out.new_routes = interner.route_keys_since(seen_routes).to_vec();
+        out.new_pops = interner.pop_tags_since(seen_pops).to_vec();
+        out.new_asns = interner.asns_since(seen_asns).to_vec();
+        seen_routes = interner.routes_len();
+        seen_pops = interner.pops_len();
+        seen_asns = interner.asns_len();
+        out.stats = stats_delta(input.stats(), &prev_stats);
+        prev_stats = input.stats().clone();
+        if tx.send(out).is_err() {
+            return;
+        }
+    }
+}
+
+/// Per-worker local→global id tables. Indexed by local id; append-only,
+/// extended by each batch's intern delta.
+#[derive(Debug, Default)]
+struct Remap {
+    routes: Vec<RouteId>,
+    pops: Vec<PopId>,
+    asns: Vec<AsnId>,
+}
+
+/// A received batch being consumed record by record.
+#[derive(Debug)]
+struct Pending {
+    batch: BatchOut,
+    /// Next record index within `batch.records`.
+    rec: usize,
+    /// Next event index within `batch.events`.
+    ev: usize,
+}
+
+/// The staged parallel ingest pipeline (see the module docs).
+pub struct ParallelIngest {
+    txs: Vec<Sender<Vec<BgpRecord>>>,
+    rxs: Vec<Receiver<BatchOut>>,
+    handles: Vec<JoinHandle<()>>,
+    batcher: RecordBatcher,
+    /// Worker index of every dispatched-but-not-yet-merged record, in
+    /// original stream order — the reassembly script.
+    order: VecDeque<u8>,
+    /// Records shipped to each worker and not yet merged back.
+    in_flight: Vec<usize>,
+    pending: Vec<VecDeque<Pending>>,
+    remap: Vec<Remap>,
+    /// Distinct remapped crossing sets share one allocation.
+    cross_cache: FxHashMap<Vec<DenseCrossing>, Arc<[DenseCrossing]>>,
+    cross_scratch: Vec<DenseCrossing>,
+    stats: InputStats,
+}
+
+impl ParallelIngest {
+    /// Builds the pipeline with `workers` decode shards. Each worker gets
+    /// a clone of `template`'s dictionary and colocation map plus its own
+    /// gap tracker with the given quarantine.
+    pub fn new(template: &InputModule, quarantine_secs: u64, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one ingest worker");
+        // The reassembly order queue stores worker indices as u8.
+        assert!(workers <= 256, "at most 256 ingest workers");
+        let mut txs = Vec::with_capacity(workers);
+        let mut rxs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, worker_rx) = channel::<Vec<BgpRecord>>();
+            let (worker_tx, rx) = channel::<BatchOut>();
+            let input = InputModule::new(template.dictionary().clone(), template.colo().clone());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("kepler-ingest-{i}"))
+                    .spawn(move || worker_loop(input, quarantine_secs, worker_rx, worker_tx))
+                    .expect("spawn ingest worker"),
+            );
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        ParallelIngest {
+            txs,
+            rxs,
+            handles,
+            batcher: RecordBatcher::new(workers, INGEST_BATCH),
+            order: VecDeque::new(),
+            in_flight: vec![0; workers],
+            pending: (0..workers).map(|_| VecDeque::new()).collect(),
+            remap: (0..workers).map(|_| Remap::default()).collect(),
+            cross_cache: FxHashMap::default(),
+            cross_scratch: Vec::new(),
+            stats: InputStats::default(),
+        }
+    }
+
+    /// Number of decode workers.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Input statistics merged from every worker, complete up to the last
+    /// batch merged back (after [`finish`](Self::finish): the whole run).
+    pub fn stats(&self) -> &InputStats {
+        &self.stats
+    }
+
+    /// Dispatches one record to its collector session's worker.
+    pub fn push(&mut self, rec: &BgpRecord) {
+        self.push_owned(rec.clone());
+    }
+
+    /// [`push`](Self::push) without the defensive clone, for callers that
+    /// own their records (the bench drivers and [`run`-style
+    /// loops](crate::system::Kepler::run)).
+    pub fn push_owned(&mut self, rec: BgpRecord) {
+        let shard = self.batcher.shard_of(&rec);
+        self.order.push_back(shard as u8);
+        if let Some(batch) = self.batcher.push(shard, rec) {
+            self.in_flight[shard] += batch.len();
+            self.txs[shard].send(batch).expect("ingest worker alive");
+        }
+    }
+
+    /// Appends every event whose record has completed decode to `out`, in
+    /// exact stream order, remapped to global ids. Non-blocking unless the
+    /// in-flight high-water mark forces backpressure.
+    pub fn drain_ready(
+        &mut self,
+        interner: &mut Interner,
+        out: &mut Vec<(Timestamp, DenseRouteEvent)>,
+    ) {
+        self.drain(interner, out, false);
+        if self.order.len() > MAX_INFLIGHT {
+            self.flush_partials();
+            while self.order.len() > MAX_INFLIGHT / 2 {
+                self.drain_front_blocking(interner, out);
+            }
+        }
+    }
+
+    /// Flushes every buffered record and drains the pipeline to empty.
+    /// After this call the merged [`stats`](Self::stats) cover every
+    /// pushed record. The pipeline remains usable for further pushes.
+    pub fn finish(&mut self, interner: &mut Interner, out: &mut Vec<(Timestamp, DenseRouteEvent)>) {
+        self.flush_partials();
+        while !self.order.is_empty() {
+            self.drain_front_blocking(interner, out);
+        }
+    }
+
+    fn flush_partials(&mut self) {
+        for shard in 0..self.txs.len() {
+            if self.batcher.buffered(shard) > 0 {
+                let batch = self.batcher.take(shard);
+                self.in_flight[shard] += batch.len();
+                self.txs[shard].send(batch).expect("ingest worker alive");
+            }
+        }
+    }
+
+    /// Merges ready batches and emits completed records until the next
+    /// record in stream order is not decoded yet (`block == false`) or
+    /// until the order queue empties (`block == true` drains exactly one
+    /// front record, receiving as needed).
+    fn drain(
+        &mut self,
+        interner: &mut Interner,
+        out: &mut Vec<(Timestamp, DenseRouteEvent)>,
+        block: bool,
+    ) {
+        while let Some(&w) = self.order.front() {
+            let w = w as usize;
+            if !self.ensure_front_record(w, interner, block) {
+                return;
+            }
+            self.emit_front_record(w, out);
+            if block {
+                return;
+            }
+        }
+    }
+
+    fn drain_front_blocking(
+        &mut self,
+        interner: &mut Interner,
+        out: &mut Vec<(Timestamp, DenseRouteEvent)>,
+    ) {
+        self.drain(interner, out, true);
+    }
+
+    /// Makes sure worker `w`'s pending queue fronts a batch with an
+    /// unconsumed record, receiving more batches if needed. Returns false
+    /// if none is available without violating `block == false`.
+    fn ensure_front_record(&mut self, w: usize, interner: &mut Interner, block: bool) -> bool {
+        loop {
+            while let Some(front) = self.pending[w].front() {
+                if front.rec < front.batch.records.len() {
+                    return true;
+                }
+                self.pending[w].pop_front();
+            }
+            if self.in_flight[w] == 0 {
+                // The front record still sits in an unsent partial batch.
+                if !block {
+                    return false;
+                }
+                let batch = self.batcher.take(w);
+                assert!(!batch.is_empty(), "order queue references an unbuffered record");
+                self.in_flight[w] += batch.len();
+                self.txs[w].send(batch).expect("ingest worker alive");
+            }
+            let batch = if block {
+                match self.rxs[w].recv() {
+                    Ok(b) => b,
+                    Err(_) => panic!("ingest worker died with records in flight"),
+                }
+            } else {
+                match self.rxs[w].try_recv() {
+                    Ok(b) => b,
+                    Err(TryRecvError::Empty) => return false,
+                    Err(TryRecvError::Disconnected) => {
+                        panic!("ingest worker died with records in flight")
+                    }
+                }
+            };
+            self.absorb(w, interner, batch);
+        }
+    }
+
+    /// Applies a batch's intern delta to worker `w`'s remap tables and
+    /// queues its records for consumption.
+    fn absorb(&mut self, w: usize, interner: &mut Interner, batch: BatchOut) {
+        let remap = &mut self.remap[w];
+        for key in &batch.new_routes {
+            remap.routes.push(interner.route_id(key));
+        }
+        for tag in &batch.new_pops {
+            remap.pops.push(interner.pop_id(*tag));
+        }
+        for asn in &batch.new_asns {
+            remap.asns.push(interner.asn_id(*asn));
+        }
+        add_stats(&mut self.stats, &batch.stats);
+        self.in_flight[w] -= batch.records.len();
+        self.pending[w].push_back(Pending { batch, rec: 0, ev: 0 });
+    }
+
+    /// Emits the front pending record of worker `w` (which must exist)
+    /// and advances the order queue.
+    fn emit_front_record(&mut self, w: usize, out: &mut Vec<(Timestamp, DenseRouteEvent)>) {
+        self.order.pop_front();
+        let pending = self.pending[w].front_mut().expect("front record ensured");
+        let (time, n_events) = pending.batch.records[pending.rec];
+        pending.rec += 1;
+        let start = pending.ev;
+        pending.ev += n_events as usize;
+        for i in start..pending.ev {
+            let ev = pending.batch.events[i];
+            let remap = &self.remap[w];
+            let route = remap.routes[ev.route as usize];
+            let event = if ev.start == WITHDRAW {
+                DenseRouteEvent::Withdraw { route }
+            } else {
+                let slice =
+                    &pending.batch.crossings[ev.start as usize..(ev.start + ev.len) as usize];
+                self.cross_scratch.clear();
+                self.cross_scratch.extend(slice.iter().map(|c| DenseCrossing {
+                    pop: remap.pops[c.pop.0 as usize],
+                    near: remap.asns[c.near.0 as usize],
+                    far: remap.asns[c.far.0 as usize],
+                }));
+                let crossings = match self.cross_cache.get(self.cross_scratch.as_slice()) {
+                    Some(arc) => Arc::clone(arc),
+                    None => {
+                        let arc: Arc<[DenseCrossing]> = Arc::from(self.cross_scratch.as_slice());
+                        self.cross_cache.insert(self.cross_scratch.clone(), Arc::clone(&arc));
+                        arc
+                    }
+                };
+                DenseRouteEvent::Update { route, crossings }
+            };
+            out.push((time, event));
+        }
+    }
+}
+
+impl Drop for ParallelIngest {
+    fn drop(&mut self) {
+        // Hang up the dispatch channels; workers exit their recv loops.
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Either ingest path behind one dispatching surface, so
+/// [`Kepler`](crate::system::Kepler) drives serial and parallel decode
+/// identically.
+#[allow(clippy::large_enum_variant)] // one long-lived instance per system
+pub enum AnyIngest {
+    /// In-thread decode: the PR 1 path (explode + per-element mapping).
+    Serial {
+        /// The input module.
+        input: InputModule,
+        /// Collector-session gap tracking.
+        gap: GapTracker,
+    },
+    /// Sharded decode on worker threads with id remapping at merge.
+    Parallel(ParallelIngest),
+}
+
+impl AnyIngest {
+    /// Feeds one record; completed events land in `out` (for the serial
+    /// path: this record's events; for the parallel path: every event
+    /// whose record has finished decode), in exact stream order.
+    pub fn process_record(
+        &mut self,
+        rec: &BgpRecord,
+        interner: &mut Interner,
+        out: &mut Vec<(Timestamp, DenseRouteEvent)>,
+    ) {
+        match self {
+            AnyIngest::Serial { input, gap } => {
+                gap.observe(rec);
+                if !gap.is_usable(rec.collector, rec.peer, rec.time) {
+                    return;
+                }
+                for elem in rec.explode() {
+                    if let Some(event) = input.process_dense(&elem, interner) {
+                        out.push((elem.time, event));
+                    }
+                }
+            }
+            AnyIngest::Parallel(p) => {
+                p.push(rec);
+                p.drain_ready(interner, out);
+            }
+        }
+    }
+
+    /// [`process_record`](Self::process_record) taking ownership, so the
+    /// parallel path dispatches without a per-record deep clone.
+    pub fn process_record_owned(
+        &mut self,
+        rec: BgpRecord,
+        interner: &mut Interner,
+        out: &mut Vec<(Timestamp, DenseRouteEvent)>,
+    ) {
+        if let AnyIngest::Parallel(p) = self {
+            p.push_owned(rec);
+            p.drain_ready(interner, out);
+        } else {
+            self.process_record(&rec, interner, out);
+        }
+    }
+
+    /// Drains whatever the pipeline still holds (no-op for serial).
+    pub fn finish(&mut self, interner: &mut Interner, out: &mut Vec<(Timestamp, DenseRouteEvent)>) {
+        if let AnyIngest::Parallel(p) = self {
+            p.finish(interner, out);
+        }
+    }
+
+    /// Input statistics. Serial: live counters; parallel: merged from
+    /// every worker, complete once [`finish`](Self::finish) has run.
+    pub fn stats(&self) -> &InputStats {
+        match self {
+            AnyIngest::Serial { input, .. } => input.stats(),
+            AnyIngest::Parallel(p) => p.stats(),
+        }
+    }
+}

@@ -6,13 +6,13 @@
 //! next hop toward the origin is the *far-end* neighbor. Route-server
 //! communities (top 16 bits = the RS ASN, which never appears in the path)
 //! are resolved by finding the adjacent member pair of that IXP on the
-//! path, the method of Giotsas & Zhou [51].
+//! path, the method of Giotsas & Zhou \[51\].
 
 use crate::events::RouteKey;
-use crate::intern::{DenseRouteEvent, Interner};
+use crate::intern::{DenseCrossing, DenseRouteEvent, Interner, RouteId};
 use kepler_bgp::sanitize::{SanitizeStats, Sanitizer, SanitizerConfig};
 use kepler_bgp::{Asn, PathAttributes};
-use kepler_bgpstream::{BgpElem, ElemKind};
+use kepler_bgpstream::{BgpElem, BgpRecord, ElemKind, RecordPayload};
 use kepler_docmine::{CommunityDictionary, LocationTag};
 use kepler_topology::ColocationMap;
 use serde::{Deserialize, Serialize};
@@ -74,12 +74,36 @@ impl InputStats {
     }
 }
 
+/// One decoded element in dense-id space, borrowed from the decoder's
+/// scratch buffers. Produced by [`InputModule::process_record_dense`].
+#[derive(Debug, Clone, Copy)]
+pub enum DenseElem<'a> {
+    /// The route is (re-)announced with these interned crossings.
+    Update {
+        /// Interned route identity.
+        route: RouteId,
+        /// Interned located crossings (scratch-backed; copy out to keep).
+        crossings: &'a [DenseCrossing],
+    },
+    /// The route was withdrawn.
+    Withdraw {
+        /// Interned route identity.
+        route: RouteId,
+    },
+}
+
 /// The input module.
 pub struct InputModule {
     dictionary: CommunityDictionary,
     colo: ColocationMap,
     sanitizer: Sanitizer,
     stats: InputStats,
+    /// Scratch buffers for the record-level batch decoder, so
+    /// [`process_record_dense`](Self::process_record_dense) allocates
+    /// nothing per record.
+    hops_scratch: Vec<Asn>,
+    cross_scratch: Vec<PopCrossing>,
+    dense_scratch: Vec<DenseCrossing>,
 }
 
 impl InputModule {
@@ -90,6 +114,9 @@ impl InputModule {
             colo,
             sanitizer: Sanitizer::new(SanitizerConfig::default()),
             stats: InputStats::default(),
+            hops_scratch: Vec::new(),
+            cross_scratch: Vec::new(),
+            dense_scratch: Vec::new(),
         }
     }
 
@@ -159,9 +186,90 @@ impl InputModule {
         self.process(elem).map(|ev| interner.intern_event(&ev))
     }
 
+    /// Decodes one whole record straight into dense-id space, without the
+    /// per-prefix [`BgpElem`] explosion (no `Arc<PathAttributes>` clone,
+    /// no per-element `Vec`s): the path is sanitized and its communities
+    /// mapped **once per update**, then each announced prefix re-uses the
+    /// scratch-backed crossing list. Statistics (both [`InputStats`] and
+    /// [`SanitizeStats`]) are accounted per element, byte-identical to
+    /// calling [`process_dense`](Self::process_dense) on every exploded
+    /// element. State records yield nothing (they are the
+    /// [`GapTracker`](kepler_bgpstream::GapTracker)'s business).
+    ///
+    /// This is the decode stage of the parallel ingest pipeline
+    /// ([`crate::ingest`]); `emit` receives elements in the exact order
+    /// [`BgpRecord::explode`] would have produced them.
+    pub fn process_record_dense<F: for<'a> FnMut(DenseElem<'a>)>(
+        &mut self,
+        rec: &BgpRecord,
+        interner: &mut Interner,
+        mut emit: F,
+    ) {
+        let RecordPayload::Update(update) = &rec.payload else { return };
+        for p in &update.withdrawn {
+            self.stats.elems += 1;
+            let v = self.sanitizer.assess_prefix(p);
+            self.sanitizer.tally(v);
+            if v.is_err() {
+                self.stats.rejected += 1;
+                continue;
+            }
+            let key = RouteKey { collector: rec.collector, peer: rec.peer, prefix: *p };
+            emit(DenseElem::Withdraw { route: interner.route_id(&key) });
+        }
+        let Some(attrs) = &update.attrs else { return };
+        if update.announced.is_empty() {
+            return;
+        }
+        let mut hops = std::mem::take(&mut self.hops_scratch);
+        attrs.as_path.hops_into(&mut hops);
+        let path_verdict = self.sanitizer.path_verdict(&attrs.as_path, &hops);
+        let mut dense = std::mem::take(&mut self.dense_scratch);
+        dense.clear();
+        let mut located = false;
+        if path_verdict.is_ok() {
+            let mut cross = std::mem::take(&mut self.cross_scratch);
+            self.map_crossings_into(attrs, &hops, &mut cross);
+            located = !cross.is_empty();
+            dense.extend(cross.iter().map(|c| interner.crossing(c)));
+            self.cross_scratch = cross;
+        }
+        for p in &update.announced {
+            self.stats.elems += 1;
+            let v = path_verdict.and_then(|()| self.sanitizer.assess_prefix(p));
+            self.sanitizer.tally(v);
+            if v.is_err() {
+                self.stats.rejected += 1;
+                continue;
+            }
+            if located {
+                self.stats.located += 1;
+            } else {
+                self.stats.unlocated += 1;
+            }
+            let key = RouteKey { collector: rec.collector, peer: rec.peer, prefix: *p };
+            emit(DenseElem::Update { route: interner.route_id(&key), crossings: &dense });
+        }
+        self.hops_scratch = hops;
+        self.dense_scratch = dense;
+    }
+
     /// Maps the communities of an announcement onto path crossings.
     pub fn map_crossings(&self, attrs: &PathAttributes, hops: &[Asn]) -> Vec<PopCrossing> {
         let mut out: Vec<PopCrossing> = Vec::new();
+        self.map_crossings_into(attrs, hops, &mut out);
+        out
+    }
+
+    /// [`map_crossings`](Self::map_crossings) into a caller-provided
+    /// buffer (cleared first).
+    pub fn map_crossings_into(
+        &self,
+        attrs: &PathAttributes,
+        hops: &[Asn],
+        out: &mut Vec<PopCrossing>,
+    ) {
+        out.clear();
         for c in &attrs.communities {
             if let Some(tag) = self.dictionary.lookup(*c) {
                 // Explicit location community: attribute to the matching hop.
@@ -195,7 +303,6 @@ impl InputModule {
                 }
             }
         }
-        out
     }
 }
 

@@ -243,6 +243,23 @@ impl Interner {
         }
     }
 
+    /// Display keys of the routes minted at id `n` and later, in id order
+    /// — the delta a parallel-ingest worker ships to the remap layer after
+    /// a batch (see [`crate::ingest`]).
+    pub fn route_keys_since(&self, n: usize) -> &[RouteKey] {
+        &self.route_keys[n..]
+    }
+
+    /// Display tags of the PoPs minted at id `n` and later, in id order.
+    pub fn pop_tags_since(&self, n: usize) -> &[LocationTag] {
+        &self.pop_tags[n..]
+    }
+
+    /// Display ASNs minted at id `n` and later, in id order.
+    pub fn asns_since(&self, n: usize) -> &[Asn] {
+        &self.asn_values[n..]
+    }
+
     /// Number of distinct routes seen.
     pub fn routes_len(&self) -> usize {
         self.route_keys.len()

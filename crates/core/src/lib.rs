@@ -27,6 +27,7 @@ pub mod config;
 pub mod dataplane;
 pub mod events;
 pub mod fx;
+pub mod ingest;
 pub mod input;
 pub mod intern;
 pub mod investigate;
@@ -38,6 +39,7 @@ pub mod tracker;
 
 pub use config::KeplerConfig;
 pub use events::{OutageReport, OutageScope, RouteKey, SignalClass};
+pub use ingest::ParallelIngest;
 pub use intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId};
 pub use shard::{AnyMonitor, ShardedMonitor};
 pub use system::{Kepler, KeplerInputs};

@@ -178,6 +178,32 @@ struct CurrentRoute {
     since: Timestamp,
 }
 
+/// Pre-finish state captured during an eager bin close
+/// ([`MonitorCore::close_bin_eager`]): for every group key and PoP the
+/// finish *touched* (pruned from or promoted into), the denominator and
+/// snapshot as they stood at the bin boundary. Untouched keys/PoPs are
+/// answered from live state — `apply` never mutates the stable index, so
+/// live equals pre-finish for them even after later-bin events have been
+/// applied. This is what lets [`crate::shard::ShardedMonitor`] close bins
+/// with one in-stream marker instead of lockstep collect/snapshot/finish
+/// round-trips.
+#[derive(Debug, Default)]
+pub struct BinPreState {
+    totals: FxHashMap<GroupKey, usize>,
+    snaps: FxHashMap<PopId, SnapshotPair>,
+}
+
+/// Everything an eager bin close returns to the shard loop.
+#[derive(Debug)]
+pub struct EagerClose {
+    /// The bin's per-group deviation statistics (pre-threshold).
+    pub groups: Vec<GroupStat>,
+    /// Pre-finish stable counts of the watched PoPs, in argument order.
+    pub watch_stables: Vec<usize>,
+    /// Captured pre-finish state for deferred denominator queries.
+    pub pre: BinPreState,
+}
+
 /// The event/baseline state machine: everything the monitor does *except*
 /// bin bookkeeping. One instance per shard.
 ///
@@ -201,6 +227,9 @@ pub struct MonitorCore {
     /// *stable* crossing. Determines which PoPs are trackable (the paper's
     /// ≥3 near-end + ≥3 far-end rule).
     coverage: FxHashMap<PopId, (FxHashSet<AsnId>, FxHashSet<AsnId>)>,
+    /// Active pre-finish capture (only during
+    /// [`close_bin_eager`](Self::close_bin_eager)).
+    pre: Option<BinPreState>,
 }
 
 impl MonitorCore {
@@ -219,6 +248,7 @@ impl MonitorCore {
             deviations: FxHashMap::default(),
             deviation_fars: FxHashMap::default(),
             coverage: FxHashMap::default(),
+            pre: None,
         }
     }
 
@@ -319,6 +349,58 @@ impl MonitorCore {
             .sum()
     }
 
+    /// Eagerly closes one bin in a single step: reports the bin's group
+    /// statistics and watched stable counts (both pre-finish), captures
+    /// the pre-finish state the coordinator may still query
+    /// ([`group_totals_pre`](Self::group_totals_pre),
+    /// [`snapshot_pre`](Self::snapshot_pre)), then prunes + promotes
+    /// immediately — at the exact stream position the serial path would,
+    /// so later-bin events may be applied right away.
+    pub fn close_bin_eager(&mut self, bin_end: Timestamp, watched: &[PopId]) -> EagerClose {
+        let groups = self.bin_groups();
+        let watch_stables = watched.iter().map(|&p| self.stable_count(p)).collect();
+        self.pre = Some(BinPreState::default());
+        self.finish_bin(bin_end);
+        let pre = self.pre.take().expect("pre-state capture active");
+        EagerClose { groups, watch_stables, pre }
+    }
+
+    /// Pre-finish stable-route counts for the given groups, answered from
+    /// the captured state where the finish touched a key and from live
+    /// state otherwise (equivalent, because `apply` never mutates the
+    /// stable index).
+    pub fn group_totals_pre(&self, pre: &BinPreState, keys: &[GroupKey]) -> Vec<usize> {
+        keys.iter()
+            .map(|key| match pre.totals.get(key) {
+                Some(&n) => n,
+                None => self.pop_index.get(key).map(FxHashSet::len).unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Pre-finish `(stable_fars, stable_nears)` snapshot of one PoP.
+    pub fn snapshot_pre(&self, pre: &BinPreState, pop: PopId) -> SnapshotPair {
+        match pre.snaps.get(&pop) {
+            Some(snap) => snap.clone(),
+            None => (self.stable_fars(pop), self.stable_nears(pop)),
+        }
+    }
+
+    /// First-touch capture of a group's denominator and its PoP's
+    /// snapshot, called before any mutation of that key/PoP during an
+    /// eagerly-finished bin. No-op outside [`close_bin_eager`].
+    fn record_pre(&mut self, key: GroupKey, pop: PopId) {
+        let Some(pre) = &self.pre else { return };
+        if !pre.totals.contains_key(&key) {
+            let n = self.pop_index.get(&key).map(FxHashSet::len).unwrap_or(0);
+            self.pre.as_mut().expect("pre active").totals.insert(key, n);
+        }
+        if !self.pre.as_ref().expect("pre active").snaps.contains_key(&pop) {
+            let snap = (self.stable_fars(pop), self.stable_nears(pop));
+            self.pre.as_mut().expect("pre active").snaps.insert(pop, snap);
+        }
+    }
+
     /// Closes the bin's bookkeeping: prunes every deviated path from the
     /// stable set, clears deviation state, and promotes routes that became
     /// stable by `now`.
@@ -359,6 +441,11 @@ impl MonitorCore {
             {
                 continue;
             }
+            if self.pre.is_some() {
+                for c in Arc::clone(&crossings).iter() {
+                    self.record_pre(c.group(), c.pop);
+                }
+            }
             self.remove_from_baseline(route);
             for c in crossings.iter() {
                 self.pop_index.entry(c.group()).or_default().insert(route);
@@ -379,6 +466,14 @@ impl MonitorCore {
 
     fn remove_from_baseline(&mut self, route: RouteId) {
         let slot = self.slot(route);
+        if self.pre.is_some() {
+            let base = self.baseline.get(slot).and_then(|o| o.as_ref().map(Arc::clone));
+            if let Some(base) = base {
+                for c in base.iter() {
+                    self.record_pre(c.group(), c.pop);
+                }
+            }
+        }
         let Some(opt) = self.baseline.get_mut(slot) else { return };
         let Some(base) = opt.take() else { return };
         self.baseline_len -= 1;

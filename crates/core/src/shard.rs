@@ -11,16 +11,19 @@
 //! [`BinOutcome`](crate::monitor::BinOutcome)s to a single [`Monitor`] fed
 //! the same stream (property-tested in `tests/differential.rs`).
 //!
-//! Bin closes run in three lockstep phases per shard:
-//!
-//! 1. **collect** — each shard reports its deviation groups (numerators +
-//!    local denominators) and per-watched-PoP stable counts, *before* any
-//!    pruning;
-//! 2. **snapshot** — after thresholding the merged groups, the signaled
-//!    PoPs' `stable_fars`/`stable_nears` denominators are gathered (still
-//!    pre-pruning);
-//! 3. **finish** — shards prune deviated paths, clear bin state and run
-//!    promotions.
+//! Bin closes ride the event stream as **in-stream markers** instead of
+//! lockstep phase round-trips: the coordinator enqueues one
+//! `CloseBin` marker per shard, and each shard — on reaching
+//! the marker at its exact stream position — reports the bin's groups and
+//! watched counts, captures the pre-finish denominators it may still be
+//! asked about ([`MonitorCore::close_bin_eager`]), and prunes + promotes
+//! *immediately*. Later-bin events may therefore be streamed right behind
+//! the marker. When the merged groups need cross-shard denominators or
+//! signaled-PoP snapshots, the coordinator issues deferred read-only
+//! queries answered from the captured pre-state (live state for anything
+//! the finish did not touch — `apply` never mutates the stable index).
+//! Shards retain pre-states until the coordinator's next marker declares
+//! the bin finalized (`drop_upto`).
 //!
 //! Events are batched per shard (`BATCH` events per channel send) so the
 //! per-event cost is one `Vec` push; the channel hop is amortized.
@@ -29,9 +32,11 @@ use crate::config::KeplerConfig;
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::intern::{AsnId, DenseRouteEvent, GroupKey, PopId, RouteId};
 use crate::monitor::{
-    finalize_bin, group_signals, DenseBinOutcome, GroupStat, Monitor, MonitorCore, SnapshotPair,
+    finalize_bin, group_signals, BinPreState, DenseBinOutcome, GroupStat, Monitor, MonitorCore,
+    SnapshotPair,
 };
 use kepler_bgpstream::Timestamp;
+use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -40,14 +45,23 @@ const BATCH: usize = 1024;
 
 enum ToShard {
     Events(Vec<(Timestamp, DenseRouteEvent)>),
-    /// Phase 1: report bin groups plus stable counts for the given pops.
-    CollectBin(Vec<PopId>),
-    /// Phase 1b: report stable-route counts for the given group keys.
-    QueryGroupTotals(Vec<GroupKey>),
-    /// Phase 2: report `stable_fars`/`stable_nears` for the given pops.
-    SnapshotPops(Vec<PopId>),
-    /// Phase 3: prune + promote up to the timestamp.
-    FinishBin(Timestamp),
+    /// In-stream bin-close marker: report bin groups plus stable counts
+    /// for the given pops, capture pre-finish state, then prune + promote
+    /// eagerly. Pre-states of bins at or before `drop_upto` are released.
+    CloseBin {
+        /// End of the closing bin (prune/promote horizon).
+        bin_end: Timestamp,
+        /// Watched PoPs whose stable counts the reply must carry.
+        watched: Vec<PopId>,
+        /// Every retained pre-state with `bin_end <=` this is dropped.
+        drop_upto: Timestamp,
+    },
+    /// Deferred: pre-finish stable-route counts of the given groups for
+    /// the bin that ended at the timestamp.
+    QueryGroupTotals(Timestamp, Vec<GroupKey>),
+    /// Deferred: pre-finish `stable_fars`/`stable_nears` of the given
+    /// pops for the bin that ended at the timestamp.
+    SnapshotPops(Timestamp, Vec<PopId>),
     /// Promotions only (empty-stretch skip).
     RunPromotions(Timestamp),
     QueryCrossings(Vec<(RouteId, PopId, AsnId)>),
@@ -66,6 +80,10 @@ enum FromShard {
 }
 
 fn shard_loop(mut core: MonitorCore, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
+    // Pre-finish states of eagerly-closed bins the coordinator may still
+    // query, keyed by bin end. Bounded by the coordinator's `drop_upto`
+    // acknowledgements (in practice: the bin being finalized plus one).
+    let mut prestates: VecDeque<(Timestamp, BinPreState)> = VecDeque::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToShard::Events(batch) => {
@@ -73,28 +91,39 @@ fn shard_loop(mut core: MonitorCore, rx: Receiver<ToShard>, tx: Sender<FromShard
                     core.apply(*t, ev);
                 }
             }
-            ToShard::CollectBin(pops) => {
-                let groups = core.bin_groups();
-                let stable_counts = pops.iter().map(|&p| core.stable_count(p)).collect();
-                if tx.send(FromShard::Bin { groups, stable_counts }).is_err() {
+            ToShard::CloseBin { bin_end, watched, drop_upto } => {
+                while prestates.front().map(|(end, _)| *end <= drop_upto).unwrap_or(false) {
+                    prestates.pop_front();
+                }
+                let eager = core.close_bin_eager(bin_end, &watched);
+                prestates.push_back((bin_end, eager.pre));
+                let reply =
+                    FromShard::Bin { groups: eager.groups, stable_counts: eager.watch_stables };
+                if tx.send(reply).is_err() {
                     return;
                 }
             }
-            ToShard::QueryGroupTotals(keys) => {
-                if tx.send(FromShard::GroupTotals(core.group_totals(&keys))).is_err() {
-                    return;
-                }
-            }
-            ToShard::SnapshotPops(pops) => {
-                let snap = pops
+            ToShard::QueryGroupTotals(bin_end, keys) => {
+                let pre = prestates
                     .iter()
-                    .map(|&p| (p, (core.stable_fars(p), core.stable_nears(p))))
-                    .collect();
+                    .find(|(end, _)| *end == bin_end)
+                    .map(|(_, pre)| pre)
+                    .expect("queried bin's pre-state retained");
+                if tx.send(FromShard::GroupTotals(core.group_totals_pre(pre, &keys))).is_err() {
+                    return;
+                }
+            }
+            ToShard::SnapshotPops(bin_end, pops) => {
+                let pre = prestates
+                    .iter()
+                    .find(|(end, _)| *end == bin_end)
+                    .map(|(_, pre)| pre)
+                    .expect("queried bin's pre-state retained");
+                let snap = pops.iter().map(|&p| (p, core.snapshot_pre(pre, p))).collect();
                 if tx.send(FromShard::Snapshot(snap)).is_err() {
                     return;
                 }
             }
-            ToShard::FinishBin(now) => core.finish_bin(now),
             ToShard::RunPromotions(now) => core.run_promotions(now),
             ToShard::QueryCrossings(items) => {
                 let bools =
@@ -133,6 +162,9 @@ pub struct ShardedMonitor {
     watches: FxHashMap<PopId, Vec<(Timestamp, f64)>>,
     buffers: Vec<Vec<(Timestamp, DenseRouteEvent)>>,
     buffered: usize,
+    /// End of the last fully finalized bin — shards may drop pre-states
+    /// up to here (sent with the next close marker).
+    finalized_upto: Timestamp,
 }
 
 impl ShardedMonitor {
@@ -159,6 +191,7 @@ impl ShardedMonitor {
             watches: FxHashMap::default(),
             buffers: vec![Vec::new(); shards],
             buffered: 0,
+            finalized_upto: 0,
         }
     }
 
@@ -249,10 +282,17 @@ impl ShardedMonitor {
     fn close_bin(&mut self, bin_start: Timestamp) -> DenseBinOutcome {
         let bin_end = bin_start + self.config.bin_secs;
         self.flush();
-        // Phase 1: gather per-shard groups and watched stable counts.
+        // One in-stream marker per shard: each reports its groups and
+        // watched counts, captures pre-finish state, and prunes +
+        // promotes eagerly — no separate finish round-trip.
         let watched: Vec<PopId> = self.watches.keys().copied().collect();
         for shard in 0..self.txs.len() {
-            self.send(shard, ToShard::CollectBin(watched.clone()));
+            let marker = ToShard::CloseBin {
+                bin_end,
+                watched: watched.clone(),
+                drop_upto: self.finalized_upto,
+            };
+            self.send(shard, marker);
         }
         let mut merged: FxHashMap<GroupKey, GroupStat> = FxHashMap::default();
         let mut watch_stables = vec![0usize; watched.len()];
@@ -300,13 +340,13 @@ impl ShardedMonitor {
             let set: FxHashSet<AsnId> = g.fars.iter().copied().collect();
             g.fars = set.into_iter().collect();
         }
-        // Phase 1b: a group's denominator must count *every* shard's stable
-        // routes, including shards that saw no deviation for it this bin —
-        // re-gather totals for the merged group keys from all shards.
+        // Deferred query: a group's denominator must count *every* shard's
+        // stable routes, including shards that saw no deviation for it
+        // this bin — gather pre-finish totals for the merged group keys.
         if !groups.is_empty() {
             let keys: Vec<GroupKey> = groups.iter().map(|g| g.key).collect();
             for shard in 0..self.txs.len() {
-                self.send(shard, ToShard::QueryGroupTotals(keys.clone()));
+                self.send(shard, ToShard::QueryGroupTotals(bin_end, keys.clone()));
             }
             let mut totals = vec![0usize; keys.len()];
             for rx in &self.rxs {
@@ -323,7 +363,8 @@ impl ShardedMonitor {
                 g.stable_total = total;
             }
         }
-        // Phase 2: snapshot denominators for signaled pops across shards.
+        // Deferred query: snapshot denominators for signaled pops across
+        // shards (answered from the captured pre-finish state).
         let mut snapshots: FxHashMap<PopId, SnapshotPair> = FxHashMap::default();
         let outcome = {
             // Scan the merged groups for signaled pops (same thresholds
@@ -337,7 +378,7 @@ impl ShardedMonitor {
             pops.dedup();
             if !pops.is_empty() {
                 for shard in 0..self.txs.len() {
-                    self.send(shard, ToShard::SnapshotPops(pops.clone()));
+                    self.send(shard, ToShard::SnapshotPops(bin_end, pops.clone()));
                 }
                 for rx in &self.rxs {
                     match rx.recv().expect("shard reply") {
@@ -356,10 +397,9 @@ impl ShardedMonitor {
                 snapshots.remove(&pop).unwrap_or_default()
             })
         };
-        // Phase 3: prune + promote.
-        for shard in 0..self.txs.len() {
-            self.send(shard, ToShard::FinishBin(bin_end));
-        }
+        // Shards already pruned + promoted at the marker; the bin is now
+        // fully finalized and its pre-states can be released.
+        self.finalized_upto = bin_end;
         outcome
     }
 

@@ -3,8 +3,9 @@
 use crate::config::KeplerConfig;
 use crate::dataplane::{confirm, DataPlaneProbe};
 use crate::events::{OutageReport, SignalClass};
+use crate::ingest::{AnyIngest, ParallelIngest};
 use crate::input::InputModule;
-use crate::intern::Interner;
+use crate::intern::{DenseRouteEvent, Interner};
 use crate::investigate::Investigator;
 use crate::monitor::{DenseBinOutcome, Monitor};
 use crate::shard::{AnyMonitor, ShardedMonitor};
@@ -45,15 +46,16 @@ pub struct ClassCounts {
 /// The Kepler detection system.
 pub struct Kepler {
     config: KeplerConfig,
-    input: InputModule,
+    ingest: AnyIngest,
     interner: Interner,
     monitor: AnyMonitor,
     investigator: Investigator,
     tracker: Tracker,
-    gap: GapTracker,
     dataplane: Option<Box<dyn DataPlaneProbe>>,
     counts: ClassCounts,
     last_time: Timestamp,
+    /// Reusable buffer for events drained from the ingest stage.
+    event_scratch: Vec<(Timestamp, DenseRouteEvent)>,
 }
 
 impl Kepler {
@@ -63,22 +65,38 @@ impl Kepler {
         let mut tracker = Tracker::new(config.clone());
         tracker.set_geography(&inputs.colo);
         Kepler {
-            input: InputModule::new(inputs.dictionary, inputs.colo.clone()),
+            ingest: AnyIngest::Serial {
+                input: InputModule::new(inputs.dictionary, inputs.colo.clone()),
+                gap: GapTracker::new(config.quarantine_secs),
+            },
             interner: Interner::new(),
             monitor: AnyMonitor::Single(Monitor::new(config.clone())),
             investigator: Investigator::new(config.clone(), inputs.colo, inputs.orgs),
             tracker,
-            gap: GapTracker::new(config.quarantine_secs),
             dataplane: None,
             counts: ClassCounts::default(),
             config,
             last_time: 0,
+            event_scratch: Vec::new(),
         }
     }
 
     /// Attaches a data-plane measurement backend for incident confirmation.
     pub fn with_dataplane(mut self, probe: Box<dyn DataPlaneProbe>) -> Self {
         self.dataplane = Some(probe);
+        self
+    }
+
+    /// Replaces the serial decode stage with an N-way parallel ingest
+    /// pipeline ([`ParallelIngest`]). Must be called before the first
+    /// record is processed (per-session decode state is not migrated).
+    pub fn with_parallel_ingest(mut self, workers: usize) -> Self {
+        assert_eq!(self.last_time, 0, "with_parallel_ingest must precede processing");
+        let AnyIngest::Serial { input, .. } = &self.ingest else {
+            return self; // already parallel
+        };
+        self.ingest =
+            AnyIngest::Parallel(ParallelIngest::new(input, self.config.quarantine_secs, workers));
         self
     }
 
@@ -108,9 +126,11 @@ impl Kepler {
         self.monitor.watch_series(pop)
     }
 
-    /// Input-module statistics (coverage fractions etc.).
+    /// Input-module statistics (coverage fractions etc.). In parallel
+    /// ingest mode these cover every record merged back so far; after
+    /// [`finish`](Self::finish) they cover the whole run.
     pub fn input_stats(&self) -> &crate::input::InputStats {
-        self.input.stats()
+        self.ingest.stats()
     }
 
     /// Classification counters.
@@ -137,16 +157,28 @@ impl Kepler {
     /// Feeds one record through the pipeline.
     pub fn process_record(&mut self, rec: &BgpRecord) {
         self.last_time = self.last_time.max(rec.time);
-        self.gap.observe(rec);
-        if !self.gap.is_usable(rec.collector, rec.peer, rec.time) {
-            return;
-        }
-        for elem in rec.explode() {
-            if let Some(event) = self.input.process_dense(&elem, &mut self.interner) {
-                let outcomes = self.monitor.observe(elem.time, &event);
-                for outcome in outcomes {
-                    self.handle_bin(outcome);
-                }
+        let mut events = std::mem::take(&mut self.event_scratch);
+        self.ingest.process_record(rec, &mut self.interner, &mut events);
+        self.observe_events(&mut events);
+        self.event_scratch = events;
+    }
+
+    /// Feeds one owned record — the parallel ingest path dispatches it to
+    /// its worker without a deep clone ([`run`](Self::run) uses this).
+    pub fn process_record_owned(&mut self, rec: BgpRecord) {
+        self.last_time = self.last_time.max(rec.time);
+        let mut events = std::mem::take(&mut self.event_scratch);
+        self.ingest.process_record_owned(rec, &mut self.interner, &mut events);
+        self.observe_events(&mut events);
+        self.event_scratch = events;
+    }
+
+    /// Feeds drained dense events to the monitor and handles closed bins.
+    fn observe_events(&mut self, events: &mut Vec<(Timestamp, DenseRouteEvent)>) {
+        for (t, event) in events.drain(..) {
+            let outcomes = self.monitor.observe(t, &event);
+            for outcome in outcomes {
+                self.handle_bin(outcome);
             }
         }
     }
@@ -191,13 +223,16 @@ impl Kepler {
     /// Feeds a whole stream, then finishes.
     pub fn run<I: IntoIterator<Item = BgpRecord>>(mut self, records: I) -> Vec<OutageReport> {
         for rec in records {
-            self.process_record(&rec);
+            self.process_record_owned(rec);
         }
         self.finish()
     }
 
     /// Flushes pending bins and closes the run.
     pub fn finish(mut self) -> Vec<OutageReport> {
+        let mut events = std::mem::take(&mut self.event_scratch);
+        self.ingest.finish(&mut self.interner, &mut events);
+        self.observe_events(&mut events);
         let outcomes = self.monitor.advance_to(self.last_time + 2 * self.config.bin_secs);
         for outcome in outcomes {
             self.handle_bin(outcome);
@@ -319,6 +354,23 @@ mod tests {
         assert!(end >= t_restore && end <= t_restore + 600, "end {end}");
         assert_eq!(r.affected_near, [Asn(10), Asn(11), Asn(12)].into());
         assert!(r.affected_far.len() >= 3);
+    }
+
+    #[test]
+    fn detects_facility_outage_with_parallel_ingest_and_shards() {
+        // The fully parallel system: 3 ingest workers fanning into a
+        // 2-way sharded monitor, same stream as the serial test above.
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        let t_restore = t_fail + 1800;
+        records.extend(restore_records(t_restore));
+        records.push(announce(t_restore + 13 * 3600, 10, 20, 0));
+        let kepler = Kepler::new(inputs()).with_parallel_ingest(3).with_shards(2);
+        let reports = kepler.run(records);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].scope, OutageScope::Facility(FacilityId(0)));
+        assert_eq!(reports[0].affected_near, [Asn(10), Asn(11), Asn(12)].into());
     }
 
     #[test]

@@ -1,0 +1,436 @@
+//! Differential property tests for the parallel ingest pipeline: feeding
+//! the same record stream through [`ParallelIngest`] with 1, 2 or 8
+//! decode shards must produce bit-identical resolved
+//! [`BinOutcome`](kepler_core::monitor::BinOutcome)s, baseline sizes and
+//! input statistics to the serial path (gap tracking + explode +
+//! per-element dense decode), because the remap layer unifies per-worker
+//! id spaces exactly and the coordinator reassembles original stream
+//! order.
+
+use kepler_bgp::{
+    AsPath, Asn, BgpUpdate, Community, PathAttributes, PeerState, Prefix, StateChange,
+};
+use kepler_bgpstream::{BgpRecord, CollectorId, GapTracker, PeerId, RecordPayload, Timestamp};
+use kepler_core::config::KeplerConfig;
+use kepler_core::ingest::ParallelIngest;
+use kepler_core::input::{InputModule, InputStats};
+use kepler_core::intern::Interner;
+use kepler_core::monitor::{BinOutcome, Monitor};
+use kepler_docmine::{CommunityDictionary, LocationTag};
+use kepler_topology::{ColocationMap, FacilityId};
+use proptest::prelude::*;
+
+const QUARANTINE: u64 = 600;
+
+/// Dictionary: community (100+n):500 tags Facility(n % 5) for n in 0..8.
+fn dictionary() -> CommunityDictionary {
+    let mut d = CommunityDictionary::new();
+    for n in 0..8u16 {
+        d.insert(Community::new(100 + n, 500), LocationTag::Facility(FacilityId(n as u32 % 5)));
+    }
+    d
+}
+
+fn input_module() -> InputModule {
+    InputModule::new(dictionary(), ColocationMap::new())
+}
+
+fn peer(p: u8) -> PeerId {
+    PeerId {
+        asn: Asn(3356 + (p % 3) as u32),
+        addr: if p.is_multiple_of(2) {
+            "10.0.0.1".parse().unwrap()
+        } else {
+            "10.0.0.2".parse().unwrap()
+        },
+    }
+}
+
+/// One scripted record: enough dimensions to hit multi-prefix updates,
+/// withdraw-only updates, unlocated paths, sanitizer rejects (loops,
+/// bogons) and session state changes across several collector sessions.
+#[derive(Debug, Clone)]
+enum Op {
+    Announce {
+        collector: u8,
+        peer: u8,
+        prefixes: Vec<u8>,
+        near: u8,
+        far: u8,
+        tagged: bool,
+        looped: bool,
+    },
+    Withdraw {
+        collector: u8,
+        peer: u8,
+        prefixes: Vec<u8>,
+    },
+    State {
+        collector: u8,
+        peer: u8,
+        up: bool,
+    },
+    Advance {
+        dt: u32,
+    },
+}
+
+fn arb_announce() -> impl Strategy<Value = Op> {
+    (
+        any::<u8>(),
+        any::<u8>(),
+        prop::collection::vec(any::<u8>(), 1..4),
+        any::<u8>(),
+        any::<u8>(),
+        any::<bool>(),
+        any::<u8>(),
+    )
+        .prop_map(|(collector, peer, prefixes, near, far, tagged, loop_roll)| Op::Announce {
+            collector: collector % 4,
+            peer: peer % 4,
+            prefixes,
+            near: near % 8,
+            far: far % 6,
+            tagged,
+            looped: loop_roll < 26, // ~10% of announcements carry a loop
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_announce(),
+        arb_announce(),
+        arb_announce(),
+        (any::<u8>(), any::<u8>(), prop::collection::vec(any::<u8>(), 1..4)).prop_map(
+            |(collector, peer, prefixes)| Op::Withdraw {
+                collector: collector % 4,
+                peer: peer % 4,
+                prefixes,
+            }
+        ),
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(collector, peer, up)| Op::State {
+            collector: collector % 4,
+            peer: peer % 4,
+            up
+        }),
+        prop_oneof![1u32..300, 50_000u32..300_000].prop_map(|dt| Op::Advance { dt }),
+        prop_oneof![1u32..300, 50_000u32..300_000].prop_map(|dt| Op::Advance { dt }),
+    ]
+}
+
+fn records(ops: &[Op]) -> Vec<BgpRecord> {
+    let mut t: Timestamp = 1_000_000;
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            Op::Advance { dt } => t += *dt as u64,
+            Op::Announce { collector, peer: p, prefixes, near, far, tagged, looped } => {
+                let near_asn = 100 + *near as u32;
+                let far_asn = 200 + *far as u32;
+                let path = if *looped {
+                    // Non-adjacent revisit: rejected by the sanitizer.
+                    AsPath::from_sequence([3356, near_asn, far_asn, near_asn])
+                } else {
+                    AsPath::from_sequence([3356, near_asn, far_asn])
+                };
+                let communities = if *tagged {
+                    vec![Community::new(100 + *near as u16, 500)]
+                } else {
+                    vec![Community::new(64_000, 1)]
+                };
+                let attrs = PathAttributes::with_path_and_communities(path, communities);
+                // prefix value 255 yields a bogon (0.0.0.0/8 space).
+                let announced: Vec<Prefix> = prefixes
+                    .iter()
+                    .map(|&x| {
+                        if x == 255 {
+                            Prefix::v4(0, 0, 0, 0, 16)
+                        } else {
+                            Prefix::v4(20, x % 24, 0, 0, 16)
+                        }
+                    })
+                    .collect();
+                out.push(BgpRecord {
+                    time: t,
+                    collector: CollectorId(*collector as u16),
+                    peer: peer(*p),
+                    payload: RecordPayload::Update(BgpUpdate::announce(announced, attrs)),
+                });
+            }
+            Op::Withdraw { collector, peer: p, prefixes } => {
+                let withdrawn: Vec<Prefix> =
+                    prefixes.iter().map(|&x| Prefix::v4(20, x % 24, 0, 0, 16)).collect();
+                out.push(BgpRecord {
+                    time: t,
+                    collector: CollectorId(*collector as u16),
+                    peer: peer(*p),
+                    payload: RecordPayload::Update(BgpUpdate::withdraw(withdrawn)),
+                });
+            }
+            Op::State { collector, peer: p, up } => {
+                let change = if *up {
+                    StateChange { old: PeerState::OpenConfirm, new: PeerState::Established }
+                } else {
+                    StateChange { old: PeerState::Established, new: PeerState::Idle }
+                };
+                out.push(BgpRecord {
+                    time: t,
+                    collector: CollectorId(*collector as u16),
+                    peer: peer(*p),
+                    payload: RecordPayload::State(change),
+                });
+            }
+        }
+    }
+    out
+}
+
+struct RunResult {
+    outcomes: Vec<BinOutcome>,
+    baseline: usize,
+    stats: InputStats,
+}
+
+/// The serial reference: exactly what `Kepler::process_record` does in
+/// serial mode (gap → explode → per-element dense decode → monitor).
+fn run_serial(records: &[BgpRecord]) -> RunResult {
+    let config = KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() };
+    let mut input = input_module();
+    let mut gap = GapTracker::new(QUARANTINE);
+    let mut interner = Interner::new();
+    let mut monitor = Monitor::new(config);
+    let mut outcomes = Vec::new();
+    let mut last = 0u64;
+    for rec in records {
+        last = last.max(rec.time);
+        gap.observe(rec);
+        if !gap.is_usable(rec.collector, rec.peer, rec.time) {
+            continue;
+        }
+        for elem in rec.explode() {
+            if let Some(ev) = input.process_dense(&elem, &mut interner) {
+                outcomes
+                    .extend(monitor.observe(elem.time, &ev).iter().map(|o| o.resolve(&interner)));
+            }
+        }
+    }
+    outcomes.extend(monitor.advance_to(last + 300_000).iter().map(|o| o.resolve(&interner)));
+    RunResult { outcomes, baseline: monitor.baseline_size(), stats: input.stats().clone() }
+}
+
+fn run_parallel(records: &[BgpRecord], workers: usize) -> RunResult {
+    let config = KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() };
+    let template = input_module();
+    let mut ingest = ParallelIngest::new(&template, QUARANTINE, workers);
+    let mut interner = Interner::new();
+    let mut monitor = Monitor::new(config);
+    let mut outcomes = Vec::new();
+    let mut events = Vec::new();
+    let mut last = 0u64;
+    for rec in records {
+        last = last.max(rec.time);
+        ingest.push(rec);
+        ingest.drain_ready(&mut interner, &mut events);
+        for (t, ev) in events.drain(..) {
+            outcomes.extend(monitor.observe(t, &ev).iter().map(|o| o.resolve(&interner)));
+        }
+    }
+    ingest.finish(&mut interner, &mut events);
+    for (t, ev) in events.drain(..) {
+        outcomes.extend(monitor.observe(t, &ev).iter().map(|o| o.resolve(&interner)));
+    }
+    outcomes.extend(monitor.advance_to(last + 300_000).iter().map(|o| o.resolve(&interner)));
+    RunResult { outcomes, baseline: monitor.baseline_size(), stats: ingest.stats().clone() }
+}
+
+/// The full parallel pipeline: parallel ingest fanning into a sharded
+/// monitor.
+fn run_parallel_sharded(records: &[BgpRecord], workers: usize, shards: usize) -> RunResult {
+    let config = KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() };
+    let template = input_module();
+    let mut ingest = ParallelIngest::new(&template, QUARANTINE, workers);
+    let mut interner = Interner::new();
+    let mut monitor = kepler_core::shard::ShardedMonitor::new(config, shards);
+    let mut outcomes = Vec::new();
+    let mut events = Vec::new();
+    let mut last = 0u64;
+    for rec in records {
+        last = last.max(rec.time);
+        ingest.push(rec);
+        ingest.drain_ready(&mut interner, &mut events);
+        for (t, ev) in events.drain(..) {
+            outcomes.extend(monitor.observe(t, &ev).iter().map(|o| o.resolve(&interner)));
+        }
+    }
+    ingest.finish(&mut interner, &mut events);
+    for (t, ev) in events.drain(..) {
+        outcomes.extend(monitor.observe(t, &ev).iter().map(|o| o.resolve(&interner)));
+    }
+    outcomes.extend(monitor.advance_to(last + 300_000).iter().map(|o| o.resolve(&interner)));
+    RunResult { outcomes, baseline: monitor.baseline_size(), stats: ingest.stats().clone() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical random record streams yield identical resolved bin
+    /// outcomes, baselines and input statistics for 1, 2 and 8 ingest
+    /// shards.
+    #[test]
+    fn parallel_ingest_is_bit_identical(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let recs = records(&ops);
+        let serial = run_serial(&recs);
+        for workers in [1usize, 2, 8] {
+            let parallel = run_parallel(&recs, workers);
+            prop_assert_eq!(&serial.outcomes, &parallel.outcomes, "outcome mismatch at {} ingest shards", workers);
+            prop_assert_eq!(serial.baseline, parallel.baseline, "baseline mismatch at {} ingest shards", workers);
+            prop_assert_eq!(&serial.stats, &parallel.stats, "stats mismatch at {} ingest shards", workers);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fully parallel pipeline (8 ingest shards → 8 monitor shards,
+    /// with in-stream bin-close markers) is still bit-identical to the
+    /// all-serial path.
+    #[test]
+    fn parallel_ingest_with_sharded_monitor_is_bit_identical(
+        ops in prop::collection::vec(arb_op(), 1..100)
+    ) {
+        let recs = records(&ops);
+        let serial = run_serial(&recs);
+        let parallel = run_parallel_sharded(&recs, 8, 8);
+        prop_assert_eq!(&serial.outcomes, &parallel.outcomes);
+        prop_assert_eq!(serial.baseline, parallel.baseline);
+        prop_assert_eq!(&serial.stats, &parallel.stats);
+    }
+}
+
+/// Cross-shard id collisions: the same near-end AS and PoP tag observed
+/// through different collector sessions (hence different workers) must
+/// collapse to one deviation group, exactly as in the serial path.
+#[test]
+fn cross_shard_identities_unify() {
+    const DAY: u64 = 86_400;
+    let mut recs = Vec::new();
+    let t0 = 1_000_000u64;
+    // 8 routes crossing the same (Facility(1), AS 101) pair, spread over
+    // 4 collectors (and thus, with 8 workers, several ingest shards).
+    for i in 0..8u8 {
+        recs.push(BgpRecord {
+            time: t0,
+            collector: CollectorId(i as u16 % 4),
+            peer: peer(i % 4),
+            payload: RecordPayload::Update(BgpUpdate::announce(
+                vec![Prefix::v4(20, i, 0, 0, 16)],
+                PathAttributes::with_path_and_communities(
+                    AsPath::from_sequence([3356, 101, 200 + i as u32]),
+                    vec![Community::new(101, 500)],
+                ),
+            )),
+        });
+    }
+    // Past the stability window, withdraw six of them in one bin.
+    for i in 0..6u8 {
+        recs.push(BgpRecord {
+            time: t0 + 2 * DAY + 300,
+            collector: CollectorId(i as u16 % 4),
+            peer: peer(i % 4),
+            payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(20, i, 0, 0, 16)])),
+        });
+    }
+    let serial = run_serial(&recs);
+    let signals: Vec<_> = serial.outcomes.iter().flat_map(|o| o.signals.iter()).collect();
+    assert_eq!(signals.len(), 1, "precondition: one merged signal, got {signals:?}");
+    assert_eq!(signals[0].stable_total, 8);
+    for workers in [2usize, 8] {
+        let parallel = run_parallel(&recs, workers);
+        assert_eq!(serial.outcomes, parallel.outcomes, "workers={workers}");
+        let psignals: Vec<_> = parallel.outcomes.iter().flat_map(|o| o.signals.iter()).collect();
+        assert_eq!(psignals[0].deviated.len(), 6, "deviations merged across ingest shards");
+    }
+}
+
+/// A single-collector world pins every record to one worker; the other 7
+/// shards stay empty and the pipeline must still finish cleanly.
+#[test]
+fn single_collector_world_leaves_shards_empty() {
+    let mut recs = Vec::new();
+    for i in 0..50u8 {
+        recs.push(BgpRecord {
+            time: 1_000_000 + i as u64,
+            collector: CollectorId(0),
+            peer: peer(0),
+            payload: RecordPayload::Update(BgpUpdate::announce(
+                vec![Prefix::v4(20, i % 24, 0, 0, 16)],
+                PathAttributes::with_path_and_communities(
+                    AsPath::from_sequence([3356, 100 + (i % 8) as u32, 200]),
+                    vec![Community::new(100 + (i % 8) as u16, 500)],
+                ),
+            )),
+        });
+    }
+    let serial = run_serial(&recs);
+    let parallel = run_parallel(&recs, 8);
+    assert_eq!(serial.outcomes, parallel.outcomes);
+    assert_eq!(serial.stats, parallel.stats);
+    assert_eq!(serial.stats.elems, 50);
+}
+
+/// An empty stream (or one that never reaches any worker) finishes
+/// without hanging and reports zeroed statistics.
+#[test]
+fn empty_stream_finishes() {
+    let parallel = run_parallel(&[], 8);
+    assert!(parallel.outcomes.is_empty());
+    assert_eq!(parallel.baseline, 0);
+    assert_eq!(parallel.stats, InputStats::default());
+}
+
+/// Remap stability under re-interning: the same identities re-announced
+/// across many batches (forcing many worker deltas) neither duplicate
+/// global ids nor shift them — the global interner ends with exactly the
+/// distinct identity counts.
+#[test]
+fn remap_is_stable_under_reinterning() {
+    let template = input_module();
+    let mut ingest = ParallelIngest::new(&template, QUARANTINE, 4);
+    let mut interner = Interner::new();
+    let mut events = Vec::new();
+    let mut seen = std::collections::HashMap::new();
+    // 3 distinct routes × 600 re-announcements, interleaved, enough to
+    // span several ingest batches per worker.
+    for round in 0..600u64 {
+        for r in 0..3u8 {
+            let rec = BgpRecord {
+                time: 1_000_000 + round,
+                collector: CollectorId(r as u16),
+                peer: peer(r),
+                payload: RecordPayload::Update(BgpUpdate::announce(
+                    vec![Prefix::v4(20, r, 0, 0, 16)],
+                    PathAttributes::with_path_and_communities(
+                        AsPath::from_sequence([3356, 100 + r as u32, 200]),
+                        vec![Community::new(100 + r as u16, 500)],
+                    ),
+                )),
+            };
+            ingest.push(&rec);
+        }
+        ingest.drain_ready(&mut interner, &mut events);
+        for (_, ev) in events.drain(..) {
+            let route = ev.route();
+            let key = interner.route_key(route);
+            // The same display key always remaps to the same global id.
+            assert_eq!(*seen.entry(key).or_insert(route), route);
+        }
+    }
+    ingest.finish(&mut interner, &mut events);
+    events.clear();
+    assert_eq!(interner.routes_len(), 3, "route ids never duplicated");
+    assert_eq!(interner.pops_len(), 3);
+    // ASNs: 3356 is never interned (only crossing members are); the
+    // crossings mint 100..103 and 200.
+    assert_eq!(interner.asns_len(), 4);
+}

@@ -198,50 +198,83 @@ mod tests {
         (by_size[0].1, by_size[1].1)
     }
 
-    #[test]
-    fn outage_dips_then_overshoots_vs_counterfactual() {
-        let w = World::generate(WorldConfig::small(105));
-        let (remote, observed) = biggest_two_ixps(&w);
-        let overlap =
-            w.colo.members_of_ixp(observed).intersection(w.colo.members_of_ixp(remote)).count();
-        assert!(overlap > 0, "scenario needs members on both exchanges");
-        let ts = TrafficSim::new(&w, observed, remote, 5);
-        let (os, oe) = (T0 + 1800, T0 + 1800 + 600);
-        let with_outage = ts.series(T0, T0 + 5400, 60, os, oe);
-        // Counterfactual: same window, outage pushed out of range.
-        let baseline = ts.series(T0, T0 + 5400, 60, T0 + 999_999, T0 + 999_999);
-        let pair = |t: u64| {
-            let i = with_outage.iter().position(|p| p.time >= t).expect("point");
-            (with_outage[i].gbps, baseline[i].gbps)
-        };
-        let (d_out, d_base) = pair(os + 300);
-        assert!(d_out < d_base, "dip vs counterfactual: {d_out} < {d_base}");
-        let (o_out, o_base) = pair(oe + 300);
-        assert!(o_out > o_base, "overshoot vs counterfactual: {o_out} > {o_base}");
-        let (a_out, a_base) = pair(oe + 1800);
-        assert!((a_out / a_base - 1.0).abs() < 0.02, "returns to baseline");
-    }
+    /// Seeds for the property sweeps. Formerly these tests were pinned to
+    /// single hand-recalibrated seeds (offline `rand` stub ≠ upstream
+    /// `StdRng`, see ROADMAP "recalibrated seeds"); the outage-response
+    /// properties must instead hold across every seeded world — with the
+    /// dip/concentration checks conditioned on the structural
+    /// precondition (the two exchanges share members), which a majority
+    /// of seeds must satisfy.
+    const SEEDS: [u64; 11] = [100, 101, 102, 103, 104, 105, 106, 107, 108, 109, 110];
 
     #[test]
-    fn loss_concentrated_in_few_members() {
-        let w = World::generate(WorldConfig::small(103));
-        let (remote, observed) = biggest_two_ixps(&w);
-        let ts = TrafficSim::new(&w, observed, remote, 7);
-        let impact = ts.impact_summary(T0, T0 + 600);
-        assert!(impact.members > 0);
-        if impact.members_losing > 0 {
-            assert!(impact.members_losing < impact.members, "only a subset loses");
-            assert!(impact.top25_share > 0.5, "top-25 dominate losses");
+    fn outage_dips_then_overshoots_vs_counterfactual_across_seeds() {
+        let mut seeds_with_overlap = 0usize;
+        for &seed in &SEEDS {
+            let w = World::generate(WorldConfig::small(seed));
+            let (remote, observed) = biggest_two_ixps(&w);
+            let overlap =
+                w.colo.members_of_ixp(observed).intersection(w.colo.members_of_ixp(remote)).count();
+            let ts = TrafficSim::new(&w, observed, remote, seed ^ 0x5);
+            let (os, oe) = (T0 + 1800, T0 + 1800 + 600);
+            let with_outage = ts.series(T0, T0 + 5400, 60, os, oe);
+            // Counterfactual: same window, outage pushed out of range.
+            let baseline = ts.series(T0, T0 + 5400, 60, T0 + 999_999, T0 + 999_999);
+            let pair = |t: u64| {
+                let i = with_outage.iter().position(|p| p.time >= t).expect("point");
+                (with_outage[i].gbps, baseline[i].gbps)
+            };
+            // Universal properties: post-restore overshoot, then settling
+            // back onto the counterfactual.
+            let (o_out, o_base) = pair(oe + 300);
+            assert!(o_out > o_base, "seed {seed}: overshoot: {o_out} > {o_base}");
+            let (a_out, a_base) = pair(oe + 1800);
+            assert!((a_out / a_base - 1.0).abs() < 0.02, "seed {seed}: returns to baseline");
+            // The dip needs shared members between the exchanges.
+            if overlap > 0 {
+                seeds_with_overlap += 1;
+                let (d_out, d_base) = pair(os + 300);
+                assert!(d_out < d_base, "seed {seed}: dip vs counterfactual: {d_out} < {d_base}");
+            }
         }
+        assert!(
+            seeds_with_overlap >= SEEDS.len() / 2,
+            "only {seeds_with_overlap}/{} seeds had members on both exchanges",
+            SEEDS.len()
+        );
     }
 
     #[test]
-    fn series_is_deterministic() {
-        let w = World::generate(WorldConfig::tiny(105));
-        let (remote, observed) = biggest_two_ixps(&w);
-        let ts = TrafficSim::new(&w, observed, remote, 11);
-        let a = ts.series(T0, T0 + 1200, 60, T0 + 300, T0 + 600);
-        let b = ts.series(T0, T0 + 1200, 60, T0 + 300, T0 + 600);
-        assert_eq!(a, b);
+    fn loss_concentrated_in_few_members_across_seeds() {
+        let mut seeds_with_losers = 0usize;
+        for &seed in &SEEDS {
+            let w = World::generate(WorldConfig::small(seed));
+            let (remote, observed) = biggest_two_ixps(&w);
+            let ts = TrafficSim::new(&w, observed, remote, seed ^ 0x7);
+            let impact = ts.impact_summary(T0, T0 + 600);
+            assert!(impact.members > 0, "seed {seed}");
+            if impact.members_losing > 0 {
+                seeds_with_losers += 1;
+                assert!(impact.members_losing < impact.members, "seed {seed}: only a subset loses");
+                assert!(impact.top25_share > 0.5, "seed {seed}: top-25 dominate losses");
+            }
+        }
+        assert!(
+            seeds_with_losers >= SEEDS.len() / 3,
+            "only {seeds_with_losers}/{} seeds saw member losses",
+            SEEDS.len()
+        );
+    }
+
+    #[test]
+    fn series_is_deterministic_across_seeds() {
+        for &seed in &SEEDS[..8] {
+            let w = World::generate(WorldConfig::tiny(seed));
+            let (remote, observed) = biggest_two_ixps(&w);
+            let ts = TrafficSim::new(&w, observed, remote, seed ^ 0xB);
+            let a = ts.series(T0, T0 + 1200, 60, T0 + 300, T0 + 600);
+            let b = ts.series(T0, T0 + 1200, 60, T0 + 300, T0 + 600);
+            assert_eq!(a, b, "seed {seed}");
+        }
     }
 }
