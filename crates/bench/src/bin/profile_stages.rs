@@ -2,8 +2,10 @@
 //!
 //! Times cumulative prefixes of the pipeline (construct → explode →
 //! decode+intern → monitor) so the marginal cost of each stage is the
-//! difference between consecutive rows. Guides ingest optimization work;
-//! not part of the perf-trajectory artifact (`repro --bench`).
+//! difference between consecutive rows, plus the probe stage
+//! (schedule → simulate → analyze, per validation request). Guides
+//! optimization work; not part of the perf-trajectory artifact
+//! (`repro --bench`).
 
 use kepler_bench::{pipeline_dictionary, pipeline_record, PIPELINE_TIME_COMPRESSION};
 use kepler_core::config::KeplerConfig;
@@ -15,6 +17,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 const N: u64 = 1_000_000;
+const PROBE_REQUESTS: u64 = 400;
 
 fn main() {
     let t = Instant::now();
@@ -58,12 +61,31 @@ fn main() {
     bins += monitor.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
     black_box(bins);
     report("full pipeline", t.elapsed().as_secs_f64());
+
+    // Probe stage: one validation request = schedule (token-bucket
+    // admission) → simulate (baseline + fresh traceroute per admitted
+    // pair) → analyze (hop diff, verdicts) over two candidate twins.
+    let (mut prober, request) = kepler_bench::probe_fixture(41);
+    use kepler::probe::Prober;
+    let t = Instant::now();
+    let mut verdicts = 0usize;
+    for i in 0..PROBE_REQUESTS {
+        // Advance time so the per-facility buckets refill between bins.
+        let report = prober.validate(&request, request.bin_start + 60 * i);
+        verdicts += report.verdicts.len();
+    }
+    black_box(verdicts);
+    report_n("probe validate (per request)", t.elapsed().as_secs_f64(), PROBE_REQUESTS);
 }
 
 fn report(stage: &str, secs: f64) {
+    report_n(stage, secs, N);
+}
+
+fn report_n(stage: &str, secs: f64, n: u64) {
     println!(
         "{stage:<28} {secs:>7.3}s  {:>9.0} rec/s  {:>6.0} ns/rec",
-        N as f64 / secs,
-        secs * 1e9 / N as f64
+        n as f64 / secs,
+        secs * 1e9 / n as f64
     );
 }

@@ -1,33 +1,46 @@
 //! Perf-regression gate over `BENCH_monitor.json`.
 //!
 //! The CI `bench-gate` job re-runs `repro --bench` and compares the fresh
-//! `events_per_sec` figures against the committed baseline, failing the
-//! build when any shared metric regresses by more than the allowed
-//! fraction. The vendored `serde` is a no-op stub (no crates.io access),
-//! so the parser here is a purpose-built scanner for the benchmark
-//! artifact's shape: top-level sections of the form
-//! `"name": { ..., "events_per_sec": N, ... }`.
+//! throughput figures against the committed baseline, failing the build
+//! when any shared metric regresses by more than the allowed fraction.
+//! The vendored `serde` is a no-op stub (no crates.io access), so the
+//! parser here is a purpose-built scanner for the benchmark artifact's
+//! shape: top-level sections of the form
+//! `"name": { ..., "events_per_sec": N, ... }` (or any other known
+//! throughput key, see [`THROUGHPUT_KEYS`]).
 
 use std::collections::BTreeMap;
 
-/// Extracts `section name → events_per_sec` from a `BENCH_monitor.json`
-/// document. Sections without an `events_per_sec` field are ignored.
+/// The per-section throughput fields the gate understands. Sections
+/// carrying none of these are ignored; a key present in only one
+/// document (a benchmark added or retired across PRs) is informational
+/// and never fails the gate.
+pub const THROUGHPUT_KEYS: [&str; 2] = ["events_per_sec", "probe_verdicts_per_sec"];
+
+/// Extracts `section name → throughput` from a `BENCH_monitor.json`
+/// document. Sections without any [`THROUGHPUT_KEYS`] field are ignored.
 pub fn parse_events_per_sec(json: &str) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     // The artifact keeps each section on one line; scan per line so a
     // malformed or reordered field cannot cross-contaminate sections.
     for line in json.lines() {
         let Some(name) = quoted_prefix(line) else { continue };
-        let Some(pos) = line.find("\"events_per_sec\"") else { continue };
-        let tail = &line[pos + "\"events_per_sec\"".len()..];
-        let Some(colon) = tail.find(':') else { continue };
-        let num: String = tail[colon + 1..]
-            .trim_start()
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e')
-            .collect();
-        if let Ok(v) = num.parse::<f64>() {
-            out.insert(name, v);
+        for key in THROUGHPUT_KEYS {
+            let needle = format!("\"{key}\"");
+            let Some(pos) = line.find(&needle) else { continue };
+            let tail = &line[pos + needle.len()..];
+            let Some(colon) = tail.find(':') else { continue };
+            let num: String = tail[colon + 1..]
+                .trim_start()
+                .chars()
+                .take_while(|c| {
+                    c.is_ascii_digit() || *c == '.' || *c == '-' || *c == '+' || *c == 'e'
+                })
+                .collect();
+            if let Ok(v) = num.parse::<f64>() {
+                out.insert(name, v);
+                break;
+            }
         }
     }
     out
@@ -175,6 +188,25 @@ mod tests {
         let verdicts = compare(&base, &fresh, 0.25);
         assert!(!gate_fails(&verdicts), "new/retired metrics are informational: {verdicts:?}");
         assert_eq!(verdicts.len(), 3);
+    }
+
+    #[test]
+    fn probe_metric_parses_and_old_baselines_tolerate_it() {
+        let fresh_doc = format!(
+            "{BASELINE}\n\"probe\": {{ \"seconds\": 1.0, \"verdicts\": 600, \"probe_verdicts_per_sec\": 600 }}\n"
+        );
+        let fresh = parse_events_per_sec(&fresh_doc);
+        assert_eq!(fresh["probe"], 600.0);
+        // Old baseline without the probe section: the new key is
+        // informational, the gate cannot fail on it.
+        let base = parse_events_per_sec(BASELINE);
+        assert!(!gate_fails(&compare(&base, &fresh, 0.25)));
+        // Both documents carrying it: a regression is caught.
+        let slow =
+            fresh_doc.replace("\"probe_verdicts_per_sec\": 600", "\"probe_verdicts_per_sec\": 300");
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "probe" && v.regressed));
     }
 
     #[test]

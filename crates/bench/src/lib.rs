@@ -86,6 +86,57 @@ pub fn pipeline_dictionary() -> kepler_docmine::CommunityDictionary {
     d
 }
 
+/// The probe-stage benchmark fixture: a tiny world with one facility
+/// outage, the glue-layer simulated trace backend, and a two-candidate
+/// validation request against the outage window. Shared by
+/// `profile_stages` (ns/request row) and `repro --bench`
+/// (`probe_verdicts_per_sec` in `BENCH_monitor.json`) so both measure
+/// the same workload: schedule → simulate → analyze.
+pub fn probe_fixture(
+    seed: u64,
+) -> (kepler::probe::ProbeEngine<kepler::glue::SimTraceBackend>, kepler::probe::ProbeRequest) {
+    use kepler::glue::{vantage_registry_for, SimTraceBackend};
+    use kepler::netsim::events::{EventKind, ScheduledEvent};
+    use kepler::netsim::world::{World, WorldConfig};
+    use kepler::probe::{ProbeEngine, ProbeEngineConfig, ProbeRequest};
+    use kepler_docmine::LocationTag;
+
+    let world = World::generate(WorldConfig::tiny(seed));
+    let mut facs: Vec<_> = world
+        .colo
+        .facilities()
+        .iter()
+        .map(|f| (world.colo.members_of_facility(f.id).len(), f.id, f.city))
+        .collect();
+    facs.sort_by_key(|(n, f, _)| (std::cmp::Reverse(*n), f.0));
+    let (_, down, city) = facs[0];
+    let twin = facs[1].1;
+    let start = 1_400_000_000u64;
+    let timeline = vec![ScheduledEvent {
+        start,
+        duration: 7_200,
+        kind: EventKind::FacilityOutage { facility: down, affected_fraction: 1.0 },
+    }];
+    let backend =
+        SimTraceBackend::new(std::sync::Arc::new(world.clone()), &timeline, seed ^ 0x9B0E);
+    let engine = ProbeEngine::new(
+        backend,
+        vantage_registry_for(&world),
+        world.detector_colomap(),
+        ProbeEngineConfig::default(),
+    );
+    let affected_far: Vec<_> =
+        world.colo.members_of_facility(down).iter().copied().take(10).collect();
+    let request = ProbeRequest {
+        pop: LocationTag::City(city),
+        bin_start: start + 600,
+        candidates: vec![down, twin],
+        affected_far,
+        affected_near: Vec::new(),
+    };
+    (engine, request)
+}
+
 /// Builds a synthetic announcement record for micro-benchmarks.
 pub fn sample_record(i: u64) -> BgpRecord {
     let attrs = PathAttributes::with_path_and_communities(

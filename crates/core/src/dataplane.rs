@@ -15,24 +15,10 @@
 use crate::events::OutageScope;
 use kepler_bgpstream::Timestamp;
 
-/// Result of re-probing a PoP's baseline paths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ProbeResult {
-    /// Baseline paths that still cross the PoP.
-    pub still_crossing: usize,
-    /// Baseline paths measured.
-    pub baseline: usize,
-}
-
-impl ProbeResult {
-    /// Fraction of baseline paths still crossing.
-    pub fn crossing_fraction(&self) -> f64 {
-        if self.baseline == 0 {
-            return 1.0;
-        }
-        self.still_crossing as f64 / self.baseline as f64
-    }
-}
+// The baseline re-probe arithmetic is owned by `kepler-probe` (one owner
+// for the data-plane vocabulary, see that crate's `trace` module); this
+// module re-exports it so detector callers keep their historical paths.
+pub use kepler_probe::{confirm, ProbeResult};
 
 /// A data-plane measurement backend.
 pub trait DataPlaneProbe {
@@ -40,11 +26,6 @@ pub trait DataPlaneProbe {
     /// baseline coverage for this PoP (validation is then inconclusive and
     /// the control-plane inference stands).
     fn probe(&self, scope: &OutageScope, t: Timestamp) -> Option<ProbeResult>;
-}
-
-/// Confirmation verdict given a probe result and the detection threshold.
-pub fn confirm(result: ProbeResult, t_fail: f64) -> bool {
-    result.crossing_fraction() < t_fail
 }
 
 /// A trivial backend for tests: a fixed answer for every scope.

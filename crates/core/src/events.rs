@@ -3,6 +3,7 @@
 use kepler_bgp::{Asn, Prefix};
 use kepler_bgpstream::{CollectorId, PeerId, Timestamp};
 use kepler_docmine::LocationTag;
+use kepler_probe::HopEvidence;
 use kepler_topology::{CityId, FacilityId, IxpId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -77,6 +78,34 @@ impl fmt::Display for SignalClass {
     }
 }
 
+/// Active-measurement validation status of a reported outage (verdict of
+/// the `kepler-probe` engine for the incident's epicenter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationStatus {
+    /// No probing was needed or attached: the passive localization was
+    /// confident on its own.
+    #[default]
+    Unvalidated,
+    /// Targeted probes confirmed the epicenter dark.
+    Confirmed,
+    /// Targeted probes contradicted the suspicion.
+    Refuted,
+    /// Probing ran but could not decide.
+    Inconclusive,
+}
+
+impl fmt::Display for ValidationStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValidationStatus::Unvalidated => "unvalidated",
+            ValidationStatus::Confirmed => "probe-confirmed",
+            ValidationStatus::Refuted => "probe-refuted",
+            ValidationStatus::Inconclusive => "probe-inconclusive",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A detected infrastructure outage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OutageReport {
@@ -96,6 +125,13 @@ pub struct OutageReport {
     pub oscillations: usize,
     /// Whether a data-plane probe confirmed the incident.
     pub dataplane_confirmed: Option<bool>,
+    /// Verdict of targeted active-measurement validation
+    /// ([`ValidationStatus::Unvalidated`] when localization never needed
+    /// probes).
+    pub validation: ValidationStatus,
+    /// Hop-level evidence behind the validation verdict (empty when
+    /// unvalidated).
+    pub probe_evidence: Vec<HopEvidence>,
 }
 
 impl OutageReport {
@@ -125,8 +161,12 @@ impl fmt::Display for OutageReport {
                 Some(true) => " [confirmed]",
                 Some(false) => " [unconfirmed]",
                 None => "",
-            }
-        )
+            },
+        )?;
+        if self.validation != ValidationStatus::Unvalidated {
+            write!(f, " [{}]", self.validation)?;
+        }
+        Ok(())
     }
 }
 
@@ -158,13 +198,18 @@ mod tests {
             affected_paths: 10,
             oscillations: 1,
             dataplane_confirmed: Some(true),
+            validation: ValidationStatus::Confirmed,
+            probe_evidence: Vec::new(),
         };
         assert_eq!(r.duration(), Some(1500));
         assert_eq!(r.affected_ases().len(), 3);
         let s = r.to_string();
         assert!(s.contains("facility 1") && s.contains("confirmed"), "{s}");
+        assert!(s.contains("probe-confirmed"), "{s}");
         let ongoing = OutageReport { end: None, ..r };
         assert_eq!(ongoing.duration(), None);
         assert!(ongoing.to_string().contains("ongoing"));
+        let plain = OutageReport { validation: ValidationStatus::Unvalidated, ..ongoing.clone() };
+        assert!(!plain.to_string().contains("probe-"), "unvalidated reports stay terse");
     }
 }

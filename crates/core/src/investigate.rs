@@ -25,6 +25,7 @@ use crate::monitor::{BinOutcome, OutageSignal};
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
 use kepler_docmine::LocationTag;
+use kepler_probe::ProbeRequest;
 use kepler_topology::{CityId, ColocationMap, FacilityId, IxpId, OrgMap};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -46,6 +47,88 @@ pub struct LocalizedIncident {
     pub watch: Vec<(RouteKey, LocationTag, Asn)>,
 }
 
+/// A facility suspected from passive evidence alone: the affected
+/// far-end set is (almost) contained in its membership, but its live
+/// co-located members dilute the 95% coverage rule below confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FacilityCandidate {
+    /// The suspected building.
+    pub facility: FacilityId,
+    /// Fraction of the candidate's co-located stable members affected.
+    pub coverage: f64,
+    /// Fraction of the affected set co-located in the candidate.
+    pub containment: f64,
+}
+
+/// Result of localizing one PoP-level signal group, with the passive
+/// confidence signal the probing stage keys on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Localization {
+    /// The passive verdict, if any.
+    pub scope: Option<OutageScope>,
+    /// Facility suspects, best passive score first.
+    pub suspects: Vec<FacilityCandidate>,
+    /// Whether the verdict is below confidence and targeted probes should
+    /// disambiguate: no verdict but live suspects, a coarse city verdict
+    /// over concrete building suspects, or several buildings tied at the
+    /// coverage margin.
+    pub needs_probe: bool,
+}
+
+/// A PoP-level group whose localization needs active-measurement help
+/// (paper §4.4: targeted traceroutes toward the suspect facilities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingIncident {
+    /// The PoP tag whose signals raised it.
+    pub pop: LocationTag,
+    /// Bin where it was raised.
+    pub bin_start: Timestamp,
+    /// Facility suspects, best passive score first.
+    pub candidates: Vec<FacilityCandidate>,
+    /// The passive-only verdict to fall back to when no prober is
+    /// attached or probing is inconclusive (`None`: the group was
+    /// passively unresolvable).
+    pub fallback: Option<OutageScope>,
+    /// Near-end ASes affected.
+    pub affected_near: BTreeSet<Asn>,
+    /// Far-end ASes affected.
+    pub affected_far: BTreeSet<Asn>,
+    /// Deviated stable routes.
+    pub affected_keys: Vec<RouteKey>,
+    /// The monitored crossings to watch for restoration.
+    pub watch: Vec<(RouteKey, LocationTag, Asn)>,
+    /// How many cluster-level `unresolved` bookings this pending carries
+    /// (summed across merges): when probes resolve it, the system
+    /// reconciles the `unresolved` counter by exactly this amount.
+    pub booked_unresolved: usize,
+}
+
+impl PendingIncident {
+    /// The probe request this pending localization translates to.
+    pub fn request(&self) -> ProbeRequest {
+        ProbeRequest {
+            pop: self.pop,
+            bin_start: self.bin_start,
+            candidates: self.candidates.iter().map(|c| c.facility).collect(),
+            affected_far: self.affected_far.iter().copied().collect(),
+            affected_near: self.affected_near.iter().copied().collect(),
+        }
+    }
+
+    /// Materializes the incident once a scope has been settled (by a
+    /// probe verdict or by falling back to the passive scope).
+    pub fn to_incident(&self, scope: OutageScope) -> LocalizedIncident {
+        LocalizedIncident {
+            scope,
+            bin_start: self.bin_start,
+            affected_near: self.affected_near.clone(),
+            affected_far: self.affected_far.clone(),
+            affected_keys: self.affected_keys.clone(),
+            watch: self.watch.clone(),
+        }
+    }
+}
+
 /// Outcome of investigating one bin.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BinInvestigation {
@@ -58,6 +141,10 @@ pub struct BinInvestigation {
     /// PoP-level groups that could not be localized (would need targeted
     /// traceroutes in the paper).
     pub unresolved: Vec<LocationTag>,
+    /// Low-confidence localizations awaiting active-measurement
+    /// disambiguation (resolved by `system::Kepler` when a prober is
+    /// attached, otherwise collapsed to their fallback scopes).
+    pub pending: Vec<PendingIncident>,
 }
 
 /// The investigator.
@@ -143,6 +230,7 @@ impl Investigator {
                 continue;
             }
             let mut found_any = false;
+            let pending_start = result.pending.len();
             for pop in pops {
                 let signals = &groups[pop];
                 let affected_near: BTreeSet<Asn> = signals.iter().map(|s| s.near).collect();
@@ -163,10 +251,7 @@ impl Investigator {
                         }
                     }
                 }
-                let Some(scope) = self.localize(*pop, &affected_far, &stable_fars) else {
-                    continue;
-                };
-                found_any = true;
+                let loc = self.localize_detailed(*pop, &affected_far, &stable_fars);
                 let mut keys: Vec<RouteKey> = Vec::new();
                 let mut watch = Vec::new();
                 for s in signals {
@@ -177,6 +262,29 @@ impl Investigator {
                 }
                 keys.sort();
                 keys.dedup();
+                if loc.needs_probe {
+                    // Low confidence: hand the group to the probing stage
+                    // instead of committing to a passive guess. A group
+                    // with a fallback scope still counts as found — it
+                    // will be reported one way or the other.
+                    found_any |= loc.scope.is_some();
+                    result.pending.push(PendingIncident {
+                        pop: *pop,
+                        bin_start: outcome.bin_start,
+                        candidates: loc.suspects,
+                        fallback: loc.scope,
+                        affected_near,
+                        affected_far,
+                        affected_keys: keys,
+                        watch,
+                        booked_unresolved: 0,
+                    });
+                    continue;
+                }
+                let Some(scope) = loc.scope else {
+                    continue;
+                };
+                found_any = true;
                 incidents.push(LocalizedIncident {
                     scope,
                     bin_start: outcome.bin_start,
@@ -188,9 +296,17 @@ impl Investigator {
             }
             if !found_any {
                 result.unresolved.push(pops[0]);
+                // The cluster is booked unresolved exactly once; mark the
+                // booking on its first pending (all of a bookless
+                // cluster's pendings have no fallback) so the system can
+                // reconcile the counter if probes later resolve it.
+                if let Some(p) = result.pending.get_mut(pending_start) {
+                    p.booked_unresolved = 1;
+                }
             }
         }
         result.incidents = self.merge_incidents(incidents);
+        result.pending = merge_pending(std::mem::take(&mut result.pending));
         result
     }
 
@@ -255,54 +371,129 @@ impl Investigator {
         Coverage { covered, denom, containment }
     }
 
-    /// Localizes a PoP-level signal to its epicenter.
+    /// Localizes a PoP-level signal to its epicenter (passive verdict
+    /// only; see [`Investigator::localize_detailed`] for the confidence
+    /// signal the probing stage consumes).
     pub fn localize(
         &self,
         pop: LocationTag,
         affected_far: &BTreeSet<Asn>,
         stable_fars: &BTreeMap<Asn, usize>,
     ) -> Option<OutageScope> {
+        self.localize_detailed(pop, affected_far, stable_fars).scope
+    }
+
+    /// Localizes a PoP-level signal, reporting the passive scope, every
+    /// facility suspect with its passive scores, and whether the verdict
+    /// needs active-measurement disambiguation.
+    pub fn localize_detailed(
+        &self,
+        pop: LocationTag,
+        affected_far: &BTreeSet<Asn>,
+        stable_fars: &BTreeMap<Asn, usize>,
+    ) -> Localization {
         let margin = self.config.colo_margin;
+        let confident = |scope: OutageScope| Localization {
+            scope: Some(scope),
+            suspects: Vec::new(),
+            needs_probe: false,
+        };
         match pop {
             LocationTag::Facility(f) => {
+                let mut suspects: Vec<FacilityCandidate> = Vec::new();
                 // 1. Near-end facility test.
                 let members = self.colo.members_of_facility(f);
                 let cov = self.coverage(affected_far, stable_fars, members);
                 if cov.denom >= 1 && cov.fraction() >= margin {
-                    return Some(OutageScope::Facility(f));
+                    return confident(OutageScope::Facility(f));
+                }
+                if cov.denom >= 1 && cov.containment >= margin {
+                    // The near-end building contains the affected set but
+                    // its surviving members dilute the coverage: a suspect.
+                    suspects.push(FacilityCandidate {
+                        facility: f,
+                        coverage: cov.fraction(),
+                        containment: cov.containment,
+                    });
                 }
                 // 2. Far-end facilities.
-                if let Some(scope) = self.best_far_facility(affected_far, stable_fars, Some(f)) {
-                    return Some(scope);
+                let far = self.far_candidates(affected_far, stable_fars, Some(f));
+                let passing: Vec<FacilityCandidate> =
+                    far.iter().filter(|c| c.coverage >= margin).copied().collect();
+                match passing.len() {
+                    1 => return confident(OutageScope::Facility(passing[0].facility)),
+                    n if n >= 2 => {
+                        // Several buildings clear the margin: a tie only
+                        // the data plane can break (fallback: the best
+                        // passive score, the historical behavior).
+                        return Localization {
+                            scope: Some(OutageScope::Facility(passing[0].facility)),
+                            suspects: passing,
+                            needs_probe: true,
+                        };
+                    }
+                    _ => {}
                 }
                 // 3. IXP escalation.
-                self.best_common_ixp(affected_far, stable_fars)
+                if let Some(scope) = self.best_common_ixp(affected_far, stable_fars) {
+                    return confident(scope);
+                }
+                suspects.extend(far);
+                let suspects = finalize_suspects(suspects);
+                let needs_probe = !suspects.is_empty();
+                Localization { scope: None, suspects, needs_probe }
             }
             LocationTag::Ixp(x) => {
                 // Resolution increase: a single fabric facility whose
                 // members account for (almost) all affected paths means the
                 // outage is the building, not the exchange.
+                let mut suspects: Vec<FacilityCandidate> = Vec::new();
                 let mut best: Option<(FacilityId, f64)> = None;
                 for &f in self.colo.facilities_of_ixp(x) {
                     let members = self.colo.members_of_facility(f);
                     let cov = self.coverage(affected_far, stable_fars, members);
-                    if cov.denom >= 1 && cov.fraction() >= margin && cov.containment >= margin {
-                        let score = cov.containment;
-                        if best.map(|(_, s)| score > s).unwrap_or(true) {
-                            best = Some((f, score));
+                    if cov.denom >= 1 && cov.containment >= margin {
+                        if cov.fraction() >= margin {
+                            let score = cov.containment;
+                            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                                best = Some((f, score));
+                            }
+                        } else {
+                            suspects.push(FacilityCandidate {
+                                facility: f,
+                                coverage: cov.fraction(),
+                                containment: cov.containment,
+                            });
                         }
                     }
                 }
                 if let Some((f, _)) = best {
-                    return Some(OutageScope::Facility(f));
+                    return confident(OutageScope::Facility(f));
                 }
                 // Whole-exchange test.
                 let members = self.colo.members_of_ixp(x);
                 let cov = self.coverage(affected_far, stable_fars, members);
                 if cov.denom >= 1 && cov.fraction() >= margin {
-                    return Some(OutageScope::Ixp(x));
+                    return confident(OutageScope::Ixp(x));
                 }
-                self.best_far_facility(affected_far, stable_fars, None)
+                let far = self.far_candidates(affected_far, stable_fars, None);
+                let passing: Vec<FacilityCandidate> =
+                    far.iter().filter(|c| c.coverage >= margin).copied().collect();
+                match passing.len() {
+                    1 => return confident(OutageScope::Facility(passing[0].facility)),
+                    n if n >= 2 => {
+                        return Localization {
+                            scope: Some(OutageScope::Facility(passing[0].facility)),
+                            suspects: passing,
+                            needs_probe: true,
+                        };
+                    }
+                    _ => {}
+                }
+                suspects.extend(far);
+                let suspects = finalize_suspects(suspects);
+                let needs_probe = !suspects.is_empty();
+                Localization { scope: None, suspects, needs_probe }
             }
             LocationTag::City(c) => {
                 // Sharpen to a facility in the city, then an IXP, else stay
@@ -311,18 +502,79 @@ impl Investigator {
                 // in the city, so candidates are judged by *coverage* of
                 // their co-located members (are this building's tenants
                 // wiped out?) rather than by containment.
-                let mut fac_cands: Vec<FacilityId> = Vec::new();
-                for f in self.colo.facilities_in_city(c) {
-                    let members = self.colo.members_of_facility(f);
+                // Of the affected far-ends the city's buildings can
+                // explain at all, how concentrated is each building? A
+                // far-end with a port but no recorded tenancy anywhere in
+                // the city (remote peering through a reseller) must not
+                // break the containment test for every building at once.
+                let city_facilities = self.colo.facilities_in_city(c);
+                let affected_in_city = affected_far
+                    .iter()
+                    .filter(|a| {
+                        city_facilities
+                            .iter()
+                            .any(|f| self.colo.members_of_facility(*f).contains(a))
+                    })
+                    .count();
+                let mut fac_cands: Vec<(FacilityCandidate, BTreeSet<Asn>)> = Vec::new();
+                let mut suspects: Vec<FacilityCandidate> = Vec::new();
+                for f in &city_facilities {
+                    let members = self.colo.members_of_facility(*f);
                     let cov = self.coverage(affected_far, stable_fars, members);
+                    let candidate = FacilityCandidate {
+                        facility: *f,
+                        coverage: cov.fraction(),
+                        containment: cov.containment,
+                    };
                     if cov.denom >= 2 && cov.fraction() >= margin {
-                        fac_cands.push(f);
+                        let covered: BTreeSet<Asn> = stable_fars
+                            .keys()
+                            .filter(|a| members.contains(a) && affected_far.contains(a))
+                            .copied()
+                            .collect();
+                        fac_cands.push((candidate, covered));
+                        continue;
+                    }
+                    let in_building = affected_far.iter().filter(|a| members.contains(a)).count();
+                    if cov.denom >= 2
+                        && affected_in_city >= 1
+                        && in_building as f64 >= margin * affected_in_city as f64
+                    {
+                        // Concrete building suspect behind a coarse city
+                        // tag — the colocation-twin shape the probe
+                        // subsystem disambiguates.
+                        suspects.push(candidate);
                     }
                 }
-                match fac_cands.as_slice() {
-                    [only] => return Some(OutageScope::Facility(*only)),
-                    [_, ..] => return Some(OutageScope::City(c)), // several buildings down: metro event
-                    [] => {}
+                match fac_cands.len() {
+                    1 => return confident(OutageScope::Facility(fac_cands[0].0.facility)),
+                    n if n >= 2 => {
+                        // Several buildings clear the margin. If each is
+                        // backed by its *own* wiped-out tenants, several
+                        // buildings really failed together: a metro
+                        // event. But when the covered evidence sets are
+                        // (near-)identical, the candidates are colocation
+                        // twins — one piece of evidence counted twice —
+                        // and only the data plane can name the building.
+                        let indistinguishable = fac_cands.iter().enumerate().all(|(i, (_, a))| {
+                            fac_cands.iter().skip(i + 1).all(|(_, b)| {
+                                let inter = a.intersection(b).count();
+                                inter as f64 >= margin * a.len().min(b.len()) as f64
+                            })
+                        });
+                        if indistinguishable {
+                            let mut twins: Vec<FacilityCandidate> =
+                                fac_cands.into_iter().map(|(cand, _)| cand).collect();
+                            sort_candidates(&mut twins);
+                            return Localization {
+                                scope: Some(OutageScope::City(c)),
+                                suspects: twins,
+                                needs_probe: true,
+                            };
+                        }
+                        return confident(OutageScope::City(c)); // several buildings down: metro event
+                    }
+                    _ => {}
                 }
                 let mut ixp_cands: Vec<IxpId> = Vec::new();
                 for x in self.colo.ixps_in_city(c) {
@@ -333,20 +585,26 @@ impl Investigator {
                     }
                 }
                 if let [only] = ixp_cands.as_slice() {
-                    return Some(OutageScope::Ixp(*only));
+                    return confident(OutageScope::Ixp(*only));
                 }
-                Some(OutageScope::City(c))
+                sort_candidates(&mut suspects);
+                let needs_probe = !suspects.is_empty();
+                Localization { scope: Some(OutageScope::City(c)), suspects, needs_probe }
             }
         }
     }
 
-    /// Best facility among those hosting the affected far-end ASes.
-    fn best_far_facility(
+    /// All facility suspects among those hosting the affected far-end
+    /// ASes: ≥2 co-located stable members (a single-member match is no
+    /// evidence of a *facility* failure) and near-complete containment of
+    /// the affected set. Sorted best passive score first; entries at or
+    /// above the coverage margin are the historical "passing" candidates.
+    fn far_candidates(
         &self,
         affected_far: &BTreeSet<Asn>,
         stable_fars: &BTreeMap<Asn, usize>,
         exclude: Option<FacilityId>,
-    ) -> Option<OutageScope> {
+    ) -> Vec<FacilityCandidate> {
         let margin = self.config.colo_margin;
         let mut candidates: BTreeSet<FacilityId> = BTreeSet::new();
         for a in affected_far {
@@ -355,23 +613,20 @@ impl Investigator {
         if let Some(f) = exclude {
             candidates.remove(&f);
         }
-        let mut best: Option<(FacilityId, f64, f64)> = None;
+        let mut out: Vec<FacilityCandidate> = Vec::new();
         for g in candidates {
             let members = self.colo.members_of_facility(g);
             let cov = self.coverage(affected_far, stable_fars, members);
-            // ≥2 co-located stable members required: a single-member match
-            // is no evidence of a *facility* failure.
-            if cov.denom >= 2 && cov.fraction() >= margin && cov.containment >= margin {
-                let better = match best {
-                    None => true,
-                    Some((_, c, f2)) => (cov.containment, cov.fraction()) > (c, f2),
-                };
-                if better {
-                    best = Some((g, cov.containment, cov.fraction()));
-                }
+            if cov.denom >= 2 && cov.containment >= margin {
+                out.push(FacilityCandidate {
+                    facility: g,
+                    coverage: cov.fraction(),
+                    containment: cov.containment,
+                });
             }
         }
-        best.map(|(g, _, _)| OutageScope::Facility(g))
+        sort_candidates(&mut out);
+        out
     }
 
     /// Best common IXP of the affected far-end ASes.
@@ -478,6 +733,59 @@ impl Investigator {
         out.sort_by_key(|i| i.scope);
         out
     }
+}
+
+/// Sorts candidates best passive score first: containment, then
+/// coverage, descending. The sort is stable, and candidates arrive in
+/// facility-id order, so equal scores keep the lowest id first — the
+/// historical tie-break of the best-candidate selection.
+fn sort_candidates(candidates: &mut [FacilityCandidate]) {
+    candidates.sort_by(|a, b| {
+        (b.containment, b.coverage)
+            .partial_cmp(&(a.containment, a.coverage))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+/// Sorts suspects best-first and drops duplicate facilities (a building
+/// can qualify through several collection paths — e.g. an IXP's fabric
+/// loop *and* the far-end facility scan — and a duplicated candidate
+/// would be probed twice and defeat the unique-confirmation rule).
+fn finalize_suspects(mut suspects: Vec<FacilityCandidate>) -> Vec<FacilityCandidate> {
+    sort_candidates(&mut suspects);
+    let mut seen: BTreeSet<FacilityId> = BTreeSet::new();
+    suspects.retain(|c| seen.insert(c.facility));
+    suspects
+}
+
+/// Merges pending localizations that name the same candidate set: one
+/// physical incident surfaces through several tags at once (the city
+/// tag, each bystander building's tag), and probing it once is enough.
+fn merge_pending(pending: Vec<PendingIncident>) -> Vec<PendingIncident> {
+    let mut by_cands: BTreeMap<Vec<u32>, PendingIncident> = BTreeMap::new();
+    for p in pending {
+        let mut key: Vec<u32> = p.candidates.iter().map(|c| c.facility.0).collect();
+        key.sort_unstable();
+        key.dedup();
+        match by_cands.get_mut(&key) {
+            None => {
+                by_cands.insert(key, p);
+            }
+            Some(existing) => {
+                existing.affected_near.extend(p.affected_near);
+                existing.affected_far.extend(p.affected_far);
+                existing.affected_keys.extend(p.affected_keys);
+                existing.affected_keys.sort();
+                existing.affected_keys.dedup();
+                existing.watch.extend(p.watch);
+                existing.booked_unresolved += p.booked_unresolved;
+                if existing.fallback.is_none() {
+                    existing.fallback = p.fallback;
+                }
+            }
+        }
+    }
+    by_cands.into_values().collect()
 }
 
 #[cfg(test)]
@@ -682,6 +990,129 @@ mod tests {
         let mixed: BTreeSet<Asn> = [201u32, 301, 999].iter().map(|&a| Asn(a)).collect();
         let scope2 = inv.localize(LocationTag::City(CityId(0)), &mixed, &stable_all());
         assert_eq!(scope2, Some(OutageScope::City(CityId(0))));
+    }
+
+    /// Colocation twins: facilities 1 and 2 both list fars 201..=210, but
+    /// only 201..=205 (the ports that physically sit in facility 1) are
+    /// affected. Facility 0 is the near-end bystander whose tag carries
+    /// the signals.
+    fn build_twins() -> Investigator {
+        let mut colo = ColocationMap::new();
+        colo.add_facility(facility(0, 0));
+        colo.add_facility(facility(1, 0));
+        colo.add_facility(facility(2, 0));
+        for a in 201..=210u32 {
+            colo.add_fac_member(FacilityId(1), Asn(a));
+            colo.add_fac_member(FacilityId(2), Asn(a));
+        }
+        Investigator::new(KeplerConfig::default(), colo, OrgMap::new())
+    }
+
+    fn stable_twins() -> BTreeMap<Asn, usize> {
+        (201..=210).map(|a| (Asn(a), 2)).collect()
+    }
+
+    #[test]
+    fn twin_facilities_defeat_passive_localization_and_need_probes() {
+        let inv = build_twins();
+        let affected: BTreeSet<Asn> = (201..=205).map(Asn).collect();
+        // Through the bystander facility tag: no verdict, two suspects.
+        let loc =
+            inv.localize_detailed(LocationTag::Facility(FacilityId(0)), &affected, &stable_twins());
+        assert_eq!(loc.scope, None);
+        assert!(loc.needs_probe);
+        let named: Vec<FacilityId> = loc.suspects.iter().map(|c| c.facility).collect();
+        assert_eq!(named, vec![FacilityId(1), FacilityId(2)]);
+        assert!((loc.suspects[0].containment - 1.0).abs() < 1e-9);
+        assert!(loc.suspects[0].coverage < 0.95, "live twin ports dilute coverage");
+        // Through the city tag: coarse city verdict over the same suspects.
+        let loc = inv.localize_detailed(LocationTag::City(CityId(0)), &affected, &stable_twins());
+        assert_eq!(loc.scope, Some(OutageScope::City(CityId(0))));
+        assert!(loc.needs_probe);
+        assert_eq!(loc.suspects.len(), 2);
+    }
+
+    #[test]
+    fn tied_passing_candidates_need_probes_with_best_fallback() {
+        let inv = build_twins();
+        // Both buildings fully wiped: two candidates clear the margin.
+        let affected: BTreeSet<Asn> = (201..=210).map(Asn).collect();
+        let loc =
+            inv.localize_detailed(LocationTag::Facility(FacilityId(0)), &affected, &stable_twins());
+        assert_eq!(loc.scope, Some(OutageScope::Facility(FacilityId(1))), "historical best");
+        assert!(loc.needs_probe, "a tie is not confidence");
+        assert_eq!(loc.suspects.len(), 2);
+        // The wrapper keeps the historical passive behavior.
+        assert_eq!(
+            inv.localize(LocationTag::Facility(FacilityId(0)), &affected, &stable_twins()),
+            Some(OutageScope::Facility(FacilityId(1)))
+        );
+    }
+
+    #[test]
+    fn ixp_tag_suspects_are_deduplicated() {
+        // Facility 1 qualifies as a suspect both through the IXP's fabric
+        // loop and through the far-end facility scan; the candidate list
+        // must still name it once (a duplicate would be probed twice and
+        // defeat the unique-confirmation rule).
+        let mut colo = ColocationMap::new();
+        colo.add_facility(facility(0, 0));
+        colo.add_facility(facility(1, 0));
+        colo.add_facility(facility(2, 0));
+        colo.add_ixp(Ixp {
+            id: IxpId(0),
+            name: "IX".into(),
+            url: "ix.net".into(),
+            city: CityId(0),
+            continent: Continent::Europe,
+            route_server_asn: None,
+        });
+        for a in 201..=210u32 {
+            colo.add_fac_member(FacilityId(1), Asn(a));
+            colo.add_fac_member(FacilityId(2), Asn(a));
+            colo.add_ixp_member(IxpId(0), Asn(a));
+        }
+        colo.link_ixp_facility(IxpId(0), FacilityId(1));
+        let inv = Investigator::new(KeplerConfig::default(), colo, OrgMap::new());
+        let affected: BTreeSet<Asn> = (201..=205).map(Asn).collect();
+        let stable: BTreeMap<Asn, usize> = (201..=210).map(|a| (Asn(a), 2)).collect();
+        let loc = inv.localize_detailed(LocationTag::Ixp(IxpId(0)), &affected, &stable);
+        assert_eq!(loc.scope, None);
+        assert!(loc.needs_probe);
+        let named: Vec<FacilityId> = loc.suspects.iter().map(|c| c.facility).collect();
+        let unique: BTreeSet<FacilityId> = named.iter().copied().collect();
+        assert_eq!(named.len(), unique.len(), "duplicate suspects: {named:?}");
+        assert!(unique.contains(&FacilityId(1)) && unique.contains(&FacilityId(2)));
+    }
+
+    #[test]
+    fn investigation_merges_pendings_across_tags() {
+        let inv = build_twins();
+        let mut outcome = BinOutcome { bin_start: 600, ..Default::default() };
+        // The same physical incident seen through the bystander facility
+        // tag and the city tag.
+        for (near, fars) in [(1u32, [201u32, 202]), (2, [203, 204]), (3, [205, 201])] {
+            outcome.signals.push(signal(LocationTag::Facility(FacilityId(0)), near, &fars));
+            outcome.signals.push(signal(LocationTag::City(CityId(0)), near, &fars));
+        }
+        let by_near: BTreeMap<Asn, BTreeMap<Asn, usize>> =
+            [(Asn(1), stable_twins()), (Asn(2), stable_twins()), (Asn(3), stable_twins())].into();
+        outcome.stable_fars.insert(LocationTag::Facility(FacilityId(0)), by_near.clone());
+        outcome.stable_fars.insert(LocationTag::City(CityId(0)), by_near);
+        let result = inv.investigate(&outcome);
+        assert!(result.incidents.is_empty(), "nothing is confidently localized");
+        assert_eq!(result.pending.len(), 1, "same candidate set probes once: {result:?}");
+        let p = &result.pending[0];
+        assert_eq!(p.fallback, Some(OutageScope::City(CityId(0))));
+        assert_eq!(p.candidates.len(), 2);
+        assert_eq!(p.affected_near.len(), 3);
+        let req = p.request();
+        assert_eq!(req.candidates, vec![FacilityId(1), FacilityId(2)]);
+        assert_eq!(req.affected_far.len(), 5);
+        // Materializing with a settled scope carries everything over.
+        let inc = p.to_incident(OutageScope::Facility(FacilityId(1)));
+        assert_eq!(inc.scope, OutageScope::Facility(FacilityId(1)));
+        assert_eq!(inc.affected_near, p.affected_near);
     }
 
     #[test]

@@ -38,8 +38,9 @@ pub mod system;
 pub mod tracker;
 
 pub use config::KeplerConfig;
-pub use events::{OutageReport, OutageScope, RouteKey, SignalClass};
+pub use events::{OutageReport, OutageScope, RouteKey, SignalClass, ValidationStatus};
 pub use ingest::ParallelIngest;
 pub use intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId};
+pub use investigate::{FacilityCandidate, Localization, PendingIncident};
 pub use shard::{AnyMonitor, ShardedMonitor};
 pub use system::{Kepler, KeplerInputs};

@@ -172,6 +172,8 @@ mod tests {
             affected_paths: 5,
             oscillations: 1,
             dataplane_confirmed: None,
+            validation: crate::events::ValidationStatus::Unvalidated,
+            probe_evidence: Vec::new(),
         }
     }
 

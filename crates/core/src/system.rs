@@ -2,16 +2,17 @@
 
 use crate::config::KeplerConfig;
 use crate::dataplane::{confirm, DataPlaneProbe};
-use crate::events::{OutageReport, SignalClass};
+use crate::events::{OutageReport, OutageScope, SignalClass, ValidationStatus};
 use crate::ingest::{AnyIngest, ParallelIngest};
 use crate::input::InputModule;
 use crate::intern::{DenseRouteEvent, Interner};
-use crate::investigate::Investigator;
+use crate::investigate::{Investigator, LocalizedIncident};
 use crate::monitor::{DenseBinOutcome, Monitor};
 use crate::shard::{AnyMonitor, ShardedMonitor};
-use crate::tracker::Tracker;
+use crate::tracker::{IncidentMeta, Tracker};
 use kepler_bgpstream::{BgpRecord, GapTracker, Timestamp};
 use kepler_docmine::CommunityDictionary;
+use kepler_probe::{FacilityVerdict, Prober};
 use kepler_topology::{ColocationMap, OrgMap};
 
 /// Everything Kepler needs to start.
@@ -41,6 +42,15 @@ pub struct ClassCounts {
     pub unresolved: usize,
     /// Incidents discarded because the data plane contradicted them.
     pub dataplane_rejected: usize,
+    /// Ambiguous localizations resolved to a single facility by targeted
+    /// probes.
+    pub probe_confirmed: usize,
+    /// Suspicions suppressed because probes refuted every candidate (or
+    /// the fallback epicenter).
+    pub probe_refuted: usize,
+    /// Probe campaigns that could not decide (fell back to the passive
+    /// verdict).
+    pub probe_inconclusive: usize,
 }
 
 /// The Kepler detection system.
@@ -52,6 +62,7 @@ pub struct Kepler {
     investigator: Investigator,
     tracker: Tracker,
     dataplane: Option<Box<dyn DataPlaneProbe>>,
+    prober: Option<Box<dyn Prober>>,
     counts: ClassCounts,
     last_time: Timestamp,
     /// Reusable buffer for events drained from the ingest stage.
@@ -74,6 +85,7 @@ impl Kepler {
             investigator: Investigator::new(config.clone(), inputs.colo, inputs.orgs),
             tracker,
             dataplane: None,
+            prober: None,
             counts: ClassCounts::default(),
             config,
             last_time: 0,
@@ -84,6 +96,16 @@ impl Kepler {
     /// Attaches a data-plane measurement backend for incident confirmation.
     pub fn with_dataplane(mut self, probe: Box<dyn DataPlaneProbe>) -> Self {
         self.dataplane = Some(probe);
+        self
+    }
+
+    /// Attaches an active-measurement prober (`kepler-probe` engine or a
+    /// deployment equivalent). Localizations the investigator flags as
+    /// low-confidence are handed to it for facility-level disambiguation;
+    /// confident localizations never touch it, so attaching a prober
+    /// cannot change outcomes for events it does not probe.
+    pub fn with_prober(mut self, prober: Box<dyn Prober>) -> Self {
+        self.prober = Some(prober);
         self
     }
 
@@ -197,11 +219,62 @@ impl Kepler {
             }
         }
         self.counts.unresolved += investigation.unresolved.len();
+        // Low-confidence localizations: targeted probes disambiguate the
+        // candidate facilities (paper §4.4 targeted campaigns). Without a
+        // prober, each pending group collapses to its passive fallback.
+        let mut settled: Vec<(
+            LocalizedIncident,
+            ValidationStatus,
+            Vec<kepler_probe::HopEvidence>,
+        )> = Vec::new();
+        for pending in &investigation.pending {
+            let (scope, validation, evidence) = match self.prober.as_mut() {
+                None => match pending.fallback {
+                    Some(scope) => (scope, ValidationStatus::Unvalidated, Vec::new()),
+                    None => continue,
+                },
+                Some(prober) => {
+                    let report = prober.validate(&pending.request(), outcome.bin_start);
+                    if let Some(fac) = report.resolved() {
+                        self.counts.probe_confirmed += 1;
+                        // Clusters that were booked unresolved have been
+                        // rescued by the probes; the pending carries the
+                        // exact number of bookings it absorbed.
+                        self.counts.unresolved =
+                            self.counts.unresolved.saturating_sub(pending.booked_unresolved);
+                        (OutageScope::Facility(fac), ValidationStatus::Confirmed, report.evidence)
+                    } else {
+                        let fallback_refuted = matches!(
+                            pending.fallback,
+                            Some(OutageScope::Facility(g))
+                                if report.verdict_for(g) == Some(FacilityVerdict::Refuted)
+                        );
+                        if report.all_refuted() || fallback_refuted {
+                            // Every suspect building is demonstrably
+                            // forwarding: the suspicion was a false
+                            // positive.
+                            self.counts.probe_refuted += 1;
+                            continue;
+                        }
+                        self.counts.probe_inconclusive += 1;
+                        match pending.fallback {
+                            Some(scope) => (scope, ValidationStatus::Inconclusive, report.evidence),
+                            None => continue,
+                        }
+                    }
+                }
+            };
+            settled.push((pending.to_incident(scope), validation, evidence));
+        }
         // Data-plane confirmation: incidents contradicted by traceroutes
         // are discarded as false positives (paper §4.4).
         let mut kept = Vec::new();
-        let mut confirmations = Vec::new();
-        for inc in investigation.incidents {
+        let mut meta = Vec::new();
+        let confident = investigation
+            .incidents
+            .into_iter()
+            .map(|inc| (inc, ValidationStatus::Unvalidated, Vec::new()));
+        for (inc, validation, evidence) in confident.chain(settled) {
             let verdict = self
                 .dataplane
                 .as_ref()
@@ -213,9 +286,9 @@ impl Kepler {
             }
             self.counts.pop_level += 1;
             kept.push(inc);
-            confirmations.push(verdict);
+            meta.push(IncidentMeta { dataplane: verdict, validation, evidence });
         }
-        self.tracker.record(&kept, &confirmations, &mut self.interner);
+        self.tracker.record(&kept, &meta, &mut self.interner);
         let bin_end = outcome.bin_start + self.config.bin_secs;
         self.tracker.check_restorations(bin_end, &mut self.monitor);
     }
@@ -447,6 +520,161 @@ mod tests {
         let kepler = Kepler::new(inputs());
         let reports = kepler.run(records);
         assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    /// Twin world: the near-end tag is facility 0; the affected far-ends
+    /// 20..=25 are listed (per the colocation map) in *both* facility 1
+    /// and facility 2 — passive localization ties and needs probes.
+    fn twin_inputs() -> KeplerInputs {
+        let mut colo = ColocationMap::new();
+        for (id, city) in [(0u32, 0u32), (1, 1), (2, 1)] {
+            colo.add_facility(Facility {
+                id: FacilityId(id),
+                name: format!("F{id}"),
+                address: String::new(),
+                postcode: format!("P{id}"),
+                country: "GB".into(),
+                city: CityId(city),
+                continent: Continent::Europe,
+                point: GeoPoint::new(51.5, 0.0),
+                operator: "Op".into(),
+            });
+        }
+        for a in [10u32, 11, 12] {
+            colo.add_fac_member(FacilityId(0), Asn(a));
+        }
+        for a in 20..=25u32 {
+            colo.add_fac_member(FacilityId(1), Asn(a));
+            colo.add_fac_member(FacilityId(2), Asn(a));
+        }
+        let mut dictionary = CommunityDictionary::new();
+        for near in [10u16, 11, 12] {
+            dictionary.insert(Community::new(near, 500), LocationTag::Facility(FacilityId(0)));
+        }
+        KeplerInputs {
+            config: KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() },
+            dictionary,
+            colo,
+            orgs: OrgMap::new(),
+        }
+    }
+
+    /// A prober answering from a script instead of measurements.
+    struct ScriptedProber {
+        /// Facility to confirm; every other candidate is refuted.
+        confirm: Option<u32>,
+        /// Answer Inconclusive for everything instead.
+        inconclusive: bool,
+    }
+
+    impl kepler_probe::Prober for ScriptedProber {
+        fn validate(
+            &mut self,
+            request: &kepler_probe::ProbeRequest,
+            _now: Timestamp,
+        ) -> kepler_probe::ProbeReport {
+            use kepler_probe::{FacilityVerdict, HopEvidence, PostState, ProbeReport};
+            let mut report = ProbeReport::default();
+            for &c in &request.candidates {
+                let verdict = if self.inconclusive {
+                    FacilityVerdict::Inconclusive
+                } else if Some(c.0) == self.confirm {
+                    FacilityVerdict::Confirmed
+                } else {
+                    FacilityVerdict::Refuted
+                };
+                if verdict == FacilityVerdict::Confirmed {
+                    report.evidence.push(HopEvidence {
+                        vantage: Asn(900),
+                        target: *request.affected_far.first().unwrap_or(&Asn(0)),
+                        facility: c,
+                        pre_hop: 2,
+                        post: PostState::Detoured,
+                    });
+                }
+                report.verdicts.push((c, verdict));
+                report.probes_sent += 4;
+            }
+            report
+        }
+    }
+
+    fn twin_records() -> Vec<BgpRecord> {
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        records.push(announce(t_fail + 13 * 3600, 10, 20, 0));
+        records
+    }
+
+    #[test]
+    fn twin_without_prober_falls_back_to_best_passive_guess() {
+        let reports = Kepler::new(twin_inputs()).run(twin_records());
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        // The tie collapses to the first candidate — an arbitrary pick.
+        assert_eq!(reports[0].scope, OutageScope::Facility(FacilityId(1)));
+        assert_eq!(reports[0].validation, crate::events::ValidationStatus::Unvalidated);
+    }
+
+    #[test]
+    fn prober_disambiguates_the_twin_and_marks_the_report() {
+        let kepler = Kepler::new(twin_inputs())
+            .with_prober(Box::new(ScriptedProber { confirm: Some(2), inconclusive: false }));
+        let reports = kepler.run(twin_records());
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        // The probe verdict overrides the passive tie-break.
+        assert_eq!(reports[0].scope, OutageScope::Facility(FacilityId(2)));
+        assert_eq!(reports[0].validation, crate::events::ValidationStatus::Confirmed);
+        assert!(!reports[0].probe_evidence.is_empty(), "verdicts carry hop evidence");
+    }
+
+    #[test]
+    fn refuted_suspicion_suppresses_the_report() {
+        let mut kepler = Kepler::new(twin_inputs())
+            .with_prober(Box::new(ScriptedProber { confirm: None, inconclusive: false }));
+        let counts_before = kepler.class_counts();
+        assert_eq!(counts_before.probe_refuted, 0);
+        for r in twin_records() {
+            kepler.process_record(&r);
+        }
+        let reports = kepler.finish();
+        assert!(reports.is_empty(), "all candidates refuted: {reports:?}");
+    }
+
+    #[test]
+    fn inconclusive_probing_falls_back_and_is_marked() {
+        let kepler = Kepler::new(twin_inputs())
+            .with_prober(Box::new(ScriptedProber { confirm: None, inconclusive: true }));
+        let reports = kepler.run(twin_records());
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].scope, OutageScope::Facility(FacilityId(1)));
+        assert_eq!(reports[0].validation, crate::events::ValidationStatus::Inconclusive);
+    }
+
+    #[test]
+    fn prober_never_touches_confident_localizations() {
+        // The original unambiguous fixture: localization is confident, so
+        // the prober must not be consulted and outcomes are bit-identical.
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        let t_restore = t_fail + 1800;
+        records.extend(restore_records(t_restore));
+        records.push(announce(t_restore + 13 * 3600, 10, 20, 0));
+        let plain = Kepler::new(inputs()).run(records.clone());
+        /// A prober that fails the test if it is ever consulted.
+        struct Tripwire;
+        impl kepler_probe::Prober for Tripwire {
+            fn validate(
+                &mut self,
+                request: &kepler_probe::ProbeRequest,
+                _now: Timestamp,
+            ) -> kepler_probe::ProbeReport {
+                panic!("confident localization must not be probed: {request:?}");
+            }
+        }
+        let probed = Kepler::new(inputs()).with_prober(Box::new(Tripwire)).run(records);
+        assert_eq!(plain, probed, "attaching a prober must not change untouched events");
     }
 
     #[test]

@@ -7,14 +7,28 @@
 //! downtime is the sum of the individual outage durations.
 
 use crate::config::KeplerConfig;
-use crate::events::{OutageReport, OutageScope, RouteKey};
+use crate::events::{OutageReport, OutageScope, RouteKey, ValidationStatus};
 use crate::intern::{AsnId, Interner, PopId, RouteId};
 use crate::investigate::LocalizedIncident;
 use crate::shard::AnyMonitor;
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
+use kepler_probe::HopEvidence;
 use kepler_topology::{CityId, ColocationMap};
 use std::collections::{BTreeSet, HashMap};
+
+/// Validation metadata recorded alongside one localized incident: the
+/// passive data-plane confirmation (paper §4.4 baseline re-probe) and the
+/// targeted-probe verdict with its hop-level evidence.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IncidentMeta {
+    /// Baseline data-plane confirmation, when a backend was attached.
+    pub dataplane: Option<bool>,
+    /// Targeted-probe verdict for the incident's epicenter.
+    pub validation: ValidationStatus,
+    /// Hop-level evidence behind the verdict.
+    pub evidence: Vec<HopEvidence>,
+}
 
 #[derive(Debug)]
 struct Ongoing {
@@ -31,6 +45,8 @@ struct Ongoing {
     /// checks run every bin, so they must not touch fat keys.
     watch: Vec<(RouteId, PopId, AsnId)>,
     dataplane_confirmed: Option<bool>,
+    validation: ValidationStatus,
+    probe_evidence: Vec<HopEvidence>,
 }
 
 /// Tracks ongoing and closed outages.
@@ -109,10 +125,10 @@ impl Tracker {
     pub fn record(
         &mut self,
         incidents: &[LocalizedIncident],
-        confirmed: &[Option<bool>],
+        meta: &[IncidentMeta],
         interner: &mut Interner,
     ) {
-        for (inc, conf) in incidents.iter().zip(confirmed.iter()) {
+        for (inc, meta) in incidents.iter().zip(meta.iter()) {
             let dense_watch: Vec<(RouteId, PopId, AsnId)> = inc
                 .watch
                 .iter()
@@ -134,8 +150,12 @@ impl Tracker {
                 on.affected_keys.extend(inc.affected_keys.iter().copied());
                 on.watch.extend(dense_watch.iter().copied());
                 if on.dataplane_confirmed.is_none() {
-                    on.dataplane_confirmed = *conf;
+                    on.dataplane_confirmed = meta.dataplane;
                 }
+                if on.validation == ValidationStatus::Unvalidated {
+                    on.validation = meta.validation;
+                }
+                on.probe_evidence.extend(meta.evidence.iter().copied());
                 on.scope = self.merged_scope(key, inc.scope);
                 // A previously separate ongoing entry under the merged
                 // scope is the same incident too.
@@ -148,6 +168,10 @@ impl Tracker {
                     on.affected_far.extend(other.affected_far);
                     on.affected_keys.extend(other.affected_keys);
                     on.watch.extend(other.watch);
+                    if on.validation == ValidationStatus::Unvalidated {
+                        on.validation = other.validation;
+                    }
+                    on.probe_evidence.extend(other.probe_evidence);
                 }
                 self.ongoing.insert(on.scope, on);
                 continue;
@@ -178,10 +202,19 @@ impl Tracker {
                         affected_keys: BTreeSet::new(),
                         watch: dense_watch.clone(),
                         dataplane_confirmed: report.dataplane_confirmed,
+                        validation: report.validation,
+                        probe_evidence: report.probe_evidence.clone(),
                     };
                     on.affected_near.extend(inc.affected_near.iter().copied());
                     on.affected_far.extend(inc.affected_far.iter().copied());
                     on.affected_keys.extend(inc.affected_keys.iter().copied());
+                    if on.dataplane_confirmed.is_none() {
+                        on.dataplane_confirmed = meta.dataplane;
+                    }
+                    if on.validation == ValidationStatus::Unvalidated {
+                        on.validation = meta.validation;
+                    }
+                    on.probe_evidence.extend(meta.evidence.iter().copied());
                     self.ongoing.insert(on.scope, on);
                     continue;
                 }
@@ -200,7 +233,9 @@ impl Tracker {
                     affected_far: inc.affected_far.clone(),
                     affected_keys: inc.affected_keys.iter().copied().collect(),
                     watch: dense_watch,
-                    dataplane_confirmed: *conf,
+                    dataplane_confirmed: meta.dataplane,
+                    validation: meta.validation,
+                    probe_evidence: meta.evidence.clone(),
                 },
             );
         }
@@ -236,6 +271,8 @@ impl Tracker {
                 affected_paths: on.affected_keys.len(),
                 oscillations: on.oscillations,
                 dataplane_confirmed: on.dataplane_confirmed,
+                validation: on.validation,
+                probe_evidence: on.probe_evidence,
             };
             self.cooling.insert(scope, (report, on.prior_duration + seg));
         }
@@ -277,6 +314,8 @@ impl Tracker {
                 affected_paths: on.affected_keys.len(),
                 oscillations: on.oscillations,
                 dataplane_confirmed: on.dataplane_confirmed,
+                validation: on.validation,
+                probe_evidence: on.probe_evidence,
             });
         }
         self.finished.sort_by_key(|r| (r.start, r.scope));
@@ -348,7 +387,7 @@ mod tests {
     fn open_then_restore() {
         let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
-        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None], &mut interner);
+        t.record(&[incident(1000, &[0, 1, 2, 3])], &[IncidentMeta::default()], &mut interner);
         assert_eq!(t.ongoing_count(), 1);
         // 2 of 4 back: exactly 50%, not >50% — still ongoing.
         t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
@@ -367,11 +406,11 @@ mod tests {
     fn oscillations_merge_within_window() {
         let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
-        t.record(&[incident(1000, &[0, 1, 2, 3])], &[None], &mut interner);
+        t.record(&[incident(1000, &[0, 1, 2, 3])], &[IncidentMeta::default()], &mut interner);
         t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1, 2, 3]));
         assert_eq!(t.ongoing_count(), 0);
         // Re-fails 1h later (< 12h window): same incident.
-        t.record(&[incident(2000 + 3600, &[0, 1])], &[None], &mut interner);
+        t.record(&[incident(2000 + 3600, &[0, 1])], &[IncidentMeta::default()], &mut interner);
         assert_eq!(t.ongoing_count(), 1);
         t.check_restorations(2000 + 7200, &mut monitor_with(&mut interner, &[0, 1, 2, 3]));
         let reports = t.finish();
@@ -386,10 +425,10 @@ mod tests {
         let w = cfg.merge_window_secs;
         let mut interner = Interner::new();
         let mut t = Tracker::new(cfg);
-        t.record(&[incident(1000, &[0, 1])], &[None], &mut interner);
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
         t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
         // Second outage far beyond the merge window.
-        t.record(&[incident(2000 + w + 100, &[0, 1])], &[None], &mut interner);
+        t.record(&[incident(2000 + w + 100, &[0, 1])], &[IncidentMeta::default()], &mut interner);
         t.check_restorations(2000 + w + 200, &mut monitor_with(&mut interner, &[0, 1]));
         let reports = t.finish();
         assert_eq!(reports.len(), 2);
@@ -400,7 +439,15 @@ mod tests {
     fn unrestored_outage_finishes_open() {
         let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
-        t.record(&[incident(1000, &[0, 1])], &[Some(true)], &mut interner);
+        t.record(
+            &[incident(1000, &[0, 1])],
+            &[IncidentMeta {
+                dataplane: Some(true),
+                validation: ValidationStatus::Confirmed,
+                evidence: Vec::new(),
+            }],
+            &mut interner,
+        );
         t.check_restorations(5000, &mut monitor_with(&mut interner, &[]));
         let reports = t.finish();
         assert_eq!(reports.len(), 1);

@@ -23,9 +23,15 @@ use crate::routing::propagate::compute_tree;
 use crate::routing::tag::snapshot_route;
 use crate::world::{AsIdx, PrefixIdx, World};
 use kepler_bgp::Asn;
+use kepler_probe::splitmix64 as splitmix;
 use kepler_topology::{FacilityId, GeoPoint, IxpId};
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
+
+// The interface-level trace vocabulary is owned by `kepler-probe` (the
+// detector-side path analysis consumes the same types); this module
+// re-exports it so simulator callers keep their historical paths.
+pub use kepler_probe::{IfaceOwner, TraceHop};
 
 /// A measured (source AS, destination prefix) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,36 +40,6 @@ pub struct ProbePair {
     pub src: AsIdx,
     /// Target prefix.
     pub dst: PrefixIdx,
-}
-
-/// What an interface address resolves to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IfaceOwner {
-    /// A router port of `asn` inside `facility`.
-    FacilityPort {
-        /// Port owner.
-        asn: Asn,
-        /// Building.
-        facility: FacilityId,
-    },
-    /// An address on an IXP peering LAN.
-    IxpLan {
-        /// The member using the address.
-        asn: Asn,
-        /// The exchange.
-        ixp: IxpId,
-    },
-}
-
-/// One traceroute hop.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TraceHop {
-    /// Responding interface.
-    pub addr: IpAddr,
-    /// Its resolution.
-    pub owner: IfaceOwner,
-    /// Cumulative RTT at this hop, milliseconds.
-    pub rtt_ms: f64,
 }
 
 /// One traceroute measurement.
@@ -91,22 +67,37 @@ impl TraceroutePath {
 
     /// Whether any hop crosses the given IXP.
     pub fn crosses_ixp(&self, ixp: IxpId) -> bool {
-        self.hops.iter().any(|h| matches!(h.owner, IfaceOwner::IxpLan { ixp: x, .. } if x == ixp))
+        kepler_probe::trace::ixp_hop(&self.hops, ixp).is_some()
     }
 
     /// Whether any hop crosses the given facility.
     pub fn crosses_facility(&self, fac: FacilityId) -> bool {
-        self.hops
-            .iter()
-            .any(|h| matches!(h.owner, IfaceOwner::FacilityPort { facility: f, .. } if f == fac))
+        kepler_probe::trace::facility_hop(&self.hops, fac).is_some()
     }
 }
 
-fn splitmix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+/// Measurement-fidelity knobs of the simulated data plane. The default is
+/// the ideal probe: lossless, jittering like the historical model, with a
+/// standard TTL budget — existing callers see identical traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataplaneConfig {
+    /// Probability an intermediate hop silently drops the probe (the `*`
+    /// rows of a real traceroute): the hop is absent from the result but
+    /// the trace continues.
+    pub hop_loss: f64,
+    /// Fixed extra per-hop latency in milliseconds (busy routers).
+    pub extra_hop_latency_ms: f64,
+    /// Peak per-hop jitter in milliseconds.
+    pub jitter_ms: f64,
+    /// TTL budget: traces needing more hops than this are truncated and
+    /// reported unreached.
+    pub max_ttl: usize,
+}
+
+impl Default for DataplaneConfig {
+    fn default() -> Self {
+        DataplaneConfig { hop_loss: 0.0, extra_hop_latency_ms: 0.0, jitter_ms: 0.4, max_ttl: 30 }
+    }
 }
 
 /// The data-plane simulator for one event timeline.
@@ -114,6 +105,7 @@ pub struct DataplaneSim<'w> {
     world: &'w World,
     timeline: Vec<ScheduledEvent>,
     seed: u64,
+    config: DataplaneConfig,
     iface_map: HashMap<IpAddr, IfaceOwner>,
 }
 
@@ -122,13 +114,30 @@ impl<'w> DataplaneSim<'w> {
     /// for probing (`traceroute`/`campaign`); `locate` only resolves
     /// addresses seen in this instance's own traces.
     pub fn probe_only(world: &'w World, timeline: &[ScheduledEvent], seed: u64) -> Self {
-        DataplaneSim { world, timeline: timeline.to_vec(), seed, iface_map: HashMap::new() }
+        DataplaneSim {
+            world,
+            timeline: timeline.to_vec(),
+            seed,
+            config: DataplaneConfig::default(),
+            iface_map: HashMap::new(),
+        }
+    }
+
+    /// Overrides the measurement-fidelity configuration.
+    pub fn with_config(mut self, config: DataplaneConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Builds the simulator (and its interface map) for a timeline.
     pub fn new(world: &'w World, timeline: &[ScheduledEvent], seed: u64) -> Self {
-        let mut sim =
-            DataplaneSim { world, timeline: timeline.to_vec(), seed, iface_map: HashMap::new() };
+        let mut sim = DataplaneSim {
+            world,
+            timeline: timeline.to_vec(),
+            seed,
+            config: DataplaneConfig::default(),
+            iface_map: HashMap::new(),
+        };
         // Pre-register every (AS, facility) port and IXP LAN address so
         // `locate` works without having traced first.
         for node in &world.ases {
@@ -193,7 +202,13 @@ impl<'w> DataplaneSim<'w> {
         failed
     }
 
-    /// Performs one traceroute measurement.
+    /// Performs one traceroute measurement, answering hop-by-hop: each
+    /// traversed port gets a TTL slot, may drop the probe
+    /// ([`DataplaneConfig::hop_loss`]), accumulates propagation latency
+    /// and jitter, and the trace truncates unreached past the TTL budget.
+    /// Outage-consistent unreachability comes from the routing layer: a
+    /// destination with no surviving policy path yields an empty,
+    /// unreached trace.
     pub fn traceroute(&self, pair: ProbePair, t: u64) -> TraceroutePath {
         let failed = self.failed_at(t, pair);
         let origin = self.world.origin_of(pair.dst);
@@ -206,6 +221,8 @@ impl<'w> DataplaneSim<'w> {
         let src_city = self.world.ases[pair.src.0 as usize].info.home_city;
         let mut here: GeoPoint = self.world.gazetteer.cities()[src_city.0 as usize].point;
         let mut rtt = 0.5; // first-hop base
+        let mut ttl = 0usize;
+        let mut reached = true;
         for v in &snap.visits {
             // The responding interface is the far-end router's ingress port:
             // the IXP LAN address for public peering, else its facility port.
@@ -227,15 +244,48 @@ impl<'w> DataplaneSim<'w> {
             } else {
                 continue;
             };
+            ttl += 1;
+            if ttl > self.config.max_ttl {
+                reached = false;
+                break;
+            }
             let km = here.distance_km(&point);
             // ~1 ms RTT per 100 km of great-circle fiber, plus router delay.
-            rtt += km * 0.01 * 2.0 + 0.3;
+            rtt += km * 0.01 * 2.0 + 0.3 + self.config.extra_hop_latency_ms;
             let jitter = (splitmix(self.seed ^ addr_hash(addr) ^ (t / 60)) % 100) as f64 / 100.0;
-            rtt += jitter * 0.4;
+            rtt += jitter * self.config.jitter_ms;
             here = point;
+            if self.config.hop_loss > 0.0 {
+                let roll = splitmix(self.seed ^ addr_hash(addr) ^ t ^ (ttl as u64) << 48);
+                if ((roll % 10_000) as f64) < self.config.hop_loss * 10_000.0 {
+                    continue; // the `*` row: no answer, trace continues
+                }
+            }
             hops.push(TraceHop { addr, owner, rtt_ms: rtt });
         }
-        TraceroutePath { pair, time: t, hops, reached: true }
+        TraceroutePath { pair, time: t, hops, reached }
+    }
+
+    /// A single reachability/latency probe: end-to-end RTT when the
+    /// destination answers at `t`, `None` otherwise.
+    pub fn ping(&self, pair: ProbePair, t: u64) -> Option<f64> {
+        let tr = self.traceroute(pair, t);
+        if tr.reached {
+            // A ping answers even when every intermediate hop was lossy.
+            Some(tr.hops.last().map(|h| h.rtt_ms).unwrap_or(0.5))
+        } else {
+            None
+        }
+    }
+
+    /// Resolves a (vantage AS, target AS) pair to a measurable probe
+    /// pair: the target's first originated IPv4 prefix. `None` when
+    /// either AS is unknown or the target originates no IPv4 space.
+    pub fn pair_between(&self, src: Asn, dst: Asn) -> Option<ProbePair> {
+        let s = *self.world.asn_to_idx.get(&src)?;
+        let d = *self.world.asn_to_idx.get(&dst)?;
+        let pfx = self.world.v4_prefix_of(d)?;
+        Some(ProbePair { src: s, dst: pfx })
     }
 
     /// Measures a whole probe set at `t` (a "weekly dump" when invoked on
@@ -429,5 +479,58 @@ mod tests {
         let dp = DataplaneSim::new(&w, &[], 9);
         let pairs = dp.default_pairs(10);
         assert_eq!(dp.campaign(&pairs, T0), dp.campaign(&pairs, T0));
+    }
+
+    #[test]
+    fn hop_loss_thins_traces_without_breaking_reachability() {
+        let w = World::generate(WorldConfig::tiny(91));
+        let clean = DataplaneSim::new(&w, &[], 5);
+        let pairs = clean.default_pairs(40);
+        let lossy = DataplaneSim::probe_only(&w, &[], 5)
+            .with_config(DataplaneConfig { hop_loss: 0.5, ..DataplaneConfig::default() });
+        let full: usize = clean.campaign(&pairs, T0).iter().map(|p| p.hops.len()).sum();
+        let lossy_paths = lossy.campaign(&pairs, T0);
+        let thinned: usize = lossy_paths.iter().map(|p| p.hops.len()).sum();
+        assert!(thinned < full, "50% hop loss must drop responses ({thinned} vs {full})");
+        // Loss hits hop visibility, not reachability.
+        let clean_reached = clean.campaign(&pairs, T0).iter().filter(|p| p.reached).count();
+        let lossy_reached = lossy_paths.iter().filter(|p| p.reached).count();
+        assert_eq!(clean_reached, lossy_reached);
+    }
+
+    #[test]
+    fn latency_config_and_ttl_budget_apply() {
+        let w = World::generate(WorldConfig::tiny(91));
+        let pairs = DataplaneSim::new(&w, &[], 5).default_pairs(20);
+        let slow = DataplaneSim::probe_only(&w, &[], 5).with_config(DataplaneConfig {
+            extra_hop_latency_ms: 50.0,
+            ..DataplaneConfig::default()
+        });
+        let fast = DataplaneSim::probe_only(&w, &[], 5);
+        for (s, f) in slow.campaign(&pairs, T0).iter().zip(fast.campaign(&pairs, T0).iter()) {
+            if let (Some(rs), Some(rf)) = (s.rtt_ms(), f.rtt_ms()) {
+                assert!(rs > rf, "extra latency accumulates");
+            }
+        }
+        // A 1-hop TTL budget truncates multi-hop paths unreached.
+        let strangled = DataplaneSim::probe_only(&w, &[], 5)
+            .with_config(DataplaneConfig { max_ttl: 1, ..DataplaneConfig::default() });
+        let reached = strangled.campaign(&pairs, T0).iter().filter(|p| p.reached).count();
+        let baseline = fast.campaign(&pairs, T0).iter().filter(|p| p.reached).count();
+        assert!(reached < baseline, "ttl budget must strand long paths");
+    }
+
+    #[test]
+    fn ping_and_pair_between_answer_by_asn() {
+        let w = World::generate(WorldConfig::tiny(93));
+        let dp = DataplaneSim::probe_only(&w, &[], 7);
+        let src = w.ases.iter().find(|a| w.v4_prefix_of(w.asn_to_idx[&a.asn]).is_some()).unwrap();
+        let dst =
+            w.ases.iter().rev().find(|a| w.v4_prefix_of(w.asn_to_idx[&a.asn]).is_some()).unwrap();
+        let pair = dp.pair_between(src.asn, dst.asn).expect("both originate v4");
+        assert_eq!(pair.src, w.asn_to_idx[&src.asn]);
+        let tr = dp.traceroute(pair, T0);
+        assert_eq!(dp.ping(pair, T0).is_some(), tr.reached);
+        assert_eq!(dp.pair_between(Asn(999_999), dst.asn), None, "unknown vantage");
     }
 }

@@ -10,10 +10,14 @@
 //! * [`amsix`] — the AMS-IX May 2015 case study (Figures 8c, 10a–d).
 //! * [`london`] — the July 2016 London dual-facility disambiguation case
 //!   (Figures 9a–c).
+//! * [`twin`] — the colocation-twin case: two buildings with identical
+//!   membership records and city-granularity tags, where only targeted
+//!   data-plane probes can name the failed building.
 
 pub mod amsix;
 pub mod five_year;
 pub mod london;
+pub mod twin;
 
 use crate::dataplane::DataplaneSim;
 use crate::engine::SimOutput;

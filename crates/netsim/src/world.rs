@@ -274,6 +274,12 @@ impl World {
     pub fn origin_of(&self, idx: PrefixIdx) -> AsIdx {
         self.prefixes[idx.0 as usize].1
     }
+
+    /// The first IPv4 prefix originated by an AS — the canonical probe
+    /// destination for data-plane campaigns toward that network.
+    pub fn v4_prefix_of(&self, idx: AsIdx) -> Option<PrefixIdx> {
+        self.ases[idx.0 as usize].prefixes.iter().copied().find(|p| self.prefix(*p).is_ipv4())
+    }
 }
 
 // ---------------------------------------------------------------------------

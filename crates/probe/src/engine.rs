@@ -1,0 +1,421 @@
+//! The probe engine: schedule → measure → analyze, behind the
+//! [`Prober`] trait the detector consumes.
+//!
+//! The engine is generic over a [`TraceBackend`] — the netsim data plane
+//! in this repository, a RIPE-Atlas-shaped API client in a deployment.
+//! One [`ProbeRequest`] (emitted by `kepler-core`'s investigator when
+//! passive localization is ambiguous) becomes, per candidate facility:
+//!
+//! 1. target selection — affected far-end ASes co-located in the
+//!    candidate, from the colocation map;
+//! 2. vantage selection — a deterministic panel avoiding the suspect
+//!    city;
+//! 3. admission — the per-facility token bucket trims the campaign;
+//! 4. measurement — one archived/pre-event baseline trace and one fresh
+//!    trace per admitted (vantage, target) pair;
+//! 5. analysis — [`PathAnalyzer::judge`] turns the pairs into a
+//!    [`FacilityVerdict`] with hop-level evidence.
+
+use crate::analysis::{FacilityVerdict, HopEvidence, MeasuredPair, PathAnalyzer};
+use crate::schedule::{Campaign, CampaignKind, ProbeScheduler, ProbeTask, RateLimit};
+use crate::trace::Trace;
+use crate::vantage::VantageRegistry;
+use kepler_bgp::Asn;
+use kepler_bgpstream::Timestamp;
+use kepler_docmine::LocationTag;
+use kepler_topology::{ColocationMap, FacilityId};
+
+/// A validation request from the investigation stage: "passive evidence
+/// suspects these colocated facilities — which one is actually dark?"
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRequest {
+    /// The PoP tag whose signals raised the suspicion.
+    pub pop: LocationTag,
+    /// Start of the bin that raised it.
+    pub bin_start: Timestamp,
+    /// Candidate epicenters, best passive score first (the paper bounds
+    /// this at the up-to-four facilities along a physical link).
+    pub candidates: Vec<FacilityId>,
+    /// Far-end ASes whose stable paths deviated (probe targets).
+    pub affected_far: Vec<Asn>,
+    /// Near-end ASes that raised the signals.
+    pub affected_near: Vec<Asn>,
+}
+
+/// What the engine found for one request.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProbeReport {
+    /// Per-candidate verdicts, in request order.
+    pub verdicts: Vec<(FacilityId, FacilityVerdict)>,
+    /// Hop-level evidence behind the verdicts.
+    pub evidence: Vec<HopEvidence>,
+    /// Fresh probes actually sent (baseline lookups are archive reads and
+    /// are not counted).
+    pub probes_sent: usize,
+    /// Probes dropped by the per-facility rate limiter.
+    pub rate_limited: usize,
+}
+
+impl ProbeReport {
+    /// The verdict for one candidate, if it was judged.
+    pub fn verdict_for(&self, fac: FacilityId) -> Option<FacilityVerdict> {
+        self.verdicts.iter().find(|(f, _)| *f == fac).map(|(_, v)| *v)
+    }
+
+    /// The single confirmed facility, when exactly one *distinct*
+    /// candidate was confirmed down — the disambiguation success case.
+    pub fn resolved(&self) -> Option<FacilityId> {
+        let confirmed: std::collections::BTreeSet<FacilityId> = self
+            .verdicts
+            .iter()
+            .filter(|(_, v)| *v == FacilityVerdict::Confirmed)
+            .map(|(f, _)| *f)
+            .collect();
+        if confirmed.len() == 1 {
+            confirmed.first().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Whether every judged candidate was refuted (the suspicion was a
+    /// false positive).
+    pub fn all_refuted(&self) -> bool {
+        !self.verdicts.is_empty()
+            && self.verdicts.iter().all(|(_, v)| *v == FacilityVerdict::Refuted)
+    }
+}
+
+/// A measurement backend: answers one trace from a vantage AS toward a
+/// destination AS at a given time. Times in the past are archive lookups
+/// (weekly dumps in the paper); the current time is a live campaign.
+pub trait TraceBackend {
+    /// Measures (or looks up) `vantage → target` at `t`.
+    fn trace(&self, vantage: Asn, target: Asn, t: Timestamp) -> Trace;
+}
+
+/// The validation interface the detector consumes. `kepler-core` calls
+/// this for every ambiguous localization when a prober is attached.
+pub trait Prober {
+    /// Runs the campaigns for one request and reports verdicts.
+    fn validate(&mut self, request: &ProbeRequest, now: Timestamp) -> ProbeReport;
+}
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeEngineConfig {
+    /// Vantage points probing each target.
+    pub vantages_per_target: usize,
+    /// Targets measured per candidate facility.
+    pub max_targets_per_candidate: usize,
+    /// Candidates judged per request (paper: a physical link traverses up
+    /// to four facilities).
+    pub max_candidates: usize,
+    /// Per-facility probe budget.
+    pub rate: RateLimit,
+    /// How far before the bin the baseline lookup reaches (must predate
+    /// the event; archives are weekly in the paper, the simulator answers
+    /// any past instant).
+    pub baseline_lookback_secs: u64,
+    /// Verdict thresholds.
+    pub analyzer: PathAnalyzer,
+}
+
+impl Default for ProbeEngineConfig {
+    fn default() -> Self {
+        ProbeEngineConfig {
+            vantages_per_target: 6,
+            max_targets_per_candidate: 10,
+            max_candidates: 4,
+            rate: RateLimit::default(),
+            baseline_lookback_secs: 3_600,
+            analyzer: PathAnalyzer::default(),
+        }
+    }
+}
+
+/// Lifetime counters of one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Requests validated.
+    pub requests: usize,
+    /// Fresh probes sent.
+    pub probes_sent: usize,
+    /// Probes dropped by rate limiting.
+    pub rate_limited: usize,
+    /// Candidates confirmed down.
+    pub confirmed: usize,
+    /// Candidates refuted.
+    pub refuted: usize,
+    /// Candidates left inconclusive.
+    pub inconclusive: usize,
+}
+
+/// The probe engine.
+pub struct ProbeEngine<B> {
+    backend: B,
+    registry: VantageRegistry,
+    colo: ColocationMap,
+    scheduler: ProbeScheduler,
+    config: ProbeEngineConfig,
+    stats: ProbeStats,
+}
+
+impl<B: TraceBackend> ProbeEngine<B> {
+    /// Builds an engine over a backend, a vantage registry and the
+    /// detector's colocation map.
+    pub fn new(
+        backend: B,
+        registry: VantageRegistry,
+        colo: ColocationMap,
+        config: ProbeEngineConfig,
+    ) -> Self {
+        ProbeEngine {
+            backend,
+            registry,
+            colo,
+            scheduler: ProbeScheduler::new(config.rate),
+            config,
+            stats: ProbeStats::default(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+
+    /// The vantage registry (for inspection).
+    pub fn registry(&self) -> &VantageRegistry {
+        &self.registry
+    }
+
+    /// Probe targets for one candidate: affected far-ends co-located in
+    /// it, falling back to all affected far-ends when the map knows none.
+    fn targets_for(&self, candidate: FacilityId, affected_far: &[Asn]) -> Vec<Asn> {
+        let cap = self.config.max_targets_per_candidate;
+        let colocated: Vec<Asn> = affected_far
+            .iter()
+            .copied()
+            .filter(|a| self.colo.is_at_facility(*a, candidate))
+            .take(cap)
+            .collect();
+        if !colocated.is_empty() {
+            return colocated;
+        }
+        affected_far.iter().copied().take(cap).collect()
+    }
+
+    /// Plans the (rate-limit-trimmed) traceroute campaign against one
+    /// candidate facility, recording how many tasks the bucket dropped.
+    fn plan_campaign(
+        &mut self,
+        request: &ProbeRequest,
+        candidate: FacilityId,
+        now: Timestamp,
+    ) -> (Campaign, usize) {
+        let targets = self.targets_for(candidate, &request.affected_far);
+        let avoid = self.colo.facility(candidate).map(|f| f.city);
+        let panel = self.registry.select(
+            avoid,
+            self.config.vantages_per_target,
+            (candidate.0 as u64) << 32 ^ request.bin_start,
+        );
+        // Target-major task order: trimming a campaign still spreads the
+        // remaining probes over all targets.
+        let mut tasks: Vec<ProbeTask> = Vec::new();
+        for vp in &panel {
+            let vantage = self.registry.get(*vp).asn;
+            for &target in &targets {
+                tasks.push(ProbeTask { vantage, target });
+            }
+        }
+        let want = tasks.len() as u32;
+        let grant = self.scheduler.admit(candidate, now, want);
+        tasks.truncate(grant as usize);
+        let campaign = Campaign { kind: CampaignKind::Traceroute, facility: candidate, tasks };
+        (campaign, (want - grant) as usize)
+    }
+}
+
+impl<B: TraceBackend> Prober for ProbeEngine<B> {
+    fn validate(&mut self, request: &ProbeRequest, now: Timestamp) -> ProbeReport {
+        self.stats.requests += 1;
+        let pre_t = request.bin_start.saturating_sub(self.config.baseline_lookback_secs);
+        let mut report = ProbeReport::default();
+        for &candidate in request.candidates.iter().take(self.config.max_candidates) {
+            let (campaign, dropped) = self.plan_campaign(request, candidate, now);
+            report.rate_limited += dropped;
+            let mut pairs = Vec::with_capacity(campaign.tasks.len());
+            for ProbeTask { vantage, target } in campaign.tasks {
+                let pre = self.backend.trace(vantage, target, pre_t);
+                let post = self.backend.trace(vantage, target, now);
+                report.probes_sent += 1;
+                pairs.push(MeasuredPair { vantage, target, pre, post });
+            }
+            let (verdict, evidence) = self.config.analyzer.judge(candidate, &pairs);
+            match verdict {
+                FacilityVerdict::Confirmed => self.stats.confirmed += 1,
+                FacilityVerdict::Refuted => self.stats.refuted += 1,
+                FacilityVerdict::Inconclusive => self.stats.inconclusive += 1,
+            }
+            report.verdicts.push((candidate, verdict));
+            report.evidence.extend(evidence);
+        }
+        self.stats.probes_sent += report.probes_sent;
+        self.stats.rate_limited += report.rate_limited;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::PostState;
+    use crate::trace::{IfaceOwner, TraceHop};
+    use crate::vantage::VantagePoint;
+    use kepler_topology::entities::Facility;
+    use kepler_topology::{CityId, Continent, GeoPoint};
+    use std::net::{IpAddr, Ipv4Addr};
+
+    /// A scripted backend: during `[down_from, down_to)` every path that
+    /// would cross `dark` detours (or dies, for odd targets); otherwise
+    /// the path crosses the target's facility.
+    struct ScriptedBackend {
+        dark: FacilityId,
+        down_from: Timestamp,
+        fac_of: fn(Asn) -> FacilityId,
+    }
+
+    fn hop(fac: FacilityId, asn: Asn) -> TraceHop {
+        TraceHop {
+            addr: IpAddr::V4(Ipv4Addr::new(11, (fac.0 % 250) as u8, (asn.0 % 250) as u8, 1)),
+            owner: IfaceOwner::FacilityPort { asn, facility: fac },
+            rtt_ms: 1.0,
+        }
+    }
+
+    impl TraceBackend for ScriptedBackend {
+        fn trace(&self, _vantage: Asn, target: Asn, t: Timestamp) -> Trace {
+            let fac = (self.fac_of)(target);
+            if t >= self.down_from && fac == self.dark {
+                if target.0 % 2 == 1 {
+                    return Trace::unreachable();
+                }
+                // Detour through a transit facility, skipping the dark one.
+                return Trace { hops: vec![hop(FacilityId(99), Asn(7))], reached: true };
+            }
+            Trace { hops: vec![hop(FacilityId(99), Asn(7)), hop(fac, target)], reached: true }
+        }
+    }
+
+    fn colo_with(facs: &[(u32, &[u32])]) -> ColocationMap {
+        let mut colo = ColocationMap::new();
+        // Facility ids must be dense: register every id up to the max.
+        let max = facs.iter().map(|(f, _)| *f).max().unwrap_or(0).max(99);
+        for f in 0..=max {
+            colo.add_facility(Facility {
+                id: FacilityId(f),
+                name: format!("F{f}"),
+                address: String::new(),
+                postcode: format!("P{f}"),
+                country: "GB".into(),
+                city: CityId(0),
+                continent: Continent::Europe,
+                point: GeoPoint::new(51.5, 0.0),
+                operator: "Op".into(),
+            });
+        }
+        for &(f, members) in facs {
+            for &m in members {
+                colo.add_fac_member(FacilityId(f), Asn(m));
+            }
+        }
+        colo
+    }
+
+    fn registry() -> VantageRegistry {
+        let mut r = VantageRegistry::new();
+        for i in 0..6u32 {
+            r.register(VantagePoint { asn: Asn(900 + i), home_city: Some(CityId(5)) });
+        }
+        r
+    }
+
+    fn request(candidates: &[u32], fars: &[u32]) -> ProbeRequest {
+        ProbeRequest {
+            pop: LocationTag::City(CityId(0)),
+            bin_start: 10_000,
+            candidates: candidates.iter().map(|&f| FacilityId(f)).collect(),
+            affected_far: fars.iter().map(|&a| Asn(a)).collect(),
+            affected_near: vec![Asn(1)],
+        }
+    }
+
+    fn fac_of(a: Asn) -> FacilityId {
+        // Targets 20..24 live in facility 1, 30..34 in facility 2.
+        if a.0 < 30 {
+            FacilityId(1)
+        } else {
+            FacilityId(2)
+        }
+    }
+
+    #[test]
+    fn disambiguates_the_dark_twin() {
+        let colo = colo_with(&[(1, &[20, 21, 22, 30, 31, 32]), (2, &[20, 21, 22, 30, 31, 32])]);
+        let backend = ScriptedBackend { dark: FacilityId(1), down_from: 9_500, fac_of };
+        let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
+        // Both candidates share the full membership (colocation twins);
+        // only paths through facility 1 actually died.
+        let report = engine.validate(&request(&[1, 2], &[20, 21, 22, 30, 31, 32]), 10_060);
+        assert_eq!(report.verdict_for(FacilityId(1)), Some(FacilityVerdict::Confirmed));
+        assert_eq!(report.verdict_for(FacilityId(2)), Some(FacilityVerdict::Refuted));
+        assert_eq!(report.resolved(), Some(FacilityId(1)));
+        assert!(!report.all_refuted());
+        assert!(report.probes_sent > 0);
+        // Evidence names the dead building's hop with its post state.
+        assert!(report.evidence.iter().any(|e| e.facility == FacilityId(1)
+            && matches!(e.post, PostState::Detoured | PostState::Unreachable)));
+        assert_eq!(engine.stats().confirmed, 1);
+        assert_eq!(engine.stats().refuted, 1);
+    }
+
+    #[test]
+    fn healthy_candidates_are_refuted() {
+        let colo = colo_with(&[(2, &[30, 31, 32])]);
+        let backend = ScriptedBackend { dark: FacilityId(1), down_from: 9_500, fac_of };
+        let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
+        let report = engine.validate(&request(&[2], &[30, 31, 32]), 10_060);
+        assert!(report.all_refuted());
+        assert_eq!(report.resolved(), None);
+    }
+
+    #[test]
+    fn rate_limiting_bounds_and_degrades_to_inconclusive() {
+        let colo = colo_with(&[(1, &[20, 21, 22])]);
+        let backend = ScriptedBackend { dark: FacilityId(1), down_from: 9_500, fac_of };
+        let config = ProbeEngineConfig {
+            rate: RateLimit { burst: 4, per_sec: 0.5 },
+            ..ProbeEngineConfig::default()
+        };
+        let mut engine = ProbeEngine::new(backend, registry(), colo, config);
+        let r1 = engine.validate(&request(&[1], &[20, 21, 22]), 10_060);
+        assert_eq!(r1.probes_sent, 4, "burst bounds the first campaign");
+        assert!(r1.rate_limited > 0);
+        // Immediately re-validating finds an empty bucket: no probes, no
+        // baseline, inconclusive — never a made-up verdict.
+        let r2 = engine.validate(&request(&[1], &[20, 21, 22]), 10_060);
+        assert_eq!(r2.probes_sent, 0);
+        assert_eq!(r2.verdict_for(FacilityId(1)), Some(FacilityVerdict::Inconclusive));
+    }
+
+    #[test]
+    fn candidate_cap_is_enforced() {
+        let colo = colo_with(&[(1, &[20]), (2, &[20]), (3, &[20]), (4, &[20]), (5, &[20])]);
+        let backend = ScriptedBackend { dark: FacilityId(9), down_from: u64::MAX, fac_of };
+        let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
+        let report = engine.validate(&request(&[1, 2, 3, 4, 5], &[20, 21]), 10_060);
+        assert_eq!(report.verdicts.len(), 4, "paper's four-facility bound");
+    }
+}

@@ -1,0 +1,55 @@
+//! Active-measurement validation for Kepler (paper §4.4 and §6.2).
+//!
+//! Passive BGP-community inference localizes an outage to a *set* of
+//! candidate facilities; when no candidate clears the 95% co-location
+//! rule — or several do — the paper fires **targeted data-plane probes**
+//! (traceroutes toward interfaces at the suspect buildings) to confirm the
+//! event and disambiguate between colocated facilities. This crate is that
+//! subsystem:
+//!
+//! ```text
+//!  core::investigate                kepler-probe                  tracker
+//!  ───────────────── ProbeRequest ─────────────────── verdicts ──────────
+//!   low-confidence  ──────────────▶ schedule ─▶ simulate ─▶ analyze ──▶
+//!   localization        (pop,        token-bucket  traceroute  hop-diff
+//!   (candidates)        candidates,  per facility  campaigns   vs colo map
+//!                       affected                   (backend)   FacilityVerdict
+//!                       ASes)                                  + evidence
+//! ```
+//!
+//! * [`vantage`] — the vantage-point registry: probe hosts with dense ids,
+//!   selected deterministically and away from the suspect city.
+//! * [`schedule`] — the rate-limited probe scheduler: a token bucket per
+//!   target facility bounds campaign load, plus the campaign vocabulary
+//!   (traceroute / ping).
+//! * [`trace`] — interface-level trace modeling shared with the simulator
+//!   (`kepler-netsim` re-exports these types): hop ownership, crossing
+//!   queries, loop detection, and the §4.4 baseline re-probe arithmetic
+//!   ([`ProbeResult`] / [`confirm`]) that `kepler-core` re-exports.
+//! * [`analysis`] — the path-analysis module: diffs pre/post-event hop
+//!   sequences against the colocation map and emits a
+//!   [`FacilityVerdict`] with per-hop evidence.
+//! * [`engine`] — the probe engine gluing it together behind the
+//!   [`Prober`] trait the detector consumes; measurement
+//!   backends (the netsim data plane today, a RIPE-Atlas-shaped client in
+//!   a deployment) plug in through
+//!   [`TraceBackend`].
+//!
+//! Identities on the probe path are small dense ids, mirroring the
+//! monitor hot path: vantage points are interned to
+//! [`VantageId`]s, scheduler buckets are keyed on raw
+//! facility ids, and display types only appear in requests and evidence.
+
+pub mod analysis;
+pub mod engine;
+pub mod schedule;
+pub mod trace;
+pub mod vantage;
+
+pub use analysis::{FacilityVerdict, HopDiff, HopEvidence, MeasuredPair, PathAnalyzer, PostState};
+pub use engine::{
+    ProbeEngine, ProbeEngineConfig, ProbeReport, ProbeRequest, ProbeStats, Prober, TraceBackend,
+};
+pub use schedule::{Campaign, CampaignKind, ProbeScheduler, ProbeTask, RateLimit};
+pub use trace::{confirm, splitmix64, IfaceOwner, ProbeResult, Trace, TraceHop};
+pub use vantage::{VantageId, VantagePoint, VantageRegistry};

@@ -1,0 +1,143 @@
+//! The vantage-point registry.
+//!
+//! Real deployments probe from measurement platforms (RIPE Atlas, CAIDA
+//! Ark) whose hosts sit in edge networks. The registry interns each
+//! vantage point to a dense [`VantageId`] once, at registration time —
+//! the same dense-identity discipline as the monitor hot path — and
+//! answers deterministic selection queries: *k* vantages, spread by a
+//! seeded hash, avoiding hosts homed in the suspect city (a probe from
+//! inside the blast radius proves nothing about reachability *into* it).
+
+use crate::trace::splitmix64;
+use kepler_bgp::Asn;
+use kepler_topology::CityId;
+use std::collections::HashMap;
+
+/// Dense id of one vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VantageId(pub u32);
+
+/// One probe host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VantagePoint {
+    /// The AS hosting the probe.
+    pub asn: Asn,
+    /// Where the host lives, when known (used to avoid probing a city
+    /// from inside itself).
+    pub home_city: Option<CityId>,
+}
+
+/// Registry of available vantage points with dense ids.
+#[derive(Debug, Default)]
+pub struct VantageRegistry {
+    points: Vec<VantagePoint>,
+    by_asn: HashMap<Asn, VantageId>,
+}
+
+impl VantageRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        VantageRegistry::default()
+    }
+
+    /// Registers a vantage point, minting a dense id on first sight. A
+    /// re-registered ASN keeps its original id (first write wins).
+    pub fn register(&mut self, vp: VantagePoint) -> VantageId {
+        if let Some(&id) = self.by_asn.get(&vp.asn) {
+            return id;
+        }
+        let id = VantageId(u32::try_from(self.points.len()).expect("vantage id space exhausted"));
+        self.by_asn.insert(vp.asn, id);
+        self.points.push(vp);
+        id
+    }
+
+    /// The vantage point behind a minted id.
+    pub fn get(&self, id: VantageId) -> &VantagePoint {
+        &self.points[id.0 as usize]
+    }
+
+    /// Number of registered vantage points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All registered points in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VantageId, &VantagePoint)> {
+        self.points.iter().enumerate().map(|(i, p)| (VantageId(i as u32), p))
+    }
+
+    /// Picks up to `k` vantage points, deterministically in `salt`,
+    /// skipping hosts homed in `avoid` (falling back to all hosts when
+    /// the filter would leave nothing).
+    pub fn select(&self, avoid: Option<CityId>, k: usize, salt: u64) -> Vec<VantageId> {
+        let eligible: Vec<VantageId> = self
+            .iter()
+            .filter(|(_, p)| match (avoid, p.home_city) {
+                (Some(a), Some(h)) => a != h,
+                _ => true,
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let pool =
+            if eligible.is_empty() { self.iter().map(|(id, _)| id).collect() } else { eligible };
+        let mut ranked: Vec<(u64, VantageId)> =
+            pool.into_iter().map(|id| (splitmix64(salt ^ (id.0 as u64) << 17), id)).collect();
+        ranked.sort_unstable();
+        ranked.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(n: u32) -> VantageRegistry {
+        let mut r = VantageRegistry::new();
+        for i in 0..n {
+            r.register(VantagePoint { asn: Asn(100 + i), home_city: Some(CityId(i % 4)) });
+        }
+        r
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_dense() {
+        let mut r = VantageRegistry::new();
+        let a = r.register(VantagePoint { asn: Asn(1), home_city: None });
+        let b = r.register(VantagePoint { asn: Asn(2), home_city: Some(CityId(0)) });
+        assert_eq!(a, VantageId(0));
+        assert_eq!(b, VantageId(1));
+        // Re-registering keeps the first id.
+        assert_eq!(r.register(VantagePoint { asn: Asn(1), home_city: Some(CityId(9)) }), a);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).home_city, None, "first write wins");
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_avoids_the_city() {
+        let r = registry(16);
+        let picked = r.select(Some(CityId(1)), 5, 42);
+        assert_eq!(picked.len(), 5);
+        assert_eq!(picked, r.select(Some(CityId(1)), 5, 42), "same salt, same picks");
+        assert_ne!(picked, r.select(Some(CityId(1)), 5, 43), "salt varies the panel");
+        for id in &picked {
+            assert_ne!(r.get(*id).home_city, Some(CityId(1)));
+        }
+    }
+
+    #[test]
+    fn selection_falls_back_when_filter_empties_the_pool() {
+        let mut r = VantageRegistry::new();
+        for i in 0..3u32 {
+            r.register(VantagePoint { asn: Asn(i + 1), home_city: Some(CityId(7)) });
+        }
+        // Every host lives in the avoided city: still get probes.
+        assert_eq!(r.select(Some(CityId(7)), 2, 1).len(), 2);
+        assert!(r.select(None, 99, 1).len() == 3, "k larger than pool is capped");
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`SimProbe`] — implements the detector's [`DataPlaneProbe`] trait on
 //!   top of the simulated traceroute plane, including the baseline-path
 //!   selection the paper's §4.4 describes;
+//! * [`SimTraceBackend`] — implements `kepler-probe`'s [`TraceBackend`]
+//!   over the same plane, so the targeted-probe engine can disambiguate
+//!   colocated facilities ([`prober_for`] / [`detector_with_prober`]);
 //! * [`detector_for`] — builds a ready-to-run [`Kepler`] instance from a
 //!   scenario (mined dictionary + merged colocation map + org map);
 //! * [`truth_outages`] — converts simulator ground truth into the
@@ -18,10 +21,14 @@ use kepler_core::events::OutageScope;
 use kepler_core::metrics::TruthOutage;
 use kepler_core::{Kepler, KeplerConfig, KeplerInputs};
 use kepler_docmine::CommunityDictionary;
-use kepler_netsim::dataplane::{DataplaneSim, ProbePair, TraceroutePath};
+use kepler_netsim::dataplane::{DataplaneConfig, DataplaneSim, ProbePair, TraceroutePath};
 use kepler_netsim::events::{Epicenter, ScheduledEvent};
 use kepler_netsim::scenario::Scenario;
 use kepler_netsim::world::World;
+use kepler_probe::{
+    ProbeEngine, ProbeEngineConfig, Trace, TraceBackend, VantagePoint, VantageRegistry,
+};
+use kepler_topology::AsType;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -120,6 +127,85 @@ impl DataPlaneProbe for SimProbe {
             .count();
         Some(ProbeResult { still_crossing: still, baseline: pairs.len() })
     }
+}
+
+/// A targeted-probe measurement backend over the simulated data plane:
+/// `kepler-probe`'s [`TraceBackend`] expressed in (vantage AS, target AS)
+/// terms, resolved to concrete probe pairs per trace. Past timestamps are
+/// archive lookups, the present is a live campaign — the simulator
+/// answers both from the same timeline.
+pub struct SimTraceBackend {
+    world: Arc<World>,
+    timeline: Vec<ScheduledEvent>,
+    seed: u64,
+    config: DataplaneConfig,
+}
+
+impl SimTraceBackend {
+    /// Builds the backend for a world and event timeline.
+    pub fn new(world: Arc<World>, timeline: &[ScheduledEvent], seed: u64) -> Self {
+        SimTraceBackend {
+            world,
+            timeline: timeline.to_vec(),
+            seed,
+            config: DataplaneConfig::default(),
+        }
+    }
+
+    /// Overrides the measurement-fidelity configuration (loss, latency,
+    /// TTL budget).
+    pub fn with_config(mut self, config: DataplaneConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl TraceBackend for SimTraceBackend {
+    fn trace(&self, vantage: kepler_bgp::Asn, target: kepler_bgp::Asn, t: u64) -> Trace {
+        let dp = DataplaneSim::probe_only(&self.world, &self.timeline, self.seed)
+            .with_config(self.config);
+        let Some(pair) = dp.pair_between(vantage, target) else {
+            return Trace::unreachable();
+        };
+        let tr = dp.traceroute(pair, t);
+        Trace { hops: tr.hops, reached: tr.reached }
+    }
+}
+
+/// The vantage-point registry a scenario world offers: probe hosts live
+/// in edge (eyeball/stub) networks, where Atlas probes actually sit.
+pub fn vantage_registry_for(world: &World) -> VantageRegistry {
+    let mut registry = VantageRegistry::new();
+    for node in &world.ases {
+        if matches!(node.info.as_type, AsType::Eyeball | AsType::Stub) {
+            registry.register(VantagePoint { asn: node.asn, home_city: Some(node.info.home_city) });
+        }
+    }
+    registry
+}
+
+/// Builds a targeted-probe engine for a scenario: simulated backend,
+/// edge-network vantage registry, and the detector's (merged-snapshot)
+/// colocation map.
+pub fn prober_for(scenario: &Scenario, config: ProbeEngineConfig) -> ProbeEngine<SimTraceBackend> {
+    let backend = SimTraceBackend::new(
+        Arc::new(scenario.world.clone()),
+        &scenario.timeline,
+        scenario.seed ^ 0x9B0E,
+    );
+    ProbeEngine::new(
+        backend,
+        vantage_registry_for(&scenario.world),
+        scenario.detector_colo(),
+        config,
+    )
+}
+
+/// Like [`detector_for`] but with the targeted-probe engine attached, so
+/// ambiguous localizations are disambiguated by active measurement.
+pub fn detector_with_prober(scenario: &Scenario, config: KeplerConfig) -> Kepler {
+    let prober = prober_for(scenario, ProbeEngineConfig::default());
+    detector_for(scenario, config).with_prober(Box::new(prober))
 }
 
 /// Builds a detector for a scenario: mined dictionary, merged colocation

@@ -19,12 +19,15 @@
 //!   and the merging of heterogeneous data sources.
 //! * [`docmine`] — the community-dictionary miner that turns operator
 //!   documentation into a machine-readable location dictionary.
+//! * [`probe`] — the active-measurement validation subsystem: vantage
+//!   registry, rate-limited probe scheduling, traceroute campaigns, and
+//!   the path analysis that disambiguates colocated facilities.
 //! * [`netsim`] — a seeded Internet simulator standing in for the real
 //!   RouteViews/RIS archives, traceroute platforms and IXP traffic feeds.
 //! * [`core`] — the Kepler detector itself: monitoring, signal
 //!   investigation, localization and duration tracking.
 //! * [`glue`] — adapters wiring the simulator into the detector (data
-//!   plane probes, ground-truth conversion).
+//!   plane probes, targeted-probe backends, ground-truth conversion).
 //!
 //! ## Quickstart
 //!
@@ -54,4 +57,5 @@ pub use kepler_bgpstream as bgpstream;
 pub use kepler_core as core;
 pub use kepler_docmine as docmine;
 pub use kepler_netsim as netsim;
+pub use kepler_probe as probe;
 pub use kepler_topology as topology;
