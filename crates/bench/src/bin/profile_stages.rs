@@ -65,17 +65,24 @@ fn main() {
     // Probe stage: one validation request = schedule (token-bucket
     // admission) → simulate (baseline + fresh traceroute per admitted
     // pair) → analyze (hop diff, verdicts) over two candidate twins.
-    let (mut prober, request) = kepler_bench::probe_fixture(41);
+    // Measured twice: per-trace tree computation vs the batched form
+    // (one routing tree per (origin, failure-state), shared across the
+    // campaign) — the difference is pure `compute_tree` savings.
     use kepler::probe::Prober;
-    let t = Instant::now();
-    let mut verdicts = 0usize;
-    for i in 0..PROBE_REQUESTS {
-        // Advance time so the per-facility buckets refill between bins.
-        let report = prober.validate(&request, request.bin_start + 60 * i);
-        verdicts += report.verdicts.len();
+    for (label, batched) in
+        [("probe validate (per request)", false), ("probe validate (batched)", true)]
+    {
+        let (mut prober, request) = kepler_bench::probe_fixture(41, batched);
+        let t = Instant::now();
+        let mut verdicts = 0usize;
+        for i in 0..PROBE_REQUESTS {
+            // Advance time so the per-facility buckets refill between bins.
+            let report = prober.validate(&request, request.bin_start + 60 * i);
+            verdicts += report.verdicts.len();
+        }
+        black_box(verdicts);
+        report_n(label, t.elapsed().as_secs_f64(), PROBE_REQUESTS);
     }
-    black_box(verdicts);
-    report_n("probe validate (per request)", t.elapsed().as_secs_f64(), PROBE_REQUESTS);
 }
 
 fn report(stage: &str, secs: f64) {

@@ -185,26 +185,34 @@ fn bench_monitor_json() {
     assert_eq!(single_bins, parallel_bins, "parallel ingest must close the same bins");
     let parallel_eps = N as f64 / parallel_secs;
 
-    eprintln!("[bench: probe validation, schedule->simulate->analyze...]");
     const PROBE_REQUESTS: u64 = 300;
-    let (mut prober, request) = kepler_bench::probe_fixture(41);
-    let t = Instant::now();
-    let mut probe_verdicts = 0usize;
-    {
-        use kepler::probe::Prober;
-        for i in 0..PROBE_REQUESTS {
-            // Advance time so per-facility token buckets refill per bin.
-            let report = prober.validate(&request, request.bin_start + 60 * i);
-            probe_verdicts += report.verdicts.len();
+    let mut probe_runs = [(false, 0usize, 0f64), (true, 0usize, 0f64)];
+    for (batched, verdicts, secs) in &mut probe_runs {
+        eprintln!(
+            "[bench: probe validation, schedule->simulate->analyze ({})...]",
+            if *batched { "batched trees" } else { "per-trace trees" }
+        );
+        let (mut prober, request) = kepler_bench::probe_fixture(41, *batched);
+        let t = Instant::now();
+        {
+            use kepler::probe::Prober;
+            for i in 0..PROBE_REQUESTS {
+                // Advance time so per-facility token buckets refill per bin.
+                let report = prober.validate(&request, request.bin_start + 60 * i);
+                *verdicts += report.verdicts.len();
+            }
         }
+        *secs = t.elapsed().as_secs_f64();
+        assert!(*verdicts > 0, "probe bench must judge candidates");
     }
-    let probe_secs = t.elapsed().as_secs_f64();
-    assert!(probe_verdicts > 0, "probe bench must judge candidates");
+    let [(_, probe_verdicts, probe_secs), (_, batched_verdicts, batched_secs)] = probe_runs;
+    assert_eq!(probe_verdicts, batched_verdicts, "batching must not change verdicts");
     let probe_vps = probe_verdicts as f64 / probe_secs;
+    let batched_vps = batched_verdicts as f64 / batched_secs;
 
     let rss = peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
         rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
     );
     std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");

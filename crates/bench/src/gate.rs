@@ -15,7 +15,8 @@ use std::collections::BTreeMap;
 /// carrying none of these are ignored; a key present in only one
 /// document (a benchmark added or retired across PRs) is informational
 /// and never fails the gate.
-pub const THROUGHPUT_KEYS: [&str; 2] = ["events_per_sec", "probe_verdicts_per_sec"];
+pub const THROUGHPUT_KEYS: [&str; 3] =
+    ["events_per_sec", "probe_verdicts_per_sec", "probe_batched_verdicts_per_sec"];
 
 /// Extracts `section name → throughput` from a `BENCH_monitor.json`
 /// document. Sections without any [`THROUGHPUT_KEYS`] field are ignored.
@@ -207,6 +208,32 @@ mod tests {
         let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
         assert!(gate_fails(&verdicts));
         assert!(verdicts.iter().any(|v| v.metric == "probe" && v.regressed));
+    }
+
+    #[test]
+    fn batched_probe_metric_parses_and_old_baselines_tolerate_it() {
+        // The PR-4 artifact carries both probe sections; baselines from
+        // before either existed must still gate cleanly.
+        let fresh_doc = format!(
+            "{BASELINE}\n\"probe\": {{ \"seconds\": 2.0, \"verdicts\": 600, \"probe_verdicts_per_sec\": 300 }}\n\"probe_batched\": {{ \"seconds\": 0.5, \"verdicts\": 600, \"probe_batched_verdicts_per_sec\": 1200 }}\n"
+        );
+        let fresh = parse_events_per_sec(&fresh_doc);
+        assert_eq!(fresh["probe_batched"], 1200.0);
+        assert_eq!(fresh["probe"], 300.0, "keys must not cross-contaminate sections");
+        let old_base = parse_events_per_sec(BASELINE);
+        assert!(!gate_fails(&compare(&old_base, &fresh, 0.25)));
+        // Both documents carrying it: a batched regression is caught.
+        let slow = fresh_doc.replace(
+            "\"probe_batched_verdicts_per_sec\": 1200",
+            "\"probe_batched_verdicts_per_sec\": 600",
+        );
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "probe_batched" && v.regressed));
+        assert!(
+            verdicts.iter().all(|v| v.metric != "probe" || !v.regressed),
+            "the unbatched row did not regress: {verdicts:?}"
+        );
     }
 
     #[test]

@@ -1,5 +1,27 @@
 //! Shared plumbing for the figure-reproduction harness (`repro` binary),
 //! the Criterion micro-benchmarks and the CI perf gate ([`gate`]).
+//!
+//! Three binaries live here:
+//!
+//! * `repro` — one subcommand per artifact of the paper's evaluation,
+//!   plus `--bench`, which runs the 1M-record pipeline and the probe
+//!   workload and writes `BENCH_monitor.json` (the perf-trajectory
+//!   artifact tracked across PRs);
+//! * `profile_stages` — cumulative stage-cost breakdown (construct →
+//!   explode → decode+intern → monitor, plus per-trace vs batched probe
+//!   validation) guiding optimization work;
+//! * `bench_gate` — compares a fresh `BENCH_monitor.json` against the
+//!   committed baseline and fails CI on regression ([`gate`]).
+//!
+//! # Invariants
+//!
+//! * `benches/pipeline_1m.rs` and `repro --bench` build their workload
+//!   from the same helpers ([`pipeline_record`] /
+//!   [`pipeline_dictionary`] / [`probe_fixture`]), so they always
+//!   measure the same stream.
+//! * The gate never fails on a metric present in only one document —
+//!   benchmarks may be added or retired across PRs
+//!   ([`gate::THROUGHPUT_KEYS`]).
 
 pub mod gate;
 
@@ -89,11 +111,18 @@ pub fn pipeline_dictionary() -> kepler_docmine::CommunityDictionary {
 /// The probe-stage benchmark fixture: a tiny world with one facility
 /// outage, the glue-layer simulated trace backend, and a two-candidate
 /// validation request against the outage window. Shared by
-/// `profile_stages` (ns/request row) and `repro --bench`
-/// (`probe_verdicts_per_sec` in `BENCH_monitor.json`) so both measure
-/// the same workload: schedule → simulate → analyze.
+/// `profile_stages` (ns/request rows) and `repro --bench`
+/// (`probe_verdicts_per_sec` / `probe_batched_verdicts_per_sec` in
+/// `BENCH_monitor.json`) so all measure the same workload:
+/// schedule → simulate → analyze.
+///
+/// `batched` toggles the backend's shared routing-tree cache: `false`
+/// reproduces the historical per-trace `compute_tree` cost (the `probe`
+/// row), `true` measures the batched path (`probe_batched`) where one
+/// tree per (origin, failure-state) is shared across the campaign.
 pub fn probe_fixture(
     seed: u64,
+    batched: bool,
 ) -> (kepler::probe::ProbeEngine<kepler::glue::SimTraceBackend>, kepler::probe::ProbeRequest) {
     use kepler::glue::{vantage_registry_for, SimTraceBackend};
     use kepler::netsim::events::{EventKind, ScheduledEvent};
@@ -118,7 +147,8 @@ pub fn probe_fixture(
         kind: EventKind::FacilityOutage { facility: down, affected_fraction: 1.0 },
     }];
     let backend =
-        SimTraceBackend::new(std::sync::Arc::new(world.clone()), &timeline, seed ^ 0x9B0E);
+        SimTraceBackend::new(std::sync::Arc::new(world.clone()), &timeline, seed ^ 0x9B0E)
+            .with_tree_cache(batched);
     let engine = ProbeEngine::new(
         backend,
         vantage_registry_for(&world),

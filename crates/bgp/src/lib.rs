@@ -23,11 +23,23 @@
 //!   used by RouteViews and RIPE RIS: `BGP4MP` message/state records and
 //!   `TABLE_DUMP_V2` RIB snapshots.
 //!
-//! The wire formats are real: an UPDATE serialized here is a valid BGP-4
-//! message (RFC 4271, with RFC 4760 multiprotocol NLRI for IPv6), and the
-//! MRT records round-trip byte-for-byte, so archives produced by the
-//! simulator in `kepler-netsim` could be consumed by any standard MRT
-//! tooling.
+//! # Key types
+//!
+//! [`Asn`], [`Prefix`], [`Community`], [`AsPath`], [`PathAttributes`],
+//! [`BgpUpdate`], and the [`mrt`] reader/writer.
+//!
+//! # Invariants
+//!
+//! * **The wire formats are real**: an UPDATE serialized here is a valid
+//!   BGP-4 message (RFC 4271, with RFC 4760 multiprotocol NLRI for
+//!   IPv6), and the MRT records round-trip byte-for-byte, so archives
+//!   produced by the simulator in `kepler-netsim` could be consumed by
+//!   any standard MRT tooling.
+//! * **Sanitization is lossless about its reasons** — [`sanitize`]
+//!   classifies every rejection (AS loop, special-purpose ASN, bogon
+//!   prefix) so input statistics stay auditable.
+//! * Parsing never panics on malformed input; [`mrt`] errors carry byte
+//!   offsets.
 
 pub mod asn;
 pub mod aspath;

@@ -19,6 +19,18 @@
 //!   (the "broker" interface of BGPStream).
 //! * [`batch`] — per-collector-session record batching, the routing layer
 //!   of the parallel ingest pipeline in `kepler-core`.
+//!
+//! # Invariants
+//!
+//! * **One unified clock**: [`merge`] emits records in non-decreasing
+//!   timestamp order with a deterministic tie-break, regardless of how
+//!   many sources feed it.
+//! * **Session state is part of the data**: collector session drops
+//!   surface as records (not silence), so [`gap`] can quarantine
+//!   feed-loss windows instead of mistaking them for outages.
+//! * [`batch`] keys strictly on (collector, peer) — a session's records
+//!   never interleave across ingest workers, which is what makes
+//!   parallel decode order-exact.
 
 pub mod batch;
 pub mod broker;

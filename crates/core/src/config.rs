@@ -41,6 +41,23 @@ pub struct KeplerConfig {
     /// A facility needs this many community-locatable members to be
     /// *trackable* (3 near-end + 3 far-end): **6**.
     pub trackable_min_members: usize,
+    /// Half-life of accumulated probe evidence on an open incident: a
+    /// probe-confirmed verdict can be reused for later bins of the same
+    /// incident (instead of re-probing from scratch) while its decayed
+    /// confidence stays above [`Self::evidence_reuse_confidence`]:
+    /// **30 min**.
+    pub evidence_half_life_secs: u64,
+    /// Minimum decayed confidence at which an open incident's confirmed
+    /// verdict is reused for a new pending localization of the same
+    /// epicenter: **0.5** (i.e. evidence older than one half-life must be
+    /// re-measured).
+    pub evidence_reuse_confidence: f64,
+    /// First restoration re-probe fires this long after an incident
+    /// opens; subsequent delays double ([`kepler_probe::Backoff`]):
+    /// **5 min**.
+    pub restore_probe_initial_secs: u64,
+    /// Ceiling of the restoration re-probe backoff: **1 h**.
+    pub restore_probe_max_secs: u64,
 }
 
 impl Default for KeplerConfig {
@@ -58,6 +75,10 @@ impl Default for KeplerConfig {
             quarantine_secs: 600,
             min_stable_paths: 2,
             trackable_min_members: 6,
+            evidence_half_life_secs: 1_800,
+            evidence_reuse_confidence: 0.5,
+            restore_probe_initial_secs: 300,
+            restore_probe_max_secs: 3_600,
         }
     }
 }

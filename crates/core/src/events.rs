@@ -106,6 +106,41 @@ impl fmt::Display for ValidationStatus {
     }
 }
 
+/// Lifecycle state of a tracked incident.
+///
+/// Incidents open when the investigator localizes them and move forward
+/// only — `Open → Recovering → Closed` — driven by two independent
+/// restoration signals: the control plane (more than `restore_fraction`
+/// of the affected paths back on their baseline PoP) and, when a
+/// restoration prober is attached, the data plane (re-probes of the
+/// epicenter crossing it again, typically well before BGP reconverges).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum IncidentState {
+    /// The epicenter is still dark; the incident accumulates evidence.
+    #[default]
+    Open,
+    /// Restoration has been observed (by probes or by path return) but
+    /// the incident is still inside the oscillation merge window — it may
+    /// reopen and merge.
+    Recovering,
+    /// Final: the merge window elapsed without a reopen (or the feed
+    /// ended after restoration).
+    Closed,
+}
+
+impl fmt::Display for IncidentState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IncidentState::Open => "open",
+            IncidentState::Recovering => "recovering",
+            IncidentState::Closed => "closed",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A detected infrastructure outage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OutageReport {
@@ -132,6 +167,10 @@ pub struct OutageReport {
     /// Hop-level evidence behind the validation verdict (empty when
     /// unvalidated).
     pub probe_evidence: Vec<HopEvidence>,
+    /// Lifecycle state when the report was emitted: `Open` incidents ran
+    /// past the end of the feed, `Recovering` ones restored but were
+    /// still inside the merge window, `Closed` ones are final.
+    pub state: IncidentState,
 }
 
 impl OutageReport {
@@ -165,6 +204,9 @@ impl fmt::Display for OutageReport {
         )?;
         if self.validation != ValidationStatus::Unvalidated {
             write!(f, " [{}]", self.validation)?;
+        }
+        if self.state != IncidentState::Closed {
+            write!(f, " [{}]", self.state)?;
         }
         Ok(())
     }
@@ -200,15 +242,19 @@ mod tests {
             dataplane_confirmed: Some(true),
             validation: ValidationStatus::Confirmed,
             probe_evidence: Vec::new(),
+            state: IncidentState::Closed,
         };
         assert_eq!(r.duration(), Some(1500));
         assert_eq!(r.affected_ases().len(), 3);
         let s = r.to_string();
         assert!(s.contains("facility 1") && s.contains("confirmed"), "{s}");
         assert!(s.contains("probe-confirmed"), "{s}");
-        let ongoing = OutageReport { end: None, ..r };
+        let ongoing = OutageReport { end: None, state: IncidentState::Open, ..r };
         assert_eq!(ongoing.duration(), None);
         assert!(ongoing.to_string().contains("ongoing"));
+        assert!(ongoing.to_string().contains("[open]"), "{ongoing}");
+        let recovering = OutageReport { state: IncidentState::Recovering, ..ongoing.clone() };
+        assert!(recovering.to_string().contains("[recovering]"), "{recovering}");
         let plain = OutageReport { validation: ValidationStatus::Unvalidated, ..ongoing.clone() };
         assert!(!plain.to_string().contains("probe-"), "unvalidated reports stay terse");
     }

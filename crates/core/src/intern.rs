@@ -113,6 +113,37 @@ impl DenseRouteEvent {
 }
 
 /// Bidirectional mapping between display identities and dense ids.
+///
+/// Every identity crossing into the hot path — route keys, PoP tags,
+/// ASNs — is interned once at input time; the monitor, sharder and
+/// tracker then work exclusively on `u32` ids, and display types are
+/// resolved back only at report time. Interning is idempotent and ids
+/// are dense (0, 1, 2, …), so flat `Vec`s indexed by id replace hash
+/// maps everywhere downstream.
+///
+/// ```
+/// use kepler_bgp::{Asn, Prefix};
+/// use kepler_bgpstream::{CollectorId, PeerId};
+/// use kepler_core::events::RouteKey;
+/// use kepler_core::intern::Interner;
+/// use kepler_docmine::LocationTag;
+/// use kepler_topology::FacilityId;
+///
+/// let mut interner = Interner::new();
+/// let key = RouteKey {
+///     collector: CollectorId(0),
+///     peer: PeerId { asn: Asn(3356), addr: "10.0.0.1".parse().unwrap() },
+///     prefix: Prefix::v4(192, 0, 2, 0, 24),
+/// };
+/// // Idempotent: the same identity always maps to the same dense id.
+/// let id = interner.route_id(&key);
+/// assert_eq!(interner.route_id(&key), id);
+/// assert_eq!(id.0, 0, "ids are dense, starting at 0");
+/// // And bidirectional: reports resolve ids back to display types.
+/// assert_eq!(interner.route_key(id), key);
+/// let pop = interner.pop_id(LocationTag::Facility(FacilityId(7)));
+/// assert_eq!(interner.pop_tag(pop), LocationTag::Facility(FacilityId(7)));
+/// ```
 #[derive(Debug, Default)]
 pub struct Interner {
     routes: FxHashMap<RouteKey, RouteId>,

@@ -15,13 +15,42 @@
 //!    epicenter with the colocation map (the 95% co-location rule,
 //!    facility↔IXP resolution escalation, city abstraction).
 //! 4. [`dataplane`] — optionally confirm incidents and their durations
-//!    against traceroute measurements, eliminating false positives.
-//! 5. [`tracker`] — outage lifecycle: start, oscillation merging (<12 h),
-//!    restoration (>50% of paths return), duration accounting.
+//!    against traceroute measurements, eliminating false positives
+//!    (low-confidence localizations additionally go to the `kepler-probe`
+//!    engine for facility-level disambiguation).
+//! 5. [`tracker`] — the incident lifecycle (`Open` → `Recovering` →
+//!    `Closed`): oscillation merging (<12 h), control-plane restoration
+//!    (>50% of paths return), probe-driven restoration (backoff
+//!    re-probes of the epicenter), cross-bin evidence accumulation with
+//!    decaying confidence, duration accounting.
 //! 6. [`metrics`] — evaluation against ground truth (TP/FP/FN).
 //!
 //! The [`system::Kepler`] type wires all of it together behind a
-//! feed-records-in, get-outages-out API.
+//! feed-records-in, get-outages-out API. Scaling layers sit beside the
+//! pipeline: [`intern`] (dense ids for every hot-path identity),
+//! [`shard`] (N-way sharded monitor), [`ingest`] (parallel decode).
+//!
+//! # Key types
+//!
+//! [`KeplerConfig`] (the paper's calibrated §5.1 defaults),
+//! [`system::Kepler`], [`OutageReport`] with [`OutageScope`],
+//! [`IncidentState`] and [`ValidationStatus`], and the dense-id
+//! vocabulary [`RouteId`]/[`PopId`]/[`AsnId`].
+//!
+//! # Invariants
+//!
+//! * **Dense hot path.** Display identities are interned once at input
+//!   time; monitor, shards and tracker work on `u32` ids and resolve
+//!   back only at report time ([`monitor::DenseBinOutcome::resolve`]).
+//! * **Parallelism is exact.** Sharded monitoring and parallel ingest
+//!   produce bit-identical resolved outcomes to their serial
+//!   counterparts (differential property tests in `crates/core/tests/`).
+//! * **Probing is monotone.** Attaching a prober never changes outcomes
+//!   for events it does not probe; confident localizations bypass it.
+//! * **Closes are evidence-driven.** An incident ends only when the
+//!   control plane restores (>`restore_fraction` of watched crossings
+//!   back) or two consecutive restoration re-probes observe the
+//!   epicenter forwarding again — never on a timer.
 
 pub mod config;
 pub mod dataplane;
@@ -38,7 +67,9 @@ pub mod system;
 pub mod tracker;
 
 pub use config::KeplerConfig;
-pub use events::{OutageReport, OutageScope, RouteKey, SignalClass, ValidationStatus};
+pub use events::{
+    IncidentState, OutageReport, OutageScope, RouteKey, SignalClass, ValidationStatus,
+};
 pub use ingest::ParallelIngest;
 pub use intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId};
 pub use investigate::{FacilityCandidate, Localization, PendingIncident};

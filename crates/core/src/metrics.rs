@@ -174,6 +174,7 @@ mod tests {
             dataplane_confirmed: None,
             validation: crate::events::ValidationStatus::Unvalidated,
             probe_evidence: Vec::new(),
+            state: crate::events::IncidentState::Closed,
         }
     }
 

@@ -12,8 +12,8 @@ use crate::shard::{AnyMonitor, ShardedMonitor};
 use crate::tracker::{IncidentMeta, Tracker};
 use kepler_bgpstream::{BgpRecord, GapTracker, Timestamp};
 use kepler_docmine::CommunityDictionary;
-use kepler_probe::{FacilityVerdict, Prober};
-use kepler_topology::{ColocationMap, OrgMap};
+use kepler_probe::{FacilityVerdict, Prober, RestorationProber};
+use kepler_topology::{ColocationMap, FacilityId, OrgMap};
 
 /// Everything Kepler needs to start.
 pub struct KeplerInputs {
@@ -51,6 +51,12 @@ pub struct ClassCounts {
     /// Probe campaigns that could not decide (fell back to the passive
     /// verdict).
     pub probe_inconclusive: usize,
+    /// Pending localizations settled from the evidence accumulated on an
+    /// already-open incident (no fresh campaign was needed).
+    pub evidence_reused: usize,
+    /// Incidents closed by restoration re-probes (before the BGP watch
+    /// list recovered).
+    pub probe_closed: usize,
 }
 
 /// The Kepler detection system.
@@ -63,6 +69,7 @@ pub struct Kepler {
     tracker: Tracker,
     dataplane: Option<Box<dyn DataPlaneProbe>>,
     prober: Option<Box<dyn Prober>>,
+    restoration: Option<Box<dyn RestorationProber>>,
     counts: ClassCounts,
     last_time: Timestamp,
     /// Reusable buffer for events drained from the ingest stage.
@@ -86,6 +93,7 @@ impl Kepler {
             tracker,
             dataplane: None,
             prober: None,
+            restoration: None,
             counts: ClassCounts::default(),
             config,
             last_time: 0,
@@ -104,8 +112,44 @@ impl Kepler {
     /// low-confidence are handed to it for facility-level disambiguation;
     /// confident localizations never touch it, so attaching a prober
     /// cannot change outcomes for events it does not probe.
+    ///
+    /// ```
+    /// use kepler_core::{Kepler, KeplerConfig, KeplerInputs};
+    /// use kepler_bgpstream::Timestamp;
+    /// use kepler_docmine::CommunityDictionary;
+    /// use kepler_probe::{ProbeReport, ProbeRequest, Prober};
+    /// use kepler_topology::{ColocationMap, OrgMap};
+    ///
+    /// /// The contract made executable: a stream without ambiguous
+    /// /// localizations never consults the prober at all.
+    /// struct NeverConsulted;
+    /// impl Prober for NeverConsulted {
+    ///     fn validate(&mut self, r: &ProbeRequest, _: Timestamp) -> ProbeReport {
+    ///         unreachable!("nothing ambiguous to probe: {r:?}")
+    ///     }
+    /// }
+    ///
+    /// let inputs = KeplerInputs {
+    ///     config: KeplerConfig::default(),
+    ///     dictionary: CommunityDictionary::new(),
+    ///     colo: ColocationMap::new(),
+    ///     orgs: OrgMap::new(),
+    /// };
+    /// let kepler = Kepler::new(inputs).with_prober(Box::new(NeverConsulted));
+    /// assert!(kepler.run(Vec::new()).is_empty());
+    /// ```
     pub fn with_prober(mut self, prober: Box<dyn Prober>) -> Self {
         self.prober = Some(prober);
+        self
+    }
+
+    /// Attaches a restoration prober: open facility-level incidents are
+    /// re-probed on an exponential-backoff schedule and closed once two
+    /// consecutive checks observe baseline paths crossing the epicenter
+    /// again — typically well before the BGP watch list recovers. Without
+    /// one, incidents close on control-plane restoration alone.
+    pub fn with_restoration_prober(mut self, prober: Box<dyn RestorationProber>) -> Self {
+        self.restoration = Some(prober);
         self
     }
 
@@ -158,6 +202,13 @@ impl Kepler {
     /// Classification counters.
     pub fn class_counts(&self) -> ClassCounts {
         self.counts
+    }
+
+    /// Lifecycle states of the incidents currently tracked (`Open` /
+    /// `Recovering`; incidents past the oscillation window have already
+    /// been finalized and left this list).
+    pub fn incident_states(&self) -> Vec<(OutageScope, crate::events::IncidentState)> {
+        self.tracker.live_states()
     }
 
     /// The monitor (for inspection in tests and harnesses).
@@ -226,8 +277,29 @@ impl Kepler {
             LocalizedIncident,
             ValidationStatus,
             Vec<kepler_probe::HopEvidence>,
+            bool, // settled from accumulated (reused) evidence
         )> = Vec::new();
         for pending in &investigation.pending {
+            // Cross-bin evidence accumulation: an open incident whose
+            // epicenter is among this group's candidates may already carry
+            // a probe-confirmed verdict fresh enough to reuse — no new
+            // campaign, the accumulated hop evidence travels along.
+            let candidates: Vec<FacilityId> =
+                pending.candidates.iter().map(|c| c.facility).collect();
+            if let Some((fac, evidence)) =
+                self.tracker.accumulated_confirmation(&candidates, outcome.bin_start)
+            {
+                self.counts.evidence_reused += 1;
+                self.counts.unresolved =
+                    self.counts.unresolved.saturating_sub(pending.booked_unresolved);
+                settled.push((
+                    pending.to_incident(OutageScope::Facility(fac)),
+                    ValidationStatus::Confirmed,
+                    evidence,
+                    true,
+                ));
+                continue;
+            }
             let (scope, validation, evidence) = match self.prober.as_mut() {
                 None => match pending.fallback {
                     Some(scope) => (scope, ValidationStatus::Unvalidated, Vec::new()),
@@ -264,7 +336,7 @@ impl Kepler {
                     }
                 }
             };
-            settled.push((pending.to_incident(scope), validation, evidence));
+            settled.push((pending.to_incident(scope), validation, evidence, false));
         }
         // Data-plane confirmation: incidents contradicted by traceroutes
         // are discarded as false positives (paper §4.4).
@@ -273,8 +345,8 @@ impl Kepler {
         let confident = investigation
             .incidents
             .into_iter()
-            .map(|inc| (inc, ValidationStatus::Unvalidated, Vec::new()));
-        for (inc, validation, evidence) in confident.chain(settled) {
+            .map(|inc| (inc, ValidationStatus::Unvalidated, Vec::new(), false));
+        for (inc, validation, evidence, reused) in confident.chain(settled) {
             let verdict = self
                 .dataplane
                 .as_ref()
@@ -286,10 +358,15 @@ impl Kepler {
             }
             self.counts.pop_level += 1;
             kept.push(inc);
-            meta.push(IncidentMeta { dataplane: verdict, validation, evidence });
+            meta.push(IncidentMeta { dataplane: verdict, validation, evidence, reused });
         }
         self.tracker.record(&kept, &meta, &mut self.interner);
         let bin_end = outcome.bin_start + self.config.bin_secs;
+        // Probe-driven restoration first: a data-plane close stamps the
+        // earlier end time before the control-plane check can.
+        if let Some(rp) = self.restoration.as_mut() {
+            self.counts.probe_closed += self.tracker.probe_restorations(bin_end, rp.as_mut());
+        }
         self.tracker.check_restorations(bin_end, &mut self.monitor);
     }
 
@@ -303,6 +380,14 @@ impl Kepler {
 
     /// Flushes pending bins and closes the run.
     pub fn finish(mut self) -> Vec<OutageReport> {
+        self.finalize()
+    }
+
+    /// Like [`finish`](Self::finish), but borrowing: the system stays
+    /// alive for post-run inspection ([`class_counts`](Self::class_counts)
+    /// includes work done during this final flush — e.g. incidents the
+    /// restoration prober closed in the trailing bins).
+    pub fn finalize(&mut self) -> Vec<OutageReport> {
         let mut events = std::mem::take(&mut self.event_scratch);
         self.ingest.finish(&mut self.interner, &mut events);
         self.observe_events(&mut events);
@@ -675,6 +760,147 @@ mod tests {
         }
         let probed = Kepler::new(inputs()).with_prober(Box::new(Tripwire)).run(records);
         assert_eq!(plain, probed, "attaching a prober must not change untouched events");
+    }
+
+    /// A prober with a call budget: validates like [`ScriptedProber`]
+    /// (confirming facility 2) but panics past `max_calls`.
+    struct BudgetedProber {
+        calls: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+        max_calls: usize,
+    }
+
+    impl kepler_probe::Prober for BudgetedProber {
+        fn validate(
+            &mut self,
+            request: &kepler_probe::ProbeRequest,
+            now: Timestamp,
+        ) -> kepler_probe::ProbeReport {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            assert!(
+                n < self.max_calls,
+                "accumulated evidence must be reused instead of re-probing: {request:?}"
+            );
+            let mut inner = ScriptedProber { confirm: Some(2), inconclusive: false };
+            inner.validate(request, now)
+        }
+    }
+
+    #[test]
+    fn accumulated_evidence_is_reused_instead_of_reprobing() {
+        // Twin world with three extra far-ends (26..28) so a *second* bin
+        // of deviations can raise a fresh pending group while the first
+        // incident is still open.
+        let mut inputs = twin_inputs();
+        for a in 26..=28u32 {
+            inputs.colo.add_fac_member(FacilityId(1), Asn(a));
+            inputs.colo.add_fac_member(FacilityId(2), Asn(a));
+        }
+        let mut records: Vec<BgpRecord> =
+            (0..9u8).map(|i| announce(T0, 10 + (i % 3) as u32, 20 + i as u32, i)).collect();
+        let t_fail = T0 + 2 * DAY + 3600;
+        // Bin A: prefixes 0..6 detour; bin B (two bins later): 6..9.
+        records.extend((0..6u8).map(|i| announce_detour(t_fail + i as u64, 20 + i as u32, i)));
+        records.extend((6..9u8).map(|i| announce_detour(t_fail + 120, 20 + i as u32, i)));
+        records.push(announce(t_fail + 13 * 3600, 10, 20, 0));
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut kepler = Kepler::new(inputs)
+            .with_prober(Box::new(BudgetedProber { calls: calls.clone(), max_calls: 1 }));
+        for r in records {
+            kepler.process_record_owned(r);
+        }
+        let counts = kepler.class_counts();
+        let reports = kepler.finish();
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 1, "one campaign total");
+        assert!(counts.evidence_reused >= 1, "{counts:?}");
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].scope, OutageScope::Facility(FacilityId(2)));
+        assert_eq!(reports[0].validation, crate::events::ValidationStatus::Confirmed);
+        // The second bin's far-ends merged into the same incident.
+        assert!(reports[0].affected_far.contains(&Asn(26)), "{reports:?}");
+    }
+
+    /// Restoration prober scripted on wall clock: still down before
+    /// `up_from`, restored at/after it.
+    struct ClockedRestoration {
+        up_from: Timestamp,
+    }
+
+    impl kepler_probe::RestorationProber for ClockedRestoration {
+        fn check(
+            &mut self,
+            _epicenter: kepler_topology::FacilityId,
+            _targets: &[Asn],
+            _incident_start: Timestamp,
+            now: Timestamp,
+        ) -> kepler_probe::RestorationReport {
+            use kepler_probe::{RestorationReport, RestorationVerdict};
+            let verdict = if now >= self.up_from {
+                RestorationVerdict::Restored
+            } else {
+                RestorationVerdict::StillDown
+            };
+            RestorationReport {
+                verdict,
+                watched: 4,
+                crossing: if verdict == RestorationVerdict::Restored { 4 } else { 0 },
+                probes_sent: 8,
+                rate_limited: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn restoration_probes_close_what_bgp_never_restores() {
+        // BGP-wise the outage never ends (no restore records): without a
+        // restoration prober the incident runs off the end of the feed.
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        // Keepalives on an unrelated, never-deviating prefix drive bin
+        // closes (and thus the re-probe schedule) through the repair.
+        for k in 1..200u64 {
+            records.push(announce(t_fail + k * 300, 10, 20, 0));
+        }
+        let plain = Kepler::new(inputs()).run(records.clone());
+        assert_eq!(plain.len(), 1);
+        assert_eq!(plain[0].end, None, "control plane alone never restores: {plain:?}");
+        assert_eq!(plain[0].state, crate::events::IncidentState::Open);
+        // The data plane recovers 2h in: two consecutive Restored checks
+        // close the incident near the repair, despite BGP silence.
+        let repair = t_fail + 7200;
+        let kepler = Kepler::new(inputs())
+            .with_restoration_prober(Box::new(ClockedRestoration { up_from: repair }));
+        let mut kepler = kepler;
+        for r in records {
+            kepler.process_record_owned(r);
+        }
+        let counts = kepler.class_counts();
+        let reports = kepler.finish();
+        assert_eq!(counts.probe_closed, 1, "{counts:?}");
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        let end = reports[0].end.expect("probe-closed");
+        assert!(
+            end >= repair && end <= repair + 3600 + 600,
+            "closed near the repair (repair {repair}, end {end})"
+        );
+        assert_eq!(reports[0].state, crate::events::IncidentState::Closed);
+    }
+
+    #[test]
+    fn restoration_probes_never_close_a_still_down_facility() {
+        let mut records = base_records();
+        let t_fail = T0 + 2 * DAY + 3600;
+        records.extend(outage_records(t_fail));
+        for k in 1..200u64 {
+            records.push(announce(t_fail + k * 300, 10, 20, 0));
+        }
+        // The facility never recovers: every check says StillDown.
+        let kepler = Kepler::new(inputs())
+            .with_restoration_prober(Box::new(ClockedRestoration { up_from: u64::MAX }));
+        let reports = kepler.run(records);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].end, None, "a still-down facility must stay open: {reports:?}");
+        assert_eq!(reports[0].state, crate::events::IncidentState::Open);
     }
 
     #[test]

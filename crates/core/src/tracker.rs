@@ -2,20 +2,36 @@
 //!
 //! An incident opens when the investigator localizes it; it closes when
 //! more than `restore_fraction` of its affected paths carry their original
-//! (PoP, near-end) tag again. Two outages of the same scope separated by
-//! less than `merge_window_secs` are one oscillating incident whose
-//! downtime is the sum of the individual outage durations.
+//! (PoP, near-end) tag again — or, when a restoration prober is attached,
+//! when **re-probes of the epicenter observe baseline paths crossing it
+//! again** (the data plane reconverges well before BGP, Figure 10a vs
+//! 10b). Two outages of the same scope separated by less than
+//! `merge_window_secs` are one oscillating incident whose downtime is the
+//! sum of the individual outage durations.
+//!
+//! The tracker is also the system's **evidence ledger**: judged
+//! (vantage, target, facility) hop-evidence pairs from consecutive bins
+//! accumulate on the open incident (deduplicated, fresh measurement
+//! wins), and a probe-confirmed verdict carries a confidence score that
+//! decays with the configured half-life. While the decayed confidence
+//! stays above `evidence_reuse_confidence`, later bins of the same
+//! incident reuse the accumulated verdict instead of re-probing from
+//! scratch ([`Tracker::accumulated_confirmation`]).
+//!
+//! Lifecycle states surface as [`IncidentState`] — `Open` while the
+//! epicenter is dark, `Recovering` once restoration has been observed but
+//! the oscillation window is still live, `Closed` when final.
 
 use crate::config::KeplerConfig;
-use crate::events::{OutageReport, OutageScope, RouteKey, ValidationStatus};
+use crate::events::{IncidentState, OutageReport, OutageScope, RouteKey, ValidationStatus};
 use crate::intern::{AsnId, Interner, PopId, RouteId};
 use crate::investigate::LocalizedIncident;
 use crate::shard::AnyMonitor;
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
-use kepler_probe::HopEvidence;
-use kepler_topology::{CityId, ColocationMap};
-use std::collections::{BTreeSet, HashMap};
+use kepler_probe::{Backoff, HopEvidence, RestorationProber, RestorationVerdict};
+use kepler_topology::{CityId, ColocationMap, FacilityId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Validation metadata recorded alongside one localized incident: the
 /// passive data-plane confirmation (paper §4.4 baseline re-probe) and the
@@ -28,6 +44,19 @@ pub struct IncidentMeta {
     pub validation: ValidationStatus,
     /// Hop-level evidence behind the verdict.
     pub evidence: Vec<HopEvidence>,
+    /// Whether the verdict was settled from accumulated evidence instead
+    /// of fresh measurements. A reused confirmation must not re-anchor
+    /// the confidence clock — only re-measured evidence resets decay,
+    /// otherwise recurring deviations could pin an epicenter forever on
+    /// evidence measured once.
+    pub reused: bool,
+}
+
+/// Dedup key of one judged measurement pair: (vantage, target, facility).
+type EvidenceKey = (u32, u32, u32);
+
+fn evidence_key(e: &HopEvidence) -> EvidenceKey {
+    (e.vantage.0, e.target.0, e.facility.0)
 }
 
 #[derive(Debug)]
@@ -46,7 +75,42 @@ struct Ongoing {
     watch: Vec<(RouteId, PopId, AsnId)>,
     dataplane_confirmed: Option<bool>,
     validation: ValidationStatus,
-    probe_evidence: Vec<HopEvidence>,
+    /// Accumulated judged pairs, deduplicated by (vantage, target,
+    /// facility); a fresh measurement of the same pair replaces the stale
+    /// one. `BTreeMap` so reports render evidence in a stable order.
+    evidence: BTreeMap<EvidenceKey, HopEvidence>,
+    /// Confidence of the accumulated probe verdict at `confidence_at`
+    /// (1.0 = freshly probe-confirmed, decays with the configured
+    /// half-life; 0.0 = nothing reusable).
+    confidence: f64,
+    confidence_at: Timestamp,
+    /// When the next restoration re-probe is due.
+    next_probe: Timestamp,
+    /// Current re-probe backoff delay.
+    probe_backoff: u64,
+    /// First `Restored` verdict of the current streak — the close time if
+    /// the next check confirms (`None` once a `StillDown` interrupts).
+    probe_restored_at: Option<Timestamp>,
+}
+
+impl Ongoing {
+    fn merge_evidence(&mut self, fresh: &[HopEvidence]) {
+        for e in fresh {
+            self.evidence.insert(evidence_key(e), *e);
+        }
+    }
+
+    fn evidence_vec(&self) -> Vec<HopEvidence> {
+        self.evidence.values().copied().collect()
+    }
+
+    fn live_state(&self) -> IncidentState {
+        if self.probe_restored_at.is_some() {
+            IncidentState::Recovering
+        } else {
+            IncidentState::Open
+        }
+    }
 }
 
 /// Tracks ongoing and closed outages.
@@ -119,6 +183,58 @@ impl Tracker {
         }
     }
 
+    /// The backoff schedule restoration re-probes follow.
+    fn backoff(&self) -> Backoff {
+        Backoff {
+            initial_secs: self.config.restore_probe_initial_secs,
+            max_secs: self.config.restore_probe_max_secs,
+        }
+    }
+
+    /// The accumulated confidence of `on`'s probe verdict at `now`,
+    /// decayed by the configured half-life.
+    fn decayed_confidence(&self, on: &Ongoing, now: Timestamp) -> f64 {
+        if on.confidence <= 0.0 {
+            return 0.0;
+        }
+        let half_life = self.config.evidence_half_life_secs;
+        if half_life == 0 {
+            return 0.0;
+        }
+        let age = now.saturating_sub(on.confidence_at) as f64;
+        on.confidence * 0.5_f64.powf(age / half_life as f64)
+    }
+
+    /// Cross-bin evidence reuse: if an *open* incident whose epicenter is
+    /// one of `candidates` already carries a probe-confirmed verdict
+    /// whose decayed confidence still clears
+    /// `evidence_reuse_confidence`, returns that facility and the
+    /// accumulated hop evidence — the caller can settle the new bin's
+    /// pending localization without re-probing from scratch.
+    pub fn accumulated_confirmation(
+        &self,
+        candidates: &[FacilityId],
+        now: Timestamp,
+    ) -> Option<(FacilityId, Vec<HopEvidence>)> {
+        let mut best: Option<(f64, FacilityId, Vec<HopEvidence>)> = None;
+        // Candidate order (best passive score first) breaks confidence
+        // ties, so attribution never depends on map iteration order.
+        for &f in candidates {
+            let Some(on) = self.ongoing.get(&OutageScope::Facility(f)) else { continue };
+            if on.validation != ValidationStatus::Confirmed {
+                continue;
+            }
+            let c = self.decayed_confidence(on, now);
+            if c < self.config.evidence_reuse_confidence {
+                continue;
+            }
+            if best.as_ref().map(|(b, ..)| c > *b).unwrap_or(true) {
+                best = Some((c, f, on.evidence_vec()));
+            }
+        }
+        best.map(|(_, f, ev)| (f, ev))
+    }
+
     /// Records this bin's localized incidents. The incidents' display-typed
     /// watch crossings are interned once here; every later restoration
     /// check runs dense.
@@ -128,6 +244,7 @@ impl Tracker {
         meta: &[IncidentMeta],
         interner: &mut Interner,
     ) {
+        let backoff = self.backoff();
         for (inc, meta) in incidents.iter().zip(meta.iter()) {
             let dense_watch: Vec<(RouteId, PopId, AsnId)> = inc
                 .watch
@@ -155,11 +272,29 @@ impl Tracker {
                 if on.validation == ValidationStatus::Unvalidated {
                     on.validation = meta.validation;
                 }
-                on.probe_evidence.extend(meta.evidence.iter().copied());
+                on.merge_evidence(&meta.evidence);
+                if meta.validation == ValidationStatus::Confirmed && !meta.reused {
+                    // Freshly *measured* confirmation: the verdict is
+                    // current again. (A reused verdict keeps its original
+                    // decay clock — it adds no new measurement.)
+                    on.validation = ValidationStatus::Confirmed;
+                    on.confidence = 1.0;
+                    on.confidence_at = inc.bin_start;
+                }
+                // New signals mean the epicenter is still (or again)
+                // misbehaving: any in-flight restoration streak is stale.
+                on.probe_restored_at = None;
                 on.scope = self.merged_scope(key, inc.scope);
                 // A previously separate ongoing entry under the merged
                 // scope is the same incident too.
                 if let Some(other) = self.ongoing.remove(&on.scope) {
+                    if self.decayed_confidence(&other, inc.bin_start)
+                        > self.decayed_confidence(&on, inc.bin_start)
+                    {
+                        on.confidence = other.confidence;
+                        on.confidence_at = other.confidence_at;
+                    }
+                    on.next_probe = on.next_probe.min(other.next_probe);
                     on.started = on.started.min(other.started);
                     on.segment_start = on.segment_start.min(other.segment_start);
                     on.prior_duration = on.prior_duration.max(other.prior_duration);
@@ -171,7 +306,9 @@ impl Tracker {
                     if on.validation == ValidationStatus::Unvalidated {
                         on.validation = other.validation;
                     }
-                    on.probe_evidence.extend(other.probe_evidence);
+                    for (k, e) in other.evidence {
+                        on.evidence.entry(k).or_insert(e);
+                    }
                 }
                 self.ongoing.insert(on.scope, on);
                 continue;
@@ -203,7 +340,19 @@ impl Tracker {
                         watch: dense_watch.clone(),
                         dataplane_confirmed: report.dataplane_confirmed,
                         validation: report.validation,
-                        probe_evidence: report.probe_evidence.clone(),
+                        evidence: report
+                            .probe_evidence
+                            .iter()
+                            .map(|e| (evidence_key(e), *e))
+                            .collect(),
+                        // The earlier segment's confirmation spoke about the
+                        // earlier failure: a reopened incident must re-earn
+                        // its confidence before any verdict reuse.
+                        confidence: 0.0,
+                        confidence_at: inc.bin_start,
+                        next_probe: inc.bin_start + backoff.first(),
+                        probe_backoff: backoff.first(),
+                        probe_restored_at: None,
                     };
                     on.affected_near.extend(inc.affected_near.iter().copied());
                     on.affected_far.extend(inc.affected_far.iter().copied());
@@ -214,12 +363,16 @@ impl Tracker {
                     if on.validation == ValidationStatus::Unvalidated {
                         on.validation = meta.validation;
                     }
-                    on.probe_evidence.extend(meta.evidence.iter().copied());
+                    on.merge_evidence(&meta.evidence);
+                    if meta.validation == ValidationStatus::Confirmed && !meta.reused {
+                        on.validation = ValidationStatus::Confirmed;
+                        on.confidence = 1.0;
+                    }
                     self.ongoing.insert(on.scope, on);
                     continue;
                 }
                 // Too old: the cooled incident is final.
-                self.finished.push(report);
+                self.finish_report(report);
             }
             self.ongoing.insert(
                 inc.scope,
@@ -235,10 +388,108 @@ impl Tracker {
                     watch: dense_watch,
                     dataplane_confirmed: meta.dataplane,
                     validation: meta.validation,
-                    probe_evidence: meta.evidence.clone(),
+                    evidence: meta.evidence.iter().map(|e| (evidence_key(e), *e)).collect(),
+                    confidence: if meta.validation == ValidationStatus::Confirmed && !meta.reused {
+                        1.0
+                    } else {
+                        0.0
+                    },
+                    confidence_at: inc.bin_start,
+                    next_probe: inc.bin_start + backoff.first(),
+                    probe_backoff: backoff.first(),
+                    probe_restored_at: None,
                 },
             );
         }
+    }
+
+    fn close_report(&self, on: Ongoing, end: Timestamp) -> (OutageReport, u64) {
+        let seg = end.saturating_sub(on.segment_start);
+        let report = OutageReport {
+            scope: on.scope,
+            start: on.started,
+            end: Some(end),
+            affected_near: on.affected_near,
+            affected_far: on.affected_far,
+            affected_paths: on.affected_keys.len(),
+            oscillations: on.oscillations,
+            dataplane_confirmed: on.dataplane_confirmed,
+            validation: on.validation,
+            probe_evidence: on.evidence.into_values().collect(),
+            state: IncidentState::Recovering,
+        };
+        (report, on.prior_duration + seg)
+    }
+
+    fn finish_report(&mut self, mut report: OutageReport) {
+        report.state = IncidentState::Closed;
+        self.finished.push(report);
+    }
+
+    /// Runs due restoration re-probes against ongoing incidents
+    /// (exponential backoff per incident, starting at
+    /// `restore_probe_initial_secs`). A first `Restored` verdict marks
+    /// the incident [`IncidentState::Recovering`] and schedules a quick
+    /// confirming check; a **second consecutive** `Restored` closes it
+    /// with the first verdict's timestamp as the end — typically well
+    /// before the BGP watch list recovers. `StillDown` resets the streak
+    /// and doubles the backoff; `Inconclusive` only backs off. Returns
+    /// how many incidents were closed by probes.
+    pub fn probe_restorations(
+        &mut self,
+        now: Timestamp,
+        prober: &mut dyn RestorationProber,
+    ) -> usize {
+        let backoff = self.backoff();
+        let mut due: Vec<OutageScope> = self
+            .ongoing
+            .iter()
+            .filter(|(s, on)| matches!(s, OutageScope::Facility(_)) && now >= on.next_probe)
+            .map(|(s, _)| *s)
+            .collect();
+        due.sort(); // deterministic probe order
+        let mut closed = 0usize;
+        for scope in due {
+            let verdict = {
+                let on = &self.ongoing[&scope];
+                let OutageScope::Facility(fac) = scope else { unreachable!("filtered above") };
+                let targets: Vec<Asn> = on.affected_far.iter().copied().collect();
+                prober.check(fac, &targets, on.started, now).verdict
+            };
+            let streak_start = self.ongoing.get(&scope).and_then(|o| o.probe_restored_at);
+            if verdict == RestorationVerdict::Restored {
+                if let Some(first) = streak_start {
+                    // Second consecutive confirmation: the outage ended
+                    // when the streak began.
+                    let on = self.ongoing.remove(&scope).expect("present");
+                    let entry = self.close_report(on, first);
+                    self.cooling.insert(scope, entry);
+                    closed += 1;
+                    continue;
+                }
+            }
+            let on = self.ongoing.get_mut(&scope).expect("present");
+            match verdict {
+                RestorationVerdict::Restored => {
+                    // Observe once, confirm quickly: the streak resets
+                    // the backoff to its floor.
+                    on.probe_restored_at = Some(now);
+                    on.probe_backoff = backoff.first();
+                    on.next_probe = now + on.probe_backoff;
+                }
+                RestorationVerdict::StillDown | RestorationVerdict::Inconclusive => {
+                    // "Two consecutive Restored" is literal: an
+                    // Inconclusive check (starved budget, thin baseline)
+                    // also breaks the streak — otherwise a close could
+                    // stamp an end time observed hours before the second
+                    // Restored, erasing real downtime in between.
+                    on.probe_restored_at = None;
+                    on.probe_backoff = backoff.next(on.probe_backoff);
+                    on.next_probe = now + on.probe_backoff;
+                }
+            }
+        }
+        closed
     }
 
     /// Checks ongoing outages for restoration at the close of a bin. The
@@ -261,20 +512,22 @@ impl Tracker {
                 continue;
             }
             let on = self.ongoing.remove(&scope).expect("present");
-            let seg = now.saturating_sub(on.segment_start);
-            let report = OutageReport {
-                scope: on.scope,
-                start: on.started,
-                end: Some(now),
-                affected_near: on.affected_near,
-                affected_far: on.affected_far,
-                affected_paths: on.affected_keys.len(),
-                oscillations: on.oscillations,
-                dataplane_confirmed: on.dataplane_confirmed,
-                validation: on.validation,
-                probe_evidence: on.probe_evidence,
-            };
-            self.cooling.insert(scope, (report, on.prior_duration + seg));
+            // If probes recently observed the data plane restored, the
+            // outage ended then — BGP reconvergence lag is not downtime.
+            // A single Restored verdict does not close on its own, but
+            // the control plane crossing `restore_fraction` corroborates
+            // it; the backdate is bounded to one initial-backoff window
+            // (a streak older than that would already have faced — and
+            // failed — its confirming re-probe, so it must be stale
+            // state from a caller that skips `probe_restorations`).
+            let fresh_window = self.backoff().first() + self.config.bin_secs;
+            let end = on
+                .probe_restored_at
+                .filter(|&t| now.saturating_sub(t) <= fresh_window)
+                .unwrap_or(now)
+                .min(now);
+            let entry = self.close_report(on, end);
+            self.cooling.insert(scope, entry);
         }
         // Promote cooled incidents older than the merge window to final.
         let expired: Vec<OutageScope> = self
@@ -289,7 +542,7 @@ impl Tracker {
             .collect();
         for s in expired {
             let (report, _) = self.cooling.remove(&s).expect("present");
-            self.finished.push(report);
+            self.finish_report(report);
         }
     }
 
@@ -298,13 +551,32 @@ impl Tracker {
         report.duration()
     }
 
+    /// Lifecycle states of the incidents the tracker is still holding
+    /// (sorted by scope): `Open`/`Recovering` for ongoing ones,
+    /// `Recovering` for restored incidents inside the oscillation window.
+    pub fn live_states(&self) -> Vec<(OutageScope, IncidentState)> {
+        let mut out: Vec<(OutageScope, IncidentState)> = self
+            .ongoing
+            .iter()
+            .map(|(s, on)| (*s, on.live_state()))
+            .chain(self.cooling.keys().map(|s| (*s, IncidentState::Recovering)))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Ends the run: ongoing outages close as ongoing (`end = None`),
-    /// cooled ones become final.
-    pub fn finish(mut self) -> Vec<OutageReport> {
-        for (_, (report, _)) in self.cooling.drain() {
-            self.finished.push(report);
+    /// cooled ones become final. Leaves the tracker empty but usable for
+    /// post-run inspection.
+    pub fn finish(&mut self) -> Vec<OutageReport> {
+        let cooled: Vec<OutageReport> =
+            self.cooling.drain().map(|(_, (report, _))| report).collect();
+        for report in cooled {
+            self.finish_report(report);
         }
-        for (_, on) in self.ongoing.drain() {
+        let open: Vec<Ongoing> = self.ongoing.drain().map(|(_, on)| on).collect();
+        for on in open {
+            let state = on.live_state();
             self.finished.push(OutageReport {
                 scope: on.scope,
                 start: on.started,
@@ -315,11 +587,12 @@ impl Tracker {
                 oscillations: on.oscillations,
                 dataplane_confirmed: on.dataplane_confirmed,
                 validation: on.validation,
-                probe_evidence: on.probe_evidence,
+                probe_evidence: on.evidence.into_values().collect(),
+                state,
             });
         }
         self.finished.sort_by_key(|r| (r.start, r.scope));
-        self.finished
+        std::mem::take(&mut self.finished)
     }
 
     /// Finalized reports so far (not including ongoing/cooling).
@@ -341,6 +614,7 @@ mod tests {
     use kepler_bgp::Prefix;
     use kepler_bgpstream::{CollectorId, PeerId};
     use kepler_docmine::LocationTag;
+    use kepler_probe::{PostState, RestorationReport};
     use kepler_topology::FacilityId;
 
     fn key(i: u8) -> RouteKey {
@@ -365,6 +639,25 @@ mod tests {
         }
     }
 
+    fn hop_evidence(vantage: u32, target: u32) -> HopEvidence {
+        HopEvidence {
+            vantage: Asn(vantage),
+            target: Asn(target),
+            facility: FacilityId(1),
+            pre_hop: 2,
+            post: PostState::Detoured,
+        }
+    }
+
+    fn confirmed_meta(evidence: Vec<HopEvidence>) -> IncidentMeta {
+        IncidentMeta {
+            dataplane: None,
+            validation: ValidationStatus::Confirmed,
+            evidence,
+            reused: false,
+        }
+    }
+
     /// Monitor whose `current` holds crossings for the given keys.
     fn monitor_with(interner: &mut Interner, keys_present: &[u8]) -> AnyMonitor {
         let mut m = Monitor::new(KeplerConfig::default());
@@ -383,23 +676,65 @@ mod tests {
         AnyMonitor::Single(m)
     }
 
+    /// A restoration prober answering from a fixed script of verdicts.
+    struct ScriptedRestoration {
+        script: Vec<RestorationVerdict>,
+        calls: Vec<Timestamp>,
+    }
+
+    impl ScriptedRestoration {
+        fn new(script: Vec<RestorationVerdict>) -> Self {
+            ScriptedRestoration { script, calls: Vec::new() }
+        }
+    }
+
+    impl RestorationProber for ScriptedRestoration {
+        fn check(
+            &mut self,
+            _epicenter: FacilityId,
+            _targets: &[Asn],
+            _incident_start: Timestamp,
+            now: Timestamp,
+        ) -> RestorationReport {
+            let verdict =
+                self.script.get(self.calls.len()).copied().unwrap_or(RestorationVerdict::StillDown);
+            self.calls.push(now);
+            RestorationReport {
+                verdict,
+                watched: 4,
+                crossing: if verdict == RestorationVerdict::Restored { 4 } else { 0 },
+                probes_sent: 8,
+                rate_limited: 0,
+            }
+        }
+    }
+
     #[test]
     fn open_then_restore() {
         let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
         t.record(&[incident(1000, &[0, 1, 2, 3])], &[IncidentMeta::default()], &mut interner);
         assert_eq!(t.ongoing_count(), 1);
+        assert_eq!(
+            t.live_states(),
+            vec![(OutageScope::Facility(FacilityId(1)), IncidentState::Open)]
+        );
         // 2 of 4 back: exactly 50%, not >50% — still ongoing.
         t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
         assert_eq!(t.ongoing_count(), 1);
         // 3 of 4 back: restored.
         t.check_restorations(3000, &mut monitor_with(&mut interner, &[0, 1, 2]));
         assert_eq!(t.ongoing_count(), 0);
+        assert_eq!(
+            t.live_states(),
+            vec![(OutageScope::Facility(FacilityId(1)), IncidentState::Recovering)]
+        );
         let reports = t.finish();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].start, 1000);
         assert_eq!(reports[0].end, Some(3000));
         assert_eq!(reports[0].oscillations, 1);
+        assert_eq!(reports[0].state, IncidentState::Closed);
     }
 
     #[test]
@@ -445,6 +780,7 @@ mod tests {
                 dataplane: Some(true),
                 validation: ValidationStatus::Confirmed,
                 evidence: Vec::new(),
+                reused: false,
             }],
             &mut interner,
         );
@@ -453,5 +789,329 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].end, None);
         assert_eq!(reports[0].dataplane_confirmed, Some(true));
+        assert_eq!(reports[0].state, IncidentState::Open);
+    }
+
+    #[test]
+    fn evidence_accumulates_and_dedupes_across_bins() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default());
+        t.record(
+            &[incident(1000, &[0, 1])],
+            &[confirmed_meta(vec![hop_evidence(900, 20), hop_evidence(901, 21)])],
+            &mut interner,
+        );
+        // A later bin re-measures pair (900, 20) — now StillCrossing — and
+        // adds a new pair: the ledger keeps 3 entries, fresh wins.
+        let remeasured =
+            HopEvidence { post: PostState::StillCrossing { hop: 1 }, ..hop_evidence(900, 20) };
+        t.record(
+            &[incident(1060, &[2])],
+            &[confirmed_meta(vec![remeasured, hop_evidence(902, 22)])],
+            &mut interner,
+        );
+        assert_eq!(t.ongoing_count(), 1);
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].probe_evidence.len(), 3, "{:?}", reports[0].probe_evidence);
+        let pair = reports[0]
+            .probe_evidence
+            .iter()
+            .find(|e| e.vantage == Asn(900) && e.target == Asn(20))
+            .expect("accumulated pair");
+        assert_eq!(pair.post, PostState::StillCrossing { hop: 1 }, "fresh measurement wins");
+    }
+
+    #[test]
+    fn accumulated_confirmation_reuses_then_decays() {
+        let config = KeplerConfig::default();
+        let half_life = config.evidence_half_life_secs;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(
+            &[incident(1000, &[0, 1])],
+            &[confirmed_meta(vec![hop_evidence(900, 20)])],
+            &mut interner,
+        );
+        let candidates = [FacilityId(1), FacilityId(2)];
+        // Fresh: reusable, and carries the ledger's evidence.
+        let (fac, ev) = t.accumulated_confirmation(&candidates, 1000).expect("fresh");
+        assert_eq!(fac, FacilityId(1));
+        assert_eq!(ev.len(), 1);
+        // Just under one half-life: still reusable (>= threshold 0.5).
+        assert!(t.accumulated_confirmation(&candidates, 1000 + half_life - 60).is_some());
+        // Past one half-life: decayed below the reuse threshold.
+        assert!(t.accumulated_confirmation(&candidates, 1000 + half_life + 60).is_none());
+        // Wrong candidates never match.
+        assert!(t.accumulated_confirmation(&[FacilityId(7)], 1000).is_none());
+        // An unconfirmed incident is never reusable.
+        let mut t2 = Tracker::new(KeplerConfig::default());
+        t2.record(&[incident(1000, &[0])], &[IncidentMeta::default()], &mut interner);
+        assert!(t2.accumulated_confirmation(&candidates, 1000).is_none());
+    }
+
+    #[test]
+    fn fresh_confirmation_refreshes_decayed_confidence() {
+        let config = KeplerConfig::default();
+        let half_life = config.evidence_half_life_secs;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(
+            &[incident(1000, &[0])],
+            &[confirmed_meta(vec![hop_evidence(900, 20)])],
+            &mut interner,
+        );
+        let late = 1000 + 2 * half_life;
+        assert!(t.accumulated_confirmation(&[FacilityId(1)], late).is_none(), "decayed");
+        // A new probe-confirmed bin re-anchors the confidence clock.
+        t.record(
+            &[incident(late, &[1])],
+            &[confirmed_meta(vec![hop_evidence(901, 21)])],
+            &mut interner,
+        );
+        let (_, ev) = t.accumulated_confirmation(&[FacilityId(1)], late).expect("refreshed");
+        assert_eq!(ev.len(), 2, "ledger kept both bins' pairs");
+    }
+
+    #[test]
+    fn reused_confirmations_do_not_refresh_the_decay_clock() {
+        let config = KeplerConfig::default();
+        let half_life = config.evidence_half_life_secs;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(
+            &[incident(1000, &[0])],
+            &[confirmed_meta(vec![hop_evidence(900, 20)])],
+            &mut interner,
+        );
+        // Recurring deviations settled *by reuse* keep arriving well
+        // inside the half-life — they must not re-anchor the clock.
+        let step = half_life / 3;
+        for k in 1..=2u64 {
+            let now = 1000 + k * step;
+            let (fac, ev) =
+                t.accumulated_confirmation(&[FacilityId(1)], now).expect("still reusable");
+            assert_eq!(fac, FacilityId(1));
+            t.record(
+                &[incident(now, &[k as u8])],
+                &[IncidentMeta {
+                    dataplane: None,
+                    validation: ValidationStatus::Confirmed,
+                    evidence: ev,
+                    reused: true,
+                }],
+                &mut interner,
+            );
+        }
+        // Measured once at t=1000; two half-lives later the verdict has
+        // expired despite the reuses in between.
+        assert!(
+            t.accumulated_confirmation(&[FacilityId(1)], 1000 + 2 * half_life + 60).is_none(),
+            "reuse must not keep stale evidence alive forever"
+        );
+    }
+
+    #[test]
+    fn accumulated_confirmation_breaks_ties_by_candidate_order() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default());
+        // Two distinct cities so the incidents stay separate (related()
+        // merges same-city facility scopes).
+        t.set_geography(&{
+            let mut colo = ColocationMap::new();
+            for (id, city) in [(0u32, 0u32), (1, 1), (2, 2)] {
+                colo.add_facility(kepler_topology::entities::Facility {
+                    id: FacilityId(id),
+                    name: format!("F{id}"),
+                    address: String::new(),
+                    postcode: format!("P{id}"),
+                    country: "GB".into(),
+                    city: kepler_topology::CityId(city),
+                    continent: kepler_topology::Continent::Europe,
+                    point: kepler_topology::GeoPoint::new(51.5, 0.0),
+                    operator: "Op".into(),
+                });
+            }
+            colo
+        });
+        let mut inc2 = incident(1000, &[2, 3]);
+        inc2.scope = OutageScope::Facility(FacilityId(2));
+        t.record(
+            &[incident(1000, &[0, 1]), inc2],
+            &[
+                confirmed_meta(vec![hop_evidence(900, 20)]),
+                confirmed_meta(vec![hop_evidence(901, 21)]),
+            ],
+            &mut interner,
+        );
+        // Both candidates carry confidence 1.0: the tie resolves to the
+        // *first* candidate (best passive score), deterministically.
+        let (fac, _) =
+            t.accumulated_confirmation(&[FacilityId(2), FacilityId(1)], 1000).expect("hit");
+        assert_eq!(fac, FacilityId(2));
+        let (fac, _) =
+            t.accumulated_confirmation(&[FacilityId(1), FacilityId(2)], 1000).expect("hit");
+        assert_eq!(fac, FacilityId(1));
+    }
+
+    #[test]
+    fn probe_restoration_closes_after_two_confirms() {
+        let config = KeplerConfig::default();
+        let first_delay = config.restore_probe_initial_secs;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        let mut prober = ScriptedRestoration::new(vec![
+            RestorationVerdict::Restored,
+            RestorationVerdict::Restored,
+        ]);
+        // Before the first backoff elapses nothing is probed.
+        assert_eq!(t.probe_restorations(1000 + first_delay - 1, &mut prober), 0);
+        assert!(prober.calls.is_empty());
+        // First due check: Restored — marks Recovering, does not close.
+        let t1 = 1000 + first_delay;
+        assert_eq!(t.probe_restorations(t1, &mut prober), 0);
+        assert_eq!(prober.calls, vec![t1]);
+        assert_eq!(
+            t.live_states(),
+            vec![(OutageScope::Facility(FacilityId(1)), IncidentState::Recovering)]
+        );
+        // Confirming check closes with the *first* verdict's timestamp.
+        let t2 = t1 + first_delay;
+        assert_eq!(t.probe_restorations(t2, &mut prober), 1);
+        assert_eq!(t.ongoing_count(), 0);
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].end, Some(t1), "closed at the first Restored observation");
+    }
+
+    #[test]
+    fn still_down_verdicts_never_close_and_back_off_exponentially() {
+        let config = KeplerConfig::default();
+        let initial = config.restore_probe_initial_secs;
+        let max = config.restore_probe_max_secs;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        let mut prober = ScriptedRestoration::new(vec![]); // always StillDown
+                                                           // Sweep a day of wall clock in 1-minute steps: the incident must
+                                                           // stay open and the probe cadence must follow 2x backoff.
+        for now in (1000..1000 + 86_400).step_by(60) {
+            assert_eq!(t.probe_restorations(now, &mut prober), 0);
+        }
+        assert_eq!(t.ongoing_count(), 1, "a still-down facility is never closed");
+        assert_eq!(
+            t.live_states(),
+            vec![(OutageScope::Facility(FacilityId(1)), IncidentState::Open)]
+        );
+        // Gaps between checks: initial, 2x, 4x ... capped at max.
+        let gaps: Vec<u64> = prober.calls.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.len() >= 4, "{gaps:?}");
+        let mut expect = initial;
+        for g in &gaps {
+            expect = (expect * 2).min(max);
+            // Checks run on the next 60 s sweep tick at/after the due time.
+            assert!(*g >= expect && *g < expect + 60, "gap {g} vs backoff {expect}: {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn restored_streak_is_reset_by_still_down() {
+        let config = KeplerConfig::default();
+        let initial = config.restore_probe_initial_secs;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        // Restored, then StillDown (a transient flap), then the real
+        // restoration: the close time must come from the *second* streak.
+        let mut prober = ScriptedRestoration::new(vec![
+            RestorationVerdict::Restored,
+            RestorationVerdict::StillDown,
+            RestorationVerdict::Inconclusive,
+            RestorationVerdict::Restored,
+            RestorationVerdict::Restored,
+        ]);
+        let mut closed = 0;
+        let mut now = 1000;
+        while closed == 0 && now < 1000 + 86_400 {
+            now += 60;
+            closed = t.probe_restorations(now, &mut prober);
+        }
+        assert_eq!(closed, 1);
+        assert_eq!(prober.calls.len(), 5);
+        let reports = t.finish();
+        // End = the 4th call (first Restored of the surviving streak).
+        assert_eq!(reports[0].end, Some(prober.calls[3]));
+        assert!(prober.calls[3] > prober.calls[0] + initial);
+    }
+
+    #[test]
+    fn fresh_probe_verdicts_backdate_bgp_closes_but_stale_ones_do_not() {
+        let config = KeplerConfig::default();
+        let first = config.restore_probe_initial_secs;
+        let mut interner = Interner::new();
+        // Fresh: BGP crossing restore_fraction right after a Restored
+        // verdict corroborates it — the close backdates to the verdict.
+        let mut t = Tracker::new(config.clone());
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        let mut prober = ScriptedRestoration::new(vec![RestorationVerdict::Restored]);
+        let t1 = 1000 + first;
+        assert_eq!(t.probe_restorations(t1, &mut prober), 0);
+        t.check_restorations(t1 + 60, &mut monitor_with(&mut interner, &[0, 1]));
+        let reports = t.finish();
+        assert_eq!(reports[0].end, Some(t1), "corroborated verdict stamps the earlier end");
+        // Stale: a single unconfirmed verdict whose confirming check
+        // never ran must not backdate a much later BGP close.
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        let mut prober = ScriptedRestoration::new(vec![RestorationVerdict::Restored]);
+        assert_eq!(t.probe_restorations(t1, &mut prober), 0);
+        let late = t1 + 10_000;
+        t.check_restorations(late, &mut monitor_with(&mut interner, &[0, 1]));
+        let reports = t.finish();
+        assert_eq!(reports[0].end, Some(late), "stale streaks cannot erase downtime");
+    }
+
+    #[test]
+    fn new_signals_reset_a_restoration_streak() {
+        let config = KeplerConfig::default();
+        let first_delay = config.restore_probe_initial_secs;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(config);
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        let mut prober = ScriptedRestoration::new(vec![
+            RestorationVerdict::Restored,
+            RestorationVerdict::Restored,
+        ]);
+        let t1 = 1000 + first_delay;
+        assert_eq!(t.probe_restorations(t1, &mut prober), 0);
+        // Fresh deviation signals arrive before the confirming check: the
+        // epicenter is clearly not stable — the streak must not survive.
+        t.record(&[incident(t1 + 30, &[2, 3])], &[IncidentMeta::default()], &mut interner);
+        assert_eq!(t.probe_restorations(t1 + first_delay, &mut prober), 0, "streak was reset");
+        assert_eq!(t.ongoing_count(), 1);
+    }
+
+    #[test]
+    fn ixp_scoped_incidents_are_not_probe_checked() {
+        use kepler_topology::IxpId;
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default());
+        let inc = LocalizedIncident {
+            scope: OutageScope::Ixp(IxpId(3)),
+            bin_start: 1000,
+            affected_near: [Asn(5)].into(),
+            affected_far: [Asn(6)].into(),
+            affected_keys: vec![key(0)],
+            watch: vec![(key(0), LocationTag::Ixp(IxpId(3)), Asn(5))],
+        };
+        t.record(&[inc], &[IncidentMeta::default()], &mut interner);
+        let mut prober = ScriptedRestoration::new(vec![RestorationVerdict::Restored; 8]);
+        for now in (1000..30_000).step_by(300) {
+            t.probe_restorations(now, &mut prober);
+        }
+        assert!(prober.calls.is_empty(), "restoration probing targets facilities only");
+        assert_eq!(t.ongoing_count(), 1);
     }
 }

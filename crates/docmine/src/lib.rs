@@ -25,6 +25,19 @@
 //! * [`dictionary`] — the mined [`dictionary::CommunityDictionary`].
 //! * [`attrition`] — cross-epoch dictionary comparison (paper's 2008-vs-2016
 //!   attrition study).
+//!
+//! # Invariants
+//!
+//! * **Inbound-only**: the dictionary maps communities that encode where
+//!   a route was *received* ([`LocationTag`]); outbound
+//!   traffic-engineering values are dropped by the verb-voice classifier
+//!   ([`pos`]) — a wrong direction would turn every operator action into
+//!   a phantom outage signal.
+//! * **Measurable against truth**: the corpus is rendered from
+//!   ground-truth schemes with realistic noise, so miner precision and
+//!   recall are computable ([`dictionary::validate`]), not asserted.
+//! * The miner never invents tags: every dictionary entry traces back to
+//!   a gazetteer/colocation-map entity that actually exists.
 
 pub mod attrition;
 pub mod corpus;

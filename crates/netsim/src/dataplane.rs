@@ -19,7 +19,7 @@
 
 use crate::events::{EventKind, ScheduledEvent};
 use crate::routing::policy::FailedSet;
-use crate::routing::propagate::compute_tree;
+use crate::routing::propagate::{compute_tree, RouteTree};
 use crate::routing::tag::snapshot_route;
 use crate::world::{AsIdx, PrefixIdx, World};
 use kepler_bgp::Asn;
@@ -100,6 +100,79 @@ impl Default for DataplaneConfig {
     }
 }
 
+/// Shared routing-tree cache for **batched traceroute simulation**.
+///
+/// Computing a route means building the per-origin routing tree
+/// ([`compute_tree`]) — by far the dominant cost of a simulated
+/// traceroute. But the tree depends only on the *origin* and the set of
+/// timeline events active for the measured (pair, time), so within a
+/// campaign (many vantages × few targets, one failure state) the same
+/// tree is recomputed over and over. A `TreeCache` keyed on
+/// `(origin, active event set)` computes each distinct tree once and
+/// shares it across the whole campaign — and, when held by a persistent
+/// backend, across campaigns of consecutive bins.
+///
+/// Caching is exact, not approximate: the key captures everything
+/// [`compute_tree`] reads besides the immutable world, so cached and
+/// uncached campaigns are bit-identical (tested below).
+#[derive(Debug, Default)]
+pub struct TreeCache {
+    trees: HashMap<(u32, Vec<u32>), RouteTree>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Retained trees before the cache evicts wholesale (bounds memory on
+/// multi-year replays; a campaign needs far fewer distinct trees).
+const TREE_CACHE_CAP: usize = 4096;
+
+impl TreeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TreeCache::default()
+    }
+
+    /// (hits, misses) since construction — the speedup audit trail.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct routing trees currently retained.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the cache holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    fn get_or_compute(
+        &mut self,
+        world: &World,
+        failed: &FailedSet,
+        origin: AsIdx,
+        active: Vec<u32>,
+    ) -> &RouteTree {
+        let key = (origin.0, active);
+        // Evict wholesale only when a *new* tree would overflow the cap —
+        // a hit must never flush the cache it is about to read.
+        if self.trees.len() >= TREE_CACHE_CAP && !self.trees.contains_key(&key) {
+            self.trees.clear();
+        }
+        match self.trees.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                e.into_mut()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.misses += 1;
+                e.insert(compute_tree(world, failed, origin))
+            }
+        }
+    }
+}
+
 /// The data-plane simulator for one event timeline.
 pub struct DataplaneSim<'w> {
     world: &'w World,
@@ -175,11 +248,13 @@ impl<'w> DataplaneSim<'w> {
         self.iface_map.get(&addr).copied()
     }
 
-    /// The failure state the *data plane* experiences at `t` for `pair`:
-    /// events apply during their window; after restoration the pair keeps
-    /// its detour for a deterministic extra delay (85% < 1 h).
-    pub fn failed_at(&self, t: u64, pair: ProbePair) -> FailedSet {
-        let mut failed = FailedSet::default();
+    /// Indices of the timeline events the *data plane* experiences at `t`
+    /// for `pair`: events apply during their window; after restoration
+    /// the pair keeps its detour for a deterministic extra delay
+    /// (85% < 1 h). This index set — not the time — is what a routing
+    /// tree depends on, so it doubles as the [`TreeCache`] key.
+    fn active_events(&self, t: u64, pair: ProbePair) -> Vec<u32> {
+        let mut active = Vec::new();
         for (i, ev) in self.timeline.iter().enumerate() {
             if matches!(ev.kind, EventKind::CollectorFlap { .. }) {
                 continue;
@@ -196,10 +271,24 @@ impl<'w> DataplaneSim<'w> {
                 }
             };
             if t >= ev.start && t < ev.end() + extra {
-                apply_to(&mut failed, self.world, i, &ev.kind);
+                active.push(i as u32);
             }
         }
+        active
+    }
+
+    /// Materializes the failure set of an active-event index set.
+    fn failed_from(&self, active: &[u32]) -> FailedSet {
+        let mut failed = FailedSet::default();
+        for &i in active {
+            apply_to(&mut failed, self.world, i as usize, &self.timeline[i as usize].kind);
+        }
         failed
+    }
+
+    /// The failure state the *data plane* experiences at `t` for `pair`.
+    pub fn failed_at(&self, t: u64, pair: ProbePair) -> FailedSet {
+        self.failed_from(&self.active_events(t, pair))
     }
 
     /// Performs one traceroute measurement, answering hop-by-hop: each
@@ -210,11 +299,24 @@ impl<'w> DataplaneSim<'w> {
     /// destination with no surviving policy path yields an empty,
     /// unreached trace.
     pub fn traceroute(&self, pair: ProbePair, t: u64) -> TraceroutePath {
-        let failed = self.failed_at(t, pair);
+        self.traceroute_with(&mut TreeCache::new(), pair, t)
+    }
+
+    /// Like [`traceroute`](Self::traceroute), but sharing routing trees
+    /// through `cache` — the batched form every campaign-shaped caller
+    /// should use. Results are bit-identical to the uncached path.
+    pub fn traceroute_with(
+        &self,
+        cache: &mut TreeCache,
+        pair: ProbePair,
+        t: u64,
+    ) -> TraceroutePath {
+        let active = self.active_events(t, pair);
+        let failed = self.failed_from(&active);
         let origin = self.world.origin_of(pair.dst);
-        let tree = compute_tree(self.world, &failed, origin);
+        let tree = cache.get_or_compute(self.world, &failed, origin, active);
         let is_v6 = self.world.prefix(pair.dst).is_ipv6();
-        let Some(snap) = snapshot_route(self.world, &failed, &tree, pair.src, is_v6) else {
+        let Some(snap) = snapshot_route(self.world, &failed, tree, pair.src, is_v6) else {
             return TraceroutePath { pair, time: t, hops: Vec::new(), reached: false };
         };
         let mut hops = Vec::new();
@@ -289,9 +391,24 @@ impl<'w> DataplaneSim<'w> {
     }
 
     /// Measures a whole probe set at `t` (a "weekly dump" when invoked on
-    /// archive cadence, a targeted campaign otherwise).
+    /// archive cadence, a targeted campaign otherwise). One routing tree
+    /// per (origin, failure-state) is computed and shared across the
+    /// whole campaign.
     pub fn campaign(&self, pairs: &[ProbePair], t: u64) -> Vec<TraceroutePath> {
-        pairs.iter().map(|&p| self.traceroute(p, t)).collect()
+        let mut cache = TreeCache::new();
+        self.campaign_with(&mut cache, pairs, t)
+    }
+
+    /// Like [`campaign`](Self::campaign) with a caller-held [`TreeCache`],
+    /// so trees also survive *across* campaigns (consecutive bins usually
+    /// share the failure state).
+    pub fn campaign_with(
+        &self,
+        cache: &mut TreeCache,
+        pairs: &[ProbePair],
+        t: u64,
+    ) -> Vec<TraceroutePath> {
+        pairs.iter().map(|&p| self.traceroute_with(cache, p, t)).collect()
     }
 
     /// A default probe set: sources in edge (eyeball/stub) ASes — where
@@ -479,6 +596,42 @@ mod tests {
         let dp = DataplaneSim::new(&w, &[], 9);
         let pairs = dp.default_pairs(10);
         assert_eq!(dp.campaign(&pairs, T0), dp.campaign(&pairs, T0));
+    }
+
+    #[test]
+    fn tree_cache_is_exact_and_shares_trees() {
+        // Cached and per-trace campaigns must be bit-identical, across the
+        // quiet baseline, the outage window and the ragged recovery tail
+        // (where per-pair failure states differ).
+        let w = World::generate(WorldConfig::tiny(93));
+        let fac = w
+            .colo
+            .facilities()
+            .iter()
+            .max_by_key(|f| w.colo.members_of_facility(f.id).len())
+            .unwrap()
+            .id;
+        let ev = ScheduledEvent {
+            start: T0 + 1000,
+            duration: 600,
+            kind: EventKind::FacilityOutage { facility: fac, affected_fraction: 1.0 },
+        };
+        let dp = DataplaneSim::new(&w, &[ev], 2);
+        let pairs = dp.default_pairs(60);
+        let mut cache = TreeCache::new();
+        for t in [T0, T0 + 1200, T0 + 1000 + 600 + 1800, T0 + 1000 + 600 + 11_000] {
+            let uncached: Vec<TraceroutePath> =
+                pairs.iter().map(|&p| dp.traceroute(p, t)).collect();
+            let cached = dp.campaign_with(&mut cache, &pairs, t);
+            assert_eq!(uncached, cached, "cache must not change results at t={t}");
+        }
+        let (hits, misses) = cache.stats();
+        assert!(hits > 0, "campaigns over shared origins must hit the cache");
+        assert!(
+            misses < 4 * pairs.len() as u64,
+            "one tree per (origin, failure-state), not per trace: {misses} misses"
+        );
+        assert_eq!(cache.len() as u64, misses, "every miss retains its tree");
     }
 
     #[test]

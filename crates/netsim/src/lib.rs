@@ -23,7 +23,10 @@
 //!   and slow reconvergence after restoration.
 //! * [`dataplane`] — the traceroute substitute: interface-level paths over
 //!   the same physical topology, haversine-propagation RTTs, archived
-//!   weekly dumps and targeted campaigns.
+//!   weekly dumps and targeted campaigns. Campaigns are **batched**: one
+//!   routing tree per (origin, failure-state) is computed and shared
+//!   across all traces through a [`dataplane::TreeCache`] (bit-identical
+//!   to per-trace computation, ~20x cheaper per probe request).
 //! * [`traffic`] — the IPFIX substitute: sampled traffic series at a
 //!   remote IXP, with asymmetric-routing members that lose traffic during
 //!   outages elsewhere.
@@ -32,7 +35,25 @@
 //! * [`scenario`] — packaged experiments: the five-year study, the AMS-IX
 //!   2015 case study, and the London dual-facility disambiguation case.
 //!
-//! Everything is deterministic in the scenario seed.
+//! # Key types
+//!
+//! [`World`] (generated ground truth), [`ScheduledEvent`]/[`EventKind`]
+//! (the outage vocabulary), [`Simulation`] (stream emission),
+//! [`dataplane::DataplaneSim`] (traceroutes), [`scenario::Scenario`]
+//! (packaged studies).
+//!
+//! # Invariants
+//!
+//! * **Everything is deterministic in the scenario seed** — world
+//!   generation, routing tie-breaks, update jitter, probe RTTs; there is
+//!   no wall clock or global RNG anywhere.
+//! * **Control and data plane share one physical truth.** BGP streams and
+//!   traceroutes are derived from the same topology and failure state, so
+//!   control-plane inferences can be validated against an
+//!   independent-looking data-plane view (the paper's §4.4).
+//! * **The detector sees only what a real deployment would**: noisy
+//!   colocation snapshots, mined (not ground-truth) dictionaries, and
+//!   collector vantage points — never the generator's internals.
 
 pub mod dataplane;
 pub mod engine;

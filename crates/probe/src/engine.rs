@@ -17,6 +17,7 @@
 //!    [`FacilityVerdict`] with hop-level evidence.
 
 use crate::analysis::{FacilityVerdict, HopEvidence, MeasuredPair, PathAnalyzer};
+use crate::restoration::{RestorationProber, RestorationReport, RestorationVerdict};
 use crate::schedule::{Campaign, CampaignKind, ProbeScheduler, ProbeTask, RateLimit};
 use crate::trace::Trace;
 use crate::vantage::VantageRegistry;
@@ -117,6 +118,10 @@ pub struct ProbeEngineConfig {
     /// the event; archives are weekly in the paper, the simulator answers
     /// any past instant).
     pub baseline_lookback_secs: u64,
+    /// Fraction of watched baseline paths that must cross the epicenter
+    /// again before a restoration check reports
+    /// [`RestorationVerdict::Restored`].
+    pub restore_quorum: f64,
     /// Verdict thresholds.
     pub analyzer: PathAnalyzer,
 }
@@ -129,6 +134,7 @@ impl Default for ProbeEngineConfig {
             max_candidates: 4,
             rate: RateLimit::default(),
             baseline_lookback_secs: 3_600,
+            restore_quorum: 0.5,
             analyzer: PathAnalyzer::default(),
         }
     }
@@ -149,9 +155,85 @@ pub struct ProbeStats {
     pub refuted: usize,
     /// Candidates left inconclusive.
     pub inconclusive: usize,
+    /// Restoration checks run.
+    pub restoration_checks: usize,
+    /// Restoration checks that found the epicenter forwarding again.
+    pub restorations_seen: usize,
 }
 
 /// The probe engine.
+///
+/// ```
+/// use kepler_bgp::Asn;
+/// use kepler_bgpstream::Timestamp;
+/// use kepler_docmine::LocationTag;
+/// use kepler_probe::{
+///     FacilityVerdict, IfaceOwner, ProbeEngine, ProbeEngineConfig, ProbeRequest, Prober,
+///     Trace, TraceBackend, TraceHop, VantagePoint, VantageRegistry,
+/// };
+/// use kepler_topology::entities::Facility;
+/// use kepler_topology::{CityId, ColocationMap, Continent, FacilityId, GeoPoint};
+///
+/// // A backend scripted so facility 0 went dark at t = 5_000 (its
+/// // baseline paths now detour) while facility 1 keeps forwarding.
+/// // Even-numbered targets are physically behind facility 0, odd ones
+/// // behind facility 1.
+/// struct Scripted;
+/// impl TraceBackend for Scripted {
+///     fn trace(&self, _vantage: Asn, target: Asn, t: Timestamp) -> Trace {
+///         let fac = FacilityId(target.0 % 2);
+///         let hop = TraceHop {
+///             addr: std::net::IpAddr::from([11, 0, fac.0 as u8, (target.0 % 250) as u8]),
+///             owner: IfaceOwner::FacilityPort { asn: target, facility: fac },
+///             rtt_ms: 1.0,
+///         };
+///         if t >= 5_000 && fac == FacilityId(0) {
+///             Trace { hops: vec![], reached: true } // detours around the dark building
+///         } else {
+///             Trace { hops: vec![hop], reached: true }
+///         }
+///     }
+/// }
+///
+/// // Two colocation twins listing identical members — passively
+/// // indistinguishable, the case the engine exists for.
+/// let mut colo = ColocationMap::new();
+/// for id in [0u32, 1] {
+///     colo.add_facility(Facility {
+///         id: FacilityId(id),
+///         name: format!("F{id}"),
+///         address: String::new(),
+///         postcode: format!("P{id}"),
+///         country: "GB".into(),
+///         city: CityId(0),
+///         continent: Continent::Europe,
+///         point: GeoPoint::new(51.5, 0.0),
+///         operator: "Op".into(),
+///     });
+///     for far in [20u32, 21, 22, 23] {
+///         colo.add_fac_member(FacilityId(id), Asn(far));
+///     }
+/// }
+/// let mut registry = VantageRegistry::new();
+/// for i in 0..4u32 {
+///     registry.register(VantagePoint { asn: Asn(900 + i), home_city: Some(CityId(5)) });
+/// }
+///
+/// let mut engine = ProbeEngine::new(Scripted, registry, colo, ProbeEngineConfig::default());
+/// let report = engine.validate(
+///     &ProbeRequest {
+///         pop: LocationTag::City(CityId(0)),
+///         bin_start: 5_000,
+///         candidates: vec![FacilityId(0), FacilityId(1)],
+///         affected_far: vec![Asn(20), Asn(21), Asn(22), Asn(23)],
+///         affected_near: vec![Asn(1)],
+///     },
+///     5_060,
+/// );
+/// // Only the building whose baseline paths vanished is confirmed dark.
+/// assert_eq!(report.resolved(), Some(FacilityId(0)));
+/// assert_eq!(report.verdict_for(FacilityId(1)), Some(FacilityVerdict::Refuted));
+/// ```
 pub struct ProbeEngine<B> {
     backend: B,
     registry: VantageRegistry,
@@ -268,6 +350,71 @@ impl<B: TraceBackend> Prober for ProbeEngine<B> {
     }
 }
 
+impl<B: TraceBackend> RestorationProber for ProbeEngine<B> {
+    /// Re-probes an incident epicenter: baseline traces anchored before
+    /// `incident_start` select the (vantage, target) pairs that crossed
+    /// the building when it was healthy; a quorum of them crossing it
+    /// again at `now` is restoration. Admission shares the per-facility
+    /// token bucket with validation campaigns.
+    fn check(
+        &mut self,
+        epicenter: FacilityId,
+        targets: &[Asn],
+        incident_start: Timestamp,
+        now: Timestamp,
+    ) -> RestorationReport {
+        self.stats.restoration_checks += 1;
+        let targets = self.targets_for(epicenter, targets);
+        let avoid = self.colo.facility(epicenter).map(|f| f.city);
+        let panel = self.registry.select(
+            avoid,
+            self.config.vantages_per_target,
+            (epicenter.0 as u64) << 32 ^ now,
+        );
+        let mut tasks: Vec<ProbeTask> = Vec::new();
+        for vp in &panel {
+            let vantage = self.registry.get(*vp).asn;
+            for &target in &targets {
+                tasks.push(ProbeTask { vantage, target });
+            }
+        }
+        let want = tasks.len() as u32;
+        let grant = self.scheduler.admit(epicenter, now, want);
+        tasks.truncate(grant as usize);
+        let mut report = RestorationReport {
+            verdict: RestorationVerdict::Inconclusive,
+            watched: 0,
+            crossing: 0,
+            probes_sent: 0,
+            rate_limited: (want - grant) as usize,
+        };
+        let pre_t = incident_start.saturating_sub(self.config.baseline_lookback_secs);
+        for ProbeTask { vantage, target } in tasks {
+            let pre = self.backend.trace(vantage, target, pre_t);
+            let post = self.backend.trace(vantage, target, now);
+            report.probes_sent += 1;
+            if !pre.reached || !pre.crosses_facility(epicenter) {
+                continue; // no baseline through the building: proves nothing
+            }
+            report.watched += 1;
+            if post.reached && post.crosses_facility(epicenter) {
+                report.crossing += 1;
+            }
+        }
+        report.verdict = if report.watched < self.config.analyzer.min_baseline {
+            RestorationVerdict::Inconclusive
+        } else if report.crossing as f64 / report.watched as f64 >= self.config.restore_quorum {
+            self.stats.restorations_seen += 1;
+            RestorationVerdict::Restored
+        } else {
+            RestorationVerdict::StillDown
+        };
+        self.stats.probes_sent += report.probes_sent;
+        self.stats.rate_limited += report.rate_limited;
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +431,7 @@ mod tests {
     struct ScriptedBackend {
         dark: FacilityId,
         down_from: Timestamp,
+        down_to: Timestamp,
         fac_of: fn(Asn) -> FacilityId,
     }
 
@@ -298,7 +446,7 @@ mod tests {
     impl TraceBackend for ScriptedBackend {
         fn trace(&self, _vantage: Asn, target: Asn, t: Timestamp) -> Trace {
             let fac = (self.fac_of)(target);
-            if t >= self.down_from && fac == self.dark {
+            if t >= self.down_from && t < self.down_to && fac == self.dark {
                 if target.0 % 2 == 1 {
                     return Trace::unreachable();
                 }
@@ -364,7 +512,8 @@ mod tests {
     #[test]
     fn disambiguates_the_dark_twin() {
         let colo = colo_with(&[(1, &[20, 21, 22, 30, 31, 32]), (2, &[20, 21, 22, 30, 31, 32])]);
-        let backend = ScriptedBackend { dark: FacilityId(1), down_from: 9_500, fac_of };
+        let backend =
+            ScriptedBackend { dark: FacilityId(1), down_from: 9_500, down_to: u64::MAX, fac_of };
         let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
         // Both candidates share the full membership (colocation twins);
         // only paths through facility 1 actually died.
@@ -384,7 +533,8 @@ mod tests {
     #[test]
     fn healthy_candidates_are_refuted() {
         let colo = colo_with(&[(2, &[30, 31, 32])]);
-        let backend = ScriptedBackend { dark: FacilityId(1), down_from: 9_500, fac_of };
+        let backend =
+            ScriptedBackend { dark: FacilityId(1), down_from: 9_500, down_to: u64::MAX, fac_of };
         let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
         let report = engine.validate(&request(&[2], &[30, 31, 32]), 10_060);
         assert!(report.all_refuted());
@@ -394,7 +544,8 @@ mod tests {
     #[test]
     fn rate_limiting_bounds_and_degrades_to_inconclusive() {
         let colo = colo_with(&[(1, &[20, 21, 22])]);
-        let backend = ScriptedBackend { dark: FacilityId(1), down_from: 9_500, fac_of };
+        let backend =
+            ScriptedBackend { dark: FacilityId(1), down_from: 9_500, down_to: u64::MAX, fac_of };
         let config = ProbeEngineConfig {
             rate: RateLimit { burst: 4, per_sec: 0.5 },
             ..ProbeEngineConfig::default()
@@ -411,9 +562,56 @@ mod tests {
     }
 
     #[test]
+    fn restoration_check_tracks_the_repair() {
+        // Facility 1 dark during [9_500, 20_000): checks before the repair
+        // must say StillDown, checks after it Restored.
+        let colo = colo_with(&[(1, &[20, 21, 22])]);
+        let backend =
+            ScriptedBackend { dark: FacilityId(1), down_from: 9_500, down_to: 20_000, fac_of };
+        let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
+        use crate::restoration::{RestorationProber, RestorationVerdict};
+        let targets = [Asn(20), Asn(21), Asn(22)];
+        let during = engine.check(FacilityId(1), &targets, 9_600, 12_000);
+        assert_eq!(during.verdict, RestorationVerdict::StillDown);
+        assert!(during.watched >= 2, "baseline paths crossed the building");
+        assert_eq!(during.crossing, 0, "nothing crosses a dark building");
+        let after = engine.check(FacilityId(1), &targets, 9_600, 30_000);
+        assert_eq!(after.verdict, RestorationVerdict::Restored);
+        assert_eq!(after.crossing, after.watched);
+        assert_eq!(engine.stats().restoration_checks, 2);
+        assert_eq!(engine.stats().restorations_seen, 1);
+    }
+
+    #[test]
+    fn restoration_without_baseline_or_budget_is_inconclusive() {
+        use crate::restoration::{RestorationProber, RestorationVerdict};
+        // Targets in facility 2: no baseline ever crossed facility 1, so a
+        // check on facility 1 cannot decide anything.
+        let colo = colo_with(&[(1, &[20]), (2, &[30, 31, 32])]);
+        let backend =
+            ScriptedBackend { dark: FacilityId(1), down_from: 9_500, down_to: 20_000, fac_of };
+        let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
+        let no_baseline = engine.check(FacilityId(1), &[Asn(30), Asn(31)], 9_600, 30_000);
+        assert_eq!(no_baseline.verdict, RestorationVerdict::Inconclusive);
+        // A drained bucket yields Inconclusive, never Restored.
+        let colo = colo_with(&[(1, &[20, 21, 22])]);
+        let backend =
+            ScriptedBackend { dark: FacilityId(1), down_from: 9_500, down_to: 20_000, fac_of };
+        let config = ProbeEngineConfig {
+            rate: RateLimit { burst: 1, per_sec: 0.0 },
+            ..ProbeEngineConfig::default()
+        };
+        let mut engine = ProbeEngine::new(backend, registry(), colo, config);
+        let starved = engine.check(FacilityId(1), &[Asn(20), Asn(21), Asn(22)], 9_600, 30_000);
+        assert_eq!(starved.verdict, RestorationVerdict::Inconclusive, "{starved:?}");
+        assert!(starved.rate_limited > 0);
+    }
+
+    #[test]
     fn candidate_cap_is_enforced() {
         let colo = colo_with(&[(1, &[20]), (2, &[20]), (3, &[20]), (4, &[20]), (5, &[20])]);
-        let backend = ScriptedBackend { dark: FacilityId(9), down_from: u64::MAX, fac_of };
+        let backend =
+            ScriptedBackend { dark: FacilityId(9), down_from: u64::MAX, down_to: u64::MAX, fac_of };
         let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default());
         let report = engine.validate(&request(&[1, 2, 3, 4, 5], &[20, 21]), 10_060);
         assert_eq!(report.verdicts.len(), 4, "paper's four-facility bound");

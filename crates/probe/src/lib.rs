@@ -34,6 +34,36 @@
 //!   backends (the netsim data plane today, a RIPE-Atlas-shaped client in
 //!   a deployment) plug in through
 //!   [`TraceBackend`].
+//! * [`restoration`] — probe-driven restoration detection: open
+//!   facility-level epicenters are re-probed on an exponential-backoff
+//!   schedule ([`Backoff`]) behind the [`RestorationProber`] trait,
+//!   closing incidents on data-plane recovery instead of waiting out BGP
+//!   reconvergence.
+//!
+//! # Key types
+//!
+//! [`ProbeRequest`] in, [`ProbeReport`] (per-candidate
+//! [`FacilityVerdict`] + [`HopEvidence`]) out; [`RestorationReport`]
+//! for re-probes. [`ProbeEngine`] implements both [`Prober`] and
+//! [`RestorationProber`] over any [`TraceBackend`].
+//!
+//! # Invariants
+//!
+//! * **Confirmation requires detour evidence.** Bare unreachability
+//!   indicts every facility a baseline path crossed and cannot
+//!   discriminate colocated buildings; at least one destination must
+//!   still answer while steering *around* the candidate
+//!   ([`PathAnalyzer::min_detours`](analysis::PathAnalyzer)).
+//! * **Restoration requires crossing evidence.** An epicenter is only
+//!   reported restored when a quorum of its pre-event baseline paths
+//!   demonstrably crosses the building again — reachability alone proves
+//!   nothing (detours reach targets throughout an outage).
+//! * **No verdict without baseline.** Pairs whose pre-event trace never
+//!   reached, or never crossed the candidate, contribute nothing; starved
+//!   probe budgets degrade to `Inconclusive`, never to a made-up verdict.
+//! * **Determinism.** Vantage selection, token-bucket admission and every
+//!   synthetic address derivation are seeded-hash functions of explicit
+//!   inputs; there is no wall clock anywhere on the probe path.
 //!
 //! Identities on the probe path are small dense ids, mirroring the
 //! monitor hot path: vantage points are interned to
@@ -42,6 +72,7 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod restoration;
 pub mod schedule;
 pub mod trace;
 pub mod vantage;
@@ -50,6 +81,7 @@ pub use analysis::{FacilityVerdict, HopDiff, HopEvidence, MeasuredPair, PathAnal
 pub use engine::{
     ProbeEngine, ProbeEngineConfig, ProbeReport, ProbeRequest, ProbeStats, Prober, TraceBackend,
 };
+pub use restoration::{Backoff, RestorationProber, RestorationReport, RestorationVerdict};
 pub use schedule::{Campaign, CampaignKind, ProbeScheduler, ProbeTask, RateLimit};
 pub use trace::{confirm, splitmix64, IfaceOwner, ProbeResult, Trace, TraceHop};
 pub use vantage::{VantageId, VantagePoint, VantageRegistry};

@@ -16,6 +16,19 @@
 //!   their diverging naming conventions.
 //! * [`merge`] — source merging into a single [`colomap::ColocationMap`].
 //! * [`colomap`] — the queryable map with all indices Kepler needs.
+//!
+//! # Invariants
+//!
+//! * **Dense id spaces**: [`FacilityId`], [`IxpId`] and [`CityId`] index
+//!   flat vectors; every consumer (monitor, investigator, simulator)
+//!   relies on ids `0..n` being valid.
+//! * **Merging is by physical identity**, not by name — postal address
+//!   for facilities, URL/city for IXPs — because names are not
+//!   standardized across sources; the merged map may therefore list
+//!   members a single source missed.
+//! * Membership queries ([`ColocationMap::members_of_facility`] etc.)
+//!   return sorted, deduplicated sets, so set algebra over them is
+//!   deterministic.
 
 pub mod colomap;
 pub mod entities;

@@ -19,15 +19,21 @@
 //!   and the merging of heterogeneous data sources.
 //! * [`docmine`] — the community-dictionary miner that turns operator
 //!   documentation into a machine-readable location dictionary.
-//! * [`probe`] — the active-measurement validation subsystem: vantage
-//!   registry, rate-limited probe scheduling, traceroute campaigns, and
-//!   the path analysis that disambiguates colocated facilities.
+//! * [`probe`] — the active-measurement subsystem: vantage registry,
+//!   rate-limited probe scheduling, traceroute campaigns, the path
+//!   analysis that disambiguates colocated facilities, and probe-driven
+//!   restoration detection that closes incidents faster than BGP
+//!   convergence.
 //! * [`netsim`] — a seeded Internet simulator standing in for the real
 //!   RouteViews/RIS archives, traceroute platforms and IXP traffic feeds.
 //! * [`core`] — the Kepler detector itself: monitoring, signal
 //!   investigation, localization and duration tracking.
 //! * [`glue`] — adapters wiring the simulator into the detector (data
 //!   plane probes, targeted-probe backends, ground-truth conversion).
+//!
+//! `ARCHITECTURE.md` at the repository root carries the full pipeline
+//! diagram, the dense-id data-flow and a "where does X live" crate map;
+//! `README.md` has the quickstart commands.
 //!
 //! ## Quickstart
 //!
