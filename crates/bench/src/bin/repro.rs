@@ -210,9 +210,24 @@ fn bench_monitor_json() {
     let probe_vps = probe_verdicts as f64 / probe_secs;
     let batched_vps = batched_verdicts as f64 / batched_secs;
 
+    eprintln!("[bench: probe validation under 30% fault injection...]");
+    let (mut faulty_prober, faulty_request) = kepler_bench::probe_faulty_fixture(41);
+    let mut faulty_verdicts = 0usize;
+    let t = Instant::now();
+    {
+        use kepler::probe::Prober;
+        for i in 0..PROBE_REQUESTS {
+            let report = faulty_prober.validate(&faulty_request, faulty_request.bin_start + 60 * i);
+            faulty_verdicts += report.verdicts.len();
+        }
+    }
+    let faulty_secs = t.elapsed().as_secs_f64();
+    assert!(faulty_verdicts > 0, "faulty probe bench must still judge candidates");
+    let faulty_vps = faulty_verdicts as f64 / faulty_secs;
+
     let rss = peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
         rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
     );
     std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");

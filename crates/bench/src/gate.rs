@@ -15,8 +15,12 @@ use std::collections::BTreeMap;
 /// carrying none of these are ignored; a key present in only one
 /// document (a benchmark added or retired across PRs) is informational
 /// and never fails the gate.
-pub const THROUGHPUT_KEYS: [&str; 3] =
-    ["events_per_sec", "probe_verdicts_per_sec", "probe_batched_verdicts_per_sec"];
+pub const THROUGHPUT_KEYS: [&str; 4] = [
+    "events_per_sec",
+    "probe_verdicts_per_sec",
+    "probe_batched_verdicts_per_sec",
+    "probe_faulty_verdicts_per_sec",
+];
 
 /// Extracts `section name → throughput` from a `BENCH_monitor.json`
 /// document. Sections without any [`THROUGHPUT_KEYS`] field are ignored.
@@ -234,6 +238,27 @@ mod tests {
             verdicts.iter().all(|v| v.metric != "probe" || !v.regressed),
             "the unbatched row did not regress: {verdicts:?}"
         );
+    }
+
+    #[test]
+    fn faulty_probe_metric_parses_and_old_baselines_tolerate_it() {
+        // The fault-injection row added in the robustness PR: baselines
+        // recorded before it existed must still gate cleanly.
+        let fresh_doc = format!(
+            "{BASELINE}\n\"probe_faulty\": {{ \"seconds\": 1.0, \"verdicts\": 400, \"probe_faulty_verdicts_per_sec\": 400 }}\n"
+        );
+        let fresh = parse_events_per_sec(&fresh_doc);
+        assert_eq!(fresh["probe_faulty"], 400.0);
+        let old_base = parse_events_per_sec(BASELINE);
+        assert!(!gate_fails(&compare(&old_base, &fresh, 0.25)));
+        // Both documents carrying it: a regression is caught.
+        let slow = fresh_doc.replace(
+            "\"probe_faulty_verdicts_per_sec\": 400",
+            "\"probe_faulty_verdicts_per_sec\": 100",
+        );
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "probe_faulty" && v.regressed));
     }
 
     #[test]

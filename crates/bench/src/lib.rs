@@ -123,11 +123,55 @@ pub fn pipeline_dictionary() -> kepler_docmine::CommunityDictionary {
 pub fn probe_fixture(
     seed: u64,
     batched: bool,
-) -> (kepler::probe::ProbeEngine<kepler::glue::SimTraceBackend>, kepler::probe::ProbeRequest) {
-    use kepler::glue::{vantage_registry_for, SimTraceBackend};
+) -> (
+    kepler::probe::ProbeEngine<kepler::probe::SyncAdapter<kepler::glue::SimTraceBackend>>,
+    kepler::probe::ProbeRequest,
+) {
+    use kepler::probe::{ProbeEngine, ProbeEngineConfig};
+
+    let (world, backend, request) = probe_fixture_parts(seed, batched);
+    let engine = ProbeEngine::new(
+        backend,
+        kepler::glue::vantage_registry_for(&world),
+        world.detector_colomap(),
+        ProbeEngineConfig::default(),
+    );
+    (engine, request)
+}
+
+/// Like [`probe_fixture`] but with the netsim fault-injection layer at
+/// 30% probe loss wrapped around the backend — the
+/// `probe_faulty_verdicts_per_sec` row: verdict throughput while the
+/// lifecycle absorbs drops, retries and timeouts.
+pub fn probe_faulty_fixture(
+    seed: u64,
+) -> (
+    kepler::probe::ProbeEngine<kepler::netsim::FaultyBackend<kepler::glue::SimTraceBackend>>,
+    kepler::probe::ProbeRequest,
+) {
+    use kepler::netsim::{FaultConfig, FaultyBackend};
+    use kepler::probe::{ProbeEngine, ProbeEngineConfig};
+
+    let (world, backend, request) = probe_fixture_parts(seed, true);
+    let fault = FaultConfig { drop_rate: 0.30, ..FaultConfig::default() };
+    let engine = ProbeEngine::with_async(
+        FaultyBackend::new(backend, fault),
+        kepler::glue::vantage_registry_for(&world),
+        world.detector_colomap(),
+        ProbeEngineConfig::default(),
+    );
+    (engine, request)
+}
+
+/// The shared world/backend/request triple behind both probe fixtures.
+fn probe_fixture_parts(
+    seed: u64,
+    batched: bool,
+) -> (kepler::netsim::World, kepler::glue::SimTraceBackend, kepler::probe::ProbeRequest) {
+    use kepler::glue::SimTraceBackend;
     use kepler::netsim::events::{EventKind, ScheduledEvent};
     use kepler::netsim::world::{World, WorldConfig};
-    use kepler::probe::{ProbeEngine, ProbeEngineConfig, ProbeRequest};
+    use kepler::probe::ProbeRequest;
     use kepler_docmine::LocationTag;
 
     let world = World::generate(WorldConfig::tiny(seed));
@@ -149,12 +193,6 @@ pub fn probe_fixture(
     let backend =
         SimTraceBackend::new(std::sync::Arc::new(world.clone()), &timeline, seed ^ 0x9B0E)
             .with_tree_cache(batched);
-    let engine = ProbeEngine::new(
-        backend,
-        vantage_registry_for(&world),
-        world.detector_colomap(),
-        ProbeEngineConfig::default(),
-    );
     let affected_far: Vec<_> =
         world.colo.members_of_facility(down).iter().copied().take(10).collect();
     let request = ProbeRequest {
@@ -164,7 +202,7 @@ pub fn probe_fixture(
         affected_far,
         affected_near: Vec::new(),
     };
-    (engine, request)
+    (world, backend, request)
 }
 
 /// Builds a synthetic announcement record for micro-benchmarks.

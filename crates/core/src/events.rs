@@ -167,6 +167,12 @@ pub struct OutageReport {
     /// Hop-level evidence behind the validation verdict (empty when
     /// unvalidated).
     pub probe_evidence: Vec<HopEvidence>,
+    /// Completeness of the probe campaigns behind the verdict: completed
+    /// measurement pairs over planned pairs, minimized across every bin
+    /// that touched the incident. `1.0` when no probing was attempted (a
+    /// purely passive verdict is "complete" for what it claims); below
+    /// the engine's quorum the verdict was settled in degraded mode.
+    pub probe_completeness: f64,
     /// Lifecycle state when the report was emitted: `Open` incidents ran
     /// past the end of the feed, `Recovering` ones restored but were
     /// still inside the merge window, `Closed` ones are final.
@@ -242,6 +248,7 @@ mod tests {
             dataplane_confirmed: Some(true),
             validation: ValidationStatus::Confirmed,
             probe_evidence: Vec::new(),
+            probe_completeness: 1.0,
             state: IncidentState::Closed,
         };
         assert_eq!(r.duration(), Some(1500));

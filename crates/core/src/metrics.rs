@@ -174,6 +174,7 @@ mod tests {
             dataplane_confirmed: None,
             validation: crate::events::ValidationStatus::Unvalidated,
             probe_evidence: Vec::new(),
+            probe_completeness: 1.0,
             state: crate::events::IncidentState::Closed,
         }
     }

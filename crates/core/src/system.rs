@@ -6,13 +6,13 @@ use crate::events::{OutageReport, OutageScope, SignalClass, ValidationStatus};
 use crate::ingest::{AnyIngest, ParallelIngest};
 use crate::input::InputModule;
 use crate::intern::{DenseRouteEvent, Interner};
-use crate::investigate::{Investigator, LocalizedIncident};
+use crate::investigate::{Investigator, LocalizedIncident, PendingIncident};
 use crate::monitor::{DenseBinOutcome, Monitor};
 use crate::shard::{AnyMonitor, ShardedMonitor};
 use crate::tracker::{IncidentMeta, Tracker};
 use kepler_bgpstream::{BgpRecord, GapTracker, Timestamp};
 use kepler_docmine::CommunityDictionary;
-use kepler_probe::{FacilityVerdict, Prober, RestorationProber};
+use kepler_probe::{BackendHealth, FacilityVerdict, Prober, RestorationProber};
 use kepler_topology::{ColocationMap, FacilityId, OrgMap};
 
 /// Everything Kepler needs to start.
@@ -57,7 +57,30 @@ pub struct ClassCounts {
     /// Incidents closed by restoration re-probes (before the BGP watch
     /// list recovered).
     pub probe_closed: usize,
+    /// Pending localizations settled passively because the measurement
+    /// backend was degraded or offline (campaign below its completeness
+    /// quorum): the detector kept running on control-plane evidence
+    /// alone instead of blocking on the platform.
+    pub degraded_passive: usize,
+    /// Passively-settled incidents later upgraded to probe-confirmed by
+    /// re-validation after the backend recovered.
+    pub deferred_revalidated: usize,
 }
+
+/// A pending localization parked while the measurement backend was
+/// degraded, waiting for re-validation once the platform recovers.
+struct DeferredPending {
+    pending: PendingIncident,
+    /// Re-validation rounds already spent on this pending.
+    attempts: u32,
+}
+
+/// Most pendings parked for backend recovery at any time; beyond this the
+/// oldest suspicions stay passive-only (bounded memory under a brownout
+/// that never ends).
+const DEFER_CAP: usize = 32;
+/// Re-validation rounds before a parked pending is dropped for good.
+const DEFER_ATTEMPTS: u32 = 2;
 
 /// The Kepler detection system.
 pub struct Kepler {
@@ -70,6 +93,7 @@ pub struct Kepler {
     dataplane: Option<Box<dyn DataPlaneProbe>>,
     prober: Option<Box<dyn Prober>>,
     restoration: Option<Box<dyn RestorationProber>>,
+    deferred: Vec<DeferredPending>,
     counts: ClassCounts,
     last_time: Timestamp,
     /// Reusable buffer for events drained from the ingest stage.
@@ -94,6 +118,7 @@ impl Kepler {
             dataplane: None,
             prober: None,
             restoration: None,
+            deferred: Vec::new(),
             counts: ClassCounts::default(),
             config,
             last_time: 0,
@@ -143,10 +168,10 @@ impl Kepler {
         self
     }
 
-    /// Attaches a restoration prober: open facility-level incidents are
-    /// re-probed on an exponential-backoff schedule and closed once two
-    /// consecutive checks observe baseline paths crossing the epicenter
-    /// again — typically well before the BGP watch list recovers. Without
+    /// Attaches a restoration prober: open incidents — facility-, IXP-
+    /// or city-scoped — are re-probed on an exponential-backoff schedule
+    /// and closed once two consecutive checks observe baseline paths
+    /// crossing the epicenter again — typically well before the BGP watch list recovers. Without
     /// one, incidents close on control-plane restoration alone.
     pub fn with_restoration_prober(mut self, prober: Box<dyn RestorationProber>) -> Self {
         self.restoration = Some(prober);
@@ -256,10 +281,50 @@ impl Kepler {
         }
     }
 
+    /// Re-validates pendings parked during a backend brownout. Runs only
+    /// while the prober reports [`BackendHealth::Online`]; a confirmed
+    /// verdict upgrades the passively-settled incident via the tracker's
+    /// merge (Unvalidated → Confirmed, fresh evidence attached). A
+    /// refutation or inconclusive answer drops the parked pending
+    /// silently — the passive incident already on record must not be
+    /// erased by a late, post-hoc campaign.
+    fn revalidate_deferred(&mut self, now: Timestamp) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let Some(mut prober) = self.prober.take() else { return };
+        if prober.health() == BackendHealth::Online {
+            for mut d in std::mem::take(&mut self.deferred) {
+                let report = prober.validate(&d.pending.request(), now);
+                if report.degraded {
+                    // Browned out again mid-drain: requeue, boundedly.
+                    d.attempts += 1;
+                    if d.attempts < DEFER_ATTEMPTS {
+                        self.deferred.push(d);
+                    }
+                    continue;
+                }
+                if let Some(fac) = report.resolved() {
+                    self.counts.deferred_revalidated += 1;
+                    let inc = d.pending.to_incident(OutageScope::Facility(fac));
+                    let meta = IncidentMeta {
+                        validation: ValidationStatus::Confirmed,
+                        evidence: report.evidence,
+                        completeness: report.completeness,
+                        ..IncidentMeta::default()
+                    };
+                    self.tracker.record(&[inc], &[meta], &mut self.interner);
+                }
+            }
+        }
+        self.prober = Some(prober);
+    }
+
     fn handle_bin(&mut self, outcome: DenseBinOutcome) {
         // Resolution back to display space happens here, once per closed
         // bin — the per-event path upstream is entirely dense.
         let outcome = outcome.resolve(&self.interner);
+        self.revalidate_deferred(outcome.bin_start);
         let investigation = self.investigator.investigate(&outcome);
         for (_, class) in &investigation.dismissed {
             match class {
@@ -273,12 +338,7 @@ impl Kepler {
         // Low-confidence localizations: targeted probes disambiguate the
         // candidate facilities (paper §4.4 targeted campaigns). Without a
         // prober, each pending group collapses to its passive fallback.
-        let mut settled: Vec<(
-            LocalizedIncident,
-            ValidationStatus,
-            Vec<kepler_probe::HopEvidence>,
-            bool, // settled from accumulated (reused) evidence
-        )> = Vec::new();
+        let mut settled: Vec<(LocalizedIncident, IncidentMeta)> = Vec::new();
         for pending in &investigation.pending {
             // Cross-bin evidence accumulation: an open incident whose
             // epicenter is among this group's candidates may already carry
@@ -294,27 +354,55 @@ impl Kepler {
                     self.counts.unresolved.saturating_sub(pending.booked_unresolved);
                 settled.push((
                     pending.to_incident(OutageScope::Facility(fac)),
-                    ValidationStatus::Confirmed,
-                    evidence,
-                    true,
+                    IncidentMeta {
+                        validation: ValidationStatus::Confirmed,
+                        evidence,
+                        reused: true,
+                        ..IncidentMeta::default()
+                    },
                 ));
                 continue;
             }
-            let (scope, validation, evidence) = match self.prober.as_mut() {
+            let (scope, validation, evidence, completeness) = match self.prober.as_mut() {
                 None => match pending.fallback {
-                    Some(scope) => (scope, ValidationStatus::Unvalidated, Vec::new()),
+                    Some(scope) => (scope, ValidationStatus::Unvalidated, Vec::new(), 1.0),
                     None => continue,
                 },
                 Some(prober) => {
                     let report = prober.validate(&pending.request(), outcome.bin_start);
-                    if let Some(fac) = report.resolved() {
+                    if report.degraded {
+                        // The measurement backend browned out below its
+                        // completeness quorum: the campaign's verdicts are
+                        // not trustworthy. Degrade gracefully — settle on
+                        // the passive fallback now, park the pending for
+                        // re-validation once the platform recovers.
+                        self.counts.degraded_passive += 1;
+                        if self.deferred.len() < DEFER_CAP {
+                            self.deferred
+                                .push(DeferredPending { pending: pending.clone(), attempts: 0 });
+                        }
+                        match pending.fallback {
+                            Some(scope) => (
+                                scope,
+                                ValidationStatus::Unvalidated,
+                                Vec::new(),
+                                report.completeness,
+                            ),
+                            None => continue,
+                        }
+                    } else if let Some(fac) = report.resolved() {
                         self.counts.probe_confirmed += 1;
                         // Clusters that were booked unresolved have been
                         // rescued by the probes; the pending carries the
                         // exact number of bookings it absorbed.
                         self.counts.unresolved =
                             self.counts.unresolved.saturating_sub(pending.booked_unresolved);
-                        (OutageScope::Facility(fac), ValidationStatus::Confirmed, report.evidence)
+                        (
+                            OutageScope::Facility(fac),
+                            ValidationStatus::Confirmed,
+                            report.evidence,
+                            report.completeness,
+                        )
                     } else {
                         let fallback_refuted = matches!(
                             pending.fallback,
@@ -330,23 +418,29 @@ impl Kepler {
                         }
                         self.counts.probe_inconclusive += 1;
                         match pending.fallback {
-                            Some(scope) => (scope, ValidationStatus::Inconclusive, report.evidence),
+                            Some(scope) => (
+                                scope,
+                                ValidationStatus::Inconclusive,
+                                report.evidence,
+                                report.completeness,
+                            ),
                             None => continue,
                         }
                     }
                 }
             };
-            settled.push((pending.to_incident(scope), validation, evidence, false));
+            settled.push((
+                pending.to_incident(scope),
+                IncidentMeta { validation, evidence, completeness, ..IncidentMeta::default() },
+            ));
         }
         // Data-plane confirmation: incidents contradicted by traceroutes
         // are discarded as false positives (paper §4.4).
         let mut kept = Vec::new();
         let mut meta = Vec::new();
-        let confident = investigation
-            .incidents
-            .into_iter()
-            .map(|inc| (inc, ValidationStatus::Unvalidated, Vec::new(), false));
-        for (inc, validation, evidence, reused) in confident.chain(settled) {
+        let confident =
+            investigation.incidents.into_iter().map(|inc| (inc, IncidentMeta::default()));
+        for (inc, mut m) in confident.chain(settled) {
             let verdict = self
                 .dataplane
                 .as_ref()
@@ -357,11 +451,12 @@ impl Kepler {
                 continue;
             }
             self.counts.pop_level += 1;
+            m.dataplane = verdict;
             kept.push(inc);
-            meta.push(IncidentMeta { dataplane: verdict, validation, evidence, reused });
+            meta.push(m);
         }
         self.tracker.record(&kept, &meta, &mut self.interner);
-        let bin_end = outcome.bin_start + self.config.bin_secs;
+        let bin_end = outcome.bin_start.saturating_add(self.config.bin_secs);
         // Probe-driven restoration first: a data-plane close stamps the
         // earlier end time before the control-plane check can.
         if let Some(rp) = self.restoration.as_mut() {
@@ -391,7 +486,8 @@ impl Kepler {
         let mut events = std::mem::take(&mut self.event_scratch);
         self.ingest.finish(&mut self.interner, &mut events);
         self.observe_events(&mut events);
-        let outcomes = self.monitor.advance_to(self.last_time + 2 * self.config.bin_secs);
+        let outcomes =
+            self.monitor.advance_to(self.last_time.saturating_add(2 * self.config.bin_secs));
         for outcome in outcomes {
             self.handle_bin(outcome);
         }
@@ -819,6 +915,91 @@ mod tests {
         assert!(reports[0].affected_far.contains(&Asn(26)), "{reports:?}");
     }
 
+    /// A prober that browns out for its first `degraded_remaining`
+    /// campaigns (degraded reports, health `Offline`) and then answers
+    /// cleanly, confirming facility 2.
+    struct BrownoutProber {
+        degraded_remaining: std::cell::Cell<usize>,
+    }
+
+    impl kepler_probe::Prober for BrownoutProber {
+        fn validate(
+            &mut self,
+            request: &kepler_probe::ProbeRequest,
+            now: Timestamp,
+        ) -> kepler_probe::ProbeReport {
+            let left = self.degraded_remaining.get();
+            if left > 0 {
+                self.degraded_remaining.set(left - 1);
+                return kepler_probe::ProbeReport {
+                    completeness: 0.0,
+                    degraded: true,
+                    ..Default::default()
+                };
+            }
+            ScriptedProber { confirm: Some(2), inconclusive: false }.validate(request, now)
+        }
+
+        fn health(&self) -> kepler_probe::BackendHealth {
+            if self.degraded_remaining.get() > 0 {
+                kepler_probe::BackendHealth::Offline
+            } else {
+                kepler_probe::BackendHealth::Online
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_backend_falls_back_to_passive_verdicts() {
+        // The backend never recovers: the twin tie settles on the passive
+        // fallback, unvalidated, instead of blocking on probes.
+        let kepler = Kepler::new(twin_inputs()).with_prober(Box::new(BrownoutProber {
+            degraded_remaining: std::cell::Cell::new(usize::MAX),
+        }));
+        let mut kepler = kepler;
+        for r in twin_records() {
+            kepler.process_record_owned(r);
+        }
+        let counts = kepler.class_counts();
+        let reports = kepler.finish();
+        assert!(counts.degraded_passive >= 1, "{counts:?}");
+        assert_eq!(counts.probe_confirmed, 0);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert_eq!(reports[0].scope, OutageScope::Facility(FacilityId(1)), "passive tie-break");
+        assert_eq!(reports[0].validation, crate::events::ValidationStatus::Unvalidated);
+        assert_eq!(reports[0].probe_completeness, 0.0, "degraded campaign recorded as such");
+    }
+
+    #[test]
+    fn deferred_pending_is_revalidated_after_recovery() {
+        // One brownout campaign, then the backend heals: the parked
+        // pending re-validates on a later bin close and upgrades the
+        // passive incident to probe-confirmed.
+        let kepler = Kepler::new(twin_inputs())
+            .with_prober(Box::new(BrownoutProber { degraded_remaining: std::cell::Cell::new(1) }));
+        let mut kepler = kepler;
+        let mut records = twin_records();
+        // Keepalives on a never-deviating prefix drive later bin closes
+        // so the deferred drain gets a chance to run.
+        let t_fail = T0 + 2 * DAY + 3600;
+        for k in 1..10u64 {
+            records.push(announce(t_fail + k * 300, 10, 20, 0));
+        }
+        for r in records {
+            kepler.process_record_owned(r);
+        }
+        let counts = kepler.class_counts();
+        let reports = kepler.finish();
+        assert_eq!(counts.degraded_passive, 1, "{counts:?}");
+        assert_eq!(counts.deferred_revalidated, 1, "{counts:?}");
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        // The passive guess (facility 1) and the late confirmation
+        // (facility 2) reconcile to their shared city per the tracker's
+        // merge rules; the verdict upgrade sticks.
+        assert_eq!(reports[0].validation, crate::events::ValidationStatus::Confirmed);
+        assert!(!reports[0].probe_evidence.is_empty(), "late evidence attached");
+    }
+
     /// Restoration prober scripted on wall clock: still down before
     /// `up_from`, restored at/after it.
     struct ClockedRestoration {
@@ -828,7 +1009,7 @@ mod tests {
     impl kepler_probe::RestorationProber for ClockedRestoration {
         fn check(
             &mut self,
-            _epicenter: kepler_topology::FacilityId,
+            _epicenter: kepler_probe::Epicenter,
             _targets: &[Asn],
             _incident_start: Timestamp,
             now: Timestamp,

@@ -29,14 +29,14 @@ use crate::investigate::LocalizedIncident;
 use crate::shard::AnyMonitor;
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
-use kepler_probe::{Backoff, HopEvidence, RestorationProber, RestorationVerdict};
+use kepler_probe::{Backoff, Epicenter, HopEvidence, RestorationProber, RestorationVerdict};
 use kepler_topology::{CityId, ColocationMap, FacilityId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Validation metadata recorded alongside one localized incident: the
 /// passive data-plane confirmation (paper §4.4 baseline re-probe) and the
 /// targeted-probe verdict with its hop-level evidence.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IncidentMeta {
     /// Baseline data-plane confirmation, when a backend was attached.
     pub dataplane: Option<bool>,
@@ -50,6 +50,22 @@ pub struct IncidentMeta {
     /// otherwise recurring deviations could pin an epicenter forever on
     /// evidence measured once.
     pub reused: bool,
+    /// Campaign completeness behind the verdict (completed measurement
+    /// pairs over planned; `1.0` when no probing ran). The incident keeps
+    /// the minimum across its bins.
+    pub completeness: f64,
+}
+
+impl Default for IncidentMeta {
+    fn default() -> Self {
+        IncidentMeta {
+            dataplane: None,
+            validation: ValidationStatus::default(),
+            evidence: Vec::new(),
+            reused: false,
+            completeness: 1.0,
+        }
+    }
 }
 
 /// Dedup key of one judged measurement pair: (vantage, target, facility).
@@ -79,6 +95,8 @@ struct Ongoing {
     /// facility); a fresh measurement of the same pair replaces the stale
     /// one. `BTreeMap` so reports render evidence in a stable order.
     evidence: BTreeMap<EvidenceKey, HopEvidence>,
+    /// Worst campaign completeness observed across the incident's bins.
+    completeness: f64,
     /// Confidence of the accumulated probe verdict at `confidence_at`
     /// (1.0 = freshly probe-confirmed, decays with the configured
     /// half-life; 0.0 = nothing reusable).
@@ -272,6 +290,7 @@ impl Tracker {
                 if on.validation == ValidationStatus::Unvalidated {
                     on.validation = meta.validation;
                 }
+                on.completeness = on.completeness.min(meta.completeness);
                 on.merge_evidence(&meta.evidence);
                 if meta.validation == ValidationStatus::Confirmed && !meta.reused {
                     // Freshly *measured* confirmation: the verdict is
@@ -306,6 +325,7 @@ impl Tracker {
                     if on.validation == ValidationStatus::Unvalidated {
                         on.validation = other.validation;
                     }
+                    on.completeness = on.completeness.min(other.completeness);
                     for (k, e) in other.evidence {
                         on.evidence.entry(k).or_insert(e);
                     }
@@ -345,12 +365,13 @@ impl Tracker {
                             .iter()
                             .map(|e| (evidence_key(e), *e))
                             .collect(),
+                        completeness: report.probe_completeness.min(meta.completeness),
                         // The earlier segment's confirmation spoke about the
                         // earlier failure: a reopened incident must re-earn
                         // its confidence before any verdict reuse.
                         confidence: 0.0,
                         confidence_at: inc.bin_start,
-                        next_probe: inc.bin_start + backoff.first(),
+                        next_probe: inc.bin_start.saturating_add(backoff.first()),
                         probe_backoff: backoff.first(),
                         probe_restored_at: None,
                     };
@@ -389,13 +410,14 @@ impl Tracker {
                     dataplane_confirmed: meta.dataplane,
                     validation: meta.validation,
                     evidence: meta.evidence.iter().map(|e| (evidence_key(e), *e)).collect(),
+                    completeness: meta.completeness,
                     confidence: if meta.validation == ValidationStatus::Confirmed && !meta.reused {
                         1.0
                     } else {
                         0.0
                     },
                     confidence_at: inc.bin_start,
-                    next_probe: inc.bin_start + backoff.first(),
+                    next_probe: inc.bin_start.saturating_add(backoff.first()),
                     probe_backoff: backoff.first(),
                     probe_restored_at: None,
                 },
@@ -416,6 +438,7 @@ impl Tracker {
             dataplane_confirmed: on.dataplane_confirmed,
             validation: on.validation,
             probe_evidence: on.evidence.into_values().collect(),
+            probe_completeness: on.completeness,
             state: IncidentState::Recovering,
         };
         (report, on.prior_duration + seg)
@@ -428,7 +451,10 @@ impl Tracker {
 
     /// Runs due restoration re-probes against ongoing incidents
     /// (exponential backoff per incident, starting at
-    /// `restore_probe_initial_secs`). A first `Restored` verdict marks
+    /// `restore_probe_initial_secs`). Every scope is probed at its own
+    /// granularity — a facility epicenter directly, an IXP via its
+    /// fabric, a city via any facility or fabric located there
+    /// ([`kepler_probe::Epicenter`]). A first `Restored` verdict marks
     /// the incident [`IncidentState::Recovering`] and schedules a quick
     /// confirming check; a **second consecutive** `Restored` closes it
     /// with the first verdict's timestamp as the end — typically well
@@ -441,20 +467,20 @@ impl Tracker {
         prober: &mut dyn RestorationProber,
     ) -> usize {
         let backoff = self.backoff();
-        let mut due: Vec<OutageScope> = self
-            .ongoing
-            .iter()
-            .filter(|(s, on)| matches!(s, OutageScope::Facility(_)) && now >= on.next_probe)
-            .map(|(s, _)| *s)
-            .collect();
+        let mut due: Vec<OutageScope> =
+            self.ongoing.iter().filter(|(_, on)| now >= on.next_probe).map(|(s, _)| *s).collect();
         due.sort(); // deterministic probe order
         let mut closed = 0usize;
         for scope in due {
             let verdict = {
                 let on = &self.ongoing[&scope];
-                let OutageScope::Facility(fac) = scope else { unreachable!("filtered above") };
+                let epicenter = match scope {
+                    OutageScope::Facility(f) => Epicenter::Facility(f),
+                    OutageScope::Ixp(x) => Epicenter::Ixp(x),
+                    OutageScope::City(c) => Epicenter::City(c),
+                };
                 let targets: Vec<Asn> = on.affected_far.iter().copied().collect();
-                prober.check(fac, &targets, on.started, now).verdict
+                prober.check(epicenter, &targets, on.started, now).verdict
             };
             let streak_start = self.ongoing.get(&scope).and_then(|o| o.probe_restored_at);
             if verdict == RestorationVerdict::Restored {
@@ -475,7 +501,7 @@ impl Tracker {
                     // the backoff to its floor.
                     on.probe_restored_at = Some(now);
                     on.probe_backoff = backoff.first();
-                    on.next_probe = now + on.probe_backoff;
+                    on.next_probe = now.saturating_add(on.probe_backoff);
                 }
                 RestorationVerdict::StillDown | RestorationVerdict::Inconclusive => {
                     // "Two consecutive Restored" is literal: an
@@ -485,7 +511,7 @@ impl Tracker {
                     // Restored, erasing real downtime in between.
                     on.probe_restored_at = None;
                     on.probe_backoff = backoff.next(on.probe_backoff);
-                    on.next_probe = now + on.probe_backoff;
+                    on.next_probe = now.saturating_add(on.probe_backoff);
                 }
             }
         }
@@ -520,7 +546,7 @@ impl Tracker {
             // (a streak older than that would already have faced — and
             // failed — its confirming re-probe, so it must be stale
             // state from a caller that skips `probe_restorations`).
-            let fresh_window = self.backoff().first() + self.config.bin_secs;
+            let fresh_window = self.backoff().first().saturating_add(self.config.bin_secs);
             let end = on
                 .probe_restored_at
                 .filter(|&t| now.saturating_sub(t) <= fresh_window)
@@ -588,6 +614,7 @@ impl Tracker {
                 dataplane_confirmed: on.dataplane_confirmed,
                 validation: on.validation,
                 probe_evidence: on.evidence.into_values().collect(),
+                probe_completeness: on.completeness,
                 state,
             });
         }
@@ -651,10 +678,9 @@ mod tests {
 
     fn confirmed_meta(evidence: Vec<HopEvidence>) -> IncidentMeta {
         IncidentMeta {
-            dataplane: None,
             validation: ValidationStatus::Confirmed,
             evidence,
-            reused: false,
+            ..IncidentMeta::default()
         }
     }
 
@@ -691,7 +717,7 @@ mod tests {
     impl RestorationProber for ScriptedRestoration {
         fn check(
             &mut self,
-            _epicenter: FacilityId,
+            _epicenter: Epicenter,
             _targets: &[Asn],
             _incident_start: Timestamp,
             now: Timestamp,
@@ -779,8 +805,7 @@ mod tests {
             &[IncidentMeta {
                 dataplane: Some(true),
                 validation: ValidationStatus::Confirmed,
-                evidence: Vec::new(),
-                reused: false,
+                ..IncidentMeta::default()
             }],
             &mut interner,
         );
@@ -895,10 +920,10 @@ mod tests {
             t.record(
                 &[incident(now, &[k as u8])],
                 &[IncidentMeta {
-                    dataplane: None,
                     validation: ValidationStatus::Confirmed,
                     evidence: ev,
                     reused: true,
+                    ..IncidentMeta::default()
                 }],
                 &mut interner,
             );
@@ -1094,7 +1119,7 @@ mod tests {
     }
 
     #[test]
-    fn ixp_scoped_incidents_are_not_probe_checked() {
+    fn ixp_scoped_incidents_are_probe_checked_and_closed() {
         use kepler_topology::IxpId;
         let mut interner = Interner::new();
         let mut t = Tracker::new(KeplerConfig::default());
@@ -1108,10 +1133,50 @@ mod tests {
         };
         t.record(&[inc], &[IncidentMeta::default()], &mut interner);
         let mut prober = ScriptedRestoration::new(vec![RestorationVerdict::Restored; 8]);
+        let mut closed = 0;
         for now in (1000..30_000).step_by(300) {
-            t.probe_restorations(now, &mut prober);
+            closed += t.probe_restorations(now, &mut prober);
         }
-        assert!(prober.calls.is_empty(), "restoration probing targets facilities only");
-        assert_eq!(t.ongoing_count(), 1);
+        // Non-facility epicenters also close on probe evidence: two
+        // consecutive Restored verdicts end the IXP incident.
+        assert!(!prober.calls.is_empty(), "IXP epicenters are re-probed too");
+        assert_eq!(closed, 1);
+        assert_eq!(t.ongoing_count(), 0);
+    }
+
+    #[test]
+    fn probe_schedule_survives_timestamp_extremes() {
+        // A multi-year replay jumping to u64::MAX must not overflow the
+        // re-probe schedule arithmetic.
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default());
+        t.record(&[incident(u64::MAX - 10, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        let mut prober = ScriptedRestoration::new(vec![]); // always StillDown
+        t.probe_restorations(u64::MAX, &mut prober);
+        t.probe_restorations(u64::MAX, &mut prober);
+        t.check_restorations(u64::MAX, &mut monitor_with(&mut interner, &[]));
+        assert_eq!(t.ongoing_count(), 1, "incident survives without panicking");
+    }
+
+    #[test]
+    fn completeness_is_minimized_across_bins() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default());
+        t.record(
+            &[incident(1000, &[0, 1])],
+            &[IncidentMeta { completeness: 0.75, ..IncidentMeta::default() }],
+            &mut interner,
+        );
+        // A later, more degraded bin lowers the floor; a later clean bin
+        // does not raise it back.
+        t.record(
+            &[incident(1060, &[2])],
+            &[IncidentMeta { completeness: 0.5, ..IncidentMeta::default() }],
+            &mut interner,
+        );
+        t.record(&[incident(1120, &[3])], &[IncidentMeta::default()], &mut interner);
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].probe_completeness, 0.5);
     }
 }

@@ -1,0 +1,309 @@
+//! Fault injection for the measurement path.
+//!
+//! The simulator's data plane answers every trace; real measurement
+//! platforms do not. [`FaultyBackend`] wraps any synchronous
+//! [`TraceBackend`] and presents the async lifecycle contract with
+//! realistic failure modes layered on top, all **deterministic pure
+//! functions of the measurement identity** (seeded hashes — no RNG
+//! state), so every chaotic run replays bit-identically:
+//!
+//! * **drops** — the measurement never answers (the driver times out and
+//!   retries; a retry is a new attempt and re-rolls its fate);
+//! * **delays past deadline** — the answer exists but materializes only
+//!   after the per-attempt deadline, indistinguishable from a drop to
+//!   the driver;
+//! * **truncated hop lists** — the probe dies mid-path: hops are cut
+//!   *and the destination is unreached*, so a truncated trace can never
+//!   masquerade as a detour (which would falsely confirm a facility);
+//! * **duplicated hops** — measurement artifacts repeating an interface;
+//! * **vantage churn** — whole vantage points vanish for hashed windows
+//!   (submissions rejected);
+//! * **scripted brownouts** — wall-to-wall submission rejection during
+//!   configured windows, driving the backend-health machine to OFFLINE.
+
+use kepler_bgpstream::Timestamp;
+use kepler_probe::lifecycle::{AsyncTraceBackend, Measurement, MeasurementState, SubmitResult};
+use kepler_probe::{splitmix64, TraceBackend};
+
+/// Fault rates and windows. All rates are probabilities in `[0, 1]`
+/// evaluated independently per measurement attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed decorrelating this backend's faults from every other one.
+    pub seed: u64,
+    /// Probability an attempt never answers.
+    pub drop_rate: f64,
+    /// Probability an attempt answers only after `delay_secs`.
+    pub delay_rate: f64,
+    /// How late a delayed answer materializes (choose larger than the
+    /// lifecycle deadline to model a deadline blowout).
+    pub delay_secs: u64,
+    /// Probability a returned hop list is truncated (and the destination
+    /// marked unreached — the probe died mid-path).
+    pub truncate_rate: f64,
+    /// Probability one hop is duplicated in a returned trace.
+    pub duplicate_rate: f64,
+    /// Fraction of vantage points offline during any given churn window.
+    pub churn_rate: f64,
+    /// Vantage availability re-rolls every this many seconds.
+    pub churn_window_secs: u64,
+    /// Scripted brownouts: submissions inside any `[start, end)` window
+    /// are rejected outright.
+    pub brownouts: Vec<(Timestamp, Timestamp)>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_rate: 0.0,
+            delay_rate: 0.0,
+            delay_secs: 86_400,
+            truncate_rate: 0.0,
+            duplicate_rate: 0.0,
+            churn_rate: 0.0,
+            churn_window_secs: 3_600,
+            brownouts: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The chaos-suite profile: 30% probe loss, deadline blowouts,
+    /// measurement artifacts and vantage churn (no brownout — script one
+    /// with [`FaultConfig::with_brownout`] where the test wants it).
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop_rate: 0.30,
+            delay_rate: 0.10,
+            truncate_rate: 0.10,
+            duplicate_rate: 0.05,
+            churn_rate: 0.20,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Adds a scripted brownout window.
+    pub fn with_brownout(mut self, from: Timestamp, to: Timestamp) -> Self {
+        self.brownouts.push((from, to));
+        self
+    }
+}
+
+// Distinct salts keep the per-fault hash streams independent.
+const SALT_DROP: u64 = 0xD809_0A0B_0C0D_0E0F;
+const SALT_DELAY: u64 = 0xDE1A_5EED_0123_4567;
+const SALT_TRUNC: u64 = 0x0071_21C0_FFEE_0001 ^ 0xA5A5_A5A5_A5A5_A5A5;
+const SALT_DUP: u64 = 0xD0BB_1E00_89AB_CDEF;
+const SALT_CHURN: u64 = 0xC401_0000_FEED_F00D;
+
+/// A uniform draw in `[0, 1)` from a seeded hash of `key`.
+fn roll(seed: u64, salt: u64, key: u64) -> f64 {
+    (splitmix64(seed ^ salt ^ key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The fault-injecting wrapper. Generic over any synchronous backend
+/// (the netsim data plane, scripted test backends).
+#[derive(Debug, Clone)]
+pub struct FaultyBackend<B> {
+    inner: B,
+    config: FaultConfig,
+}
+
+impl<B: TraceBackend> FaultyBackend<B> {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: B, config: FaultConfig) -> Self {
+        FaultyBackend { inner, config }
+    }
+
+    /// The fault profile in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+}
+
+impl<B: TraceBackend> AsyncTraceBackend for FaultyBackend<B> {
+    fn submit(&mut self, m: &Measurement) -> SubmitResult {
+        let cfg = &self.config;
+        if cfg.brownouts.iter().any(|&(from, to)| m.submitted >= from && m.submitted < to) {
+            return SubmitResult::Rejected;
+        }
+        // Vantage churn: the vantage point is offline for whole hashed
+        // windows, not per-probe — losing a host takes out every campaign
+        // that selected it until the window rolls over.
+        let window = m.submitted / cfg.churn_window_secs.max(1);
+        let vantage_key = splitmix64(((m.vantage.0 as u64) << 32) ^ window);
+        if roll(cfg.seed, SALT_CHURN, vantage_key) < cfg.churn_rate {
+            return SubmitResult::Rejected;
+        }
+        SubmitResult::Accepted
+    }
+
+    fn poll(&mut self, m: &Measurement, now: Timestamp) -> MeasurementState {
+        let cfg = &self.config;
+        let key = m.key();
+        if roll(cfg.seed, SALT_DROP, key) < cfg.drop_rate {
+            return MeasurementState::Pending; // never answers
+        }
+        if roll(cfg.seed, SALT_DELAY, key) < cfg.delay_rate {
+            let ready_at = m.submitted.saturating_add(cfg.delay_secs);
+            if now < ready_at {
+                return MeasurementState::Pending;
+            }
+        }
+        let mut trace = self.inner.trace(m.vantage, m.target, m.at);
+        if !trace.hops.is_empty() && roll(cfg.seed, SALT_TRUNC, key) < cfg.truncate_rate {
+            let keep = splitmix64(key ^ SALT_TRUNC) as usize % trace.hops.len();
+            trace.hops.truncate(keep);
+            // A probe that died mid-path did not reach its destination; a
+            // truncated-but-"reached" trace would read as a detour and
+            // could falsely confirm a healthy facility.
+            trace.reached = false;
+        }
+        if !trace.hops.is_empty() && roll(cfg.seed, SALT_DUP, key) < cfg.duplicate_rate {
+            let i = splitmix64(key ^ SALT_DUP) as usize % trace.hops.len();
+            let dup = trace.hops[i];
+            trace.hops.insert(i, dup);
+        }
+        MeasurementState::Ready(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kepler_bgp::Asn;
+    use kepler_probe::lifecycle::{drive, LifecycleConfig};
+    use kepler_probe::{IfaceOwner, Trace, TraceHop};
+    use kepler_topology::FacilityId;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    struct Clean;
+    impl TraceBackend for Clean {
+        fn trace(&self, _v: Asn, target: Asn, _t: Timestamp) -> Trace {
+            let hops = (0..4)
+                .map(|i| TraceHop {
+                    addr: IpAddr::V4(Ipv4Addr::new(11, i, (target.0 % 250) as u8, 1)),
+                    owner: IfaceOwner::FacilityPort {
+                        asn: Asn(100 + i as u32),
+                        facility: FacilityId(i as u32),
+                    },
+                    rtt_ms: 1.0 + i as f64,
+                })
+                .collect();
+            Trace { hops, reached: true }
+        }
+    }
+
+    fn outcomes(cfg: FaultConfig, n: u32) -> Vec<Option<usize>> {
+        let lc = LifecycleConfig { max_attempts: 1, ..LifecycleConfig::default() };
+        let mut b = FaultyBackend::new(Clean, cfg);
+        (0..n)
+            .map(|i| {
+                drive(&mut b, Asn(900 + i % 7), Asn(i), 1_000, 50_000, &lc)
+                    .trace
+                    .map(|t| t.hops.len())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_faults_means_no_change() {
+        let got = outcomes(FaultConfig::default(), 50);
+        assert!(got.iter().all(|o| *o == Some(4)));
+    }
+
+    #[test]
+    fn drop_rate_loses_roughly_that_fraction() {
+        let got = outcomes(FaultConfig { drop_rate: 0.3, ..FaultConfig::default() }, 400);
+        let lost = got.iter().filter(|o| o.is_none()).count();
+        assert!((60..=180).contains(&lost), "~30% of 400 lost, got {lost}");
+    }
+
+    #[test]
+    fn faults_are_deterministic() {
+        let a = outcomes(FaultConfig::chaos(7), 100);
+        let b = outcomes(FaultConfig::chaos(7), 100);
+        assert_eq!(a, b);
+        let c = outcomes(FaultConfig::chaos(8), 100);
+        assert_ne!(a, c, "different seeds draw different faults");
+    }
+
+    #[test]
+    fn truncation_unsets_reached() {
+        let lc = LifecycleConfig { max_attempts: 1, ..LifecycleConfig::default() };
+        let mut b =
+            FaultyBackend::new(Clean, FaultConfig { truncate_rate: 1.0, ..FaultConfig::default() });
+        for i in 0..20 {
+            let out = drive(&mut b, Asn(900), Asn(i), 1_000, 50_000, &lc);
+            let t = out.trace.expect("truncation still answers");
+            assert!(!t.reached, "a truncated trace must not look like a detour");
+            assert!(t.hops.len() < 4);
+        }
+    }
+
+    #[test]
+    fn duplication_repeats_a_hop() {
+        let lc = LifecycleConfig { max_attempts: 1, ..LifecycleConfig::default() };
+        let mut b = FaultyBackend::new(
+            Clean,
+            FaultConfig { duplicate_rate: 1.0, ..FaultConfig::default() },
+        );
+        let t = drive(&mut b, Asn(900), Asn(1), 1_000, 50_000, &lc).trace.expect("answers");
+        assert_eq!(t.hops.len(), 5);
+        assert!(t.reached);
+        assert!(t.hops.windows(2).any(|w| w[0] == w[1]), "adjacent duplicate");
+    }
+
+    #[test]
+    fn delay_blows_the_deadline_but_retries_can_recover() {
+        // Delay every attempt beyond the 60s deadline: with one attempt
+        // the measurement is lost; the delay re-rolls per attempt, so this
+        // is equivalent to a drop from the driver's perspective.
+        let lc = LifecycleConfig { max_attempts: 1, ..LifecycleConfig::default() };
+        let mut b = FaultyBackend::new(
+            Clean,
+            FaultConfig { delay_rate: 1.0, delay_secs: 3_600, ..FaultConfig::default() },
+        );
+        let out = drive(&mut b, Asn(900), Asn(1), 1_000, 50_000, &lc);
+        assert!(out.trace.is_none());
+        assert_eq!(out.timeouts, 1);
+    }
+
+    #[test]
+    fn brownout_rejects_all_submissions_inside_the_window() {
+        let lc = LifecycleConfig::default();
+        let cfg = FaultConfig::default().with_brownout(40_000, 60_000);
+        let mut b = FaultyBackend::new(Clean, cfg);
+        let during = drive(&mut b, Asn(900), Asn(1), 1_000, 41_000, &lc);
+        assert!(during.trace.is_none());
+        assert!(during.rejections >= 1);
+        let after = drive(&mut b, Asn(900), Asn(1), 1_000, 61_000, &lc);
+        assert!(after.trace.is_some());
+    }
+
+    #[test]
+    fn vantage_churn_is_whole_host_per_window() {
+        let cfg = FaultConfig { churn_rate: 0.5, ..FaultConfig::default() };
+        let mut b = FaultyBackend::new(Clean, cfg);
+        // Within one window a vantage is either fully up or fully down.
+        for v in 0..20u32 {
+            let states: Vec<SubmitResult> = (0..5)
+                .map(|i| {
+                    b.submit(&Measurement {
+                        vantage: Asn(v),
+                        target: Asn(i),
+                        at: 1_000,
+                        attempt: 0,
+                        submitted: 10_000 + i as u64,
+                    })
+                })
+                .collect();
+            assert!(
+                states.iter().all(|s| *s == states[0]),
+                "vantage {v} flapped within a window: {states:?}"
+            );
+        }
+    }
+}

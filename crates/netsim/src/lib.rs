@@ -58,6 +58,7 @@
 pub mod dataplane;
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod report;
 pub mod routing;
 pub mod scenario;
@@ -66,4 +67,5 @@ pub mod world;
 
 pub use engine::Simulation;
 pub use events::{EventKind, GroundTruthEvent, ScheduledEvent};
+pub use fault::{FaultConfig, FaultyBackend};
 pub use world::{World, WorldConfig};

@@ -1,0 +1,181 @@
+//! Backend-health tracking with hysteresis.
+//!
+//! A measurement platform browns out gradually: a few lost campaigns, a
+//! stretch of rejections, then nothing. Reacting to single failures makes
+//! the detector flap between active and passive modes; never reacting
+//! wedges every validation behind a dead backend. The tracker here walks
+//! a three-state machine with *consecutive-count* thresholds, so
+//! transitions need sustained evidence in either direction:
+//!
+//! ```text
+//!            ┌──────────────── recovery_threshold successes ─────────────┐
+//!            │                                                           │
+//!            ▼          degraded_threshold             offline_threshold │
+//!        ┌────────┐  consecutive failures  ┌──────────┐  more failures ┌─┴───────┐
+//!   ──▶  │ ONLINE │ ─────────────────────▶ │ DEGRADED │ ─────────────▶ │ OFFLINE │
+//!        └────────┘                        └──────────┘                └─────────┘
+//!            ▲                                   │
+//!            └── recovery_threshold successes ───┘
+//! ```
+//!
+//! A campaign meeting its completeness quorum is a success; one below it
+//! (timeouts, rejections, a brownout window) is a failure. While OFFLINE
+//! the engine shrinks campaigns to a canary so the platform is not
+//! hammered, and the detector treats every verdict as degraded — falling
+//! back to passive localization and deferring the incident for
+//! re-validation once the canary brings the state back to ONLINE.
+
+/// The three backend states the detector distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendHealth {
+    /// Campaigns are completing; verdicts are trusted.
+    #[default]
+    Online,
+    /// Sustained failures: verdicts still computed, but suspect.
+    Degraded,
+    /// The platform is effectively down: campaigns shrink to a canary and
+    /// the detector runs passive-only.
+    Offline,
+}
+
+impl std::fmt::Display for BackendHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendHealth::Online => "online",
+            BackendHealth::Degraded => "degraded",
+            BackendHealth::Offline => "offline",
+        })
+    }
+}
+
+/// Hysteresis thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive campaign failures before ONLINE demotes to DEGRADED.
+    pub degraded_threshold: u32,
+    /// Consecutive campaign failures before DEGRADED demotes to OFFLINE
+    /// (counted from the first failure, so must exceed
+    /// `degraded_threshold`).
+    pub offline_threshold: u32,
+    /// Consecutive campaign successes before any degraded state promotes
+    /// back to ONLINE.
+    pub recovery_threshold: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig { degraded_threshold: 3, offline_threshold: 6, recovery_threshold: 2 }
+    }
+}
+
+/// The state machine. Purely event-driven — feed it campaign outcomes,
+/// read the state; no clocks involved.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthTracker {
+    config: HealthConfig,
+    state: BackendHealth,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    /// Lifetime state transitions (observability).
+    transitions: usize,
+}
+
+impl HealthTracker {
+    /// A tracker starting ONLINE.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthTracker { config, ..HealthTracker::default() }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BackendHealth {
+        self.state
+    }
+
+    /// Lifetime state transitions.
+    pub fn transitions(&self) -> usize {
+        self.transitions
+    }
+
+    fn set(&mut self, next: BackendHealth) {
+        if next != self.state {
+            self.state = next;
+            self.transitions += 1;
+        }
+    }
+
+    /// Records one campaign outcome: `true` = completeness quorum met.
+    pub fn record(&mut self, success: bool) {
+        if success {
+            self.consecutive_failures = 0;
+            self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+            if self.consecutive_successes >= self.config.recovery_threshold {
+                self.set(BackendHealth::Online);
+            }
+        } else {
+            self.consecutive_successes = 0;
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            if self.consecutive_failures >= self.config.offline_threshold.max(1) {
+                self.set(BackendHealth::Offline);
+            } else if self.consecutive_failures >= self.config.degraded_threshold.max(1) {
+                self.set(BackendHealth::Degraded);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demotion_needs_sustained_failures() {
+        let mut h = HealthTracker::new(HealthConfig::default());
+        h.record(false);
+        h.record(false);
+        assert_eq!(h.state(), BackendHealth::Online, "two failures are noise");
+        h.record(false);
+        assert_eq!(h.state(), BackendHealth::Degraded);
+        for _ in 0..3 {
+            h.record(false);
+        }
+        assert_eq!(h.state(), BackendHealth::Offline);
+    }
+
+    #[test]
+    fn one_success_does_not_promote() {
+        let mut h = HealthTracker::new(HealthConfig::default());
+        for _ in 0..6 {
+            h.record(false);
+        }
+        assert_eq!(h.state(), BackendHealth::Offline);
+        h.record(true);
+        assert_eq!(h.state(), BackendHealth::Offline, "hysteresis: one canary is not recovery");
+        h.record(true);
+        assert_eq!(h.state(), BackendHealth::Online);
+    }
+
+    #[test]
+    fn interleaved_outcomes_do_not_flap() {
+        // Alternating success/failure never accumulates enough consecutive
+        // evidence to leave ONLINE.
+        let mut h = HealthTracker::new(HealthConfig::default());
+        for i in 0..20 {
+            h.record(i % 2 == 0);
+        }
+        assert_eq!(h.state(), BackendHealth::Online);
+        assert_eq!(h.transitions(), 0);
+    }
+
+    #[test]
+    fn degenerate_thresholds_are_clamped() {
+        let mut h = HealthTracker::new(HealthConfig {
+            degraded_threshold: 0,
+            offline_threshold: 0,
+            recovery_threshold: 0,
+        });
+        h.record(false);
+        assert_eq!(h.state(), BackendHealth::Offline, "zero thresholds demote on first failure");
+        h.record(true);
+        assert_eq!(h.state(), BackendHealth::Online, "zero recovery promotes on first success");
+    }
+}

@@ -33,12 +33,24 @@
 //!   [`Prober`] trait the detector consumes; measurement
 //!   backends (the netsim data plane today, a RIPE-Atlas-shaped client in
 //!   a deployment) plug in through
-//!   [`TraceBackend`].
+//!   [`TraceBackend`] / [`AsyncTraceBackend`].
+//! * [`lifecycle`] — the async-shaped measurement lifecycle
+//!   (`submit → poll → collect`): per-attempt deadlines, retries on
+//!   exponential backoff with deterministic seeded jitter, campaign
+//!   completeness scoring. [`SyncAdapter`] lifts synchronous backends
+//!   into the contract.
+//! * [`health`] — the backend-health state machine
+//!   (ONLINE/DEGRADED/OFFLINE with consecutive-failure/recovery
+//!   hysteresis) that lets the detector degrade to passive-only
+//!   localization when the platform browns out.
+//! * [`fixture`] — recorded campaign transcripts: journal every attempt
+//!   outcome once, replay it bit-identically offline
+//!   ([`RecordingBackend`] / [`ReplayBackend`]).
 //! * [`restoration`] — probe-driven restoration detection: open
-//!   facility-level epicenters are re-probed on an exponential-backoff
-//!   schedule ([`Backoff`]) behind the [`RestorationProber`] trait,
-//!   closing incidents on data-plane recovery instead of waiting out BGP
-//!   reconvergence.
+//!   incident [`Epicenter`]s (facility-, IXP- or city-scoped) are
+//!   re-probed on an exponential-backoff schedule ([`Backoff`]) behind
+//!   the [`RestorationProber`] trait, closing incidents on data-plane
+//!   recovery instead of waiting out BGP reconvergence.
 //!
 //! # Key types
 //!
@@ -61,9 +73,16 @@
 //! * **No verdict without baseline.** Pairs whose pre-event trace never
 //!   reached, or never crossed the candidate, contribute nothing; starved
 //!   probe budgets degrade to `Inconclusive`, never to a made-up verdict.
-//! * **Determinism.** Vantage selection, token-bucket admission and every
-//!   synthetic address derivation are seeded-hash functions of explicit
-//!   inputs; there is no wall clock anywhere on the probe path.
+//! * **Losses degrade, never block.** A campaign below its completeness
+//!   quorum is marked degraded ([`ProbeReport::degraded`]) so the
+//!   detector falls back to passive verdicts; a browned-out backend
+//!   drives the health machine to OFFLINE and shrinks campaigns to a
+//!   canary. Nothing on the probe path blocks or panics on a misbehaving
+//!   backend.
+//! * **Determinism.** Vantage selection, token-bucket admission, retry
+//!   jitter and every synthetic address derivation are seeded-hash
+//!   functions of explicit inputs; there is no wall clock anywhere on the
+//!   probe path, which is what makes transcript replay bit-identical.
 //!
 //! Identities on the probe path are small dense ids, mirroring the
 //! monitor hot path: vantage points are interned to
@@ -72,6 +91,9 @@
 
 pub mod analysis;
 pub mod engine;
+pub mod fixture;
+pub mod health;
+pub mod lifecycle;
 pub mod restoration;
 pub mod schedule;
 pub mod trace;
@@ -81,7 +103,17 @@ pub use analysis::{FacilityVerdict, HopDiff, HopEvidence, MeasuredPair, PathAnal
 pub use engine::{
     ProbeEngine, ProbeEngineConfig, ProbeReport, ProbeRequest, ProbeStats, Prober, TraceBackend,
 };
-pub use restoration::{Backoff, RestorationProber, RestorationReport, RestorationVerdict};
-pub use schedule::{Campaign, CampaignKind, ProbeScheduler, ProbeTask, RateLimit};
+pub use fixture::{CampaignTranscript, RecordedOutcome, RecordingBackend, ReplayBackend};
+pub use health::{BackendHealth, HealthConfig, HealthTracker};
+pub use lifecycle::{
+    drive, AsyncTraceBackend, LifecycleConfig, Measurement, MeasurementOutcome, MeasurementState,
+    SubmitResult, SyncAdapter,
+};
+pub use restoration::{
+    Backoff, Epicenter, RestorationProber, RestorationReport, RestorationVerdict,
+};
+pub use schedule::{
+    Campaign, CampaignKind, CreditConfig, CreditLedger, ProbeScheduler, ProbeTask, RateLimit,
+};
 pub use trace::{confirm, splitmix64, IfaceOwner, ProbeResult, Trace, TraceHop};
 pub use vantage::{VantageId, VantagePoint, VantageRegistry};

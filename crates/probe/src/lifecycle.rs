@@ -1,0 +1,336 @@
+//! The async-shaped measurement lifecycle: `submit → poll → collect`.
+//!
+//! Real measurement platforms (RIPE-Atlas-shaped, as in Fontugne et al.)
+//! do not answer a traceroute synchronously: a campaign is *submitted*,
+//! *polled* until results materialize, and results may never come —
+//! vantage points churn away mid-campaign, probes time out, the platform
+//! throttles on credit exhaustion. This module is the probe engine's
+//! contract with that reality:
+//!
+//! * [`AsyncTraceBackend`] — the submit/poll interface every backend
+//!   implements. Purely timestamp-driven: `poll` takes an explicit
+//!   virtual clock, so the whole lifecycle is deterministic and
+//!   replayable (no wall clock, no real sleeping).
+//! * [`SyncAdapter`] — lifts any synchronous [`TraceBackend`] (the
+//!   netsim data plane, scripted test backends) into the async contract:
+//!   submissions always accept, the first poll answers.
+//! * [`drive`] — the per-measurement driver: enforces a deadline on each
+//!   attempt, retries on exponential backoff with deterministic seeded
+//!   jitter, and gives up after a bounded number of attempts. It never
+//!   blocks and never panics; a measurement that cannot complete simply
+//!   yields no trace.
+//!
+//! The engine aggregates driver outcomes into a campaign *completeness*
+//! score (completed pairs / planned pairs); a campaign meeting the
+//! configured quorum still yields verdicts, one below it is marked
+//! degraded so the detector can fall back to passive localization.
+
+use crate::engine::TraceBackend;
+use crate::restoration::Backoff;
+use crate::trace::{splitmix64, Trace};
+use kepler_bgp::Asn;
+use kepler_bgpstream::Timestamp;
+
+/// One measurement in flight: a single `vantage → target` trace request
+/// at a virtual instant `at` (past instants are archive lookups). The
+/// identity carried here is the complete key — backends need no
+/// server-side state to answer a poll, which keeps replay trivial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Probe host AS.
+    pub vantage: Asn,
+    /// Destination AS.
+    pub target: Asn,
+    /// The instant being measured (an archive read when in the past).
+    pub at: Timestamp,
+    /// Retry ordinal: 0 for the first submission.
+    pub attempt: u32,
+    /// When this attempt was submitted (virtual time).
+    pub submitted: Timestamp,
+}
+
+impl Measurement {
+    /// Deterministic 64-bit key of the measurement identity (submission
+    /// time excluded: a retry of the same attempt hashes identically).
+    /// Fault injection and jitter derive from this, so failures are pure
+    /// functions of *what* is measured, not of call order.
+    pub fn key(&self) -> u64 {
+        let mut h = splitmix64(((self.vantage.0 as u64) << 32) | self.target.0 as u64);
+        h = splitmix64(h ^ self.at);
+        splitmix64(h ^ self.attempt as u64)
+    }
+}
+
+/// Whether the platform accepted a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// The measurement is in flight; poll for it.
+    Accepted,
+    /// The platform refused (credit exhaustion, vantage gone, brownout).
+    Rejected,
+}
+
+/// What a poll found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasurementState {
+    /// Still in flight — poll again later.
+    Pending,
+    /// Completed with a trace.
+    Ready(Trace),
+    /// The platform reported a terminal failure for this attempt.
+    Failed,
+}
+
+/// The asynchronous measurement contract: submit a measurement, poll it
+/// to completion. Implementations must be deterministic functions of the
+/// measurement identity and the poll timestamp — there is no wall clock
+/// anywhere on the probe path.
+pub trait AsyncTraceBackend {
+    /// Offers one measurement attempt to the platform.
+    fn submit(&mut self, m: &Measurement) -> SubmitResult;
+    /// Polls one in-flight attempt at virtual time `now`.
+    fn poll(&mut self, m: &Measurement, now: Timestamp) -> MeasurementState;
+}
+
+/// Lifts a synchronous [`TraceBackend`] into the async contract: every
+/// submission is accepted and the first poll answers with the trace.
+#[derive(Debug, Clone, Default)]
+pub struct SyncAdapter<B>(pub B);
+
+impl<B: TraceBackend> AsyncTraceBackend for SyncAdapter<B> {
+    fn submit(&mut self, _m: &Measurement) -> SubmitResult {
+        SubmitResult::Accepted
+    }
+
+    fn poll(&mut self, m: &Measurement, _now: Timestamp) -> MeasurementState {
+        MeasurementState::Ready(self.0.trace(m.vantage, m.target, m.at))
+    }
+}
+
+/// Tunables of the per-measurement lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifecycleConfig {
+    /// Per-attempt deadline: an attempt still pending this many virtual
+    /// seconds after submission counts as timed out.
+    pub deadline_secs: u64,
+    /// Virtual polling cadence within an attempt.
+    pub poll_interval_secs: u64,
+    /// Submissions per measurement before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Exponential backoff between re-submissions.
+    pub retry: Backoff,
+    /// Upper bound of the deterministic jitter added to each retry delay
+    /// (decorrelates retry storms; seeded, so fully replayable).
+    pub jitter_secs: u64,
+    /// Minimum fraction of planned measurement pairs that must complete
+    /// for a campaign's verdicts to be trusted; below it the report is
+    /// marked degraded and the detector falls back to passive verdicts.
+    pub quorum: f64,
+    /// Seed for the jitter hash.
+    pub seed: u64,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            deadline_secs: 60,
+            poll_interval_secs: 5,
+            max_attempts: 3,
+            retry: Backoff { initial_secs: 30, max_secs: 240 },
+            jitter_secs: 7,
+            quorum: 0.5,
+            seed: 0x6C1F_ECE5,
+        }
+    }
+}
+
+/// What [`drive`] concluded about one measurement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MeasurementOutcome {
+    /// The trace, when any attempt completed.
+    pub trace: Option<Trace>,
+    /// Re-submissions after the first attempt.
+    pub retries: usize,
+    /// Attempts that hit their deadline without an answer.
+    pub timeouts: usize,
+    /// Attempts rejected at submission.
+    pub rejections: usize,
+}
+
+/// Drives one measurement through the lifecycle: submit, poll until the
+/// per-attempt deadline, retry on exponential backoff with seeded jitter,
+/// give up after `max_attempts`. All arithmetic saturates, so timestamps
+/// near `u64::MAX` (multi-year replays, corrupt inputs) degrade to "no
+/// trace" instead of panicking.
+pub fn drive<B: AsyncTraceBackend>(
+    backend: &mut B,
+    vantage: Asn,
+    target: Asn,
+    at: Timestamp,
+    now: Timestamp,
+    cfg: &LifecycleConfig,
+) -> MeasurementOutcome {
+    let mut out = MeasurementOutcome::default();
+    let mut submit_at = now;
+    let mut delay = cfg.retry.first();
+    for attempt in 0..cfg.max_attempts.max(1) {
+        if attempt > 0 {
+            out.retries += 1;
+        }
+        let m = Measurement { vantage, target, at, attempt, submitted: submit_at };
+        match backend.submit(&m) {
+            SubmitResult::Rejected => out.rejections += 1,
+            SubmitResult::Accepted => {
+                let deadline = submit_at.saturating_add(cfg.deadline_secs.max(1));
+                let step = cfg.poll_interval_secs.max(1);
+                let mut t = deadline.min(submit_at.saturating_add(step));
+                loop {
+                    match backend.poll(&m, t) {
+                        MeasurementState::Ready(trace) => {
+                            out.trace = Some(trace);
+                            return out;
+                        }
+                        MeasurementState::Failed => break,
+                        MeasurementState::Pending => {
+                            if t >= deadline {
+                                out.timeouts += 1;
+                                break;
+                            }
+                            t = deadline.min(t.saturating_add(step));
+                        }
+                    }
+                }
+            }
+        }
+        // Next attempt: wait out the deadline plus backoff plus jitter.
+        let jitter = splitmix64(cfg.seed ^ m.key()) % cfg.jitter_secs.saturating_add(1);
+        submit_at = submit_at
+            .saturating_add(cfg.deadline_secs)
+            .saturating_add(delay)
+            .saturating_add(jitter);
+        delay = cfg.retry.next(delay);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{IfaceOwner, TraceHop};
+    use kepler_topology::FacilityId;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn trace_ok() -> Trace {
+        Trace {
+            hops: vec![TraceHop {
+                addr: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+                owner: IfaceOwner::FacilityPort { asn: Asn(7), facility: FacilityId(1) },
+                rtt_ms: 1.0,
+            }],
+            reached: true,
+        }
+    }
+
+    /// A backend that answers only from `ok_attempt` on, and only after
+    /// `latency` virtual seconds of polling.
+    struct Flaky {
+        ok_attempt: u32,
+        latency: u64,
+        submits: Vec<Timestamp>,
+    }
+
+    impl AsyncTraceBackend for Flaky {
+        fn submit(&mut self, m: &Measurement) -> SubmitResult {
+            self.submits.push(m.submitted);
+            SubmitResult::Accepted
+        }
+        fn poll(&mut self, m: &Measurement, now: Timestamp) -> MeasurementState {
+            if m.attempt < self.ok_attempt || now < m.submitted + self.latency {
+                MeasurementState::Pending
+            } else {
+                MeasurementState::Ready(trace_ok())
+            }
+        }
+    }
+
+    #[test]
+    fn sync_adapter_answers_first_poll() {
+        struct Echo;
+        impl TraceBackend for Echo {
+            fn trace(&self, _v: Asn, _t: Asn, _at: Timestamp) -> Trace {
+                trace_ok()
+            }
+        }
+        let mut b = SyncAdapter(Echo);
+        let out = drive(&mut b, Asn(1), Asn(2), 100, 1_000, &LifecycleConfig::default());
+        assert!(out.trace.is_some());
+        assert_eq!((out.retries, out.timeouts, out.rejections), (0, 0, 0));
+    }
+
+    #[test]
+    fn retries_recover_after_timeouts() {
+        let mut b = Flaky { ok_attempt: 2, latency: 1, submits: Vec::new() };
+        let cfg = LifecycleConfig::default();
+        let out = drive(&mut b, Asn(1), Asn(2), 100, 1_000, &cfg);
+        assert!(out.trace.is_some(), "third attempt answers");
+        assert_eq!(out.retries, 2);
+        assert_eq!(out.timeouts, 2, "first two attempts hit the deadline");
+        // Retry submissions are strictly later and spaced by at least the
+        // deadline + backoff floor.
+        assert_eq!(b.submits.len(), 3);
+        assert!(b.submits.windows(2).all(|w| w[1] >= w[0] + cfg.deadline_secs + cfg.retry.first()));
+    }
+
+    #[test]
+    fn give_up_is_graceful() {
+        let mut b = Flaky { ok_attempt: 99, latency: 0, submits: Vec::new() };
+        let out = drive(&mut b, Asn(1), Asn(2), 100, 1_000, &LifecycleConfig::default());
+        assert!(out.trace.is_none());
+        assert_eq!(out.timeouts, 3);
+    }
+
+    #[test]
+    fn slow_answer_within_deadline_lands() {
+        let mut b = Flaky { ok_attempt: 0, latency: 40, submits: Vec::new() };
+        let out = drive(&mut b, Asn(1), Asn(2), 100, 1_000, &LifecycleConfig::default());
+        assert!(out.trace.is_some());
+        assert_eq!(out.timeouts, 0);
+    }
+
+    #[test]
+    fn rejections_are_counted_and_bounded() {
+        struct Wall;
+        impl AsyncTraceBackend for Wall {
+            fn submit(&mut self, _m: &Measurement) -> SubmitResult {
+                SubmitResult::Rejected
+            }
+            fn poll(&mut self, _m: &Measurement, _now: Timestamp) -> MeasurementState {
+                MeasurementState::Pending
+            }
+        }
+        let out = drive(&mut Wall, Asn(1), Asn(2), 100, 1_000, &LifecycleConfig::default());
+        assert!(out.trace.is_none());
+        assert_eq!(out.rejections, 3);
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let cfg = LifecycleConfig::default();
+        let runs: Vec<Vec<Timestamp>> = (0..2)
+            .map(|_| {
+                let mut b = Flaky { ok_attempt: 99, latency: 0, submits: Vec::new() };
+                drive(&mut b, Asn(3), Asn(4), 200, 5_000, &cfg);
+                b.submits
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "identical inputs replay identically");
+    }
+
+    #[test]
+    fn timestamps_near_max_do_not_panic() {
+        let mut b = Flaky { ok_attempt: 99, latency: 0, submits: Vec::new() };
+        let cfg = LifecycleConfig { jitter_secs: u64::MAX, ..LifecycleConfig::default() };
+        let out = drive(&mut b, Asn(1), Asn(2), u64::MAX, u64::MAX - 5, &cfg);
+        assert!(out.trace.is_none(), "saturates instead of overflowing");
+    }
+}

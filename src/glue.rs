@@ -27,8 +27,10 @@ use kepler_netsim::dataplane::{
 use kepler_netsim::events::{Epicenter, ScheduledEvent};
 use kepler_netsim::scenario::Scenario;
 use kepler_netsim::world::World;
+use kepler_netsim::{FaultConfig, FaultyBackend};
 use kepler_probe::{
-    ProbeEngine, ProbeEngineConfig, Trace, TraceBackend, VantagePoint, VantageRegistry,
+    ProbeEngine, ProbeEngineConfig, RecordingBackend, SyncAdapter, Trace, TraceBackend,
+    VantagePoint, VantageRegistry,
 };
 use kepler_topology::AsType;
 use std::cell::RefCell;
@@ -216,13 +218,65 @@ pub fn vantage_registry_for(world: &World) -> VantageRegistry {
 /// Builds a targeted-probe engine for a scenario: simulated backend,
 /// edge-network vantage registry, and the detector's (merged-snapshot)
 /// colocation map.
-pub fn prober_for(scenario: &Scenario, config: ProbeEngineConfig) -> ProbeEngine<SimTraceBackend> {
+pub fn prober_for(
+    scenario: &Scenario,
+    config: ProbeEngineConfig,
+) -> ProbeEngine<SyncAdapter<SimTraceBackend>> {
     let backend = SimTraceBackend::new(
         Arc::new(scenario.world.clone()),
         &scenario.timeline,
         scenario.seed ^ 0x9B0E,
     );
     ProbeEngine::new(
+        backend,
+        vantage_registry_for(&scenario.world),
+        scenario.detector_colo(),
+        config,
+    )
+}
+
+/// Like [`prober_for`] but with the netsim fault-injection layer wrapped
+/// around the backend: probes drop, arrive past their deadline, come back
+/// truncated or duplicated, vantages churn, and scripted brownout windows
+/// reject submissions wholesale — all deterministic in the fault seed.
+pub fn faulty_prober_for(
+    scenario: &Scenario,
+    config: ProbeEngineConfig,
+    fault: FaultConfig,
+) -> ProbeEngine<FaultyBackend<SimTraceBackend>> {
+    let backend = FaultyBackend::new(
+        SimTraceBackend::new(
+            Arc::new(scenario.world.clone()),
+            &scenario.timeline,
+            scenario.seed ^ 0x9B0E,
+        ),
+        fault,
+    );
+    ProbeEngine::with_async(
+        backend,
+        vantage_registry_for(&scenario.world),
+        scenario.detector_colo(),
+        config,
+    )
+}
+
+/// A probe engine whose faulty backend journals every attempt outcome
+/// into a [`kepler_probe::CampaignTranscript`] (reachable through
+/// [`ProbeEngine::backend`]) for bit-identical offline replay.
+pub fn recording_prober_for(
+    scenario: &Scenario,
+    config: ProbeEngineConfig,
+    fault: FaultConfig,
+) -> ProbeEngine<RecordingBackend<FaultyBackend<SimTraceBackend>>> {
+    let backend = RecordingBackend::new(FaultyBackend::new(
+        SimTraceBackend::new(
+            Arc::new(scenario.world.clone()),
+            &scenario.timeline,
+            scenario.seed ^ 0x9B0E,
+        ),
+        fault,
+    ));
+    ProbeEngine::with_async(
         backend,
         vantage_registry_for(&scenario.world),
         scenario.detector_colo(),
@@ -249,6 +303,24 @@ pub fn detector_with_prober(scenario: &Scenario, config: KeplerConfig) -> Kepler
 pub fn detector_with_lifecycle(scenario: &Scenario, config: KeplerConfig) -> Kepler {
     let restoration = prober_for(scenario, ProbeEngineConfig::default());
     detector_with_prober(scenario, config).with_restoration_prober(Box::new(restoration))
+}
+
+/// [`detector_with_lifecycle`] under fault injection: both the validation
+/// and the restoration engine measure through a [`FaultyBackend`], so the
+/// whole detector can be exercised against probe loss, deadline blowouts
+/// and scripted brownouts. With losses past the completeness quorum the
+/// system degrades to passive verdicts (`ClassCounts::degraded_passive`)
+/// instead of blocking — the chaos suite asserts exactly that.
+pub fn detector_with_faulty_prober(
+    scenario: &Scenario,
+    config: KeplerConfig,
+    fault: FaultConfig,
+) -> Kepler {
+    let prober = faulty_prober_for(scenario, ProbeEngineConfig::default(), fault.clone());
+    let restoration = faulty_prober_for(scenario, ProbeEngineConfig::default(), fault);
+    detector_for(scenario, config)
+        .with_prober(Box::new(prober))
+        .with_restoration_prober(Box::new(restoration))
 }
 
 /// Builds a detector for a scenario: mined dictionary, merged colocation
