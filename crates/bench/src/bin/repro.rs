@@ -225,14 +225,58 @@ fn bench_monitor_json() {
     assert!(faulty_verdicts > 0, "faulty probe bench must still judge candidates");
     let faulty_vps = faulty_verdicts as f64 / faulty_secs;
 
+    eprintln!("[bench: scenario fuzzer, generate->simulate->detect->check...]");
+    const FUZZ_WORLDS: u64 = 8;
+    let mut fuzz_violations = 0usize;
+    let t = Instant::now();
+    for seed in 0..FUZZ_WORLDS {
+        fuzz_violations += kepler::fuzz_harness::check_seed(seed).violations.len();
+    }
+    let fuzz_secs = t.elapsed().as_secs_f64();
+    assert_eq!(fuzz_violations, 0, "fuzz bench seeds must hold the invariants");
+    let fuzz_wps = FUZZ_WORLDS as f64 / fuzz_secs;
+
     let rss = peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"fuzz\": {{ \"seconds\": {fuzz_secs:.3}, \"worlds\": {FUZZ_WORLDS}, \"fuzz_worlds_per_sec\": {fuzz_wps:.1} }},\n  \"peak_rss_bytes\": {}\n}}\n",
         rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
     );
     std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");
     println!("{json}");
     println!("wrote BENCH_monitor.json");
+}
+
+/// Replays one fuzzer world — from its seed or from a serialized
+/// `target/fuzz-artifacts/seed-<N>.script` — prints the script, the
+/// ground truth, every detector report and every invariant violation,
+/// and exits non-zero when any invariant failed. This is the
+/// one-command local reproduction for a CI scenario-fuzz failure.
+fn fuzz_replay(verdict: kepler::fuzz_harness::FuzzVerdict) -> ! {
+    println!("================ fuzz world: seed {} ================", verdict.script.seed);
+    println!("{}", verdict.script.render());
+    println!("ground truth ({} outage(s)):", verdict.truth.len());
+    for t in &verdict.truth {
+        println!(
+            "  {:?} start={} duration={}s aliases={:?}",
+            t.scope, t.start, t.duration, t.aliases
+        );
+    }
+    println!("detector reports ({}):", verdict.reports.len());
+    for r in &verdict.reports {
+        println!(
+            "  {:?} start={} end={:?} state={:?} oscillations={} validation={:?} dataplane={:?}",
+            r.scope, r.start, r.end, r.state, r.oscillations, r.validation, r.dataplane_confirmed
+        );
+    }
+    if verdict.ok() {
+        println!("invariants: OK");
+        std::process::exit(0);
+    }
+    println!("invariant violations ({}):", verdict.violations.len());
+    for v in &verdict.violations {
+        println!("  {v}");
+    }
+    std::process::exit(1);
 }
 
 fn main() {
@@ -250,12 +294,24 @@ fn main() {
                 bench_monitor_json();
                 return;
             }
+            "--fuzz-seed" => {
+                let seed: u64 = it.next().and_then(|s| s.parse().ok()).expect("--fuzz-seed N");
+                fuzz_replay(kepler::fuzz_harness::check_seed(seed));
+            }
+            "--fuzz-script" => {
+                let path = it.next().expect("--fuzz-script PATH");
+                let text =
+                    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+                let script = kepler::netsim::fuzz::ScenarioScript::parse(&text)
+                    .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+                fuzz_replay(kepler::fuzz_harness::check_script(&script));
+            }
             other => wanted.push(other.to_string()),
         }
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--compact] [--bench] <exp>...\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all\n  --bench: run the monitor throughput benchmark and write BENCH_monitor.json"
+            "usage: repro [--seed N] [--compact] [--bench] [--fuzz-seed N] [--fuzz-script PATH] <exp>...\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all\n  --bench: run the monitor throughput benchmark and write BENCH_monitor.json\n  --fuzz-seed N: replay generated fuzz world N through the invariant checker (exit 1 on violation)\n  --fuzz-script PATH: replay a serialized fuzz artifact (target/fuzz-artifacts/seed-N.script)"
         );
         std::process::exit(2);
     }

@@ -15,11 +15,12 @@ use std::collections::BTreeMap;
 /// carrying none of these are ignored; a key present in only one
 /// document (a benchmark added or retired across PRs) is informational
 /// and never fails the gate.
-pub const THROUGHPUT_KEYS: [&str; 4] = [
+pub const THROUGHPUT_KEYS: [&str; 5] = [
     "events_per_sec",
     "probe_verdicts_per_sec",
     "probe_batched_verdicts_per_sec",
     "probe_faulty_verdicts_per_sec",
+    "fuzz_worlds_per_sec",
 ];
 
 /// Extracts `section name → throughput` from a `BENCH_monitor.json`
@@ -259,6 +260,25 @@ mod tests {
         let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
         assert!(gate_fails(&verdicts));
         assert!(verdicts.iter().any(|v| v.metric == "probe_faulty" && v.regressed));
+    }
+
+    #[test]
+    fn fuzz_metric_parses_and_old_baselines_tolerate_it() {
+        // The scenario-fuzzer row added with the diversity engine:
+        // baselines recorded before it existed must still gate cleanly.
+        let fresh_doc = format!(
+            "{BASELINE}\n\"fuzz\": {{ \"seconds\": 0.4, \"worlds\": 8, \"fuzz_worlds_per_sec\": 20.0 }}\n"
+        );
+        let fresh = parse_events_per_sec(&fresh_doc);
+        assert_eq!(fresh["fuzz"], 20.0);
+        let old_base = parse_events_per_sec(BASELINE);
+        assert!(!gate_fails(&compare(&old_base, &fresh, 0.25)));
+        // Both documents carrying it: a regression is caught.
+        let slow =
+            fresh_doc.replace("\"fuzz_worlds_per_sec\": 20.0", "\"fuzz_worlds_per_sec\": 5.0");
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "fuzz" && v.regressed));
     }
 
     #[test]

@@ -58,6 +58,20 @@ pub struct KeplerConfig {
     pub restore_probe_initial_secs: u64,
     /// Ceiling of the restoration re-probe backoff: **1 h**.
     pub restore_probe_max_secs: u64,
+    /// Opening hysteresis: a localized signal must recur in this many
+    /// consecutive bins before an incident opens. **1** (open on the
+    /// first signal — the paper's behavior). Raising it suppresses
+    /// single-bin flaps at the cost of detection delay; the incident's
+    /// start is backdated to the first bin of the streak.
+    pub open_after_consecutive: usize,
+    /// Closing hysteresis: the BGP watch list must stay above
+    /// [`Self::restore_fraction`] for this many consecutive restoration
+    /// checks before the incident closes. **1** (close on the first
+    /// restored bin — the paper's behavior). Raising it keeps a flapping
+    /// facility in one `Open`↔`Recovering` incident instead of emitting
+    /// an open/close train; the close is backdated to the first restored
+    /// check of the streak.
+    pub close_after_consecutive: usize,
 }
 
 impl Default for KeplerConfig {
@@ -79,6 +93,8 @@ impl Default for KeplerConfig {
             evidence_reuse_confidence: 0.5,
             restore_probe_initial_secs: 300,
             restore_probe_max_secs: 3_600,
+            open_after_consecutive: 1,
+            close_after_consecutive: 1,
         }
     }
 }
@@ -98,6 +114,16 @@ impl KeplerConfig {
         self.refresh_secs = secs;
         self
     }
+
+    /// Sets the open/close hysteresis thresholds (consecutive bins of
+    /// signal before an incident opens, consecutive restored checks
+    /// before it closes). Both default to 1, which is the paper's
+    /// no-hysteresis behavior.
+    pub fn with_hysteresis(mut self, open: usize, close: usize) -> Self {
+        self.open_after_consecutive = open.max(1);
+        self.close_after_consecutive = close.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +140,8 @@ mod tests {
         assert!((c.restore_fraction - 0.5).abs() < 1e-9);
         assert_eq!(c.merge_window_secs, 43_200);
         assert_eq!(c.trackable_min_members, 6);
+        assert_eq!(c.open_after_consecutive, 1, "no opening hysteresis by default");
+        assert_eq!(c.close_after_consecutive, 1, "no closing hysteresis by default");
     }
 
     #[test]
@@ -122,5 +150,12 @@ mod tests {
         assert!((c.t_fail - 0.02).abs() < 1e-9);
         assert_eq!(c.stable_secs, 100);
         assert_eq!(c.refresh_secs, 100);
+        let c = KeplerConfig::default().with_hysteresis(3, 2);
+        assert_eq!(c.open_after_consecutive, 3);
+        assert_eq!(c.close_after_consecutive, 2);
+        // Zero would deadlock the lifecycle; it clamps to 1.
+        let c = KeplerConfig::default().with_hysteresis(0, 0);
+        assert_eq!(c.open_after_consecutive, 1);
+        assert_eq!(c.close_after_consecutive, 1);
     }
 }

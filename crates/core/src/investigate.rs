@@ -22,6 +22,7 @@
 use crate::config::KeplerConfig;
 use crate::events::{OutageScope, RouteKey, SignalClass};
 use crate::monitor::{BinOutcome, OutageSignal};
+use crate::remote::RemotenessMap;
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
 use kepler_docmine::LocationTag;
@@ -152,6 +153,9 @@ pub struct Investigator {
     config: KeplerConfig,
     colo: ColocationMap,
     orgs: OrgMap,
+    /// Latency-derived remote-peering evidence ([`crate::remote`]).
+    /// Empty by default — every member is then treated as colocated.
+    remoteness: RemotenessMap,
 }
 
 struct Coverage {
@@ -174,12 +178,32 @@ impl Investigator {
     /// Builds an investigator over the detector's colocation map and
     /// organization map.
     pub fn new(config: KeplerConfig, colo: ColocationMap, orgs: OrgMap) -> Self {
-        Investigator { config, colo, orgs }
+        Investigator { config, colo, orgs, remoteness: RemotenessMap::default() }
+    }
+
+    /// Attaches remote-peering evidence: far-end ASes flagged remote at
+    /// an exchange no longer nominate their (distant) home facilities as
+    /// epicenter candidates for signals in that exchange's metro.
+    pub fn with_remoteness(mut self, remoteness: RemotenessMap) -> Self {
+        self.remoteness = remoteness;
+        self
     }
 
     /// The colocation map in use.
     pub fn colo(&self) -> &ColocationMap {
         &self.colo
+    }
+
+    /// Whether an affected far-end AS's involvement at this metro is
+    /// explained by remote peering: the latency heuristic flags it as
+    /// remote at an IXP located in `city`. Its own facility tenancies
+    /// (in its home metro) are then not epicenter evidence.
+    fn remote_at_metro(&self, a: Asn, city: Option<CityId>) -> bool {
+        if self.remoteness.is_empty() {
+            return false;
+        }
+        let Some(city) = city else { return false };
+        self.colo.ixps_in_city(city).into_iter().any(|x| self.remoteness.is_remote(x, a))
     }
 
     /// The city a PoP tag belongs to, for cross-PoP signal correlation.
@@ -417,7 +441,8 @@ impl Investigator {
                     });
                 }
                 // 2. Far-end facilities.
-                let far = self.far_candidates(affected_far, stable_fars, Some(f));
+                let far =
+                    self.far_candidates(affected_far, stable_fars, Some(f), self.pop_city(&pop));
                 let passing: Vec<FacilityCandidate> =
                     far.iter().filter(|c| c.coverage >= margin).copied().collect();
                 match passing.len() {
@@ -476,7 +501,7 @@ impl Investigator {
                 if cov.denom >= 1 && cov.fraction() >= margin {
                     return confident(OutageScope::Ixp(x));
                 }
-                let far = self.far_candidates(affected_far, stable_fars, None);
+                let far = self.far_candidates(affected_far, stable_fars, None, self.pop_city(&pop));
                 let passing: Vec<FacilityCandidate> =
                     far.iter().filter(|c| c.coverage >= margin).copied().collect();
                 match passing.len() {
@@ -604,10 +629,17 @@ impl Investigator {
         affected_far: &BTreeSet<Asn>,
         stable_fars: &BTreeMap<Asn, usize>,
         exclude: Option<FacilityId>,
+        signal_city: Option<CityId>,
     ) -> Vec<FacilityCandidate> {
         let margin = self.config.colo_margin;
         let mut candidates: BTreeSet<FacilityId> = BTreeSet::new();
         for a in affected_far {
+            // A far end peering remotely at this metro was hit through
+            // its reseller port on the fabric, not through any building
+            // it is a tenant of — its home facilities are no evidence.
+            if self.remote_at_metro(*a, signal_city) {
+                continue;
+            }
             candidates.extend(self.colo.facilities_of_as(*a));
         }
         if let Some(f) = exclude {

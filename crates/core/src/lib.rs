@@ -13,7 +13,9 @@
 //! 3. [`investigate`] — classify concurrent signals as link-level,
 //!    AS-level, operator-level or PoP-level, then disambiguate the true
 //!    epicenter with the colocation map (the 95% co-location rule,
-//!    facility↔IXP resolution escalation, city abstraction).
+//!    facility↔IXP resolution escalation, city abstraction). Members
+//!    flagged remote at an exchange by the latency heuristic
+//!    ([`remote`]) never vote for that metro's buildings.
 //! 4. [`dataplane`] — optionally confirm incidents and their durations
 //!    against traceroute measurements, eliminating false positives
 //!    (low-confidence localizations additionally go to the `kepler-probe`
@@ -62,6 +64,7 @@ pub mod intern;
 pub mod investigate;
 pub mod metrics;
 pub mod monitor;
+pub mod remote;
 pub mod shard;
 pub mod system;
 pub mod tracker;
@@ -73,5 +76,6 @@ pub use events::{
 pub use ingest::ParallelIngest;
 pub use intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId};
 pub use investigate::{FacilityCandidate, Localization, PendingIncident};
+pub use remote::RemotenessMap;
 pub use shard::{AnyMonitor, ShardedMonitor};
 pub use system::{Kepler, KeplerInputs};

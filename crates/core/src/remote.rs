@@ -1,0 +1,188 @@
+//! Remote-peering detection ("O Peer, Where Art Thou?", arXiv:1911.04924).
+//!
+//! A remote peer joins an IXP through a layer-2 reseller: it appears on
+//! the peering LAN and in the IXP's member list, but has no router in any
+//! facility hosting the fabric. The localization inference (membership →
+//! building) is blind to this — a remote member affected by a fabric
+//! outage would vote for the facilities of its *distant home metro*,
+//! mislocalizing the epicenter.
+//!
+//! The classical detection heuristic is latency-based: on a traceroute
+//! entering the peering LAN, the RTT step from the previous hop to the
+//! member's LAN interface approximates the propagation delay between the
+//! exchange and the member's router. Colocated members answer from the
+//! same building (sub-millisecond step); remote members answer from the
+//! far end of their reseller circuit (≥ ~10 ms for a different metro).
+//! [`RemotenessMap`] accumulates the **minimum** observed step per
+//! (IXP, member) — the minimum over repeated measurements converges on
+//! propagation delay, discarding queueing jitter — and flags a member as
+//! remote when it stays above a threshold.
+//!
+//! The map is built offline from quiet-time measurement campaigns and
+//! attached to the investigator
+//! ([`crate::investigate::Investigator::with_remoteness`]); an empty map
+//! (the default) changes nothing.
+
+use kepler_bgp::Asn;
+use kepler_probe::{IfaceOwner, TraceHop};
+use kepler_topology::IxpId;
+use std::collections::BTreeMap;
+
+/// Minimum LAN-entry RTT step, in milliseconds, at which a member is
+/// considered remote. Colocated members step <1 ms (intra-building),
+/// remote ones ≥10 ms (inter-metro circuits); 5 ms splits the bimodal
+/// distribution with slack on both sides.
+pub const DEFAULT_REMOTE_THRESHOLD_MS: f64 = 5.0;
+
+/// Per-(IXP, member) remoteness evidence from traceroute observations.
+#[derive(Debug, Clone)]
+pub struct RemotenessMap {
+    /// (ixp, asn) → minimum observed RTT step onto the peering LAN (ms).
+    min_step_ms: BTreeMap<(u32, u32), f64>,
+    threshold_ms: f64,
+}
+
+impl Default for RemotenessMap {
+    fn default() -> Self {
+        RemotenessMap { min_step_ms: BTreeMap::new(), threshold_ms: DEFAULT_REMOTE_THRESHOLD_MS }
+    }
+}
+
+impl RemotenessMap {
+    /// An empty map with the default threshold. Until observations are
+    /// fed in, every membership looks colocated (nothing is skipped).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the remoteness threshold (milliseconds).
+    pub fn with_threshold_ms(mut self, ms: f64) -> Self {
+        self.threshold_ms = ms;
+        self
+    }
+
+    /// Folds one traceroute into the evidence: every hop owned by an IXP
+    /// LAN interface contributes its RTT step from the previous hop
+    /// (clamped at zero) to the (IXP, member) minimum. A LAN hop with no
+    /// predecessor is skipped — there is no step to measure.
+    pub fn observe_trace(&mut self, hops: &[TraceHop]) {
+        for w in hops.windows(2) {
+            let IfaceOwner::IxpLan { asn, ixp } = w[1].owner else { continue };
+            let step = (w[1].rtt_ms - w[0].rtt_ms).max(0.0);
+            self.min_step_ms.entry((ixp.0, asn.0)).and_modify(|m| *m = m.min(step)).or_insert(step);
+        }
+    }
+
+    /// The minimum observed LAN-entry step for this membership, if any.
+    pub fn step_ms(&self, ixp: IxpId, asn: Asn) -> Option<f64> {
+        self.min_step_ms.get(&(ixp.0, asn.0)).copied()
+    }
+
+    /// Whether the member looks remote at this exchange: its minimum
+    /// observed step stays at or above the threshold. Unobserved
+    /// memberships are never remote (the inference stays conservative).
+    pub fn is_remote(&self, ixp: IxpId, asn: Asn) -> bool {
+        self.step_ms(ixp, asn).map(|s| s >= self.threshold_ms).unwrap_or(false)
+    }
+
+    /// Whether the member looks remote at *any* observed exchange.
+    pub fn is_remote_anywhere(&self, asn: Asn) -> bool {
+        self.min_step_ms.iter().any(|(&(_, a), &s)| a == asn.0 && s >= self.threshold_ms)
+    }
+
+    /// Number of (IXP, member) pairs with at least one observation.
+    pub fn len(&self) -> usize {
+        self.min_step_ms.len()
+    }
+
+    /// Whether no membership has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.min_step_ms.is_empty()
+    }
+
+    /// Observed memberships flagged remote, sorted.
+    pub fn remote_members(&self) -> Vec<(IxpId, Asn)> {
+        self.min_step_ms
+            .iter()
+            .filter(|(_, &s)| s >= self.threshold_ms)
+            .map(|(&(x, a), _)| (IxpId(x), Asn(a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::IpAddr;
+
+    fn hop(addr: u8, owner: IfaceOwner, rtt_ms: f64) -> TraceHop {
+        TraceHop { addr: IpAddr::from([10, 0, 0, addr]), owner, rtt_ms }
+    }
+
+    fn fac(asn: u32, f: u32) -> IfaceOwner {
+        IfaceOwner::FacilityPort { asn: Asn(asn), facility: kepler_topology::FacilityId(f) }
+    }
+
+    fn lan(asn: u32, x: u32) -> IfaceOwner {
+        IfaceOwner::IxpLan { asn: Asn(asn), ixp: kepler_topology::IxpId(x) }
+    }
+
+    #[test]
+    fn colocated_vs_remote_steps() {
+        let mut m = RemotenessMap::new();
+        // Colocated member: sub-millisecond step onto the LAN.
+        m.observe_trace(&[hop(1, fac(10, 0), 4.0), hop(2, lan(20, 7), 4.6)]);
+        // Remote member: an inter-metro reseller tail.
+        m.observe_trace(&[hop(1, fac(10, 0), 4.0), hop(3, lan(30, 7), 22.0)]);
+        assert!(!m.is_remote(IxpId(7), Asn(20)));
+        assert!(m.is_remote(IxpId(7), Asn(30)));
+        assert!(m.is_remote_anywhere(Asn(30)));
+        assert!(!m.is_remote_anywhere(Asn(20)));
+        assert_eq!(m.remote_members(), vec![(IxpId(7), Asn(30))]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn minimum_wins_over_jitter_spikes() {
+        let mut m = RemotenessMap::new();
+        // A queueing spike makes a colocated member look remote once...
+        m.observe_trace(&[hop(1, fac(10, 0), 4.0), hop(2, lan(20, 7), 19.0)]);
+        assert!(m.is_remote(IxpId(7), Asn(20)));
+        // ...but the minimum over later quiet measurements recovers the
+        // propagation delay.
+        m.observe_trace(&[hop(1, fac(10, 0), 4.0), hop(2, lan(20, 7), 4.5)]);
+        assert!(!m.is_remote(IxpId(7), Asn(20)));
+        assert!(m.step_ms(IxpId(7), Asn(20)).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn empty_map_flags_nothing() {
+        let m = RemotenessMap::new();
+        assert!(m.is_empty());
+        assert!(!m.is_remote(IxpId(0), Asn(1)));
+        assert!(!m.is_remote_anywhere(Asn(1)));
+        assert!(m.remote_members().is_empty());
+    }
+
+    #[test]
+    fn leading_lan_hop_and_negative_steps_are_safe() {
+        let mut m = RemotenessMap::new();
+        // A trace *starting* on the LAN has no step to measure.
+        m.observe_trace(&[hop(2, lan(20, 7), 3.0)]);
+        assert!(m.is_empty());
+        // Clock skew producing a negative step clamps to zero.
+        m.observe_trace(&[hop(1, fac(10, 0), 9.0), hop(2, lan(20, 7), 8.0)]);
+        assert_eq!(m.step_ms(IxpId(7), Asn(20)), Some(0.0));
+        assert!(!m.is_remote(IxpId(7), Asn(20)));
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        let mut m = RemotenessMap::new().with_threshold_ms(5.0);
+        m.observe_trace(&[hop(1, fac(10, 0), 0.0), hop(2, lan(20, 7), 5.0)]);
+        assert!(m.is_remote(IxpId(7), Asn(20)), "exactly at threshold counts as remote");
+        let mut m = RemotenessMap::new().with_threshold_ms(5.0);
+        m.observe_trace(&[hop(1, fac(10, 0), 0.0), hop(2, lan(20, 7), 4.999)]);
+        assert!(!m.is_remote(IxpId(7), Asn(20)));
+    }
+}

@@ -178,6 +178,16 @@ impl Kepler {
         self
     }
 
+    /// Attaches remote-peering evidence ([`crate::remote`]) to the
+    /// investigator: members the latency heuristic flags as remote at an
+    /// exchange never nominate their distant home facilities as
+    /// epicenter candidates for that metro's signals. An empty map (the
+    /// default) changes nothing.
+    pub fn with_remoteness(mut self, remoteness: crate::remote::RemotenessMap) -> Self {
+        self.investigator = self.investigator.with_remoteness(remoteness);
+        self
+    }
+
     /// Replaces the serial decode stage with an N-way parallel ingest
     /// pipeline ([`ParallelIngest`]). Must be called before the first
     /// record is processed (per-session decode state is not migrated).

@@ -109,6 +109,13 @@ struct Ongoing {
     /// First `Restored` verdict of the current streak — the close time if
     /// the next check confirms (`None` once a `StillDown` interrupts).
     probe_restored_at: Option<Timestamp>,
+    /// Consecutive BGP restoration checks above `restore_fraction`
+    /// (closing hysteresis; resets on any non-restored check or new
+    /// deviation signals).
+    restored_streak: usize,
+    /// First check of the current restored streak — the close anchor
+    /// once the streak reaches `close_after_consecutive`.
+    restored_first: Option<Timestamp>,
 }
 
 impl Ongoing {
@@ -123,7 +130,7 @@ impl Ongoing {
     }
 
     fn live_state(&self) -> IncidentState {
-        if self.probe_restored_at.is_some() {
+        if self.probe_restored_at.is_some() || self.restored_streak > 0 {
             IncidentState::Recovering
         } else {
             IncidentState::Open
@@ -144,6 +151,10 @@ pub struct Tracker {
     fac_city: HashMap<u32, CityId>,
     /// IXP → city.
     ixp_city: HashMap<u32, CityId>,
+    /// Opening hysteresis state: scope → (consecutive signal bins so
+    /// far, last bin seen, first bin of the streak). Only populated when
+    /// `open_after_consecutive > 1`.
+    warming: HashMap<OutageScope, (usize, Timestamp, Timestamp)>,
 }
 
 impl Tracker {
@@ -303,6 +314,8 @@ impl Tracker {
                 // New signals mean the epicenter is still (or again)
                 // misbehaving: any in-flight restoration streak is stale.
                 on.probe_restored_at = None;
+                on.restored_streak = 0;
+                on.restored_first = None;
                 on.scope = self.merged_scope(key, inc.scope);
                 // A previously separate ongoing entry under the merged
                 // scope is the same incident too.
@@ -374,6 +387,8 @@ impl Tracker {
                         next_probe: inc.bin_start.saturating_add(backoff.first()),
                         probe_backoff: backoff.first(),
                         probe_restored_at: None,
+                        restored_streak: 0,
+                        restored_first: None,
                     };
                     on.affected_near.extend(inc.affected_near.iter().copied());
                     on.affected_far.extend(inc.affected_far.iter().copied());
@@ -395,13 +410,39 @@ impl Tracker {
                 // Too old: the cooled incident is final.
                 self.finish_report(report);
             }
+            // Opening hysteresis: a brand-new incident only opens once
+            // the signal has recurred in `open_after_consecutive`
+            // consecutive bins (record() is only called for bins that
+            // carry signals, so "consecutive" is a bounded gap between
+            // signal bins). The start backdates to the streak's first
+            // bin. With the default threshold of 1 this is a no-op.
+            let mut started = inc.bin_start;
+            if self.config.open_after_consecutive > 1 {
+                let max_gap = 2 * self.config.bin_secs;
+                let (streak, first) = match self.warming.get(&inc.scope) {
+                    // Same bin re-localized: no double counting.
+                    Some(&(streak, last, first)) if inc.bin_start == last => (streak, first),
+                    Some(&(streak, last, first))
+                        if inc.bin_start > last && inc.bin_start - last <= max_gap =>
+                    {
+                        (streak + 1, first)
+                    }
+                    _ => (1, inc.bin_start),
+                };
+                if streak < self.config.open_after_consecutive {
+                    self.warming.insert(inc.scope, (streak, inc.bin_start, first));
+                    continue;
+                }
+                self.warming.remove(&inc.scope);
+                started = first;
+            }
             self.ongoing.insert(
                 inc.scope,
                 Ongoing {
                     scope: inc.scope,
-                    started: inc.bin_start,
+                    started,
                     prior_duration: 0,
-                    segment_start: inc.bin_start,
+                    segment_start: started,
                     oscillations: 1,
                     affected_near: inc.affected_near.clone(),
                     affected_far: inc.affected_far.clone(),
@@ -420,6 +461,8 @@ impl Tracker {
                     next_probe: inc.bin_start.saturating_add(backoff.first()),
                     probe_backoff: backoff.first(),
                     probe_restored_at: None,
+                    restored_streak: 0,
+                    restored_first: None,
                 },
             );
         }
@@ -535,9 +578,32 @@ impl Tracker {
                 }
             };
             if !restored {
+                // A non-restored check breaks the closing streak: the
+                // watch list dipped back below `restore_fraction`.
+                let on = self.ongoing.get_mut(&scope).expect("present");
+                on.restored_streak = 0;
+                on.restored_first = None;
                 continue;
             }
+            {
+                // Closing hysteresis: the watch list must stay restored
+                // for `close_after_consecutive` checks before the close
+                // fires (threshold 1 = close immediately, the paper's
+                // behavior). A flapping epicenter keeps breaking the
+                // streak and stays one Open↔Recovering incident.
+                let on = self.ongoing.get_mut(&scope).expect("present");
+                on.restored_streak += 1;
+                if on.restored_first.is_none() {
+                    on.restored_first = Some(now);
+                }
+                if on.restored_streak < self.config.close_after_consecutive {
+                    continue;
+                }
+            }
             let on = self.ongoing.remove(&scope).expect("present");
+            // The close anchors at the *first* restored check of the
+            // streak — the later checks only confirmed it.
+            let anchor = on.restored_first.unwrap_or(now).min(now);
             // If probes recently observed the data plane restored, the
             // outage ended then — BGP reconvergence lag is not downtime.
             // A single Restored verdict does not close on its own, but
@@ -549,9 +615,9 @@ impl Tracker {
             let fresh_window = self.backoff().first().saturating_add(self.config.bin_secs);
             let end = on
                 .probe_restored_at
-                .filter(|&t| now.saturating_sub(t) <= fresh_window)
-                .unwrap_or(now)
-                .min(now);
+                .filter(|&t| anchor.saturating_sub(t) <= fresh_window)
+                .unwrap_or(anchor)
+                .min(anchor);
             let entry = self.close_report(on, end);
             self.cooling.insert(scope, entry);
         }
@@ -1156,6 +1222,129 @@ mod tests {
         t.probe_restorations(u64::MAX, &mut prober);
         t.check_restorations(u64::MAX, &mut monitor_with(&mut interner, &[]));
         assert_eq!(t.ongoing_count(), 1, "incident survives without panicking");
+    }
+
+    #[test]
+    fn closing_hysteresis_holds_until_the_streak_and_backdates_the_close() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(1, 3));
+        t.record(&[incident(1000, &[0, 1, 2, 3])], &[IncidentMeta::default()], &mut interner);
+        // First two restored checks: Recovering, not closed.
+        t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1, 2]));
+        assert_eq!(t.ongoing_count(), 1);
+        assert_eq!(
+            t.live_states(),
+            vec![(OutageScope::Facility(FacilityId(1)), IncidentState::Recovering)]
+        );
+        t.check_restorations(2060, &mut monitor_with(&mut interner, &[0, 1, 2]));
+        assert_eq!(t.ongoing_count(), 1);
+        // Third consecutive restored check closes, backdated to the
+        // streak's first check.
+        t.check_restorations(2120, &mut monitor_with(&mut interner, &[0, 1, 2]));
+        assert_eq!(t.ongoing_count(), 0);
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].end, Some(2000), "close anchors at the streak's first check");
+    }
+
+    #[test]
+    fn closing_hysteresis_exactly_at_threshold() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(1, 2));
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        // One restored check: one short of the threshold.
+        t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
+        assert_eq!(t.ongoing_count(), 1, "streak of 1 < threshold 2 must not close");
+        // Exactly at the threshold: closes.
+        t.check_restorations(2060, &mut monitor_with(&mut interner, &[0, 1]));
+        assert_eq!(t.ongoing_count(), 0, "streak of 2 == threshold 2 closes");
+        assert_eq!(t.finish()[0].end, Some(2000));
+    }
+
+    #[test]
+    fn a_dip_resets_the_closing_streak() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(1, 2));
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
+        // The watch list dips below restore_fraction: streak resets.
+        t.check_restorations(2060, &mut monitor_with(&mut interner, &[]));
+        assert_eq!(
+            t.live_states(),
+            vec![(OutageScope::Facility(FacilityId(1)), IncidentState::Open)],
+            "a broken streak is Open again, not Recovering"
+        );
+        t.check_restorations(2120, &mut monitor_with(&mut interner, &[0, 1]));
+        assert_eq!(t.ongoing_count(), 1, "post-dip streak restarts at 1");
+        t.check_restorations(2180, &mut monitor_with(&mut interner, &[0, 1]));
+        assert_eq!(t.ongoing_count(), 0);
+        assert_eq!(t.finish()[0].end, Some(2120), "close anchors after the dip");
+    }
+
+    #[test]
+    fn new_signals_reset_the_closing_streak() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(1, 2));
+        t.record(&[incident(1000, &[0, 1])], &[IncidentMeta::default()], &mut interner);
+        t.check_restorations(2000, &mut monitor_with(&mut interner, &[0, 1]));
+        // Fresh deviation signals between restored checks: the epicenter
+        // is flapping, the streak must not survive.
+        t.record(&[incident(2030, &[2, 3])], &[IncidentMeta::default()], &mut interner);
+        t.check_restorations(2060, &mut monitor_with(&mut interner, &[0, 1, 2, 3]));
+        assert_eq!(t.ongoing_count(), 1, "streak restarted after new signals");
+        t.check_restorations(2120, &mut monitor_with(&mut interner, &[0, 1, 2, 3]));
+        assert_eq!(t.ongoing_count(), 0);
+        assert_eq!(t.finish()[0].end, Some(2060));
+    }
+
+    #[test]
+    fn opening_hysteresis_defers_then_backdates_the_start() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(3, 1));
+        // Two consecutive signal bins: one short of the threshold — no
+        // incident yet.
+        t.record(&[incident(1000, &[0])], &[IncidentMeta::default()], &mut interner);
+        t.record(&[incident(1060, &[1])], &[IncidentMeta::default()], &mut interner);
+        assert_eq!(t.ongoing_count(), 0, "below the opening threshold");
+        assert!(t.live_states().is_empty());
+        // Exactly at the threshold: opens, start backdated to the first
+        // bin of the streak.
+        t.record(&[incident(1120, &[2])], &[IncidentMeta::default()], &mut interner);
+        assert_eq!(t.ongoing_count(), 1);
+        let reports = t.finish();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].start, 1000, "start backdates to the streak's first bin");
+    }
+
+    #[test]
+    fn opening_hysteresis_gap_resets_the_streak() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(2, 1));
+        t.record(&[incident(1000, &[0])], &[IncidentMeta::default()], &mut interner);
+        // Next signal bin arrives beyond the 2-bin consecutiveness gap:
+        // the streak restarts instead of opening.
+        t.record(&[incident(1300, &[1])], &[IncidentMeta::default()], &mut interner);
+        assert_eq!(t.ongoing_count(), 0, "non-consecutive bins do not accumulate");
+        // A genuinely consecutive follow-up opens, backdated to 1300.
+        t.record(&[incident(1360, &[2])], &[IncidentMeta::default()], &mut interner);
+        assert_eq!(t.ongoing_count(), 1);
+        assert_eq!(t.finish()[0].start, 1300);
+    }
+
+    #[test]
+    fn single_bin_flap_never_opens_under_opening_hysteresis() {
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(2, 1));
+        // Isolated single-bin blips, each far from the next: none opens.
+        for k in 0..5u64 {
+            t.record(
+                &[incident(1000 + k * 1000, &[k as u8])],
+                &[IncidentMeta::default()],
+                &mut interner,
+            );
+        }
+        assert_eq!(t.ongoing_count(), 0);
+        assert!(t.finish().is_empty(), "no incident, no report");
     }
 
     #[test]

@@ -329,13 +329,30 @@ impl<'w> DataplaneSim<'w> {
             // The responding interface is the far-end router's ingress port:
             // the IXP LAN address for public peering, else its facility port.
             let (owner, addr, point) = if let Some(x) = v.ixp {
-                let p = self
+                // A remote member's LAN interface answers from the far
+                // end of its reseller circuit — its home metro — not
+                // from the exchange's city. This is what makes remote
+                // peering *latency-visible*: the RTT step onto the LAN
+                // carries the reseller tail, which the detector-side
+                // heuristic (`kepler_core::remote`) keys on.
+                let remote_home = self
                     .world
-                    .colo
-                    .ixp(x)
-                    .map(|i| self.world.gazetteer.cities()[i.city.0 as usize].point)
-                    .unwrap_or(here);
-                (IfaceOwner::IxpLan { asn: v.far, ixp: x }, self.ixp_lan_addr(v.far, x), p)
+                    .asn_to_idx
+                    .get(&v.far)
+                    .map(|i| &self.world.ases[i.0 as usize])
+                    .filter(|n| n.remote_ixps.contains(&x))
+                    .map(|n| self.world.gazetteer.cities()[n.info.home_city.0 as usize].point);
+                let p = remote_home.or_else(|| {
+                    self.world
+                        .colo
+                        .ixp(x)
+                        .map(|i| self.world.gazetteer.cities()[i.city.0 as usize].point)
+                });
+                (
+                    IfaceOwner::IxpLan { asn: v.far, ixp: x },
+                    self.ixp_lan_addr(v.far, x),
+                    p.unwrap_or(here),
+                )
             } else if let Some(f) = v.far_fac.or(v.near_fac) {
                 let p = self.world.colo.facility(f).map(|f| f.point).unwrap_or(here);
                 (

@@ -34,6 +34,10 @@
 //!   that under-reports outages the way the paper measures (≈24%).
 //! * [`scenario`] — packaged experiments: the five-year study, the AMS-IX
 //!   2015 case study, and the London dual-facility disambiguation case.
+//! * [`fuzz`] — the scenario-diversity engine: seeded random worlds ×
+//!   random failure scripts (single / partial / flapping / cascade /
+//!   remote-peering archetypes), each serializable as a replayable
+//!   [`fuzz::ScenarioScript`] for CI sweeps and regression cases.
 //!
 //! # Key types
 //!
@@ -59,6 +63,7 @@ pub mod dataplane;
 pub mod engine;
 pub mod events;
 pub mod fault;
+pub mod fuzz;
 pub mod report;
 pub mod routing;
 pub mod scenario;

@@ -109,7 +109,7 @@ pub struct AsNode {
 }
 
 /// Generation parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorldConfig {
     /// Master seed; everything derives from it.
     pub seed: u64,

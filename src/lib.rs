@@ -30,6 +30,10 @@
 //!   investigation, localization and duration tracking.
 //! * [`glue`] — adapters wiring the simulator into the detector (data
 //!   plane probes, targeted-probe backends, ground-truth conversion).
+//! * [`fuzz_harness`] — runs [`netsim::fuzz`] worlds through the
+//!   detector and checks the safety invariants (no bystander blamed,
+//!   no false close, flapping convergence, remote peers never
+//!   mislocalized); failing seeds serialize to replayable artifacts.
 //!
 //! `ARCHITECTURE.md` at the repository root carries the full pipeline
 //! diagram, the dense-id data-flow and a "where does X live" crate map;
@@ -56,6 +60,7 @@
 //! println!("precision {:.2} recall {:.2}", eval.precision(), eval.recall());
 //! ```
 
+pub mod fuzz_harness;
 pub mod glue;
 
 pub use kepler_bgp as bgp;

@@ -25,20 +25,22 @@
 //! bit-identically — verdicts, evidence, retry and timeout counters —
 //! from the serialized transcript alone, with no backend behind it.
 
-use kepler::core::events::{OutageScope, ValidationStatus};
+mod common;
+
+use common::{
+    assert_confirmed_names_truth, assert_twin_never_blamed, names_down, twin_study, SLACK_SECS,
+    TWIN_SEEDS,
+};
 use kepler::core::KeplerConfig;
 use kepler::glue::{detector_with_faulty_prober, recording_prober_for, vantage_registry_for};
-use kepler::netsim::scenario::twin::TwinFacilityScenario;
 use kepler::netsim::FaultConfig;
 use kepler::probe::{ProbeEngine, ProbeEngineConfig, ProbeRequest, Prober, ReplayBackend};
-
-const SEEDS: [u64; 8] = [2, 3, 4, 5, 6, 7, 8, 9];
 
 #[test]
 fn chaos_sweep_holds_safety_invariants_under_fault_injection() {
     let mut total_degraded = 0usize;
-    for &seed in &SEEDS {
-        let study = TwinFacilityScenario::new(seed).build();
+    for &seed in &TWIN_SEEDS {
+        let study = twin_study(seed);
         let scenario = &study.scenario;
         // 30% probe loss, deadline blowouts, truncation, duplication,
         // vantage churn — plus a hard brownout from just before the
@@ -52,39 +54,20 @@ fn chaos_sweep_holds_safety_invariants_under_fault_injection() {
         let reports = detector.finalize();
         let counts = detector.class_counts();
         total_degraded += counts.degraded_passive;
-        // The healthy twin is never blamed, chaos or not.
-        assert!(
-            !reports.iter().any(|r| r.scope == OutageScope::Facility(study.twin)),
-            "seed {seed}: healthy twin blamed under fault injection: {reports:?}"
-        );
+        // The healthy twin is never blamed, chaos or not. Fault
+        // injection must not manufacture confirmations of healthy
+        // buildings either.
+        assert_twin_never_blamed(seed, "chaos", &study, &reports);
+        assert_confirmed_names_truth(seed, &study, &reports);
         for r in &reports {
-            // A probe-confirmed verdict may only name something actually
-            // dark — fault injection must not manufacture confirmations
-            // of healthy buildings.
-            if r.validation == ValidationStatus::Confirmed {
-                let names_truth = match r.scope {
-                    OutageScope::Facility(f) => f == study.down,
-                    OutageScope::City(c) => c == study.city,
-                    OutageScope::Ixp(_) => false,
-                };
-                assert!(names_truth, "seed {seed}: up facility probe-confirmed down: {r:?}");
-                assert!(
-                    !r.probe_evidence.is_empty(),
-                    "seed {seed}: confirmed report without hop evidence: {r:?}"
-                );
-            }
             // No false close: lost probes yield Inconclusive, never
             // Restored, so nothing at the failed building may end before
             // the repair (one bin of slack for close stamping).
-            let about_outage = match r.scope {
-                OutageScope::Facility(f) => f == study.down,
-                OutageScope::City(c) => c == study.city,
-                OutageScope::Ixp(_) => false,
-            };
-            if about_outage {
+            if names_down(&study, r.scope) {
                 if let Some(end) = r.end {
                     assert!(
-                        end.saturating_add(900) >= study.outage_start + study.outage_duration,
+                        end.saturating_add(SLACK_SECS)
+                            >= study.outage_start + study.outage_duration,
                         "seed {seed}: incident closed before the repair: {r:?}"
                     );
                 }
@@ -94,12 +77,12 @@ fn chaos_sweep_holds_safety_invariants_under_fault_injection() {
     // Degradation must be visible somewhere in the sweep: with a hard
     // brownout across the detection window, at least one campaign fell
     // below quorum and settled passively.
-    assert!(total_degraded > 0, "no campaign ever degraded across {} seeds", SEEDS.len());
+    assert!(total_degraded > 0, "no campaign ever degraded across {} seeds", TWIN_SEEDS.len());
 }
 
 #[test]
 fn recorded_campaign_replays_bit_identically() {
-    let study = TwinFacilityScenario::new(5).build();
+    let study = twin_study(5);
     let scenario = &study.scenario;
     let request = ProbeRequest {
         pop: kepler::docmine::LocationTag::City(study.city),

@@ -24,22 +24,13 @@
 //! run specifically via `probe_closed` — and, where the passive run also
 //! closed, the probe-driven end never comes later than BGP convergence.
 
-use kepler::core::events::{IncidentState, OutageReport, OutageScope};
+mod common;
+
+use common::{assert_twin_never_blamed, names_down, run_passive, twin_study, TWIN_SEEDS};
+use kepler::core::events::{IncidentState, OutageReport};
 use kepler::core::{Kepler, KeplerConfig};
-use kepler::glue::{detector_for, detector_with_lifecycle};
-use kepler::netsim::scenario::twin::{TwinFacilityScenario, TwinStudy};
-
-const SEEDS: [u64; 8] = [2, 3, 4, 5, 6, 7, 8, 9];
-
-/// Whether a report's scope names the study's dark building (directly or
-/// abstracted to its city by incident merging).
-fn names_down(study: &TwinStudy, scope: OutageScope) -> bool {
-    match scope {
-        OutageScope::Facility(f) => f == study.down,
-        OutageScope::City(c) => c == study.city,
-        OutageScope::Ixp(_) => false,
-    }
-}
+use kepler::glue::detector_with_lifecycle;
+use kepler::netsim::scenario::twin::TwinStudy;
 
 struct LifecycleRun {
     /// (record time, state) transition samples for the dark building.
@@ -85,11 +76,7 @@ fn assert_safety(seed: u64, label: &str, study: &TwinStudy, run: &LifecycleRun) 
             );
         }
     }
-    assert!(
-        !run.reports.iter().any(|x| x.scope == OutageScope::Facility(study.twin)),
-        "seed {seed} ({label}): healthy twin blamed: {:?}",
-        run.reports
-    );
+    assert_twin_never_blamed(seed, label, study, &run.reports);
 }
 
 /// Full lifecycle on this run: Open and Recovering both observed, and a
@@ -111,12 +98,9 @@ fn lifecycle_properties_across_seeds() {
     let mut seeds_probe_only_close = 0usize;
     let mut seeds_with_passive_close = 0usize;
     let mut seeds_not_slower_than_bgp = 0usize;
-    for &seed in &SEEDS {
-        let study = TwinFacilityScenario::new(seed).build();
-        let passive = {
-            let scenario = &study.scenario;
-            detector_for(scenario, KeplerConfig::default()).run(scenario.records())
-        };
+    for &seed in &TWIN_SEEDS {
+        let study = twin_study(seed);
+        let passive = run_passive(&study.scenario, KeplerConfig::default());
         let lifecycle =
             drive(&study, detector_with_lifecycle(&study.scenario, KeplerConfig::default()));
         // BGP restoration disabled outright (the watch fraction can never
@@ -127,10 +111,7 @@ fn lifecycle_properties_across_seeds() {
         // --- Safety: every seed, both lifecycle runs. ---
         assert_safety(seed, "default", &study, &lifecycle);
         assert_safety(seed, "probe-only-close", &study, &probe_only);
-        assert!(
-            !passive.iter().any(|x| x.scope == OutageScope::Facility(study.twin)),
-            "seed {seed} (passive): healthy twin blamed: {passive:?}"
-        );
+        assert_twin_never_blamed(seed, "passive", &study, &passive);
 
         // --- Power: measured per seed, asserted on the majority. ---
         seeds_full_lifecycle += usize::from(walked_lifecycle(&study, &lifecycle, 4 * 3600));
@@ -160,15 +141,15 @@ fn lifecycle_properties_across_seeds() {
         }
     }
     assert!(
-        seeds_full_lifecycle * 2 > SEEDS.len(),
+        seeds_full_lifecycle * 2 > TWIN_SEEDS.len(),
         "only {seeds_full_lifecycle}/{} seeds walked Open -> Recovering -> Closed",
-        SEEDS.len()
+        TWIN_SEEDS.len()
     );
     assert!(
-        seeds_probe_only_close * 2 > SEEDS.len(),
+        seeds_probe_only_close * 2 > TWIN_SEEDS.len(),
         "only {seeds_probe_only_close}/{} seeds closed via restoration probes \
          when BGP restoration was disabled",
-        SEEDS.len()
+        TWIN_SEEDS.len()
     );
     assert!(
         seeds_not_slower_than_bgp * 2 >= seeds_with_passive_close,

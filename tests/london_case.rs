@@ -13,25 +13,18 @@
 //! a clear majority — individual small worlds legitimately fail to wire
 //! both epicenters observably.
 
+mod common;
+
+use common::{near, run_passive, LONDON_SEEDS};
 use kepler::core::events::{OutageReport, OutageScope};
 use kepler::core::KeplerConfig;
-use kepler::glue::detector_for;
 use kepler::netsim::scenario::london::{LondonScenario, LondonStudy};
 use kepler::netsim::world::WorldConfig;
 
-const SEEDS: [u64; 8] = [1, 2, 3, 4, 6, 7, 8, 10];
-
 fn run(seed: u64) -> (LondonStudy, Vec<OutageReport>) {
     let study = LondonScenario::new(seed).with_config(WorldConfig::small(seed)).build();
-    let reports = {
-        let scenario = &study.scenario;
-        detector_for(scenario, KeplerConfig::default()).run(scenario.records())
-    };
+    let reports = run_passive(&study.scenario, KeplerConfig::default());
     (study, reports)
-}
-
-fn near(a: u64, b: u64) -> bool {
-    a.abs_diff(b) <= 900
 }
 
 /// Whether a report localizes the outage at `t` to its true epicenter —
@@ -60,7 +53,7 @@ fn london_dual_outage_properties_across_seeds() {
     let mut seeds_detecting = 0usize;
     let mut epicenter_hits = 0usize;
     let mut seeds_with_remote_impact = 0usize;
-    for &seed in &SEEDS {
+    for &seed in &LONDON_SEEDS {
         let (study, reports) = run(seed);
         // Safety invariants: must hold for every seed.
         assert!(
@@ -104,18 +97,18 @@ fn london_dual_outage_properties_across_seeds() {
     // Across the sweep a clear majority of worlds must detect and
     // correctly localize (measured: 6/8 seeds, 7 epicenter hits).
     assert!(
-        seeds_detecting * 2 > SEEDS.len(),
+        seeds_detecting * 2 > LONDON_SEEDS.len(),
         "only {seeds_detecting}/{} seeds localized an epicenter",
-        SEEDS.len()
+        LONDON_SEEDS.len()
     );
     assert!(
-        epicenter_hits >= SEEDS.len() / 2 + 2,
+        epicenter_hits >= LONDON_SEEDS.len() / 2 + 2,
         "only {epicenter_hits} epicenter localizations across {} seeds",
-        SEEDS.len()
+        LONDON_SEEDS.len()
     );
     assert!(
-        seeds_with_remote_impact * 2 > SEEDS.len(),
+        seeds_with_remote_impact * 2 > LONDON_SEEDS.len(),
         "only {seeds_with_remote_impact}/{} seeds produced reports with remote impact",
-        SEEDS.len()
+        LONDON_SEEDS.len()
     );
 }

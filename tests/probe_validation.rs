@@ -18,23 +18,20 @@
 //! individual small worlds legitimately fail to wire enough observable
 //! near-ends (same caveat as the London sweep).
 
+mod common;
+
+use common::{
+    assert_confirmed_names_truth, assert_twin_never_blamed, near, run_passive, twin_study,
+    TWIN_SEEDS,
+};
 use kepler::core::events::{OutageReport, OutageScope, ValidationStatus};
 use kepler::core::KeplerConfig;
-use kepler::glue::{detector_for, detector_with_prober};
-use kepler::netsim::scenario::twin::{TwinFacilityScenario, TwinStudy};
-
-const SEEDS: [u64; 8] = [2, 3, 4, 5, 6, 7, 8, 9];
-
-fn near(a: u64, b: u64) -> bool {
-    a.abs_diff(b) <= 900
-}
+use kepler::glue::detector_with_prober;
+use kepler::netsim::scenario::twin::TwinStudy;
 
 fn run(seed: u64) -> (TwinStudy, Vec<OutageReport>, Vec<OutageReport>) {
-    let study = TwinFacilityScenario::new(seed).build();
-    let passive = {
-        let scenario = &study.scenario;
-        detector_for(scenario, KeplerConfig::default()).run(scenario.records())
-    };
+    let study = twin_study(seed);
+    let passive = run_passive(&study.scenario, KeplerConfig::default());
     let probed = {
         let scenario = &study.scenario;
         detector_with_prober(scenario, KeplerConfig::default()).run(scenario.records())
@@ -46,33 +43,15 @@ fn run(seed: u64) -> (TwinStudy, Vec<OutageReport>, Vec<OutageReport>) {
 fn twin_disambiguation_properties_across_seeds() {
     let mut seeds_resolving = 0usize;
     let mut seeds_passively_ambiguous = 0usize;
-    for &seed in &SEEDS {
+    for &seed in &TWIN_SEEDS {
         let (study, passive, probed) = run(seed);
         // --- Safety: every seed. ---
-        for (label, reports) in [("passive", &passive), ("probed", &probed)] {
-            // The healthy twin is never blamed.
-            assert!(
-                !reports.iter().any(|r| r.scope == OutageScope::Facility(study.twin)),
-                "seed {seed} ({label}): healthy twin blamed: {reports:?}"
-            );
-        }
-        for r in &probed {
-            // A probe-confirmed verdict may only name something that is
-            // actually dark: the failed building (possibly abstracted to
-            // its city by incident merging), never any other facility.
-            if r.validation == ValidationStatus::Confirmed {
-                let names_truth = match r.scope {
-                    OutageScope::Facility(f) => f == study.down,
-                    OutageScope::City(c) => c == study.city,
-                    OutageScope::Ixp(_) => false,
-                };
-                assert!(names_truth, "seed {seed}: up facility probe-confirmed down: {r:?}");
-                assert!(
-                    !r.probe_evidence.is_empty(),
-                    "seed {seed}: confirmed report without hop evidence: {r:?}"
-                );
-            }
-        }
+        assert_twin_never_blamed(seed, "passive", &study, &passive);
+        assert_twin_never_blamed(seed, "probed", &study, &probed);
+        // A probe-confirmed verdict may only name something that is
+        // actually dark: the failed building (possibly abstracted to
+        // its city by incident merging), never any other facility.
+        assert_confirmed_names_truth(seed, &study, &probed);
         // Differential: events the prober did not touch are bit-identical
         // to the passive run.
         for r in &probed {
@@ -99,15 +78,15 @@ fn twin_disambiguation_properties_across_seeds() {
     // majority of twin worlds — otherwise the scenario isn't testing the
     // ambiguity it was built for.
     assert!(
-        seeds_passively_ambiguous * 2 > SEEDS.len(),
+        seeds_passively_ambiguous * 2 > TWIN_SEEDS.len(),
         "only {seeds_passively_ambiguous}/{} seeds were passively ambiguous",
-        SEEDS.len()
+        TWIN_SEEDS.len()
     );
     // With probing, a clear majority resolves to the correct building
     // with a confirmed validation status (measured: 6/8).
     assert!(
-        seeds_resolving * 2 > SEEDS.len(),
+        seeds_resolving * 2 > TWIN_SEEDS.len(),
         "only {seeds_resolving}/{} seeds resolved the dark twin via probes",
-        SEEDS.len()
+        TWIN_SEEDS.len()
     );
 }
