@@ -236,9 +236,95 @@ fn bench_monitor_json() {
     assert_eq!(fuzz_violations, 0, "fuzz bench seeds must hold the invariants");
     let fuzz_wps = FUZZ_WORLDS as f64 / fuzz_secs;
 
+    eprintln!("[bench: serve daemon, ingest->commit->alert->publish...]");
+    let (serve_secs, serve_events, serve_commits) = {
+        use kepler::serve::{Daemon, DaemonConfig};
+        let study = AmsIxScenario::new(41).with_config(WorldConfig::tiny(41)).build();
+        let records = study.scenario.records();
+        let n = records.len() as u64;
+        let dir = std::env::temp_dir().join(format!("kepler-serve-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let detector = detector_for(&study.scenario, KeplerConfig::default());
+        let mut daemon =
+            Daemon::new(detector, &DaemonConfig::new(dir.clone())).expect("open bench store");
+        let t = Instant::now();
+        daemon.run_stream(records).expect("serve bench ingest");
+        let (_, summary) = daemon.finish().expect("serve bench finish");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(summary.events, n, "daemon must ingest every record");
+        assert!(summary.commits > 0, "serve bench must commit bins");
+        let _ = std::fs::remove_dir_all(&dir);
+        (secs, n, summary.commits)
+    };
+    let serve_eps = serve_events as f64 / serve_secs;
+
+    eprintln!("[bench: query surface, concurrent readers against live ingest...]");
+    let (query_secs, query_reads) = {
+        use kepler::serve::{Daemon, DaemonConfig};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let study = AmsIxScenario::new(41).with_config(WorldConfig::tiny(41)).build();
+        // Cycle the stream with a per-cycle time shift so bins keep
+        // closing (and the view keeps swapping) for the whole load
+        // window — long enough that the readers log millions of status
+        // reads against full-rate ingest.
+        let base = study.scenario.records();
+        let span = {
+            let first = base.first().map(|r| r.time).unwrap_or(0);
+            let last = base.last().map(|r| r.time).unwrap_or(0);
+            (last - first + 600).next_multiple_of(300)
+        };
+        let records: Vec<_> = (0..16u64)
+            .flat_map(|cycle| {
+                base.iter().cloned().map(move |mut r| {
+                    r.time += cycle * span;
+                    r
+                })
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("kepler-query-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let detector = detector_for(&study.scenario, KeplerConfig::default());
+        let mut daemon =
+            Daemon::new(detector, &DaemonConfig::new(dir.clone())).expect("open bench store");
+        let view = daemon.view();
+        let stop = AtomicBool::new(false);
+        let t = Instant::now();
+        let mut reads = 0u64;
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let view = std::sync::Arc::clone(&view);
+                    let stop = &stop;
+                    s.spawn(move || {
+                        let mut n = 0u64;
+                        let mut live = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            // A full status read: load the shared view,
+                            // look a scope up.
+                            let v = view.load();
+                            live += v.live().is_empty() as u64;
+                            n += 1;
+                        }
+                        (n, live)
+                    })
+                })
+                .collect();
+            daemon.run_stream(records).expect("query bench ingest");
+            stop.store(true, Ordering::Relaxed);
+            for r in readers {
+                reads += r.join().expect("reader thread").0;
+            }
+        });
+        let secs = t.elapsed().as_secs_f64();
+        daemon.finish().expect("query bench finish");
+        let _ = std::fs::remove_dir_all(&dir);
+        (secs, reads)
+    };
+    let query_rps = query_reads as f64 / query_secs;
+
     let rss = peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"fuzz\": {{ \"seconds\": {fuzz_secs:.3}, \"worlds\": {FUZZ_WORLDS}, \"fuzz_worlds_per_sec\": {fuzz_wps:.1} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"fuzz\": {{ \"seconds\": {fuzz_secs:.3}, \"worlds\": {FUZZ_WORLDS}, \"fuzz_worlds_per_sec\": {fuzz_wps:.1} }},\n  \"serve\": {{ \"seconds\": {serve_secs:.3}, \"events\": {serve_events}, \"commits\": {serve_commits}, \"serve_events_per_sec\": {serve_eps:.0} }},\n  \"query\": {{ \"seconds\": {query_secs:.3}, \"reads\": {query_reads}, \"query_reads_per_sec\": {query_rps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
         rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
     );
     std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");
@@ -279,8 +365,227 @@ fn fuzz_replay(verdict: kepler::fuzz_harness::FuzzVerdict) -> ! {
     std::process::exit(1);
 }
 
+// ---------------------------------------------------------------------------
+// Service subcommands: serve / query / stats over a kepler-serve store
+// ---------------------------------------------------------------------------
+
+fn store_dir_from(args: &[String], default: &str) -> std::path::PathBuf {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--store" {
+            if let Some(dir) = it.next() {
+                return std::path::PathBuf::from(dir);
+            }
+        }
+    }
+    std::path::PathBuf::from(default)
+}
+
+/// Runs the detector as a daemon over the AMS-IX case-study stream:
+/// durable store under `--store`, alert fan-out to stderr and
+/// `<store>/alerts.log`, final report summary. A second invocation over
+/// the same store recovers and reports what the first one committed.
+fn serve_cmd(args: &[String]) -> ! {
+    use kepler::serve::{Channel, Daemon, DaemonConfig, FileSink, LogSink, TokenBucket};
+    let store = store_dir_from(args, "target/kepler-serve");
+    let mut seed = 7u64;
+    let mut compact = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).expect("--seed N"),
+            "--compact" => compact = true,
+            "--store" => {
+                it.next();
+            }
+            other => {
+                eprintln!("serve: unknown argument {other}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("[serve: building AMS-IX scenario (seed {seed})...]");
+    let cfg = if compact { WorldConfig::tiny(seed) } else { WorldConfig::small(seed) };
+    let study = AmsIxScenario::new(seed).with_config(cfg).build();
+    let detector = detector_for(&study.scenario, KeplerConfig::default());
+    let config = DaemonConfig::new(store.clone());
+    let mut daemon = match Daemon::new(detector, &config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: cannot open store {}: {e}", store.display());
+            std::process::exit(1);
+        }
+    };
+    let rec = daemon.recovery().clone();
+    if rec.had_snapshot || rec.frames_applied > 0 {
+        eprintln!(
+            "[serve: recovered snapshot_seq={} +{} WAL frame(s), {} damaged tail byte(s)]",
+            rec.snapshot_seq, rec.frames_applied, rec.dropped_bytes
+        );
+    }
+    daemon.add_channel(Channel::new("log", Box::new(LogSink), TokenBucket::new(16, 60)));
+    daemon.add_channel(Channel::new(
+        "file",
+        Box::new(FileSink::new(store.join("alerts.log"))),
+        TokenBucket::new(64, 1),
+    ));
+    let records = study.scenario.records();
+    eprintln!("[serve: ingesting {} records...]", records.len());
+    if let Err(e) = daemon.run_stream(records) {
+        eprintln!("serve: ingest failed: {e}");
+        std::process::exit(1);
+    }
+    match daemon.finish() {
+        Ok((reports, summary)) => {
+            println!(
+                "serve: {} events, {} commits, {} transitions; {} finalized incident(s)",
+                summary.events,
+                summary.commits,
+                summary.transitions,
+                reports.len()
+            );
+            for r in &reports {
+                println!("  {r}");
+            }
+            println!("store: {}", store.display());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("serve: finish failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_scope(spec: &str) -> Option<OutageScope> {
+    use kepler::topology::{CityId, FacilityId, IxpId};
+    if let Ok(n) = spec.parse::<u32>() {
+        return Some(OutageScope::Facility(FacilityId(n)));
+    }
+    let (kind, id) = spec.split_once(':')?;
+    let id: u32 = id.parse().ok()?;
+    match kind {
+        "facility" | "fac" => Some(OutageScope::Facility(FacilityId(id))),
+        "ixp" => Some(OutageScope::Ixp(IxpId(id))),
+        "city" => Some(OutageScope::City(CityId(id))),
+        _ => None,
+    }
+}
+
+/// Reads one scope's status from a serve store. Scripting exit codes:
+/// 0 = up (no live incident), 2 = down (open), 3 = recovering, 1 = error.
+fn query_cmd(args: &[String]) -> ! {
+    use kepler::core::events::IncidentState;
+    use kepler::serve::{IncidentStore, StatusView};
+    let store = store_dir_from(args, "target/kepler-serve");
+    let mut spec: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                it.next();
+            }
+            other if !other.starts_with("--") => spec = spec.or(Some(a)),
+            _ => {}
+        }
+    }
+    let Some(spec) = spec else {
+        eprintln!("query: missing scope (facility:N | ixp:N | city:N | N)");
+        std::process::exit(1);
+    };
+    let Some(scope) = parse_scope(spec) else {
+        eprintln!("query: cannot parse scope {spec:?}");
+        std::process::exit(1);
+    };
+    let (state, last_bin, _) = match IncidentStore::recover_state(&store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("query: cannot read store {}: {e}", store.display());
+            std::process::exit(1);
+        }
+    };
+    let view = StatusView::from_state(&state, last_bin, 0);
+    match view.status(scope) {
+        None => {
+            println!("{scope}: up (no incident on record, as of bin {last_bin})");
+            std::process::exit(0);
+        }
+        Some(s) => {
+            let since = match s.end {
+                Some(end) => format!("{} .. {}", s.started, end),
+                None => format!("since {}", s.started),
+            };
+            println!(
+                "{scope}: {} ({since}; near={} far={} oscillations={} validation={}; as of bin {last_bin})",
+                s.state, s.affected_near, s.affected_far, s.oscillations, s.validation
+            );
+            match s.state {
+                IncidentState::Open => std::process::exit(2),
+                IncidentState::Recovering => std::process::exit(3),
+                IncidentState::Closed => std::process::exit(0),
+            }
+        }
+    }
+}
+
+/// Summarizes a serve store; `--dump PATH` writes the recovered state as
+/// a standalone snapshot file (same format as `snapshot.bin`).
+fn stats_cmd(args: &[String]) -> ! {
+    use kepler::core::events::IncidentState;
+    use kepler::serve::{IncidentStore, StatusView};
+    let store = store_dir_from(args, "target/kepler-serve");
+    let mut dump: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--dump" {
+            dump = it.next().cloned();
+        }
+    }
+    let (state, last_bin, rec) = match IncidentStore::recover_state(&store) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stats: cannot read store {}: {e}", store.display());
+            std::process::exit(1);
+        }
+    };
+    let view = StatusView::from_state(&state, last_bin, rec.snapshot_seq);
+    let count = |want: IncidentState| view.all().iter().filter(|s| s.state == want).count();
+    println!("store: {}", store.display());
+    println!(
+        "recovery: snapshot={} (seq {}), {} WAL frame(s) applied, {} skipped, {} damaged tail byte(s)",
+        rec.had_snapshot, rec.snapshot_seq, rec.frames_applied, rec.frames_skipped, rec.dropped_bytes
+    );
+    println!("as of bin {last_bin}: {} scope(s) on record", view.len());
+    println!(
+        "  open {}  recovering {}  closed {}",
+        count(IncidentState::Open),
+        count(IncidentState::Recovering),
+        count(IncidentState::Closed)
+    );
+    for s in view.live() {
+        println!("  live: {} {} since {}", s.scope, s.state, s.started);
+    }
+    if let Some(path) = dump {
+        let bytes = kepler::serve::store::encode_snapshot(&state, rec.snapshot_seq, last_bin);
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("stats: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("dumped {} byte snapshot to {path}", bytes.len());
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Service subcommands take their own flags; dispatch before the
+    // experiment-flag loop.
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("query") => query_cmd(&args[1..]),
+        Some("stats") => stats_cmd(&args[1..]),
+        _ => {}
+    }
     let mut ctx = Ctx { seed: 31, compact: false };
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -311,7 +616,7 @@ fn main() {
     }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--compact] [--bench] [--fuzz-seed N] [--fuzz-script PATH] <exp>...\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all\n  --bench: run the monitor throughput benchmark and write BENCH_monitor.json\n  --fuzz-seed N: replay generated fuzz world N through the invariant checker (exit 1 on violation)\n  --fuzz-script PATH: replay a serialized fuzz artifact (target/fuzz-artifacts/seed-N.script)"
+            "usage: repro [--seed N] [--compact] [--bench] [--fuzz-seed N] [--fuzz-script PATH] <exp>...\n       repro serve [--store DIR] [--seed N] [--compact]\n       repro query <facility:N|ixp:N|city:N|N> [--store DIR]\n       repro stats [--store DIR] [--dump PATH]\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all\n  --bench: run the monitor throughput benchmark and write BENCH_monitor.json\n  --fuzz-seed N: replay generated fuzz world N through the invariant checker (exit 1 on violation)\n  --fuzz-script PATH: replay a serialized fuzz artifact (target/fuzz-artifacts/seed-N.script)\n  serve: run the detector as a daemon over the AMS-IX scenario with a durable store and alert log\n  query: read a scope's status from a serve store (exit 0=up, 2=down, 3=recovering, 1=error)\n  stats: summarize a serve store; --dump writes a serialized snapshot"
         );
         std::process::exit(2);
     }

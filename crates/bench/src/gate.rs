@@ -15,12 +15,14 @@ use std::collections::BTreeMap;
 /// carrying none of these are ignored; a key present in only one
 /// document (a benchmark added or retired across PRs) is informational
 /// and never fails the gate.
-pub const THROUGHPUT_KEYS: [&str; 5] = [
+pub const THROUGHPUT_KEYS: [&str; 7] = [
     "events_per_sec",
     "probe_verdicts_per_sec",
     "probe_batched_verdicts_per_sec",
     "probe_faulty_verdicts_per_sec",
     "fuzz_worlds_per_sec",
+    "serve_events_per_sec",
+    "query_reads_per_sec",
 ];
 
 /// Extracts `section name → throughput` from a `BENCH_monitor.json`
@@ -279,6 +281,36 @@ mod tests {
         let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
         assert!(gate_fails(&verdicts));
         assert!(verdicts.iter().any(|v| v.metric == "fuzz" && v.regressed));
+    }
+
+    #[test]
+    fn serve_metrics_parse_and_old_baselines_tolerate_them() {
+        // The serve-daemon rows added with kepler-serve: baselines
+        // recorded before they existed must still gate cleanly.
+        let fresh_doc = format!(
+            "{BASELINE}\n\"serve\": {{ \"seconds\": 2.0, \"events\": 100000, \"serve_events_per_sec\": 50000 }}\n\"query\": {{ \"seconds\": 1.0, \"reads\": 8000000, \"query_reads_per_sec\": 8000000 }}\n"
+        );
+        let fresh = parse_events_per_sec(&fresh_doc);
+        assert_eq!(fresh["serve"], 50_000.0);
+        assert_eq!(fresh["query"], 8_000_000.0, "keys must not cross-contaminate sections");
+        let old_base = parse_events_per_sec(BASELINE);
+        assert!(!gate_fails(&compare(&old_base, &fresh, 0.25)));
+        // Both documents carrying them: a query-path regression is caught.
+        let slow = fresh_doc
+            .replace("\"query_reads_per_sec\": 8000000", "\"query_reads_per_sec\": 1000000");
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "query" && v.regressed));
+        assert!(
+            verdicts.iter().all(|v| v.metric != "serve" || !v.regressed),
+            "the serve row did not regress: {verdicts:?}"
+        );
+        // And a serve-path regression independently.
+        let slow =
+            fresh_doc.replace("\"serve_events_per_sec\": 50000", "\"serve_events_per_sec\": 10000");
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "serve" && v.regressed));
     }
 
     #[test]

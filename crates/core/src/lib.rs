@@ -79,3 +79,4 @@ pub use investigate::{FacilityCandidate, Localization, PendingIncident};
 pub use remote::RemotenessMap;
 pub use shard::{AnyMonitor, ShardedMonitor};
 pub use system::{Kepler, KeplerInputs};
+pub use tracker::{OngoingExport, TrackerState};

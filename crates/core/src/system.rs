@@ -98,6 +98,10 @@ pub struct Kepler {
     last_time: Timestamp,
     /// Reusable buffer for events drained from the ingest stage.
     event_scratch: Vec<(Timestamp, DenseRouteEvent)>,
+    /// Monitor bins handled so far — the serve daemon's commit clock.
+    bins_closed: u64,
+    /// End of the most recently handled bin.
+    last_bin_end: Timestamp,
 }
 
 impl Kepler {
@@ -123,6 +127,8 @@ impl Kepler {
             config,
             last_time: 0,
             event_scratch: Vec::new(),
+            bins_closed: 0,
+            last_bin_end: 0,
         }
     }
 
@@ -246,6 +252,42 @@ impl Kepler {
         self.tracker.live_states()
     }
 
+    /// Monitor bins handled so far. Increments every time a bin closes
+    /// anywhere in the stream — a long-running shell (the `kepler-serve`
+    /// daemon) polls this after each record and commits incident-state
+    /// deltas exactly once per closed-bin batch.
+    pub fn bins_closed(&self) -> u64 {
+        self.bins_closed
+    }
+
+    /// End timestamp of the most recently handled bin (0 before any bin
+    /// closes) — the deterministic clock the serve daemon stamps WAL
+    /// commits and alerts with.
+    pub fn last_bin_end(&self) -> Timestamp {
+        self.last_bin_end
+    }
+
+    /// Exports the tracker's full lifecycle state in display space
+    /// ([`crate::tracker::TrackerState`]) — the image a durable incident
+    /// store persists and replays.
+    pub fn export_incidents(&self) -> crate::tracker::TrackerState {
+        self.tracker.export(&self.interner)
+    }
+
+    /// Replaces the tracker's lifecycle state with an exported image,
+    /// re-interning its display keys into this run's interner. Used by
+    /// the serve daemon on restart: snapshot+WAL recovery reconstructs
+    /// the [`crate::tracker::TrackerState`], and this hook seeds the
+    /// fresh detector with it before the stream resumes.
+    pub fn import_incidents(&mut self, state: &crate::tracker::TrackerState) {
+        self.tracker.import(state, &mut self.interner);
+    }
+
+    /// Reports finalized so far (not including ongoing/cooling ones).
+    pub fn finished_reports(&self) -> &[OutageReport] {
+        self.tracker.finished()
+    }
+
     /// The monitor (for inspection in tests and harnesses).
     pub fn monitor(&mut self) -> &mut AnyMonitor {
         &mut self.monitor
@@ -334,6 +376,8 @@ impl Kepler {
         // Resolution back to display space happens here, once per closed
         // bin — the per-event path upstream is entirely dense.
         let outcome = outcome.resolve(&self.interner);
+        self.bins_closed += 1;
+        self.last_bin_end = outcome.bin_start.saturating_add(self.config.bin_secs);
         self.revalidate_deferred(outcome.bin_start);
         let investigation = self.investigator.investigate(&outcome);
         for (_, class) in &investigation.dismissed {

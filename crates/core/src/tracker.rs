@@ -697,6 +697,166 @@ impl Tracker {
     pub fn ongoing_count(&self) -> usize {
         self.ongoing.len()
     }
+
+    /// Exports the tracker's full lifecycle state in display space.
+    ///
+    /// Dense watch-list ids are resolved through `interner` so the image
+    /// survives a process restart: a fresh interner re-mints different
+    /// ids, but display keys are stable. Entries are sorted by scope, so
+    /// two trackers holding the same incidents export byte-identical
+    /// state regardless of hash-map iteration order — the property the
+    /// serve layer's WAL/snapshot recovery tests rely on.
+    pub fn export(&self, interner: &Interner) -> TrackerState {
+        let mut ongoing: Vec<OngoingExport> = self
+            .ongoing
+            .values()
+            .map(|on| OngoingExport {
+                scope: on.scope,
+                started: on.started,
+                prior_duration: on.prior_duration,
+                segment_start: on.segment_start,
+                oscillations: on.oscillations,
+                affected_near: on.affected_near.iter().copied().collect(),
+                affected_far: on.affected_far.iter().copied().collect(),
+                affected_keys: on.affected_keys.iter().copied().collect(),
+                watch: on
+                    .watch
+                    .iter()
+                    .map(|&(r, p, a)| (interner.route_key(r), interner.pop_tag(p), interner.asn(a)))
+                    .collect(),
+                dataplane_confirmed: on.dataplane_confirmed,
+                validation: on.validation,
+                evidence: on.evidence.values().copied().collect(),
+                completeness: on.completeness,
+                confidence: on.confidence,
+                confidence_at: on.confidence_at,
+                next_probe: on.next_probe,
+                probe_backoff: on.probe_backoff,
+                probe_restored_at: on.probe_restored_at,
+                restored_streak: on.restored_streak,
+                restored_first: on.restored_first,
+            })
+            .collect();
+        ongoing.sort_by_key(|e| e.scope);
+        let mut cooling: Vec<(OutageScope, OutageReport, u64)> =
+            self.cooling.iter().map(|(s, (r, acc))| (*s, r.clone(), *acc)).collect();
+        cooling.sort_by_key(|(s, ..)| *s);
+        let mut warming: Vec<(OutageScope, usize, Timestamp, Timestamp)> =
+            self.warming.iter().map(|(s, &(n, last, first))| (*s, n, last, first)).collect();
+        warming.sort_by_key(|(s, ..)| *s);
+        TrackerState { ongoing, cooling, warming, finished: self.finished.clone() }
+    }
+
+    /// Replaces the tracker's lifecycle state with an exported image,
+    /// re-interning display keys into `interner` (geography and config
+    /// are not part of the image — configure the tracker first). The
+    /// round trip `export → import → export` is exact.
+    pub fn import(&mut self, state: &TrackerState, interner: &mut Interner) {
+        self.ongoing = state
+            .ongoing
+            .iter()
+            .map(|e| {
+                let on = Ongoing {
+                    scope: e.scope,
+                    started: e.started,
+                    prior_duration: e.prior_duration,
+                    segment_start: e.segment_start,
+                    oscillations: e.oscillations,
+                    affected_near: e.affected_near.iter().copied().collect(),
+                    affected_far: e.affected_far.iter().copied().collect(),
+                    affected_keys: e.affected_keys.iter().copied().collect(),
+                    watch: e
+                        .watch
+                        .iter()
+                        .map(|(k, pop, near)| {
+                            (interner.route_id(k), interner.pop_id(*pop), interner.asn_id(*near))
+                        })
+                        .collect(),
+                    dataplane_confirmed: e.dataplane_confirmed,
+                    validation: e.validation,
+                    evidence: e.evidence.iter().map(|h| (evidence_key(h), *h)).collect(),
+                    completeness: e.completeness,
+                    confidence: e.confidence,
+                    confidence_at: e.confidence_at,
+                    next_probe: e.next_probe,
+                    probe_backoff: e.probe_backoff,
+                    probe_restored_at: e.probe_restored_at,
+                    restored_streak: e.restored_streak,
+                    restored_first: e.restored_first,
+                };
+                (e.scope, on)
+            })
+            .collect();
+        self.cooling = state.cooling.iter().map(|(s, r, acc)| (*s, (r.clone(), *acc))).collect();
+        self.warming =
+            state.warming.iter().map(|&(s, n, last, first)| (s, (n, last, first))).collect();
+        self.finished = state.finished.clone();
+    }
+}
+
+/// Display-space image of one ongoing incident: everything the tracker
+/// holds for it, with dense watch-list ids resolved to stable keys. Part
+/// of [`TrackerState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OngoingExport {
+    /// Localized epicenter.
+    pub scope: OutageScope,
+    /// When the incident opened (first segment).
+    pub started: Timestamp,
+    /// Duration accumulated by earlier oscillation segments.
+    pub prior_duration: u64,
+    /// Start of the current segment.
+    pub segment_start: Timestamp,
+    /// Oscillation segments so far (1 = never closed).
+    pub oscillations: usize,
+    /// Near-end ASes affected (sorted).
+    pub affected_near: Vec<Asn>,
+    /// Far-end ASes affected (sorted).
+    pub affected_far: Vec<Asn>,
+    /// Affected route keys (sorted).
+    pub affected_keys: Vec<RouteKey>,
+    /// Restoration watch crossings, display-typed.
+    pub watch: Vec<(RouteKey, kepler_docmine::LocationTag, Asn)>,
+    /// Baseline data-plane confirmation, if a backend ran.
+    pub dataplane_confirmed: Option<bool>,
+    /// Targeted-probe verdict.
+    pub validation: ValidationStatus,
+    /// Accumulated judged measurement pairs (evidence-key order).
+    pub evidence: Vec<HopEvidence>,
+    /// Worst campaign completeness observed.
+    pub completeness: f64,
+    /// Probe-verdict confidence at `confidence_at`.
+    pub confidence: f64,
+    /// Anchor of the confidence decay clock.
+    pub confidence_at: Timestamp,
+    /// When the next restoration re-probe is due.
+    pub next_probe: Timestamp,
+    /// Current re-probe backoff delay.
+    pub probe_backoff: u64,
+    /// First `Restored` verdict of the current streak.
+    pub probe_restored_at: Option<Timestamp>,
+    /// Consecutive restored control-plane checks.
+    pub restored_streak: usize,
+    /// First check of the current restored streak.
+    pub restored_first: Option<Timestamp>,
+}
+
+/// Exportable image of a [`Tracker`]'s full lifecycle state — ongoing
+/// incidents, cooling (recently closed) segments, opening-hysteresis
+/// streaks and finalized reports — in display space and deterministic
+/// (scope-sorted) order. [`Tracker::export`] / [`Tracker::import`] round
+/// this through a fresh process bit-identically; the `kepler-serve`
+/// durable store persists exactly this image.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrackerState {
+    /// Open/recovering incidents, sorted by scope.
+    pub ongoing: Vec<OngoingExport>,
+    /// Cooling segments: (scope, closed report, accumulated duration).
+    pub cooling: Vec<(OutageScope, OutageReport, u64)>,
+    /// Opening-hysteresis streaks: (scope, streak, last bin, first bin).
+    pub warming: Vec<(OutageScope, usize, Timestamp, Timestamp)>,
+    /// Finalized reports so far.
+    pub finished: Vec<OutageReport>,
 }
 
 #[cfg(test)]
@@ -1367,5 +1527,62 @@ mod tests {
         let reports = t.finish();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].probe_completeness, 0.5);
+    }
+
+    #[test]
+    fn export_import_round_trips_through_a_fresh_interner() {
+        // Build a tracker holding every kind of state at once: an open
+        // incident with evidence, a cooling segment, a warming streak and
+        // a finished report.
+        let mut interner = Interner::new();
+        let mut t = Tracker::new(KeplerConfig::default().with_hysteresis(1, 1));
+        t.record(
+            &[incident(1000, &[0, 1])],
+            &[IncidentMeta {
+                validation: ValidationStatus::Confirmed,
+                evidence: vec![hop_evidence(900, 6)],
+                completeness: 0.9,
+                ..IncidentMeta::default()
+            }],
+            &mut interner,
+        );
+        let mut other = incident(2000, &[2]);
+        other.scope = OutageScope::Facility(FacilityId(7));
+        t.record(&[other], &[IncidentMeta::default()], &mut interner);
+        t.finish_report(OutageReport {
+            scope: OutageScope::Facility(FacilityId(9)),
+            start: 10,
+            end: Some(20),
+            affected_near: [Asn(5)].into(),
+            affected_far: [Asn(6)].into(),
+            affected_paths: 1,
+            oscillations: 1,
+            dataplane_confirmed: Some(true),
+            validation: ValidationStatus::Confirmed,
+            probe_evidence: vec![hop_evidence(900, 6)],
+            probe_completeness: 1.0,
+            state: IncidentState::Closed,
+        });
+        let exported = t.export(&interner);
+        assert_eq!(exported.ongoing.len(), 2);
+        assert_eq!(exported.finished.len(), 1);
+
+        // Import into a fresh tracker + fresh interner: the interner
+        // mints different dense ids, but the display-space export must be
+        // bit-identical — and the imported tracker must keep working
+        // (evidence reuse reads the re-interned state).
+        let mut interner2 = Interner::new();
+        // Skew the id space so dense ids cannot accidentally line up.
+        interner2.asn_id(Asn(424242));
+        let mut t2 = Tracker::new(KeplerConfig::default().with_hysteresis(1, 1));
+        t2.import(&exported, &mut interner2);
+        assert_eq!(t2.export(&interner2), exported);
+        assert_eq!(t2.ongoing_count(), t.ongoing_count());
+        assert_eq!(t2.live_states(), t.live_states());
+        assert_eq!(
+            t2.accumulated_confirmation(&[FacilityId(1)], 1100).map(|(f, _)| f),
+            Some(FacilityId(1)),
+            "imported evidence ledger stays usable"
+        );
     }
 }

@@ -1,0 +1,433 @@
+//! Alert fan-out: lifecycle transitions dispatched to pluggable
+//! channels, each with its own token-bucket rate limit.
+//!
+//! The daemon turns every committed bin's [`Transition`]s into alerts
+//! and offers them to every registered channel. A channel that is out
+//! of tokens does not drop the alert — it **coalesces**: the newest
+//! transition is parked, a suppression counter ticks, and the next
+//! available token delivers the parked alert with the count attached.
+//! Operators see the latest state plus "N earlier alerts were folded
+//! into this one", never a silent gap.
+//!
+//! Channels are isolated: one saturated channel never delays or drops
+//! delivery on another, and the clock is the daemon's deterministic bin
+//! clock, not wall time — replaying the same stream produces the same
+//! alert sequence.
+
+use crate::store::Transition;
+use kepler_bgpstream::Timestamp;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One delivered alert: a lifecycle transition plus the number of
+/// earlier transitions this channel folded into it while rate-limited.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The transition (full incident context).
+    pub transition: Transition,
+    /// Transitions coalesced into this delivery (0 = delivered fresh).
+    pub suppressed: u64,
+}
+
+impl std::fmt::Display for Alert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = &self.transition;
+        write!(
+            f,
+            "[{}] {} {} started={} near={} far={} osc={} validation={}",
+            t.at,
+            t.kind,
+            t.scope,
+            t.started,
+            t.affected_near,
+            t.affected_far,
+            t.oscillations,
+            t.validation,
+        )?;
+        if let Some(end) = t.end {
+            write!(f, " end={end}")?;
+        }
+        if self.suppressed > 0 {
+            write!(f, " (+{} coalesced)", self.suppressed)?;
+        }
+        Ok(())
+    }
+}
+
+/// A delivery target for alerts.
+pub trait AlertSink: Send {
+    /// Delivers one alert. Infallible by contract: a sink that can fail
+    /// (e.g. a file) swallows and counts errors rather than stalling the
+    /// daemon.
+    fn deliver(&mut self, alert: &Alert);
+}
+
+/// Writes alerts as lines to standard error.
+#[derive(Debug, Default)]
+pub struct LogSink;
+
+impl AlertSink for LogSink {
+    fn deliver(&mut self, alert: &Alert) {
+        eprintln!("kepler-alert {alert}");
+    }
+}
+
+/// Appends alerts as lines to a file. I/O errors are counted, not
+/// propagated — losing an alert line must not stop detection.
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    errors: u64,
+}
+
+impl FileSink {
+    /// A sink appending to `path`.
+    pub fn new(path: PathBuf) -> FileSink {
+        FileSink { path, errors: 0 }
+    }
+
+    /// Write errors swallowed so far.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+impl AlertSink for FileSink {
+    fn deliver(&mut self, alert: &Alert) {
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .and_then(|mut f| writeln!(f, "{alert}"));
+        if result.is_err() {
+            self.errors += 1;
+        }
+    }
+}
+
+/// Invokes a closure per alert — the embedding/test surface.
+pub struct CallbackSink<F: FnMut(&Alert) + Send>(pub F);
+
+impl<F: FnMut(&Alert) + Send> AlertSink for CallbackSink<F> {
+    fn deliver(&mut self, alert: &Alert) {
+        (self.0)(alert);
+    }
+}
+
+/// A token bucket on the daemon's bin clock. Saturating arithmetic
+/// throughout: a clock at `u64::MAX` (or one that jumps backwards after
+/// an import) refills conservatively instead of overflowing — the same
+/// guard the probe scheduler's credit ledger uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity: u64,
+    tokens: u64,
+    refill_secs: u64,
+    last_refill: Timestamp,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `capacity` tokens (starts full), earning
+    /// one token per `refill_secs` elapsed. `refill_secs` is clamped to
+    /// at least 1.
+    pub fn new(capacity: u64, refill_secs: u64) -> TokenBucket {
+        TokenBucket {
+            capacity: capacity.max(1),
+            tokens: capacity.max(1),
+            refill_secs: refill_secs.max(1),
+            last_refill: 0,
+        }
+    }
+
+    /// Takes one token at time `now`, refilling first. Returns whether a
+    /// token was available.
+    pub fn try_take(&mut self, now: Timestamp) -> bool {
+        let elapsed = now.saturating_sub(self.last_refill);
+        let earned = elapsed / self.refill_secs;
+        if earned > 0 {
+            self.tokens = self.tokens.saturating_add(earned).min(self.capacity);
+            // Advance by whole refill periods so the remainder keeps
+            // accruing; saturating_mul keeps `now = u64::MAX` safe.
+            self.last_refill =
+                self.last_refill.saturating_add(earned.saturating_mul(self.refill_secs));
+        }
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after a refill at `now`).
+    pub fn available(&mut self, now: Timestamp) -> u64 {
+        let elapsed = now.saturating_sub(self.last_refill);
+        let earned = elapsed / self.refill_secs;
+        if earned > 0 {
+            self.tokens = self.tokens.saturating_add(earned).min(self.capacity);
+            self.last_refill =
+                self.last_refill.saturating_add(earned.saturating_mul(self.refill_secs));
+        }
+        self.tokens
+    }
+}
+
+/// Delivery counters for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Alerts handed to the sink.
+    pub delivered: u64,
+    /// Transitions folded into later deliveries.
+    pub suppressed: u64,
+}
+
+/// One named alert channel: a sink behind a rate limit.
+pub struct Channel {
+    name: String,
+    sink: Box<dyn AlertSink>,
+    bucket: TokenBucket,
+    pending: Option<Transition>,
+    pending_suppressed: u64,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// A channel delivering to `sink` under `bucket`'s rate limit.
+    pub fn new(name: impl Into<String>, sink: Box<dyn AlertSink>, bucket: TokenBucket) -> Channel {
+        Channel {
+            name: name.into(),
+            sink,
+            bucket,
+            pending: None,
+            pending_suppressed: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The channel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Delivery counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Offers one transition at time `now`. Delivers immediately when a
+    /// token is free and nothing is parked; otherwise coalesces.
+    pub fn offer(&mut self, transition: &Transition, now: Timestamp) {
+        self.flush(now);
+        // Order matters: only reach for a token when nothing is parked,
+        // so a saturated channel does not burn the token the parked
+        // alert is waiting for.
+        if self.pending.is_none() && self.bucket.try_take(now) {
+            self.sink.deliver(&Alert { transition: transition.clone(), suppressed: 0 });
+            self.stats.delivered += 1;
+        } else {
+            if self.pending.is_some() {
+                self.pending_suppressed += 1;
+                self.stats.suppressed += 1;
+            }
+            self.pending = Some(transition.clone());
+        }
+    }
+
+    /// Delivers the parked alert if a token is now available.
+    pub fn flush(&mut self, now: Timestamp) {
+        if self.pending.is_some() && self.bucket.try_take(now) {
+            let transition = self.pending.take().expect("checked above");
+            let suppressed = std::mem::take(&mut self.pending_suppressed);
+            self.sink.deliver(&Alert { transition, suppressed });
+            self.stats.delivered += 1;
+        }
+    }
+
+    /// Delivers the parked alert unconditionally (daemon shutdown: the
+    /// rate limit must not eat the final state).
+    pub fn drain(&mut self) {
+        if let Some(transition) = self.pending.take() {
+            let suppressed = std::mem::take(&mut self.pending_suppressed);
+            self.sink.deliver(&Alert { transition, suppressed });
+            self.stats.delivered += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("name", &self.name)
+            .field("bucket", &self.bucket)
+            .field("pending", &self.pending.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Fans transitions out to every registered channel.
+#[derive(Debug, Default)]
+pub struct AlertRouter {
+    channels: Vec<Channel>,
+}
+
+impl AlertRouter {
+    /// An empty router.
+    pub fn new() -> AlertRouter {
+        AlertRouter::default()
+    }
+
+    /// Registers a channel.
+    pub fn add_channel(&mut self, channel: Channel) {
+        self.channels.push(channel);
+    }
+
+    /// Offers a batch of transitions to every channel at time `now`.
+    pub fn dispatch(&mut self, transitions: &[Transition], now: Timestamp) {
+        for channel in &mut self.channels {
+            for t in transitions {
+                channel.offer(t, now);
+            }
+        }
+    }
+
+    /// Gives every channel a chance to deliver its parked alert.
+    pub fn flush(&mut self, now: Timestamp) {
+        for channel in &mut self.channels {
+            channel.flush(now);
+        }
+    }
+
+    /// Force-delivers every parked alert (shutdown path).
+    pub fn drain(&mut self) {
+        for channel in &mut self.channels {
+            channel.drain();
+        }
+    }
+
+    /// Per-channel delivery counters.
+    pub fn stats(&self) -> Vec<(String, ChannelStats)> {
+        self.channels.iter().map(|c| (c.name.clone(), c.stats)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TransitionKind;
+    use kepler_core::events::{OutageScope, ValidationStatus};
+    use kepler_topology::FacilityId;
+    use std::sync::{Arc, Mutex};
+
+    fn transition(kind: TransitionKind, at: Timestamp) -> Transition {
+        Transition {
+            kind,
+            scope: OutageScope::Facility(FacilityId(1)),
+            at,
+            started: 100,
+            end: None,
+            validation: ValidationStatus::Unvalidated,
+            completeness: 1.0,
+            evidence: Vec::new(),
+            affected_near: 2,
+            affected_far: 3,
+            oscillations: 1,
+        }
+    }
+
+    fn capture() -> (Arc<Mutex<Vec<Alert>>>, Box<dyn AlertSink>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let writer = Arc::clone(&seen);
+        let sink = CallbackSink(move |a: &Alert| writer.lock().unwrap().push(a.clone()));
+        (seen, Box::new(sink))
+    }
+
+    #[test]
+    fn burst_coalesces_into_one_delivery_with_count() {
+        let (seen, sink) = capture();
+        let mut ch = Channel::new("test", sink, TokenBucket::new(1, 60));
+        // Five transitions in the same instant: one delivered, four
+        // parked-and-folded.
+        for i in 0..5 {
+            ch.offer(&transition(TransitionKind::Opened, i), 0);
+        }
+        assert_eq!(seen.lock().unwrap().len(), 1);
+        assert_eq!(ch.stats().delivered, 1);
+        // A token later, the parked alert arrives once, carrying the
+        // newest transition and the fold count.
+        ch.flush(60);
+        let alerts = seen.lock().unwrap();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[1].transition.at, 4, "coalescing keeps the newest transition");
+        assert_eq!(alerts[1].suppressed, 3, "three older parked alerts folded in");
+    }
+
+    #[test]
+    fn channels_are_isolated() {
+        let (slow_seen, slow_sink) = capture();
+        let (fast_seen, fast_sink) = capture();
+        let mut router = AlertRouter::new();
+        router.add_channel(Channel::new("slow", slow_sink, TokenBucket::new(1, 1_000_000)));
+        router.add_channel(Channel::new("fast", fast_sink, TokenBucket::new(100, 1)));
+        let batch: Vec<Transition> =
+            (0..10).map(|i| transition(TransitionKind::Opened, i)).collect();
+        router.dispatch(&batch, 0);
+        assert_eq!(slow_seen.lock().unwrap().len(), 1, "slow channel rate-limited");
+        assert_eq!(fast_seen.lock().unwrap().len(), 10, "fast channel untouched by it");
+        let stats = router.stats();
+        assert_eq!(stats[0].1.suppressed, 8, "9 parked on slow, 8 folded behind the newest");
+        assert_eq!(stats[1].1.suppressed, 0);
+    }
+
+    #[test]
+    fn saturated_clock_does_not_overflow() {
+        let mut bucket = TokenBucket::new(2, 60);
+        assert!(bucket.try_take(u64::MAX));
+        assert!(bucket.try_take(u64::MAX));
+        // The first take saturated `last_refill` at `u64::MAX`; no time
+        // can elapse past it, so the drained bucket stays drained —
+        // conservative, never panicking, never minting past capacity.
+        assert!(!bucket.try_take(u64::MAX));
+        assert_eq!(bucket.available(u64::MAX), 0);
+        // A clock running backwards (possible across a restore) is a
+        // no-op refill, not an underflow.
+        let mut bucket = TokenBucket::new(1, 60);
+        assert!(bucket.try_take(1_000));
+        assert!(!bucket.try_take(500));
+    }
+
+    #[test]
+    fn parked_alert_does_not_burn_the_refill_token() {
+        let (seen, sink) = capture();
+        let mut ch = Channel::new("test", sink, TokenBucket::new(1, 60));
+        ch.offer(&transition(TransitionKind::Opened, 0), 0);
+        ch.offer(&transition(TransitionKind::Recovering, 1), 0); // parked
+                                                                 // At t=60 exactly one token exists. Offering a third transition
+                                                                 // must hand that token to the parked alert, then park the new one
+                                                                 // — not deliver the new one past the queue.
+        ch.offer(&transition(TransitionKind::Closed, 60), 60);
+        let alerts = seen.lock().unwrap();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[1].transition.kind, TransitionKind::Recovering);
+        drop(alerts);
+        ch.drain();
+        let alerts = seen.lock().unwrap();
+        assert_eq!(alerts.len(), 3);
+        assert_eq!(alerts[2].transition.kind, TransitionKind::Closed);
+    }
+
+    #[test]
+    fn drain_delivers_pending_regardless_of_tokens() {
+        let (seen, sink) = capture();
+        let mut router = AlertRouter::new();
+        router.add_channel(Channel::new("only", sink, TokenBucket::new(1, u64::MAX)));
+        let batch: Vec<Transition> =
+            (0..3).map(|i| transition(TransitionKind::Opened, i)).collect();
+        router.dispatch(&batch, 0);
+        assert_eq!(seen.lock().unwrap().len(), 1);
+        router.drain();
+        let alerts = seen.lock().unwrap();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(alerts[1].suppressed, 1);
+    }
+}

@@ -28,6 +28,10 @@
 //!   RouteViews/RIS archives, traceroute platforms and IXP traffic feeds.
 //! * [`core`] — the Kepler detector itself: monitoring, signal
 //!   investigation, localization and duration tracking.
+//! * [`serve`] — Kepler as a live service: the daemon loop, the durable
+//!   incident store (CRC-framed WAL + atomic snapshots, bit-identical
+//!   recovery), rate-limited alert fan-out, and the O(1) shared query
+//!   view behind `repro serve` / `repro query`.
 //! * [`glue`] — adapters wiring the simulator into the detector (data
 //!   plane probes, targeted-probe backends, ground-truth conversion).
 //! * [`fuzz_harness`] — runs [`netsim::fuzz`] worlds through the
@@ -69,4 +73,5 @@ pub use kepler_core as core;
 pub use kepler_docmine as docmine;
 pub use kepler_netsim as netsim;
 pub use kepler_probe as probe;
+pub use kepler_serve as serve;
 pub use kepler_topology as topology;
