@@ -236,6 +236,30 @@ fn bench_monitor_json() {
     assert_eq!(fuzz_violations, 0, "fuzz bench seeds must hold the invariants");
     let fuzz_wps = FUZZ_WORLDS as f64 / fuzz_secs;
 
+    eprintln!("[bench: fused multi-signal detection, forecast+delay over a drain world...]");
+    let (fusion_secs, fusion_events) = {
+        let fw = kepler::netsim::fuzz::slow_drain(1);
+        let config = kepler::core::KeplerConfig::default()
+            .with_hysteresis(fw.script.open_after, fw.script.close_after);
+        let mut det = kepler::glue::detector_with_fusion(
+            &fw.scenario,
+            config,
+            kepler::glue::FusionOptions::default(),
+        );
+        let records = fw.scenario.records();
+        let n = records.len() as u64;
+        let t = Instant::now();
+        for rec in records {
+            det.process_record_owned(rec);
+        }
+        det.advance_clock(fw.scenario.end);
+        let reports = det.finalize();
+        let secs = t.elapsed().as_secs_f64();
+        assert!(!reports.is_empty(), "fusion bench world must detect its staged drain");
+        (secs, n)
+    };
+    let fusion_eps = fusion_events as f64 / fusion_secs;
+
     eprintln!("[bench: serve daemon, ingest->commit->alert->publish...]");
     let (serve_secs, serve_events, serve_commits) = {
         use kepler::serve::{Daemon, DaemonConfig};
@@ -324,7 +348,7 @@ fn bench_monitor_json() {
 
     let rss = peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"fuzz\": {{ \"seconds\": {fuzz_secs:.3}, \"worlds\": {FUZZ_WORLDS}, \"fuzz_worlds_per_sec\": {fuzz_wps:.1} }},\n  \"serve\": {{ \"seconds\": {serve_secs:.3}, \"events\": {serve_events}, \"commits\": {serve_commits}, \"serve_events_per_sec\": {serve_eps:.0} }},\n  \"query\": {{ \"seconds\": {query_secs:.3}, \"reads\": {query_reads}, \"query_reads_per_sec\": {query_rps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"fuzz\": {{ \"seconds\": {fuzz_secs:.3}, \"worlds\": {FUZZ_WORLDS}, \"fuzz_worlds_per_sec\": {fuzz_wps:.1} }},\n  \"fusion\": {{ \"seconds\": {fusion_secs:.3}, \"events\": {fusion_events}, \"fusion_events_per_sec\": {fusion_eps:.0} }},\n  \"serve\": {{ \"seconds\": {serve_secs:.3}, \"events\": {serve_events}, \"commits\": {serve_commits}, \"serve_events_per_sec\": {serve_eps:.0} }},\n  \"query\": {{ \"seconds\": {query_secs:.3}, \"reads\": {query_reads}, \"query_reads_per_sec\": {query_rps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
         rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
     );
     std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");
@@ -349,11 +373,33 @@ fn fuzz_replay(verdict: kepler::fuzz_harness::FuzzVerdict) -> ! {
     }
     println!("detector reports ({}):", verdict.reports.len());
     for r in &verdict.reports {
+        let sources: Vec<String> = r
+            .sources
+            .iter()
+            .map(|s| format!("{}@{}({:.2})", s.kind, s.first_bin, s.confidence))
+            .collect();
         println!(
-            "  {:?} start={} end={:?} state={:?} oscillations={} validation={:?} dataplane={:?}",
-            r.scope, r.start, r.end, r.state, r.oscillations, r.validation, r.dataplane_confirmed
+            "  {:?} start={} end={:?} state={:?} oscillations={} validation={:?} dataplane={:?} sources=[{}]",
+            r.scope,
+            r.start,
+            r.end,
+            r.state,
+            r.oscillations,
+            r.validation,
+            r.dataplane_confirmed,
+            sources.join(", ")
         );
     }
+    println!(
+        "signal counters: forecast={} delay={} fused_opens={} corroborations={} suppressed={}",
+        verdict.counts.forecast_signals,
+        verdict.counts.delay_signals,
+        verdict.counts.fused_opens,
+        verdict.counts.fused_corroborations,
+        verdict.counts.aux_suppressed
+    );
+    println!("detection power:");
+    print!("{}", kepler::fuzz_harness::PowerReport::from_verdicts([&verdict]).render());
     if verdict.ok() {
         println!("invariants: OK");
         std::process::exit(0);
@@ -588,6 +634,9 @@ fn main() {
     }
     let mut ctx = Ctx { seed: 31, compact: false };
     let mut wanted: Vec<String> = Vec::new();
+    let mut fused = false;
+    let mut fuzz_seed: Option<u64> = None;
+    let mut fuzz_script: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -599,24 +648,36 @@ fn main() {
                 bench_monitor_json();
                 return;
             }
+            "--fused" => fused = true,
             "--fuzz-seed" => {
-                let seed: u64 = it.next().and_then(|s| s.parse().ok()).expect("--fuzz-seed N");
-                fuzz_replay(kepler::fuzz_harness::check_seed(seed));
+                fuzz_seed = Some(it.next().and_then(|s| s.parse().ok()).expect("--fuzz-seed N"));
             }
             "--fuzz-script" => {
-                let path = it.next().expect("--fuzz-script PATH");
-                let text =
-                    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-                let script = kepler::netsim::fuzz::ScenarioScript::parse(&text)
-                    .unwrap_or_else(|e| panic!("parse {path}: {e}"));
-                fuzz_replay(kepler::fuzz_harness::check_script(&script));
+                fuzz_script = Some(it.next().expect("--fuzz-script PATH").clone());
             }
             other => wanted.push(other.to_string()),
         }
     }
+    if let Some(seed) = fuzz_seed {
+        fuzz_replay(if fused {
+            kepler::fuzz_harness::check_seed_fused(seed)
+        } else {
+            kepler::fuzz_harness::check_seed(seed)
+        });
+    }
+    if let Some(path) = fuzz_script {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let script = kepler::netsim::fuzz::ScenarioScript::parse(&text)
+            .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+        fuzz_replay(if fused {
+            kepler::fuzz_harness::check_world_fused(&script.build())
+        } else {
+            kepler::fuzz_harness::check_script(&script)
+        });
+    }
     if wanted.is_empty() {
         eprintln!(
-            "usage: repro [--seed N] [--compact] [--bench] [--fuzz-seed N] [--fuzz-script PATH] <exp>...\n       repro serve [--store DIR] [--seed N] [--compact]\n       repro query <facility:N|ixp:N|city:N|N> [--store DIR]\n       repro stats [--store DIR] [--dump PATH]\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all\n  --bench: run the monitor throughput benchmark and write BENCH_monitor.json\n  --fuzz-seed N: replay generated fuzz world N through the invariant checker (exit 1 on violation)\n  --fuzz-script PATH: replay a serialized fuzz artifact (target/fuzz-artifacts/seed-N.script)\n  serve: run the detector as a daemon over the AMS-IX scenario with a durable store and alert log\n  query: read a scope's status from a serve store (exit 0=up, 2=down, 3=recovering, 1=error)\n  stats: summarize a serve store; --dump writes a serialized snapshot"
+            "usage: repro [--seed N] [--compact] [--bench] [--fuzz-seed N] [--fuzz-script PATH] <exp>...\n       repro serve [--store DIR] [--seed N] [--compact]\n       repro query <facility:N|ixp:N|city:N|N> [--store DIR]\n       repro stats [--store DIR] [--dump PATH]\n  exps: fig1 fig3 fig5 fig7a fig7b fig7c tab1 fig8a fig8b fig8c fig9a fig9b fig9c fig10a fig10b fig10c fig10d val dict all\n  --bench: run the monitor throughput benchmark and write BENCH_monitor.json\n  --fuzz-seed N: replay generated fuzz world N through the invariant checker (exit 1 on violation)\n  --fuzz-script PATH: replay a serialized fuzz artifact (target/fuzz-artifacts/seed-N.script)\n  --fused: replay fuzz worlds with the multi-signal detector (forecast + delay fusion)\n  serve: run the detector as a daemon over the AMS-IX scenario with a durable store and alert log\n  query: read a scope's status from a serve store (exit 0=up, 2=down, 3=recovering, 1=error)\n  stats: summarize a serve store; --dump writes a serialized snapshot"
         );
         std::process::exit(2);
     }

@@ -15,12 +15,13 @@ use std::collections::BTreeMap;
 /// carrying none of these are ignored; a key present in only one
 /// document (a benchmark added or retired across PRs) is informational
 /// and never fails the gate.
-pub const THROUGHPUT_KEYS: [&str; 7] = [
+pub const THROUGHPUT_KEYS: [&str; 8] = [
     "events_per_sec",
     "probe_verdicts_per_sec",
     "probe_batched_verdicts_per_sec",
     "probe_faulty_verdicts_per_sec",
     "fuzz_worlds_per_sec",
+    "fusion_events_per_sec",
     "serve_events_per_sec",
     "query_reads_per_sec",
 ];
@@ -281,6 +282,28 @@ mod tests {
         let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
         assert!(gate_fails(&verdicts));
         assert!(verdicts.iter().any(|v| v.metric == "fuzz" && v.regressed));
+    }
+
+    #[test]
+    fn fusion_metric_parses_and_old_baselines_tolerate_it() {
+        // The multi-signal row added with the fusion stack: baselines
+        // recorded before it existed must still gate cleanly, and the
+        // `fusion_events_per_sec` key must not be mistaken for the
+        // plain `events_per_sec` of the monitor sections.
+        let fresh_doc = format!(
+            "{BASELINE}\n\"fusion\": {{ \"seconds\": 1.5, \"events\": 6000, \"fusion_events_per_sec\": 4000 }}\n"
+        );
+        let fresh = parse_events_per_sec(&fresh_doc);
+        assert_eq!(fresh["fusion"], 4000.0);
+        assert_eq!(fresh["single_shard"], 1_505_476.0, "no cross-section contamination");
+        let old_base = parse_events_per_sec(BASELINE);
+        assert!(!gate_fails(&compare(&old_base, &fresh, 0.25)));
+        // Both documents carrying it: a regression is caught.
+        let slow =
+            fresh_doc.replace("\"fusion_events_per_sec\": 4000", "\"fusion_events_per_sec\": 1000");
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "fusion" && v.regressed));
     }
 
     #[test]

@@ -72,6 +72,38 @@ pub struct KeplerConfig {
     /// an open/close train; the close is backdated to the first restored
     /// check of the streak.
     pub close_after_consecutive: usize,
+    /// Season length of the forecast detector's seasonal-naive
+    /// prediction (Chocolatine-style): **1 day**. The forecaster
+    /// predicts this bin's per-facility crossing presence from the same
+    /// bin one season earlier.
+    pub forecast_season_secs: u64,
+    /// EWMA smoothing factor for the forecast residual band (applied to
+    /// `|observed - predicted|` each bin while not alarming).
+    pub forecast_band_alpha: f64,
+    /// The forecast deficit must exceed `band_k × band` (in addition to
+    /// the absolute and relative floors) before a bin counts toward an
+    /// alarm.
+    pub forecast_band_k: f64,
+    /// Absolute floor on the forecast deficit (stable crossings lost
+    /// below prediction) — guards against alarms on tiny facilities and
+    /// the handful of routes that permanently re-home after unrelated
+    /// churn elsewhere in the topology.
+    pub forecast_abs_floor: f64,
+    /// Relative floor: the deficit must also exceed this fraction of the
+    /// predicted presence. Reconvergence after a remote event can shift
+    /// a facility's level by 10–20% day over day without anything being
+    /// wrong locally; an outage drains most of it.
+    pub forecast_rel_floor: f64,
+    /// Consecutive deficit bins required before the forecast detector
+    /// raises a signal (filters 1–2-bin reconvergence edge mismatches).
+    pub forecast_confirm_bins: usize,
+    /// Differential-RTT step increase (ms over the per-(vantage,
+    /// hop-pair) baseline) that counts as a delay anomaly.
+    pub delay_threshold_ms: f64,
+    /// Distinct anomalous (vantage, hop-pair) measurement keys required
+    /// in one bin before the delay detector raises a signal on its own
+    /// (self-evidencing floor — one noisy pair never blames a facility).
+    pub delay_min_anomalous_pairs: usize,
 }
 
 impl Default for KeplerConfig {
@@ -95,6 +127,14 @@ impl Default for KeplerConfig {
             restore_probe_max_secs: 3_600,
             open_after_consecutive: 1,
             close_after_consecutive: 1,
+            forecast_season_secs: 86_400,
+            forecast_band_alpha: 0.2,
+            forecast_band_k: 3.0,
+            forecast_abs_floor: 4.0,
+            forecast_rel_floor: 0.25,
+            forecast_confirm_bins: 5,
+            delay_threshold_ms: 15.0,
+            delay_min_anomalous_pairs: 3,
         }
     }
 }
@@ -122,6 +162,25 @@ impl KeplerConfig {
     pub fn with_hysteresis(mut self, open: usize, close: usize) -> Self {
         self.open_after_consecutive = open.max(1);
         self.close_after_consecutive = close.max(1);
+        self
+    }
+
+    /// Tunes the forecast detector: season length, confirmation streak,
+    /// and the band multiplier over the EWMA residual. Scenario sweeps
+    /// with compressed clocks shrink the season the same way they shrink
+    /// [`Self::stable_secs`].
+    pub fn with_forecast(mut self, season_secs: u64, confirm_bins: usize, band_k: f64) -> Self {
+        self.forecast_season_secs = season_secs.max(self.bin_secs);
+        self.forecast_confirm_bins = confirm_bins.max(1);
+        self.forecast_band_k = band_k;
+        self
+    }
+
+    /// Tunes the delay detector: anomaly threshold (ms over the shared
+    /// hop-pair baseline) and the self-evidencing pair floor.
+    pub fn with_delay(mut self, threshold_ms: f64, min_anomalous_pairs: usize) -> Self {
+        self.delay_threshold_ms = threshold_ms;
+        self.delay_min_anomalous_pairs = min_anomalous_pairs.max(1);
         self
     }
 }
@@ -157,5 +216,20 @@ mod tests {
         let c = KeplerConfig::default().with_hysteresis(0, 0);
         assert_eq!(c.open_after_consecutive, 1);
         assert_eq!(c.close_after_consecutive, 1);
+    }
+
+    #[test]
+    fn fusion_builders() {
+        let c = KeplerConfig::default().with_forecast(3_600, 3, 2.5).with_delay(10.0, 2);
+        assert_eq!(c.forecast_season_secs, 3_600);
+        assert_eq!(c.forecast_confirm_bins, 3);
+        assert!((c.forecast_band_k - 2.5).abs() < 1e-9);
+        assert!((c.delay_threshold_ms - 10.0).abs() < 1e-9);
+        assert_eq!(c.delay_min_anomalous_pairs, 2);
+        // A season shorter than one bin clamps up; zero floors clamp to 1.
+        let c = KeplerConfig::default().with_forecast(0, 0, 3.0).with_delay(5.0, 0);
+        assert_eq!(c.forecast_season_secs, c.bin_secs);
+        assert_eq!(c.forecast_confirm_bins, 1);
+        assert_eq!(c.delay_min_anomalous_pairs, 1);
     }
 }

@@ -1,5 +1,6 @@
 //! Output types of the detection pipeline.
 
+use crate::signal::{SignalKind, SourceContribution};
 use kepler_bgp::{Asn, Prefix};
 use kepler_bgpstream::{CollectorId, PeerId, Timestamp};
 use kepler_docmine::LocationTag;
@@ -177,6 +178,11 @@ pub struct OutageReport {
     /// past the end of the feed, `Recovering` ones restored but were
     /// still inside the merge window, `Closed` ones are final.
     pub state: IncidentState,
+    /// Per-source detection contributions: every fused signal source
+    /// that saw this incident, with its peak confidence and the first
+    /// bin it fired in ([`SignalKind::Deviation`] alone for incidents
+    /// born purely from the paper's deviation test).
+    pub sources: Vec<SourceContribution>,
 }
 
 impl OutageReport {
@@ -214,6 +220,15 @@ impl fmt::Display for OutageReport {
         if self.state != IncidentState::Closed {
             write!(f, " [{}]", self.state)?;
         }
+        // Per-source attribution only when fusion added anything beyond
+        // the default deviation signal.
+        if self.sources.iter().any(|s| s.kind != SignalKind::Deviation) {
+            write!(f, " [signals:")?;
+            for (i, s) in self.sources.iter().enumerate() {
+                write!(f, "{}{}", if i == 0 { " " } else { "+" }, s.kind)?;
+            }
+            write!(f, "]")?;
+        }
         Ok(())
     }
 }
@@ -250,12 +265,30 @@ mod tests {
             probe_evidence: Vec::new(),
             probe_completeness: 1.0,
             state: IncidentState::Closed,
+            sources: vec![SourceContribution {
+                kind: SignalKind::Deviation,
+                confidence: 1.0,
+                first_bin: 1000,
+            }],
         };
         assert_eq!(r.duration(), Some(1500));
         assert_eq!(r.affected_ases().len(), 3);
         let s = r.to_string();
         assert!(s.contains("facility 1") && s.contains("confirmed"), "{s}");
         assert!(s.contains("probe-confirmed"), "{s}");
+        assert!(!s.contains("[signals:"), "deviation-only reports stay terse");
+        let fused = OutageReport {
+            sources: vec![
+                SourceContribution {
+                    kind: SignalKind::Deviation,
+                    confidence: 1.0,
+                    first_bin: 1000,
+                },
+                SourceContribution { kind: SignalKind::Forecast, confidence: 0.8, first_bin: 940 },
+            ],
+            ..r.clone()
+        };
+        assert!(fused.to_string().contains("[signals: deviation+forecast]"), "{fused}");
         let ongoing = OutageReport { end: None, state: IncidentState::Open, ..r };
         assert_eq!(ongoing.duration(), None);
         assert!(ongoing.to_string().contains("ongoing"));

@@ -66,6 +66,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod remote;
 pub mod shard;
+pub mod signal;
 pub mod system;
 pub mod tracker;
 
@@ -78,5 +79,9 @@ pub use intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId
 pub use investigate::{FacilityCandidate, Localization, PendingIncident};
 pub use remote::RemotenessMap;
 pub use shard::{AnyMonitor, ShardedMonitor};
+pub use signal::{
+    BinView, CanaryPair, DelayDetector, ForecastDetector, SignalKind, SignalSource,
+    SourceContribution, SourceSignal,
+};
 pub use system::{Kepler, KeplerInputs};
 pub use tracker::{OngoingExport, TrackerState};

@@ -176,6 +176,7 @@ mod tests {
             probe_evidence: Vec::new(),
             probe_completeness: 1.0,
             state: crate::events::IncidentState::Closed,
+            sources: Vec::new(),
         }
     }
 

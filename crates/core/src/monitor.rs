@@ -108,6 +108,10 @@ pub struct DenseBinOutcome {
     pub stable_fars: Vec<(PopId, PopFars)>,
     /// Per signaled PoP: near-end → stable path count.
     pub stable_nears: Vec<(PopId, PopNears)>,
+    /// Per presence-watched PoP: crossings on currently announced routes
+    /// at bin close (the forecast detector's input series). Empty unless
+    /// presence watches are registered, so plain runs are unchanged.
+    pub watch_presence: Vec<(PopId, u64)>,
 }
 
 /// Stable far-end ASes of one PoP with path counts, grouped by near-end.
@@ -200,6 +204,9 @@ pub struct EagerClose {
     pub groups: Vec<GroupStat>,
     /// Pre-finish stable counts of the watched PoPs, in argument order.
     pub watch_stables: Vec<usize>,
+    /// This shard's presence counts of the presence-watched PoPs, in
+    /// argument order (additive across shards).
+    pub presence: Vec<u64>,
     /// Captured pre-finish state for deferred denominator queries.
     pub pre: BinPreState,
 }
@@ -227,6 +234,11 @@ pub struct MonitorCore {
     /// *stable* crossing. Determines which PoPs are trackable (the paper's
     /// ≥3 near-end + ≥3 far-end rule).
     coverage: FxHashMap<PopId, (FxHashSet<AsnId>, FxHashSet<AsnId>)>,
+    /// Per-PoP count of crossings on *currently announced* routes — the
+    /// forecast detector's presence series. Maintained unconditionally
+    /// (shards cannot know the watch set before the first bin close);
+    /// pure extra state that never feeds the deviation path.
+    presence: FxHashMap<PopId, u64>,
     /// Active pre-finish capture (only during
     /// [`close_bin_eager`](Self::close_bin_eager)).
     pre: Option<BinPreState>,
@@ -248,6 +260,7 @@ impl MonitorCore {
             deviations: FxHashMap::default(),
             deviation_fars: FxHashMap::default(),
             coverage: FxHashMap::default(),
+            presence: FxHashMap::default(),
             pre: None,
         }
     }
@@ -270,7 +283,11 @@ impl MonitorCore {
                     }
                 }
                 if slot < self.current.len() {
-                    self.current[slot] = None;
+                    if let Some(cur) = self.current[slot].take() {
+                        for c in cur.crossings.iter() {
+                            self.dec_presence(c.pop);
+                        }
+                    }
                 }
             }
             DenseRouteEvent::Update { route, crossings } => {
@@ -293,6 +310,14 @@ impl MonitorCore {
                         // Same located route: stability clock keeps running.
                     }
                     _ => {
+                        if let Some(cur) = self.current[slot].take() {
+                            for c in cur.crossings.iter() {
+                                self.dec_presence(c.pop);
+                            }
+                        }
+                        for c in crossings.iter() {
+                            *self.presence.entry(c.pop).or_insert(0) += 1;
+                        }
                         self.current[slot] =
                             Some(CurrentRoute { crossings: Arc::clone(crossings), since: t });
                         self.promotions.push(Reverse((t + self.config.stable_secs, *route)));
@@ -307,6 +332,20 @@ impl MonitorCore {
         let key = c.group();
         self.deviations.entry(key).or_default().insert(route);
         self.deviation_fars.entry(key).or_default().insert(c.far);
+    }
+
+    #[inline]
+    fn dec_presence(&mut self, pop: PopId) {
+        if let Some(n) = self.presence.get_mut(&pop) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// Current per-PoP presence: crossings on currently announced routes,
+    /// in argument order. Additive across shards (each route lives on
+    /// exactly one).
+    pub fn presence_counts(&self, pops: &[PopId]) -> Vec<u64> {
+        pops.iter().map(|p| self.presence.get(p).copied().unwrap_or(0)).collect()
     }
 
     /// Whether any deviation was marked since the last
@@ -356,13 +395,21 @@ impl MonitorCore {
     /// [`snapshot_pre`](Self::snapshot_pre)), then prunes + promotes
     /// immediately — at the exact stream position the serial path would,
     /// so later-bin events may be applied right away.
-    pub fn close_bin_eager(&mut self, bin_end: Timestamp, watched: &[PopId]) -> EagerClose {
+    pub fn close_bin_eager(
+        &mut self,
+        bin_end: Timestamp,
+        watched: &[PopId],
+        presence_watched: &[PopId],
+    ) -> EagerClose {
         let groups = self.bin_groups();
         let watch_stables = watched.iter().map(|&p| self.stable_count(p)).collect();
+        // Sampled at the exact stream position of the marker; `finish_bin`
+        // never touches `current`, so before/after the finish is identical.
+        let presence = self.presence_counts(presence_watched);
         self.pre = Some(BinPreState::default());
         self.finish_bin(bin_end);
         let pre = self.pre.take().expect("pre-state capture active");
-        EagerClose { groups, watch_stables, pre }
+        EagerClose { groups, watch_stables, presence, pre }
     }
 
     /// Pre-finish stable-route counts for the given groups, answered from
@@ -586,6 +633,7 @@ pub struct Monitor {
     core: MonitorCore,
     bin_start: Option<Timestamp>,
     watches: FxHashMap<PopId, Vec<(Timestamp, f64)>>,
+    presence_watch: Vec<PopId>,
 }
 
 impl Monitor {
@@ -595,7 +643,25 @@ impl Monitor {
             core: MonitorCore::new(config, 1),
             bin_start: None,
             watches: FxHashMap::default(),
+            presence_watch: Vec::new(),
         }
+    }
+
+    /// Registers a PoP whose presence count (crossings on currently
+    /// announced routes) is sampled into every closed bin's
+    /// [`DenseBinOutcome::watch_presence`] — the forecast detector's
+    /// input. Registering any presence watch disables the empty-stretch
+    /// bin-skip so the series has one sample per bin.
+    pub fn watch_presence(&mut self, pop: PopId) {
+        if !self.presence_watch.contains(&pop) {
+            self.presence_watch.push(pop);
+            self.presence_watch.sort_unstable();
+        }
+    }
+
+    /// All presence-watched PoPs, sorted.
+    pub fn presence_watched(&self) -> &[PopId] {
+        &self.presence_watch
     }
 
     /// Registers a PoP whose per-bin aggregate change fraction should be
@@ -689,6 +755,7 @@ impl Monitor {
                     if out.last().map(|o| o.signals.is_empty()).unwrap_or(false)
                         && !self.core.has_deviations()
                         && self.watches.is_empty()
+                        && self.presence_watch.is_empty()
                         && t >= next + bin_secs
                     {
                         bin_start = t - t % bin_secs;
@@ -708,7 +775,7 @@ impl Monitor {
         let config = self.core.config.clone();
         let bin_end = bin_start + config.bin_secs;
         let groups = self.core.bin_groups();
-        let outcome = finalize_bin(&config, bin_start, groups, |pop| {
+        let mut outcome = finalize_bin(&config, bin_start, groups, |pop| {
             (self.core.stable_fars(pop), self.core.stable_nears(pop))
         });
 
@@ -718,6 +785,16 @@ impl Monitor {
             let deviated = self.core.deviation_count(pop);
             let frac = if stable == 0 { 0.0 } else { deviated as f64 / stable as f64 };
             series.push((bin_start, frac));
+        }
+
+        // Presence samples for the forecast detector.
+        if !self.presence_watch.is_empty() {
+            outcome.watch_presence = self
+                .presence_watch
+                .iter()
+                .copied()
+                .zip(self.core.presence_counts(&self.presence_watch))
+                .collect();
         }
 
         self.core.finish_bin(bin_end);
@@ -1009,6 +1086,57 @@ mod tests {
         m.advance_to(t0 + 3 * DAY + 300);
         assert_eq!(m.baseline_size(), 1);
         assert_eq!(m.stable_count(pop_of(&mut interner, 2)), 1);
+    }
+
+    #[test]
+    fn presence_counter_tracks_announced_crossings() {
+        let mut interner = Interner::new();
+        let mut m = Monitor::new(cfg());
+        let pop = pop_of(&mut interner, 1);
+        m.watch_presence(pop);
+        m.watch_presence(pop); // idempotent
+        assert_eq!(m.presence_watched(), &[pop]);
+        let t0 = 1_000_000u64;
+        for i in 0..4u8 {
+            update(&mut m, &mut interner, t0, i, vec![fac(1, 50, 60 + i as u32)], vec![]);
+        }
+        let t1 = t0 + 2 * DAY + 300;
+        let warm = m.advance_to(t1);
+        assert!(warm.iter().all(|o| o.watch_presence.len() == 1));
+        assert_eq!(warm.last().unwrap().watch_presence, vec![(pop, 4)]);
+        // Withdraw two, move one to another facility.
+        withdraw(&mut m, &mut interner, t1 + 1, 0);
+        withdraw(&mut m, &mut interner, t1 + 2, 1);
+        update(&mut m, &mut interner, t1 + 3, 2, vec![fac(2, 50, 62)], vec![]);
+        let outcomes = m.advance_to(t1 + 180);
+        // Only route 3 still announces a facility-1 crossing.
+        assert!(!outcomes.is_empty());
+        assert!(outcomes.iter().all(|o| o.watch_presence == vec![(pop, 1)]));
+        // Presence watches disable the empty-stretch skip: bins stay
+        // consecutive across a quiet hour.
+        let quiet = m.advance_to(t1 + 180 + 3_600);
+        assert_eq!(quiet.len(), 60, "one sample per bin across the quiet stretch");
+        let starts: Vec<u64> = quiet.iter().map(|o| o.bin_start).collect();
+        assert!(starts.windows(2).all(|w| w[1] == w[0] + 60), "consecutive bins");
+    }
+
+    #[test]
+    fn unannounced_or_replaced_routes_never_go_negative() {
+        let mut interner = Interner::new();
+        let mut m = Monitor::new(cfg());
+        let pop = pop_of(&mut interner, 1);
+        m.watch_presence(pop);
+        let t0 = 1_000_000u64;
+        // Withdraw of a route that was never announced: harmless.
+        withdraw(&mut m, &mut interner, t0, 9);
+        // Announce, re-announce identically (same located route arm),
+        // then flap to a different tag and back.
+        update(&mut m, &mut interner, t0 + 1, 0, vec![fac(1, 50, 60)], vec![]);
+        update(&mut m, &mut interner, t0 + 2, 0, vec![fac(1, 50, 60)], vec![]);
+        update(&mut m, &mut interner, t0 + 3, 0, vec![fac(2, 50, 60)], vec![]);
+        update(&mut m, &mut interner, t0 + 4, 0, vec![fac(1, 50, 60)], vec![]);
+        let outcomes = m.advance_to(t0 + 120);
+        assert_eq!(outcomes.last().unwrap().watch_presence, vec![(pop, 1)]);
     }
 
     #[test]

@@ -53,6 +53,9 @@ enum ToShard {
         bin_end: Timestamp,
         /// Watched PoPs whose stable counts the reply must carry.
         watched: Vec<PopId>,
+        /// Presence-watched PoPs whose announced-crossing counts the
+        /// reply must carry (sampled at the marker's stream position).
+        presence: Vec<PopId>,
         /// Every retained pre-state with `bin_end <=` this is dropped.
         drop_upto: Timestamp,
     },
@@ -71,7 +74,7 @@ enum ToShard {
 }
 
 enum FromShard {
-    Bin { groups: Vec<GroupStat>, stable_counts: Vec<usize> },
+    Bin { groups: Vec<GroupStat>, stable_counts: Vec<usize>, presence_counts: Vec<u64> },
     GroupTotals(Vec<usize>),
     Snapshot(Vec<(PopId, SnapshotPair)>),
     Bools(Vec<bool>),
@@ -91,14 +94,17 @@ fn shard_loop(mut core: MonitorCore, rx: Receiver<ToShard>, tx: Sender<FromShard
                     core.apply(*t, ev);
                 }
             }
-            ToShard::CloseBin { bin_end, watched, drop_upto } => {
+            ToShard::CloseBin { bin_end, watched, presence, drop_upto } => {
                 while prestates.front().map(|(end, _)| *end <= drop_upto).unwrap_or(false) {
                     prestates.pop_front();
                 }
-                let eager = core.close_bin_eager(bin_end, &watched);
+                let eager = core.close_bin_eager(bin_end, &watched, &presence);
                 prestates.push_back((bin_end, eager.pre));
-                let reply =
-                    FromShard::Bin { groups: eager.groups, stable_counts: eager.watch_stables };
+                let reply = FromShard::Bin {
+                    groups: eager.groups,
+                    stable_counts: eager.watch_stables,
+                    presence_counts: eager.presence,
+                };
                 if tx.send(reply).is_err() {
                     return;
                 }
@@ -160,6 +166,9 @@ pub struct ShardedMonitor {
     handles: Vec<JoinHandle<()>>,
     bin_start: Option<Timestamp>,
     watches: FxHashMap<PopId, Vec<(Timestamp, f64)>>,
+    /// Presence-watched PoPs, sorted (mirrors [`Monitor`]'s list; the
+    /// merged per-bin sample is the element-wise sum across shards).
+    presence_watch: Vec<PopId>,
     buffers: Vec<Vec<(Timestamp, DenseRouteEvent)>>,
     buffered: usize,
     /// End of the last fully finalized bin — shards may drop pre-states
@@ -189,6 +198,7 @@ impl ShardedMonitor {
             handles,
             bin_start: None,
             watches: FxHashMap::default(),
+            presence_watch: Vec::new(),
             buffers: vec![Vec::new(); shards],
             buffered: 0,
             finalized_upto: 0,
@@ -214,6 +224,21 @@ impl ShardedMonitor {
     /// All registered watch PoPs.
     pub fn watched_pops(&self) -> Vec<PopId> {
         self.watches.keys().copied().collect()
+    }
+
+    /// Registers a PoP whose per-bin presence count (announced crossings)
+    /// should be sampled, mirroring [`Monitor::watch_presence`]. Disables
+    /// the empty-stretch skip so every bin is sampled.
+    pub fn watch_presence(&mut self, pop: PopId) {
+        if !self.presence_watch.contains(&pop) {
+            self.presence_watch.push(pop);
+            self.presence_watch.sort_unstable();
+        }
+    }
+
+    /// All presence-watched PoPs, sorted.
+    pub fn presence_watched(&self) -> &[PopId] {
+        &self.presence_watch
     }
 
     fn send(&self, shard: usize, msg: ToShard) {
@@ -263,6 +288,7 @@ impl ShardedMonitor {
                     // the skip condition matches the single monitor's.
                     if out.last().map(|o| o.signals.is_empty()).unwrap_or(false)
                         && self.watches.is_empty()
+                        && self.presence_watch.is_empty()
                         && t >= next + bin_secs
                     {
                         bin_start = t - t % bin_secs;
@@ -290,15 +316,17 @@ impl ShardedMonitor {
             let marker = ToShard::CloseBin {
                 bin_end,
                 watched: watched.clone(),
+                presence: self.presence_watch.clone(),
                 drop_upto: self.finalized_upto,
             };
             self.send(shard, marker);
         }
         let mut merged: FxHashMap<GroupKey, GroupStat> = FxHashMap::default();
         let mut watch_stables = vec![0usize; watched.len()];
+        let mut presence_sums = vec![0u64; self.presence_watch.len()];
         for rx in &self.rxs {
             match rx.recv().expect("shard reply") {
-                FromShard::Bin { groups, stable_counts } => {
+                FromShard::Bin { groups, stable_counts, presence_counts } => {
                     for g in groups {
                         match merged.get_mut(&g.key) {
                             None => {
@@ -315,6 +343,11 @@ impl ShardedMonitor {
                         }
                     }
                     for (acc, n) in watch_stables.iter_mut().zip(stable_counts) {
+                        *acc += n;
+                    }
+                    // Routes live on exactly one shard, so per-shard
+                    // presence counts are disjoint and sum exactly.
+                    for (acc, n) in presence_sums.iter_mut().zip(presence_counts) {
                         *acc += n;
                     }
                 }
@@ -366,7 +399,7 @@ impl ShardedMonitor {
         // Deferred query: snapshot denominators for signaled pops across
         // shards (answered from the captured pre-finish state).
         let mut snapshots: FxHashMap<PopId, SnapshotPair> = FxHashMap::default();
-        let outcome = {
+        let mut outcome = {
             // Scan the merged groups for signaled pops (same thresholds
             // finalize_bin applies) without cloning the route lists.
             let mut pops: Vec<PopId> = groups
@@ -397,6 +430,10 @@ impl ShardedMonitor {
                 snapshots.remove(&pop).unwrap_or_default()
             })
         };
+        if !self.presence_watch.is_empty() {
+            outcome.watch_presence =
+                self.presence_watch.iter().copied().zip(presence_sums).collect();
+        }
         // Shards already pruned + promoted at the marker; the bin is now
         // fully finalized and its pre-states can be released.
         self.finalized_upto = bin_end;
@@ -524,6 +561,7 @@ impl Drop for ShardedMonitor {
 
 /// Either monitor behind one dispatching surface, so the system pipeline
 /// ([`crate::system::Kepler`]) and the tracker work with both.
+#[allow(clippy::large_enum_variant)] // one long-lived instance per system
 pub enum AnyMonitor {
     /// Single-threaded monitor.
     Single(Monitor),
@@ -569,6 +607,22 @@ impl AnyMonitor {
         match self {
             AnyMonitor::Single(m) => m.watched_pops(),
             AnyMonitor::Sharded(m) => m.watched_pops(),
+        }
+    }
+
+    /// Registers a presence-watched PoP (forecast-detector input).
+    pub fn watch_presence(&mut self, pop: PopId) {
+        match self {
+            AnyMonitor::Single(m) => m.watch_presence(pop),
+            AnyMonitor::Sharded(m) => m.watch_presence(pop),
+        }
+    }
+
+    /// All presence-watched PoPs, sorted.
+    pub fn presence_watched(&self) -> &[PopId] {
+        match self {
+            AnyMonitor::Single(m) => m.presence_watched(),
+            AnyMonitor::Sharded(m) => m.presence_watched(),
         }
     }
 
@@ -697,6 +751,47 @@ mod tests {
         single.advance_to(t1 + 180);
         sharded.advance_to(t1 + 180);
         assert_eq!(single.watch_series(pop), sharded.watch_series(pop));
+    }
+
+    #[test]
+    fn sharded_presence_matches_single() {
+        for shards in [1usize, 3, 4] {
+            let mut interner = Interner::new();
+            let pop = interner.pop_id(LocationTag::Facility(FacilityId(1)));
+            let mut single = Monitor::new(cfg());
+            let mut sharded = ShardedMonitor::new(cfg(), shards);
+            single.watch_presence(pop);
+            sharded.watch_presence(pop);
+            assert_eq!(single.presence_watched(), sharded.presence_watched());
+            let t0 = 1_000_000u64;
+            for i in 0..9u8 {
+                let ev = interner.intern_event(&RouteEvent::Update {
+                    key: key(i),
+                    crossings: vec![fac(1, 50, 60 + i as u32)],
+                    hops: vec![],
+                });
+                single.observe(t0, &ev);
+                sharded.observe(t0, &ev);
+            }
+            let t1 = t0 + 2 * DAY + 300;
+            single.advance_to(t1);
+            sharded.advance_to(t1);
+            // Drain routes one per bin; the per-bin presence series must
+            // agree step for step between the two implementations.
+            for i in 0..6u8 {
+                let ev = interner.intern_event(&RouteEvent::Withdraw { key: key(i) });
+                let t = t1 + 60 * (i as u64 + 1);
+                single.observe(t, &ev);
+                sharded.observe(t, &ev);
+            }
+            let a: Vec<Vec<(PopId, u64)>> =
+                single.advance_to(t1 + 900).iter().map(|o| o.watch_presence.clone()).collect();
+            let b: Vec<Vec<(PopId, u64)>> =
+                sharded.advance_to(t1 + 900).iter().map(|o| o.watch_presence.clone()).collect();
+            assert_eq!(a, b, "shards={shards}");
+            assert!(a.iter().all(|s| s.len() == 1), "{a:?}");
+            assert_eq!(a.last().unwrap()[0], (pop, 3), "{a:?}");
+        }
     }
 
     #[test]

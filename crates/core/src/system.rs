@@ -9,11 +9,16 @@ use crate::intern::{DenseRouteEvent, Interner};
 use crate::investigate::{Investigator, LocalizedIncident, PendingIncident};
 use crate::monitor::{DenseBinOutcome, Monitor};
 use crate::shard::{AnyMonitor, ShardedMonitor};
+use crate::signal::{BinView, SignalKind, SignalSource, SourceContribution, SourceSignal};
 use crate::tracker::{IncidentMeta, Tracker};
+use kepler_bgp::Asn;
 use kepler_bgpstream::{BgpRecord, GapTracker, Timestamp};
-use kepler_docmine::CommunityDictionary;
-use kepler_probe::{BackendHealth, FacilityVerdict, Prober, RestorationProber};
+use kepler_docmine::{CommunityDictionary, LocationTag};
+use kepler_probe::{
+    BackendHealth, FacilityVerdict, HopEvidence, ProbeRequest, Prober, RestorationProber,
+};
 use kepler_topology::{ColocationMap, FacilityId, OrgMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything Kepler needs to start.
 pub struct KeplerInputs {
@@ -65,6 +70,16 @@ pub struct ClassCounts {
     /// Passively-settled incidents later upgraded to probe-confirmed by
     /// re-validation after the backend recovered.
     pub deferred_revalidated: usize,
+    /// Forecast-deficit signals raised (signal-bins, across PoPs).
+    pub forecast_signals: usize,
+    /// Delay-anomaly signals raised (signal-bins, across sites).
+    pub delay_signals: usize,
+    /// Auxiliary signals that corroborated an already-open incident.
+    pub fused_corroborations: usize,
+    /// Incidents opened by auxiliary signals alone (no deviation group).
+    pub fused_opens: usize,
+    /// Auxiliary signals suppressed below the fusion opening quorum.
+    pub aux_suppressed: usize,
 }
 
 /// A pending localization parked while the measurement backend was
@@ -93,6 +108,7 @@ pub struct Kepler {
     dataplane: Option<Box<dyn DataPlaneProbe>>,
     prober: Option<Box<dyn Prober>>,
     restoration: Option<Box<dyn RestorationProber>>,
+    signal_sources: Vec<Box<dyn SignalSource>>,
     deferred: Vec<DeferredPending>,
     counts: ClassCounts,
     last_time: Timestamp,
@@ -122,6 +138,7 @@ impl Kepler {
             dataplane: None,
             prober: None,
             restoration: None,
+            signal_sources: Vec::new(),
             deferred: Vec::new(),
             counts: ClassCounts::default(),
             config,
@@ -184,6 +201,17 @@ impl Kepler {
         self
     }
 
+    /// Attaches an auxiliary signal source ([`crate::signal`]): polled
+    /// once per closed bin and fused with the deviation pipeline under
+    /// conservative opening rules (see [`Self::watch_presence`] for the
+    /// forecast detector's input series). With no sources attached the
+    /// fusion stage is skipped entirely, so plain runs are bit-identical
+    /// to pre-fusion behavior.
+    pub fn with_signal_source(mut self, source: Box<dyn SignalSource>) -> Self {
+        self.signal_sources.push(source);
+        self
+    }
+
     /// Attaches remote-peering evidence ([`crate::remote`]) to the
     /// investigator: members the latency heuristic flags as remote at an
     /// exchange never nominate their distant home facilities as
@@ -214,9 +242,13 @@ impl Kepler {
         assert_eq!(self.last_time, 0, "with_shards must precede processing");
         // Carry registered watches over to the replacement monitor.
         let watched = self.monitor.watched_pops();
+        let presence = self.monitor.presence_watched().to_vec();
         self.monitor = AnyMonitor::Sharded(ShardedMonitor::new(self.config.clone(), shards));
         for pop in watched {
             self.monitor.watch(pop);
+        }
+        for pop in presence {
+            self.monitor.watch_presence(pop);
         }
         self
     }
@@ -225,6 +257,15 @@ impl Kepler {
     pub fn watch(&mut self, pop: kepler_docmine::LocationTag) {
         let pop = self.interner.pop_id(pop);
         self.monitor.watch(pop);
+    }
+
+    /// Registers a PoP whose announced-crossing presence count should be
+    /// sampled at every bin close — the forecast signal source's input
+    /// series. Typically every trackable facility the forecast detector
+    /// should cover.
+    pub fn watch_presence(&mut self, pop: kepler_docmine::LocationTag) {
+        let pop = self.interner.pop_id(pop);
+        self.monitor.watch_presence(pop);
     }
 
     /// The recorded series of a watched PoP.
@@ -323,6 +364,20 @@ impl Kepler {
         self.event_scratch = events;
     }
 
+    /// Advances the bin clock to `t` without feeding a record: every
+    /// dense bin ending at or before `t` closes, polling presence
+    /// watches and auxiliary signal sources as usual. A quiet stream
+    /// still gets monitored — a pure data-plane event (congestion
+    /// brownout) leaves no control-plane records at all, but the delay
+    /// detector's canary panel must keep tracing through the silence.
+    pub fn advance_clock(&mut self, t: Timestamp) {
+        self.last_time = self.last_time.max(t);
+        let outcomes = self.monitor.advance_to(t);
+        for outcome in outcomes {
+            self.handle_bin(outcome);
+        }
+    }
+
     /// Feeds drained dense events to the monitor and handles closed bins.
     fn observe_events(&mut self, events: &mut Vec<(Timestamp, DenseRouteEvent)>) {
         for (t, event) in events.drain(..) {
@@ -373,6 +428,14 @@ impl Kepler {
     }
 
     fn handle_bin(&mut self, outcome: DenseBinOutcome) {
+        // Presence counts leave dense space here: `resolve` below does not
+        // carry them (pre-fusion callers never see the field), so the
+        // fusion stage samples them before the dense view is dropped.
+        let presence: Vec<(LocationTag, u64)> = outcome
+            .watch_presence
+            .iter()
+            .map(|&(pop, n)| (self.interner.pop_tag(pop), n))
+            .collect();
         // Resolution back to display space happens here, once per closed
         // bin — the per-event path upstream is entirely dense.
         let outcome = outcome.resolve(&self.interner);
@@ -510,6 +573,9 @@ impl Kepler {
             meta.push(m);
         }
         self.tracker.record(&kept, &meta, &mut self.interner);
+        // Auxiliary detectors run after the deviation pipeline recorded,
+        // so their signals corroborate this bin's incidents directly.
+        self.fuse_signals(&presence, outcome.bin_start);
         let bin_end = outcome.bin_start.saturating_add(self.config.bin_secs);
         // Probe-driven restoration first: a data-plane close stamps the
         // earlier end time before the control-plane check can.
@@ -517,6 +583,180 @@ impl Kepler {
             self.counts.probe_closed += self.tracker.probe_restorations(bin_end, rp.as_mut());
         }
         self.tracker.check_restorations(bin_end, &mut self.monitor);
+    }
+
+    /// Polls every attached signal source for the closed bin and fuses
+    /// the results with the deviation pipeline:
+    ///
+    /// * a signal whose scope matches (or is geographically related to)
+    ///   an ongoing incident **corroborates** it — the contribution
+    ///   merges into the incident's per-source ledger;
+    /// * remaining signals group per scope and open an incident only
+    ///   under a conservative quorum: two independent kinds agree, a
+    ///   delay signal reaches the distinct-pair quorum on its own (its
+    ///   evidence is already multi-vantage, and a reachability probe
+    ///   would wrongly refute a still-forwarding brownout), or a
+    ///   forecast-only suspicion is confirmed by a targeted campaign;
+    /// * everything below the quorum is suppressed and counted.
+    ///
+    /// Incidents opened here carry empty watch lists (no deviated routes
+    /// exist), so they close via restoration probes or stay open — the
+    /// control-plane restoration check never fires vacuously.
+    fn fuse_signals(&mut self, presence: &[(LocationTag, u64)], bin_start: Timestamp) {
+        if self.signal_sources.is_empty() {
+            return;
+        }
+        let view = BinView { bin_start, bin_secs: self.config.bin_secs, presence };
+        let mut raised: Vec<(SignalKind, SourceSignal)> = Vec::new();
+        for source in &mut self.signal_sources {
+            let kind = source.kind();
+            for sig in source.poll(&view) {
+                match kind {
+                    SignalKind::Forecast => self.counts.forecast_signals += 1,
+                    SignalKind::Delay => self.counts.delay_signals += 1,
+                    SignalKind::Deviation => {}
+                }
+                raised.push((kind, sig));
+            }
+        }
+        if raised.is_empty() {
+            return;
+        }
+        let mut standalone: BTreeMap<OutageScope, Vec<(SignalKind, SourceSignal)>> =
+            BTreeMap::new();
+        for (kind, sig) in raised {
+            let contrib =
+                SourceContribution { kind, confidence: sig.confidence, first_bin: bin_start };
+            if self.tracker.corroborate(sig.scope, contrib) {
+                self.counts.fused_corroborations += 1;
+            } else {
+                standalone.entry(sig.scope).or_default().push((kind, sig));
+            }
+        }
+        for (scope, signals) in standalone {
+            let kinds: BTreeSet<SignalKind> = signals.iter().map(|(k, _)| *k).collect();
+            let delay_weight = signals
+                .iter()
+                .filter(|(k, _)| *k == SignalKind::Delay)
+                .map(|(_, s)| s.weight)
+                .max()
+                .unwrap_or(0);
+            let mut validation = ValidationStatus::Unvalidated;
+            let mut evidence: Vec<HopEvidence> = Vec::new();
+            let mut completeness = 1.0;
+            let open = if kinds.len() >= 2 || delay_weight >= self.config.delay_min_anomalous_pairs
+            {
+                true
+            } else if kinds.contains(&SignalKind::Forecast) {
+                match self.probe_forecast_suspicion(scope, bin_start) {
+                    Some((e, c)) => {
+                        validation = ValidationStatus::Confirmed;
+                        evidence = e;
+                        completeness = c;
+                        true
+                    }
+                    None => false,
+                }
+            } else {
+                false
+            };
+            if !open {
+                self.counts.aux_suppressed += signals.len();
+                continue;
+            }
+            let mut sources: Vec<SourceContribution> = Vec::new();
+            for (kind, sig) in &signals {
+                match sources.iter_mut().find(|s| s.kind == *kind) {
+                    Some(s) => s.confidence = s.confidence.max(sig.confidence),
+                    None => sources.push(SourceContribution {
+                        kind: *kind,
+                        confidence: sig.confidence,
+                        first_bin: bin_start,
+                    }),
+                }
+            }
+            sources.sort_by_key(|s| s.kind.tag());
+            let inc = LocalizedIncident {
+                scope,
+                bin_start,
+                affected_near: BTreeSet::new(),
+                affected_far: self.scope_members(scope),
+                affected_keys: Vec::new(),
+                watch: Vec::new(),
+            };
+            let meta = IncidentMeta {
+                validation,
+                evidence,
+                completeness,
+                sources,
+                ..IncidentMeta::default()
+            };
+            self.counts.fused_opens += 1;
+            self.tracker.record(&[inc], &[meta], &mut self.interner);
+        }
+    }
+
+    /// Runs a synthetic validation campaign for a forecast-only
+    /// suspicion: the scope's own facilities are the candidates and its
+    /// colocated members the targets. Returns the confirming evidence,
+    /// or `None` when the suspicion stays suppressed — no prober
+    /// attached, campaign degraded, refuted, or inconclusive.
+    fn probe_forecast_suspicion(
+        &mut self,
+        scope: OutageScope,
+        bin_start: Timestamp,
+    ) -> Option<(Vec<HopEvidence>, f64)> {
+        self.prober.as_ref()?;
+        let colo = self.investigator.colo();
+        let (pop, candidates): (LocationTag, Vec<FacilityId>) = match scope {
+            OutageScope::Facility(f) => (LocationTag::Facility(f), vec![f]),
+            OutageScope::Ixp(x) => {
+                (LocationTag::Ixp(x), colo.facilities_of_ixp(x).iter().copied().collect())
+            }
+            OutageScope::City(c) => (LocationTag::City(c), colo.facilities_in_city(c)),
+        };
+        if candidates.is_empty() {
+            return None;
+        }
+        let request = ProbeRequest {
+            pop,
+            bin_start,
+            candidates,
+            affected_far: self.scope_members(scope).into_iter().collect(),
+            affected_near: Vec::new(),
+        };
+        let prober = self.prober.as_mut().expect("checked above");
+        let report = prober.validate(&request, bin_start);
+        if report.degraded {
+            return None;
+        }
+        if report.resolved().is_some() {
+            self.counts.probe_confirmed += 1;
+            return Some((report.evidence, report.completeness));
+        }
+        if report.all_refuted() {
+            self.counts.probe_refuted += 1;
+        } else {
+            self.counts.probe_inconclusive += 1;
+        }
+        None
+    }
+
+    /// The colocated member ASes of a scope — the affected-far display
+    /// set for incidents opened without a deviation group.
+    fn scope_members(&self, scope: OutageScope) -> BTreeSet<Asn> {
+        let colo = self.investigator.colo();
+        match scope {
+            OutageScope::Facility(f) => colo.members_of_facility(f).clone(),
+            OutageScope::Ixp(x) => colo.members_of_ixp(x).clone(),
+            OutageScope::City(c) => {
+                let mut members = BTreeSet::new();
+                for f in colo.facilities_in_city(c) {
+                    members.extend(colo.members_of_facility(f).iter().copied());
+                }
+                members
+            }
+        }
     }
 
     /// Feeds a whole stream, then finishes.

@@ -27,6 +27,7 @@ use crate::events::{IncidentState, OutageReport, OutageScope, RouteKey, Validati
 use crate::intern::{AsnId, Interner, PopId, RouteId};
 use crate::investigate::LocalizedIncident;
 use crate::shard::AnyMonitor;
+use crate::signal::{SignalKind, SourceContribution};
 use kepler_bgp::Asn;
 use kepler_bgpstream::Timestamp;
 use kepler_probe::{Backoff, Epicenter, HopEvidence, RestorationProber, RestorationVerdict};
@@ -54,6 +55,11 @@ pub struct IncidentMeta {
     /// pairs over planned; `1.0` when no probing ran). The incident keeps
     /// the minimum across its bins.
     pub completeness: f64,
+    /// Detection sources behind this bin's localization. Empty means the
+    /// plain deviation test (the tracker synthesizes a
+    /// [`SignalKind::Deviation`] contribution at full confidence), so
+    /// pre-fusion callers are untouched.
+    pub sources: Vec<SourceContribution>,
 }
 
 impl Default for IncidentMeta {
@@ -64,8 +70,25 @@ impl Default for IncidentMeta {
             evidence: Vec::new(),
             reused: false,
             completeness: 1.0,
+            sources: Vec::new(),
         }
     }
+}
+
+/// Merges per-source contributions: per kind, the peak confidence and
+/// earliest first-fire bin win; the result stays sorted by wire tag so
+/// exports are deterministic.
+fn merge_sources(acc: &mut Vec<SourceContribution>, add: &[SourceContribution]) {
+    for c in add {
+        match acc.iter_mut().find(|s| s.kind == c.kind) {
+            Some(s) => {
+                s.confidence = s.confidence.max(c.confidence);
+                s.first_bin = s.first_bin.min(c.first_bin);
+            }
+            None => acc.push(*c),
+        }
+    }
+    acc.sort_by_key(|s| s.kind.tag());
 }
 
 /// Dedup key of one judged measurement pair: (vantage, target, facility).
@@ -116,6 +139,9 @@ struct Ongoing {
     /// First check of the current restored streak — the close anchor
     /// once the streak reaches `close_after_consecutive`.
     restored_first: Option<Timestamp>,
+    /// Per-source detection contributions (tag-sorted; see
+    /// [`merge_sources`]).
+    sources: Vec<SourceContribution>,
 }
 
 impl Ongoing {
@@ -282,6 +308,17 @@ impl Tracker {
                     (interner.route_id(k), interner.pop_id(*pop), interner.asn_id(*near))
                 })
                 .collect();
+            // Attribution: an empty meta source list means the plain
+            // deviation test found this bin.
+            let contribs = if meta.sources.is_empty() {
+                vec![SourceContribution {
+                    kind: SignalKind::Deviation,
+                    confidence: 1.0,
+                    first_bin: inc.bin_start,
+                }]
+            } else {
+                meta.sources.clone()
+            };
             // Merge target among ongoing outages: exact scope first, then
             // any related scope (same city).
             let target = if self.ongoing.contains_key(&inc.scope) {
@@ -303,6 +340,7 @@ impl Tracker {
                 }
                 on.completeness = on.completeness.min(meta.completeness);
                 on.merge_evidence(&meta.evidence);
+                merge_sources(&mut on.sources, &contribs);
                 if meta.validation == ValidationStatus::Confirmed && !meta.reused {
                     // Freshly *measured* confirmation: the verdict is
                     // current again. (A reused verdict keeps its original
@@ -342,6 +380,7 @@ impl Tracker {
                     for (k, e) in other.evidence {
                         on.evidence.entry(k).or_insert(e);
                     }
+                    merge_sources(&mut on.sources, &other.sources);
                 }
                 self.ongoing.insert(on.scope, on);
                 continue;
@@ -389,7 +428,9 @@ impl Tracker {
                         probe_restored_at: None,
                         restored_streak: 0,
                         restored_first: None,
+                        sources: report.sources.clone(),
                     };
+                    merge_sources(&mut on.sources, &contribs);
                     on.affected_near.extend(inc.affected_near.iter().copied());
                     on.affected_far.extend(inc.affected_far.iter().copied());
                     on.affected_keys.extend(inc.affected_keys.iter().copied());
@@ -463,8 +504,33 @@ impl Tracker {
                     probe_restored_at: None,
                     restored_streak: 0,
                     restored_first: None,
+                    sources: {
+                        let mut s = Vec::new();
+                        merge_sources(&mut s, &contribs);
+                        s
+                    },
                 },
             );
+        }
+    }
+
+    /// Merges an auxiliary source's contribution into an already-ongoing
+    /// incident of the same (or related) scope. Returns whether a live
+    /// incident absorbed it — a `false` leaves the decision of whether
+    /// the signal can open an incident on its own to the fusion layer.
+    pub fn corroborate(&mut self, scope: OutageScope, contrib: SourceContribution) -> bool {
+        let target = if self.ongoing.contains_key(&scope) {
+            Some(scope)
+        } else {
+            self.ongoing.keys().find(|s| self.related(s, &scope)).copied()
+        };
+        match target {
+            Some(key) => {
+                let on = self.ongoing.get_mut(&key).expect("target present");
+                merge_sources(&mut on.sources, &[contrib]);
+                true
+            }
+            None => false,
         }
     }
 
@@ -483,6 +549,7 @@ impl Tracker {
             probe_evidence: on.evidence.into_values().collect(),
             probe_completeness: on.completeness,
             state: IncidentState::Recovering,
+            sources: on.sources,
         };
         (report, on.prior_duration + seg)
     }
@@ -682,6 +749,7 @@ impl Tracker {
                 probe_evidence: on.evidence.into_values().collect(),
                 probe_completeness: on.completeness,
                 state,
+                sources: on.sources,
             });
         }
         self.finished.sort_by_key(|r| (r.start, r.scope));
@@ -735,6 +803,7 @@ impl Tracker {
                 probe_restored_at: on.probe_restored_at,
                 restored_streak: on.restored_streak,
                 restored_first: on.restored_first,
+                sources: on.sources.clone(),
             })
             .collect();
         ongoing.sort_by_key(|e| e.scope);
@@ -783,6 +852,7 @@ impl Tracker {
                     probe_restored_at: e.probe_restored_at,
                     restored_streak: e.restored_streak,
                     restored_first: e.restored_first,
+                    sources: e.sources.clone(),
                 };
                 (e.scope, on)
             })
@@ -839,6 +909,8 @@ pub struct OngoingExport {
     pub restored_streak: usize,
     /// First check of the current restored streak.
     pub restored_first: Option<Timestamp>,
+    /// Per-source detection contributions (tag-sorted).
+    pub sources: Vec<SourceContribution>,
 }
 
 /// Exportable image of a [`Tracker`]'s full lifecycle state — ongoing
@@ -1562,6 +1634,11 @@ mod tests {
             probe_evidence: vec![hop_evidence(900, 6)],
             probe_completeness: 1.0,
             state: IncidentState::Closed,
+            sources: vec![SourceContribution {
+                kind: SignalKind::Deviation,
+                confidence: 1.0,
+                first_bin: 10,
+            }],
         });
         let exported = t.export(&interner);
         assert_eq!(exported.ongoing.len(), 2);

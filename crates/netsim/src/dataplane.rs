@@ -256,7 +256,10 @@ impl<'w> DataplaneSim<'w> {
     fn active_events(&self, t: u64, pair: ProbePair) -> Vec<u32> {
         let mut active = Vec::new();
         for (i, ev) in self.timeline.iter().enumerate() {
-            if matches!(ev.kind, EventKind::CollectorFlap { .. }) {
+            // Flaps touch no routes; surges touch no routes either (they
+            // are pure-latency events read off the timeline per hop), so
+            // neither may perturb the tree-cache key.
+            if matches!(ev.kind, EventKind::CollectorFlap { .. } | EventKind::LatencySurge { .. }) {
                 continue;
             }
             let extra = {
@@ -289,6 +292,22 @@ impl<'w> DataplaneSim<'w> {
     /// The failure state the *data plane* experiences at `t` for `pair`.
     pub fn failed_at(&self, t: u64, pair: ProbePair) -> FailedSet {
         self.failed_from(&self.active_events(t, pair))
+    }
+
+    /// Extra milliseconds from [`EventKind::LatencySurge`] events active
+    /// on `facility` at `t`. Congestion has no recovery tail — the queue
+    /// drains the moment the event ends — so the window is exact.
+    fn surge_ms(&self, t: u64, facility: FacilityId) -> f64 {
+        self.timeline
+            .iter()
+            .filter(|ev| t >= ev.start && t < ev.end())
+            .filter_map(|ev| match ev.kind {
+                EventKind::LatencySurge { facility: f, extra_ms } if f == facility => {
+                    Some(extra_ms)
+                }
+                _ => None,
+            })
+            .sum()
     }
 
     /// Performs one traceroute measurement, answering hop-by-hop: each
@@ -371,6 +390,11 @@ impl<'w> DataplaneSim<'w> {
             let km = here.distance_km(&point);
             // ~1 ms RTT per 100 km of great-circle fiber, plus router delay.
             rtt += km * 0.01 * 2.0 + 0.3 + self.config.extra_hop_latency_ms;
+            // A congested facility's queueing delay lands on the segment
+            // *entering* it and, RTT being cumulative, every hop beyond.
+            if let IfaceOwner::FacilityPort { facility, .. } = owner {
+                rtt += self.surge_ms(t, facility);
+            }
             let jitter = (splitmix(self.seed ^ addr_hash(addr) ^ (t / 60)) % 100) as f64 / 100.0;
             rtt += jitter * self.config.jitter_ms;
             here = point;
@@ -518,7 +542,7 @@ fn apply_to(failed: &mut FailedSet, world: &World, id: usize, kind: &EventKind) 
                 failed.facility_ports.insert((*facility, *asn));
             }
         }
-        EventKind::CollectorFlap { .. } => {}
+        EventKind::CollectorFlap { .. } | EventKind::LatencySurge { .. } => {}
     }
 }
 
@@ -688,6 +712,51 @@ mod tests {
         let reached = strangled.campaign(&pairs, T0).iter().filter(|p| p.reached).count();
         let baseline = fast.campaign(&pairs, T0).iter().filter(|p| p.reached).count();
         assert!(reached < baseline, "ttl budget must strand long paths");
+    }
+
+    #[test]
+    fn latency_surge_raises_rtts_without_changing_paths() {
+        let w = World::generate(WorldConfig::tiny(93));
+        let fac = w
+            .colo
+            .facilities()
+            .iter()
+            .max_by_key(|f| w.colo.members_of_facility(f.id).len())
+            .unwrap()
+            .id;
+        let ev = ScheduledEvent {
+            start: T0 + 1000,
+            duration: 600,
+            kind: EventKind::LatencySurge { facility: fac, extra_ms: 80.0 },
+        };
+        let dp = DataplaneSim::new(&w, &[ev], 4);
+        let pairs = dp.default_pairs(60);
+        let before = dp.campaign(&pairs, T0 + 900);
+        // Jitter differs by at most jitter_ms per hop between instants,
+        // far below the 80 ms surge the assertions key on.
+        let during = dp.campaign(&pairs, T0 + 900 + 300);
+        let mut surged = 0;
+        for (b, d) in before.iter().zip(during.iter()) {
+            assert_eq!(b.reached, d.reached, "a surge never breaks reachability");
+            assert_eq!(
+                b.hops.iter().map(|h| h.addr).collect::<Vec<_>>(),
+                d.hops.iter().map(|h| h.addr).collect::<Vec<_>>(),
+                "a surge never moves a path"
+            );
+            if b.crosses_facility(fac) {
+                let (rb, rd) = (b.rtt_ms().unwrap(), d.rtt_ms().unwrap());
+                assert!(rd >= rb + 79.0, "crossing paths surge (before {rb}, during {rd})");
+                surged += 1;
+            }
+        }
+        assert!(surged > 0, "some default pair must cross the busiest facility");
+        // Outside the window the surge is gone.
+        let after = dp.campaign(&pairs, T0 + 900 + 900);
+        for (b, a) in before.iter().zip(after.iter()) {
+            if let (Some(rb), Some(ra)) = (b.rtt_ms(), a.rtt_ms()) {
+                assert!((ra - rb).abs() < 5.0, "queue drains when the event ends");
+            }
+        }
     }
 
     #[test]

@@ -344,6 +344,9 @@ impl<'w> Simulation<'w> {
                 }
             }
             EventKind::CollectorFlap { .. } => {}
+            // Pure data-plane event: routing state is untouched, the
+            // dataplane backend reads the surge off the timeline.
+            EventKind::LatencySurge { .. } => {}
         }
         self.bump_epoch();
     }
@@ -365,7 +368,7 @@ impl<'w> Simulation<'w> {
                 let k = if ia.0 <= ib.0 { (ia, ib) } else { (ib, ia) };
                 self.world.adj_of.get(&k).map(|&adj| vec![ElementKey::Adj(adj)]).unwrap_or_default()
             }
-            EventKind::CollectorFlap { .. } => vec![],
+            EventKind::CollectorFlap { .. } | EventKind::LatencySurge { .. } => vec![],
         }
     }
 
@@ -604,6 +607,9 @@ impl<'w> Simulation<'w> {
             EventKind::IxpMemberLeave { .. } => 1,
             EventKind::OperatorWithdraw { asns, .. } => asns.len(),
             EventKind::CollectorFlap { .. } => 0,
+            EventKind::LatencySurge { facility, .. } => {
+                self.world.colo.members_of_facility(*facility).len()
+            }
         }
     }
 }

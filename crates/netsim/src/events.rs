@@ -62,6 +62,17 @@ pub enum EventKind {
         /// Index into the simulation's collector-peer table.
         peer_slot: usize,
     },
+    /// A facility's fabric congests (brownout): every route keeps
+    /// crossing it — no BGP signal at all — while RTTs through its ports
+    /// surge. Only the data plane can see this; it is the delay
+    /// detector's target and invisible to the deviation test by
+    /// construction.
+    LatencySurge {
+        /// The congested building.
+        facility: FacilityId,
+        /// Extra milliseconds added to every hop entering it.
+        extra_ms: f64,
+    },
 }
 
 impl EventKind {
@@ -78,6 +89,7 @@ impl EventKind {
                 Some(Epicenter::Facility(*facility))
             }
             EventKind::OperatorWithdraw { facility, .. } => Some(Epicenter::Facility(*facility)),
+            EventKind::LatencySurge { facility, .. } => Some(Epicenter::Facility(*facility)),
             EventKind::IxpOutage { ixp, .. } => Some(Epicenter::Ixp(*ixp)),
             _ => None,
         }

@@ -56,16 +56,32 @@ pub enum FailureKind {
     /// A fabric-hosting facility fails; the exchange's member list is
     /// padded with remote peers whose home metros must not be blamed.
     Remote,
+    /// A facility drains member by member, each withdrawal spaced wider
+    /// than a bin: the deviation test dismisses every step as AS-level
+    /// churn, only the aggregate presence decline gives it away.
+    SlowDrain,
+    /// A repeating daily maintenance dip — the same members withdraw at
+    /// the same hour every day. Pure seasonality, nothing to detect; the
+    /// forecast detector's negative control.
+    Seasonal,
+    /// A congestion brownout: RTTs through a facility surge while
+    /// routing is untouched. Invisible to BGP; only the delay detector
+    /// can see it.
+    DelaySurge,
 }
 
 impl FailureKind {
-    fn name(self) -> &'static str {
+    /// Stable script-format name of the archetype.
+    pub fn name(self) -> &'static str {
         match self {
             FailureKind::Single => "single",
             FailureKind::Partial => "partial",
             FailureKind::Flapping => "flapping",
             FailureKind::Cascade => "cascade",
             FailureKind::Remote => "remote",
+            FailureKind::SlowDrain => "slow-drain",
+            FailureKind::Seasonal => "seasonal",
+            FailureKind::DelaySurge => "delay-surge",
         }
     }
 }
@@ -128,6 +144,53 @@ pub enum FailureScript {
         /// Outage duration in seconds.
         duration: u64,
     },
+    /// Staggered per-member withdrawal draining a facility. Each step
+    /// deviates a single near-AS — below the localization quorum — so
+    /// the deviation test stays silent while the facility's presence
+    /// drains to nothing.
+    SlowDrain {
+        /// The draining building.
+        facility: FacilityId,
+        /// Members withdrawn, in withdrawal order.
+        members: Vec<Asn>,
+        /// First withdrawal (epoch seconds).
+        start: u64,
+        /// Seconds between consecutive withdrawals (kept wider than a
+        /// monitor bin so no bin sees two deviating members).
+        stagger_secs: u64,
+        /// How long the fully-drained state lasts before the members
+        /// return.
+        hold_secs: u64,
+    },
+    /// A repeating daily maintenance dip: the same members withdraw at
+    /// the same time every day. There is no outage; a seasonal-naive
+    /// forecaster must predict the dip after one period and raise
+    /// nothing.
+    Seasonal {
+        /// The building with the maintenance window.
+        facility: FacilityId,
+        /// Members withdrawn during each dip.
+        members: Vec<Asn>,
+        /// First dip start (epoch seconds).
+        start: u64,
+        /// Dip length per day, seconds.
+        dip_secs: u64,
+        /// Number of daily cycles.
+        days: u32,
+    },
+    /// A congestion brownout raising RTTs through one facility, with the
+    /// control plane untouched.
+    DelaySurge {
+        /// The congested building.
+        facility: FacilityId,
+        /// Surge start (epoch seconds).
+        start: u64,
+        /// Surge duration in seconds.
+        duration: u64,
+        /// Extra milliseconds on every hop entering the building
+        /// (integer so the script text round-trips exactly).
+        extra_ms: u32,
+    },
 }
 
 impl FailureScript {
@@ -139,6 +202,9 @@ impl FailureScript {
             FailureScript::Flapping { .. } => FailureKind::Flapping,
             FailureScript::Cascade { .. } => FailureKind::Cascade,
             FailureScript::Remote { .. } => FailureKind::Remote,
+            FailureScript::SlowDrain { .. } => FailureKind::SlowDrain,
+            FailureScript::Seasonal { .. } => FailureKind::Seasonal,
+            FailureScript::DelaySurge { .. } => FailureKind::DelaySurge,
         }
     }
 
@@ -148,7 +214,10 @@ impl FailureScript {
             FailureScript::Single { facility, .. }
             | FailureScript::Partial { facility, .. }
             | FailureScript::Flapping { facility, .. }
-            | FailureScript::Remote { facility, .. } => vec![*facility],
+            | FailureScript::Remote { facility, .. }
+            | FailureScript::SlowDrain { facility, .. }
+            | FailureScript::Seasonal { facility, .. }
+            | FailureScript::DelaySurge { facility, .. } => vec![*facility],
             FailureScript::Cascade { facilities, .. } => facilities.clone(),
         }
     }
@@ -158,7 +227,8 @@ impl FailureScript {
         match *self {
             FailureScript::Single { start, duration, .. }
             | FailureScript::Partial { start, duration, .. }
-            | FailureScript::Remote { start, duration, .. } => (start, start + duration),
+            | FailureScript::Remote { start, duration, .. }
+            | FailureScript::DelaySurge { start, duration, .. } => (start, start + duration),
             FailureScript::Flapping { start, down_secs, up_secs, cycles, .. } => {
                 let period = down_secs + up_secs;
                 (start, start + u64::from(cycles.saturating_sub(1)) * period + down_secs)
@@ -166,6 +236,13 @@ impl FailureScript {
             FailureScript::Cascade { ref facilities, start, stagger_secs, duration } => {
                 let last = start + facilities.len().saturating_sub(1) as u64 * stagger_secs;
                 (start, last + duration)
+            }
+            FailureScript::SlowDrain { ref members, start, stagger_secs, hold_secs, .. } => {
+                let last = start + members.len().saturating_sub(1) as u64 * stagger_secs;
+                (start, last + hold_secs)
+            }
+            FailureScript::Seasonal { start, dip_secs, days, .. } => {
+                (start, start + u64::from(days.saturating_sub(1)) * 86_400 + dip_secs)
             }
         }
     }
@@ -200,6 +277,37 @@ impl FailureScript {
                 .enumerate()
                 .map(|(i, &f)| full(f, start + i as u64 * stagger_secs, duration))
                 .collect(),
+            // Every withdrawal runs until the common restoration instant,
+            // so the facility darkens monotonically, one member per step.
+            FailureScript::SlowDrain { facility, ref members, start, stagger_secs, hold_secs } => {
+                let (_, drain_end) = self.window();
+                members
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &asn)| {
+                        let at = start + i as u64 * stagger_secs;
+                        ScheduledEvent {
+                            start: at,
+                            duration: drain_end.saturating_sub(at).max(hold_secs),
+                            kind: EventKind::OperatorWithdraw { asns: vec![asn], facility },
+                        }
+                    })
+                    .collect()
+            }
+            FailureScript::Seasonal { facility, ref members, start, dip_secs, days } => (0..days)
+                .map(|k| ScheduledEvent {
+                    start: start + u64::from(k) * 86_400,
+                    duration: dip_secs,
+                    kind: EventKind::OperatorWithdraw { asns: members.clone(), facility },
+                })
+                .collect(),
+            FailureScript::DelaySurge { facility, start, duration, extra_ms } => {
+                vec![ScheduledEvent {
+                    start,
+                    duration,
+                    kind: EventKind::LatencySurge { facility, extra_ms: f64::from(extra_ms) },
+                }]
+            }
         }
     }
 }
@@ -320,6 +428,35 @@ impl ScenarioScript {
                 start,
                 duration: rng.gen_range(1..=3u64) * 3600,
             },
+            FailureKind::SlowDrain => FailureScript::SlowDrain {
+                facility: stage[0],
+                // Every tenant leaves — the locatable ones drain the
+                // presence counter, the rest darken the data plane so a
+                // validation campaign can confirm the husk.
+                members: facility_members(&world, stage[0], false, usize::MAX),
+                start,
+                // Wider than a 60 s bin: no bin ever sees two deviating
+                // members, so the deviation test dismisses every step.
+                stagger_secs: rng.gen_range(3..=6u64) * 60,
+                hold_secs: rng.gen_range(2..=3u64) * 3600,
+            },
+            FailureKind::Seasonal => FailureScript::Seasonal {
+                facility: stage[0],
+                // Two members stay below the ≥3 disjoint-near-AS quorum.
+                members: facility_members(&world, stage[0], true, 2),
+                // The first dip lands inside the forecaster's first
+                // season (stream day one), so only *predicted* dips fall
+                // on warmed ring slots.
+                start: DAY_ONE + rng.gen_range(4..=10u64) * 3600,
+                dip_secs: rng.gen_range(30..=60u64) * 60,
+                days: 4,
+            },
+            FailureKind::DelaySurge => FailureScript::DelaySurge {
+                facility: stage[0],
+                start,
+                duration: rng.gen_range(1..=2u64) * 3600,
+                extra_ms: rng.gen_range(40..=80u32),
+            },
         };
 
         // Detector knobs. Opening hysteresis is mostly 1 (the paper's
@@ -433,6 +570,32 @@ impl ScenarioScript {
                 kv("stagger_secs", stagger_secs.to_string());
                 kv("duration", duration.to_string());
             }
+            FailureScript::SlowDrain { facility, members, start, stagger_secs, hold_secs } => {
+                kv("facility", facility.0.to_string());
+                kv(
+                    "members",
+                    members.iter().map(|a| a.0.to_string()).collect::<Vec<_>>().join(","),
+                );
+                kv("start", start.to_string());
+                kv("stagger_secs", stagger_secs.to_string());
+                kv("hold_secs", hold_secs.to_string());
+            }
+            FailureScript::Seasonal { facility, members, start, dip_secs, days } => {
+                kv("facility", facility.0.to_string());
+                kv(
+                    "members",
+                    members.iter().map(|a| a.0.to_string()).collect::<Vec<_>>().join(","),
+                );
+                kv("start", start.to_string());
+                kv("dip_secs", dip_secs.to_string());
+                kv("days", days.to_string());
+            }
+            FailureScript::DelaySurge { facility, start, duration, extra_ms } => {
+                kv("facility", facility.0.to_string());
+                kv("start", start.to_string());
+                kv("duration", duration.to_string());
+                kv("extra_ms", extra_ms.to_string());
+            }
         }
         format!("{HEADER}\n{out}")
     }
@@ -522,6 +685,26 @@ impl ScenarioScript {
                 stagger_secs: field(&map, "stagger_secs")?,
                 duration: field(&map, "duration")?,
             },
+            "slow-drain" => FailureScript::SlowDrain {
+                facility: fac(&map)?,
+                members: list(&map, "members")?.into_iter().map(|a| Asn(a as u32)).collect(),
+                start: field(&map, "start")?,
+                stagger_secs: field(&map, "stagger_secs")?,
+                hold_secs: field(&map, "hold_secs")?,
+            },
+            "seasonal" => FailureScript::Seasonal {
+                facility: fac(&map)?,
+                members: list(&map, "members")?.into_iter().map(|a| Asn(a as u32)).collect(),
+                start: field(&map, "start")?,
+                dip_secs: field(&map, "dip_secs")?,
+                days: field(&map, "days")?,
+            },
+            "delay-surge" => FailureScript::DelaySurge {
+                facility: fac(&map)?,
+                start: field(&map, "start")?,
+                duration: field(&map, "duration")?,
+                extra_ms: field(&map, "extra_ms")?,
+            },
             other => return Err(format!("unknown kind `{other}`")),
         };
 
@@ -558,6 +741,25 @@ impl FuzzWorld {
     }
 }
 
+/// Members of a facility, sorted for determinism; `locatable_only`
+/// keeps the 16-bit, community-tagged members whose routes the detector
+/// can actually place at the building.
+fn facility_members(world: &World, f: FacilityId, locatable_only: bool, cap: usize) -> Vec<Asn> {
+    let mut ms: Vec<Asn> = world
+        .colo
+        .members_of_facility(f)
+        .iter()
+        .copied()
+        .filter(|a| {
+            !locatable_only
+                || (a.is_16bit() && world.node(*a).map(|n| n.scheme.is_some()).unwrap_or(false))
+        })
+        .collect();
+    ms.sort();
+    ms.truncate(cap);
+    ms
+}
+
 /// Picks the stage facilities for an archetype: the best-instrumented
 /// candidates, by count of *locatable* tenants (16-bit ASNs running a
 /// community scheme — the members whose deviations the detector sees).
@@ -581,6 +783,11 @@ fn stage_for(world: &World, kind: FailureKind, rng: &mut StdRng) -> Vec<Facility
             // One of the top candidates, not always the same one.
             let pool = ranked.iter().take_while(|(n, _)| *n >= 2).count().clamp(1, 4);
             vec![ranked[rng.gen_range(0..pool)].1]
+        }
+        // The fused-signal archetypes need depth: presence drains and
+        // canary panels only bite at the best-instrumented building.
+        FailureKind::SlowDrain | FailureKind::Seasonal | FailureKind::DelaySurge => {
+            vec![ranked[0].1]
         }
         FailureKind::Remote => {
             // The fabric-hosting facility exposing the most remote
@@ -647,6 +854,23 @@ pub fn cascade(seed: u64) -> FuzzWorld {
     ScenarioScript::generate_kind(seed, Some(FailureKind::Cascade)).build()
 }
 
+/// Builds a world whose best-instrumented facility drains member by
+/// member, below the deviation test's localization quorum.
+pub fn slow_drain(seed: u64) -> FuzzWorld {
+    ScenarioScript::generate_kind(seed, Some(FailureKind::SlowDrain)).build()
+}
+
+/// Builds a world with a pure daily maintenance pattern and no outage
+/// (forecast negative control).
+pub fn pure_seasonal(seed: u64) -> FuzzWorld {
+    ScenarioScript::generate_kind(seed, Some(FailureKind::Seasonal)).build()
+}
+
+/// Builds a world with a routing-invisible congestion brownout.
+pub fn delay_surge(seed: u64) -> FuzzWorld {
+    ScenarioScript::generate_kind(seed, Some(FailureKind::DelaySurge)).build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,6 +895,9 @@ mod tests {
             FailureKind::Flapping,
             FailureKind::Cascade,
             FailureKind::Remote,
+            FailureKind::SlowDrain,
+            FailureKind::Seasonal,
+            FailureKind::DelaySurge,
         ] {
             let script = ScenarioScript::generate_kind(7, Some(kind));
             let text = script.render();
@@ -727,6 +954,54 @@ mod tests {
             assert_eq!(world.colo.facility(*f).unwrap().city, built.city);
         }
         assert_eq!(built.scenario.output.ground_truth.len(), facilities.len());
+    }
+
+    #[test]
+    fn slow_drain_withdraws_one_member_per_step_until_a_common_end() {
+        let script = ScenarioScript::generate_kind(13, Some(FailureKind::SlowDrain));
+        let FailureScript::SlowDrain { facility, ref members, start, stagger_secs, .. } =
+            script.script
+        else {
+            panic!("forced kind");
+        };
+        assert!(members.len() >= 3, "the staged facility must have members to drain");
+        assert!(stagger_secs > 60, "steps must be spaced wider than a monitor bin");
+        let events = script.script.events();
+        assert_eq!(events.len(), members.len());
+        let (_, drain_end) = script.script.window();
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.start, start + i as u64 * stagger_secs);
+            assert_eq!(e.end(), drain_end, "all withdrawals restore together");
+            let EventKind::OperatorWithdraw { ref asns, facility: f } = e.kind else {
+                panic!("drain steps are operator withdrawals");
+            };
+            assert_eq!(f, facility);
+            assert_eq!(asns, &vec![members[i]], "exactly one member per step");
+        }
+    }
+
+    #[test]
+    fn seasonal_scripts_repeat_daily_and_delay_surges_stay_off_the_control_plane() {
+        let seasonal = ScenarioScript::generate_kind(17, Some(FailureKind::Seasonal));
+        let FailureScript::Seasonal { days, dip_secs, start, .. } = seasonal.script else {
+            panic!("forced kind");
+        };
+        let events = seasonal.script.events();
+        assert_eq!(events.len(), days as usize);
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(e.start, start + k as u64 * 86_400, "dips recur at the same hour");
+            assert_eq!(e.duration, dip_secs);
+        }
+        assert!(
+            start < DAY_ONE + 86_400,
+            "the first dip must land inside the forecaster's first season"
+        );
+
+        let surge = ScenarioScript::generate_kind(17, Some(FailureKind::DelaySurge));
+        let events = surge.script.events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].kind, EventKind::LatencySurge { .. }));
+        assert!(!events[0].kind.is_infrastructure_outage());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::restoration::{Epicenter, RestorationProber, RestorationReport, Restor
 use crate::schedule::{
     Campaign, CampaignKind, CreditConfig, CreditLedger, ProbeScheduler, ProbeTask, RateLimit,
 };
+use crate::telemetry::SharedRttLedger;
 use crate::trace::{IfaceOwner, Trace};
 use crate::vantage::VantageRegistry;
 use kepler_bgp::Asn;
@@ -314,6 +315,7 @@ pub struct ProbeEngine<B> {
     health: HealthTracker,
     config: ProbeEngineConfig,
     stats: ProbeStats,
+    telemetry: Option<SharedRttLedger>,
 }
 
 impl<B: TraceBackend> ProbeEngine<SyncAdapter<B>> {
@@ -348,7 +350,18 @@ impl<B: AsyncTraceBackend> ProbeEngine<B> {
             health: HealthTracker::new(config.health),
             config,
             stats: ProbeStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a shared RTT ledger: from now on every completed
+    /// measurement pair also feeds differential-RTT telemetry — the
+    /// pre-event leg as a shared hop-pair baseline, the live leg as a
+    /// current observation checked against it. Campaign verdicts are
+    /// unchanged; the ledger is a pure tap.
+    pub fn with_telemetry(mut self, ledger: SharedRttLedger) -> Self {
+        self.telemetry = Some(ledger);
+        self
     }
 
     /// Lifetime counters.
@@ -492,7 +505,14 @@ impl<B: AsyncTraceBackend> ProbeEngine<B> {
         report.retries += pre.retries + post.retries;
         report.timeouts += pre.timeouts + post.timeouts;
         match (pre.trace, post.trace) {
-            (Some(pre), Some(post)) => Some(MeasuredPair { vantage, target, pre, post }),
+            (Some(pre), Some(post)) => {
+                if let Some(ledger) = &self.telemetry {
+                    let mut ledger = ledger.lock().expect("telemetry ledger poisoned");
+                    ledger.observe_baseline(vantage, &pre);
+                    ledger.observe_current(vantage, now, &post);
+                }
+                Some(MeasuredPair { vantage, target, pre, post })
+            }
             _ => None,
         }
     }
@@ -1041,6 +1061,25 @@ mod tests {
             30_000,
         );
         assert_eq!(r.verdict, RestorationVerdict::Inconclusive, "{r:?}");
+    }
+
+    #[test]
+    fn telemetry_tap_records_measured_pairs() {
+        let colo = colo_with(&[(1, &[20, 21, 22])]);
+        let backend =
+            ScriptedBackend { dark: FacilityId(9), down_from: u64::MAX, down_to: u64::MAX, fac_of };
+        let ledger = crate::telemetry::shared_ledger(10.0);
+        let mut engine = ProbeEngine::new(backend, registry(), colo, ProbeEngineConfig::default())
+            .with_telemetry(ledger.clone());
+        let report = engine.validate(&request(&[1], &[20, 21, 22]), 10_060);
+        assert!(report.probes_sent > 0);
+        let mut l = ledger.lock().unwrap();
+        assert!(l.baseline_pairs() > 0, "pre legs built shared baselines");
+        let (base, cur) = l.observations();
+        assert_eq!(base, report.probes_sent, "one baseline trace per completed pair");
+        assert_eq!(cur, report.probes_sent, "one live trace per completed pair");
+        // Scripted RTTs are flat: telemetry on a healthy world is silent.
+        assert!(l.drain_anomalies().is_empty());
     }
 
     #[test]

@@ -51,6 +51,11 @@
 //!   re-probed on an exponential-backoff schedule ([`Backoff`]) behind
 //!   the [`RestorationProber`] trait, closing incidents on data-plane
 //!   recovery instead of waiting out BGP reconvergence.
+//! * [`telemetry`] — passive differential-RTT telemetry: every measured
+//!   pair optionally feeds an [`RttLedger`] of shared (vantage,
+//!   hop-pair) step baselines, so in-progress campaigns double as a
+//!   delay-anomaly signal source instead of being discarded after one
+//!   verdict ([`ProbeEngine::with_telemetry`](engine::ProbeEngine)).
 //!
 //! # Key types
 //!
@@ -96,6 +101,7 @@ pub mod health;
 pub mod lifecycle;
 pub mod restoration;
 pub mod schedule;
+pub mod telemetry;
 pub mod trace;
 pub mod vantage;
 
@@ -115,5 +121,6 @@ pub use restoration::{
 pub use schedule::{
     Campaign, CampaignKind, CreditConfig, CreditLedger, ProbeScheduler, ProbeTask, RateLimit,
 };
+pub use telemetry::{shared_ledger, DelaySite, RttAnomaly, RttLedger, SharedRttLedger};
 pub use trace::{confirm, splitmix64, IfaceOwner, ProbeResult, Trace, TraceHop};
 pub use vantage::{VantageId, VantagePoint, VantageRegistry};

@@ -15,6 +15,7 @@
 use kepler_bgp::{Asn, Prefix};
 use kepler_bgpstream::{CollectorId, PeerId};
 use kepler_core::events::{IncidentState, OutageReport, OutageScope, RouteKey, ValidationStatus};
+use kepler_core::signal::{SignalKind, SourceContribution};
 use kepler_core::tracker::{OngoingExport, TrackerState};
 use kepler_docmine::LocationTag;
 use kepler_probe::{HopEvidence, PostState};
@@ -401,6 +402,27 @@ fn dec_hop_evidence(d: &mut Dec) -> Result<HopEvidence, CodecError> {
     Ok(HopEvidence { vantage, target, facility, pre_hop, post })
 }
 
+fn enc_sources(e: &mut Enc, sources: &[SourceContribution]) {
+    e.len(sources.len());
+    for s in sources {
+        e.u8(s.kind.tag());
+        e.f64(s.confidence);
+        e.u64(s.first_bin);
+    }
+}
+
+fn dec_sources(d: &mut Dec) -> Result<Vec<SourceContribution>, CodecError> {
+    let n = d.len("sources")?;
+    (0..n)
+        .map(|_| {
+            let kind = SignalKind::from_tag(d.u8("source kind")?).ok_or(corrupt("source kind"))?;
+            let confidence = d.f64("source confidence")?;
+            let first_bin = d.u64("source first bin")?;
+            Ok(SourceContribution { kind, confidence, first_bin })
+        })
+        .collect()
+}
+
 // --- composite records ----------------------------------------------------
 
 /// Encodes an [`OutageReport`] — the store's `outages` row.
@@ -426,6 +448,7 @@ pub fn enc_report(e: &mut Enc, r: &OutageReport) {
     }
     e.f64(r.probe_completeness);
     enc_incident_state(e, r.state);
+    enc_sources(e, &r.sources);
 }
 
 /// Decodes an [`OutageReport`].
@@ -445,6 +468,7 @@ pub fn dec_report(d: &mut Dec) -> Result<OutageReport, CodecError> {
     let probe_evidence = (0..n).map(|_| dec_hop_evidence(d)).collect::<Result<_, _>>()?;
     let probe_completeness = d.f64("report completeness")?;
     let state = dec_incident_state(d)?;
+    let sources = dec_sources(d)?;
     Ok(OutageReport {
         scope,
         start,
@@ -458,6 +482,7 @@ pub fn dec_report(d: &mut Dec) -> Result<OutageReport, CodecError> {
         probe_evidence,
         probe_completeness,
         state,
+        sources,
     })
 }
 
@@ -501,6 +526,7 @@ pub fn enc_ongoing(e: &mut Enc, o: &OngoingExport) {
     enc_option_u64(e, o.probe_restored_at);
     e.usize(o.restored_streak);
     enc_option_u64(e, o.restored_first);
+    enc_sources(e, &o.sources);
 }
 
 /// Decodes one ongoing-incident image.
@@ -537,6 +563,7 @@ pub fn dec_ongoing(d: &mut Dec) -> Result<OngoingExport, CodecError> {
     let probe_restored_at = dec_option_u64(d, "ongoing restored at")?;
     let restored_streak = d.usize("ongoing restored streak")?;
     let restored_first = dec_option_u64(d, "ongoing restored first")?;
+    let sources = dec_sources(d)?;
     Ok(OngoingExport {
         scope,
         started,
@@ -558,6 +585,7 @@ pub fn dec_ongoing(d: &mut Dec) -> Result<OngoingExport, CodecError> {
         probe_restored_at,
         restored_streak,
         restored_first,
+        sources,
     })
 }
 
@@ -674,6 +702,18 @@ mod tests {
             probe_evidence: vec![evidence(900)],
             probe_completeness: 0.75,
             state: IncidentState::Closed,
+            sources: vec![
+                SourceContribution {
+                    kind: SignalKind::Deviation,
+                    confidence: 1.0,
+                    first_bin: 1_000,
+                },
+                SourceContribution {
+                    kind: SignalKind::Forecast,
+                    confidence: 0.625,
+                    first_bin: 940,
+                },
+            ],
         }
     }
 
@@ -700,6 +740,11 @@ mod tests {
                 probe_restored_at: Some(350),
                 restored_streak: 1,
                 restored_first: None,
+                sources: vec![SourceContribution {
+                    kind: SignalKind::Delay,
+                    confidence: 0.4,
+                    first_bin: 120,
+                }],
             }],
             cooling: vec![(OutageScope::Ixp(IxpId(2)), sample_report(), 900)],
             warming: vec![(OutageScope::Facility(FacilityId(3)), 1, 500, 500)],

@@ -207,6 +207,7 @@ mod tests {
             probe_evidence: Vec::new(),
             probe_completeness: 1.0,
             state: IncidentState::Closed,
+            sources: Vec::new(),
         }
     }
 
@@ -232,6 +233,7 @@ mod tests {
             probe_restored_at: None,
             restored_streak: 0,
             restored_first: None,
+            sources: Vec::new(),
         }
     }
 

@@ -30,15 +30,18 @@
 //! the seed + script so the exact world replays locally with
 //! `repro --fuzz-seed <N>`.
 
-use crate::glue::{detector_with_dataplane, prober_for, truth_outages};
+use crate::glue::{
+    detector_with_dataplane, detector_with_fusion, prober_for, truth_outages, FusionOptions,
+};
 use kepler_core::events::{OutageReport, OutageScope, ValidationStatus};
 use kepler_core::metrics::TruthOutage;
-use kepler_core::{KeplerConfig, RemotenessMap};
+use kepler_core::system::ClassCounts;
+use kepler_core::{Kepler, KeplerConfig, RemotenessMap};
 use kepler_netsim::dataplane::{DataplaneSim, TreeCache};
 use kepler_netsim::fuzz::{FailureKind, FailureScript, FuzzWorld, ScenarioScript};
 use kepler_netsim::scenario::Scenario;
 use kepler_topology::AsType;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Timing slack (seconds) granted to report boundaries, matching the
@@ -63,6 +66,9 @@ pub struct FuzzVerdict {
     pub truth: Vec<TruthOutage>,
     /// Human-readable invariant violations; empty means the world passed.
     pub violations: Vec<String>,
+    /// The detector's classification counters for the run — per-signal
+    /// attribution and fusion bookkeeping live here.
+    pub counts: ClassCounts,
 }
 
 impl FuzzVerdict {
@@ -119,6 +125,12 @@ pub fn check_script(script: &ScenarioScript) -> FuzzVerdict {
     check_world(&script.build())
 }
 
+/// [`check_seed`] with the fused multi-signal detector (forecast +
+/// delay sources on top of the deviation pipeline).
+pub fn check_seed_fused(seed: u64) -> FuzzVerdict {
+    check_world_fused(&ScenarioScript::generate(seed).build())
+}
+
 /// Runs an already-built fuzz world through the detector and checks the
 /// invariants.
 pub fn check_world(fw: &FuzzWorld) -> FuzzVerdict {
@@ -128,16 +140,58 @@ pub fn check_world(fw: &FuzzWorld) -> FuzzVerdict {
     // data-plane confirmation and the targeted-probe engine. Passive
     // localization alone has known false positives — the invariants
     // hold the *validated* layer to zero tolerance.
-    let mut detector = detector_with_dataplane(&fw.scenario, config.clone(), 300).with_prober(
+    let detector = detector_with_dataplane(&fw.scenario, config.clone(), 300).with_prober(
         Box::new(prober_for(&fw.scenario, kepler_probe::ProbeEngineConfig::default())),
     );
+    run_checked(fw, detector, &config, false)
+}
+
+/// [`check_world`] with the fused multi-signal detector: the deviation
+/// pipeline plus the seasonal-forecast and differential-RTT sources
+/// ([`detector_with_fusion`]). The safety invariants are the same — the
+/// auxiliary signals must not manufacture validated bystanders.
+pub fn check_world_fused(fw: &FuzzWorld) -> FuzzVerdict {
+    check_world_with(fw, FusionOptions::default())
+}
+
+/// [`check_world_fused`] with explicit fusion options — the ablation
+/// sweeps rank signal combinations (deviation-only, +forecast, +delay,
+/// all) through this.
+pub fn check_world_with(fw: &FuzzWorld, opts: FusionOptions) -> FuzzVerdict {
+    let script = &fw.script;
+    let config = KeplerConfig::default().with_hysteresis(script.open_after, script.close_after);
+    let detector = detector_with_fusion(&fw.scenario, config.clone(), opts);
+    // The fused run drains the bin clock to the scenario end: a pure
+    // data-plane failure (delay surge) leaves no control-plane records,
+    // so without the explicit advance the canary panel would never be
+    // polled through the quiet window. The deviation-only path keeps
+    // the record-driven clock, bit-identical to the pre-fusion harness.
+    run_checked(fw, detector, &config, true)
+}
+
+/// Streams the world through a configured detector, captures the
+/// classification counters, and checks the invariants.
+fn run_checked(
+    fw: &FuzzWorld,
+    mut detector: Kepler,
+    config: &KeplerConfig,
+    drain_to_end: bool,
+) -> FuzzVerdict {
+    let script = &fw.script;
     if script.script.kind() == FailureKind::Remote {
         detector = detector.with_remoteness(remoteness_for(&fw.scenario, fw.scenario.start + 600));
     }
-    let reports = detector.run(fw.scenario.records());
-    let truth = truth_outages(&fw.scenario, &config);
+    for rec in fw.scenario.records() {
+        detector.process_record_owned(rec);
+    }
+    if drain_to_end {
+        detector.advance_clock(fw.scenario.end);
+    }
+    let reports = detector.finalize();
+    let counts = detector.class_counts();
+    let truth = truth_outages(&fw.scenario, config);
     let violations = check_invariants(fw, &reports, &truth);
-    FuzzVerdict { script: script.clone(), reports, truth, violations }
+    FuzzVerdict { script: script.clone(), reports, truth, violations, counts }
 }
 
 /// Whether a report names this truth outage: scope, alias or city.
@@ -319,6 +373,127 @@ fn check_invariants(
     }
 
     violations
+}
+
+/// Per-archetype detection-power accounting: of the worlds staged with
+/// this failure kind, how many did the detector catch, how fast, and
+/// which signal source fired first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerRow {
+    /// Worlds staged with this archetype.
+    pub worlds: usize,
+    /// Worlds where a report named the staged failure inside its window.
+    pub detected: usize,
+    /// Detection latency (seconds past failure onset) per detected world.
+    pub latencies: Vec<u64>,
+    /// Signal kind that fired first, per detected world.
+    pub first_detector: BTreeMap<String, usize>,
+}
+
+impl PowerRow {
+    /// Worlds whose staged failure produced no matching report.
+    pub fn missed(&self) -> usize {
+        self.worlds - self.detected
+    }
+
+    /// Median detection latency in seconds, `None` with no detections.
+    pub fn median_latency_secs(&self) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Detection power across a set of fuzz verdicts, grouped by archetype.
+/// Safety invariants say what the detector must never do; this report
+/// says what it actually *caught* — the liveness side of the sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerReport {
+    /// Rows keyed by archetype script name (`FailureKind::name`).
+    pub rows: BTreeMap<String, PowerRow>,
+}
+
+impl PowerReport {
+    /// Folds one world's verdict into the report. A world counts as
+    /// detected when some report names a staged failure (scope, alias or
+    /// city) and starts inside the script's failure window (± slack);
+    /// the earliest such report provides the latency and the
+    /// first-detector attribution (its earliest-firing source, with
+    /// sourceless legacy reports counted as plain deviation).
+    pub fn absorb(&mut self, verdict: &FuzzVerdict) {
+        let row = self.rows.entry(verdict.script.script.kind().name().to_string()).or_default();
+        row.worlds += 1;
+        let (onset, end) = verdict.script.script.window();
+        let first = verdict
+            .reports
+            .iter()
+            .filter(|r| {
+                verdict.truth.iter().any(|t| names_truth(r, t))
+                    && r.start + SLACK_SECS >= onset
+                    && r.start <= end + SLACK_SECS
+            })
+            .min_by_key(|r| r.start);
+        if let Some(report) = first {
+            row.detected += 1;
+            row.latencies.push(report.start.saturating_sub(onset));
+            let kind = report
+                .sources
+                .iter()
+                .min_by_key(|s| (s.first_bin, s.kind.tag()))
+                .map(|s| s.kind.to_string())
+                .unwrap_or_else(|| "deviation".to_string());
+            *row.first_detector.entry(kind).or_default() += 1;
+        }
+    }
+
+    /// Builds a report from a batch of verdicts.
+    pub fn from_verdicts<'a>(verdicts: impl IntoIterator<Item = &'a FuzzVerdict>) -> PowerReport {
+        let mut report = PowerReport::default();
+        for v in verdicts {
+            report.absorb(v);
+        }
+        report
+    }
+
+    /// Worlds absorbed across all archetypes.
+    pub fn worlds(&self) -> usize {
+        self.rows.values().map(|r| r.worlds).sum()
+    }
+
+    /// Worlds detected across all archetypes.
+    pub fn detected(&self) -> usize {
+        self.rows.values().map(|r| r.detected).sum()
+    }
+
+    /// A fixed-width table for CI logs and `repro --fuzz-seed`.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "archetype     worlds  detected  missed  median-latency-s  first-detector\n",
+        );
+        for (name, row) in &self.rows {
+            let latency =
+                row.median_latency_secs().map(|l| l.to_string()).unwrap_or_else(|| "-".to_string());
+            let attribution = if row.first_detector.is_empty() {
+                "-".to_string()
+            } else {
+                row.first_detector
+                    .iter()
+                    .map(|(k, n)| format!("{k}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(
+                "{name:<13} {:>6}  {:>8}  {:>6}  {latency:>16}  {attribution}\n",
+                row.worlds,
+                row.detected,
+                row.missed(),
+            ));
+        }
+        out
+    }
 }
 
 /// Serializes a failing world under `dir` as `seed-<N>.script`: the

@@ -19,8 +19,9 @@
 use kepler_core::dataplane::{DataPlaneProbe, ProbeResult};
 use kepler_core::events::OutageScope;
 use kepler_core::metrics::TruthOutage;
+use kepler_core::signal::{CanaryPair, DelayDetector, ForecastDetector};
 use kepler_core::{Kepler, KeplerConfig, KeplerInputs};
-use kepler_docmine::CommunityDictionary;
+use kepler_docmine::{CommunityDictionary, LocationTag};
 use kepler_netsim::dataplane::{
     DataplaneConfig, DataplaneSim, ProbePair, TraceroutePath, TreeCache,
 };
@@ -32,7 +33,7 @@ use kepler_probe::{
     ProbeEngine, ProbeEngineConfig, RecordingBackend, SyncAdapter, Trace, TraceBackend,
     VantagePoint, VantageRegistry,
 };
-use kepler_topology::AsType;
+use kepler_topology::{AsType, FacilityId};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -321,6 +322,142 @@ pub fn detector_with_faulty_prober(
     detector_for(scenario, config)
         .with_prober(Box::new(prober))
         .with_restoration_prober(Box::new(restoration))
+}
+
+/// Which fused auxiliary signal sources [`detector_with_fusion`] attaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionOptions {
+    /// Attach the seasonal-forecast presence detector and register a
+    /// presence watch for every trackable facility.
+    pub forecast: bool,
+    /// Attach the differential-RTT delay detector, tapping the probe
+    /// engine's telemetry and tracing a canary panel every bin.
+    pub delay: bool,
+    /// Canary pairs kept per covered facility.
+    pub canaries_per_facility: usize,
+}
+
+impl Default for FusionOptions {
+    fn default() -> Self {
+        FusionOptions { forecast: true, delay: true, canaries_per_facility: 4 }
+    }
+}
+
+/// Facilities the detector can track in this scenario, under the paper's
+/// ≥`min_members` locatable-members rule.
+pub fn trackable_facilities(scenario: &Scenario, config: &KeplerConfig) -> Vec<FacilityId> {
+    let dictionary = scenario.mined_dictionary();
+    scenario
+        .world
+        .colo
+        .facilities()
+        .iter()
+        .filter(|f| {
+            is_trackable(
+                &scenario.world,
+                &dictionary,
+                &Epicenter::Facility(f.id),
+                config.trackable_min_members,
+            )
+        })
+        .map(|f| f.id)
+        .collect()
+}
+
+/// A canary panel whose quiet-time baseline paths verifiably transit the
+/// given facilities: edge-network vantages traced toward facility
+/// members, keeping up to `per_facility` crossing pairs per building.
+/// The panel keeps delay telemetry flowing even when no validation
+/// campaign happens to be running.
+pub fn canary_panel(
+    scenario: &Scenario,
+    facilities: &[FacilityId],
+    per_facility: usize,
+    quiet_t: u64,
+) -> Vec<CanaryPair> {
+    use kepler_netsim::dataplane::TreeCache;
+    let world = &scenario.world;
+    let dp = DataplaneSim::probe_only(world, &scenario.timeline, scenario.seed ^ 0x9B0E);
+    let mut cache = TreeCache::new();
+    let vantages: Vec<kepler_bgp::Asn> = world
+        .ases
+        .iter()
+        .filter(|n| matches!(n.info.as_type, AsType::Eyeball | AsType::Stub))
+        .map(|n| n.asn)
+        .take(6)
+        .collect();
+    let mut panel = Vec::new();
+    let mut seen: std::collections::BTreeSet<(kepler_bgp::Asn, kepler_bgp::Asn)> =
+        std::collections::BTreeSet::new();
+    for &f in facilities {
+        let mut kept = 0usize;
+        let mut members: Vec<kepler_bgp::Asn> =
+            world.colo.members_of_facility(f).iter().copied().collect();
+        members.sort();
+        'member: for target in members {
+            for &vantage in &vantages {
+                if vantage == target {
+                    continue;
+                }
+                let Some(pair) = dp.pair_between(vantage, target) else { continue };
+                let tr = dp.traceroute_with(&mut cache, pair, quiet_t);
+                if tr.reached && tr.crosses_facility(f) && seen.insert((vantage, target)) {
+                    panel.push(CanaryPair { vantage, target });
+                    kept += 1;
+                    if kept >= per_facility {
+                        break 'member;
+                    }
+                    // Diversify targets: one pair per member building port.
+                    break;
+                }
+            }
+        }
+    }
+    panel
+}
+
+/// [`detector_with_prober`] plus the fused auxiliary signal sources of
+/// the multi-signal pipeline: a seasonal-forecast detector over
+/// per-facility presence counts (with presence watches registered for
+/// every trackable facility) and a differential-RTT delay detector fed
+/// by both the probe engine's passive telemetry tap and a canary panel
+/// over the simulated data plane. Both probers and the canary backend
+/// share one RTT ledger, so validation campaigns and canaries corroborate
+/// the same per-(vantage, hop-pair) baselines.
+pub fn detector_with_fusion(
+    scenario: &Scenario,
+    config: KeplerConfig,
+    opts: FusionOptions,
+) -> Kepler {
+    let quiet_t = scenario.start + 600;
+    let trackable = trackable_facilities(scenario, &config);
+    let ledger = kepler_probe::telemetry::shared_ledger(config.delay_threshold_ms);
+    let prober = prober_for(scenario, ProbeEngineConfig::default()).with_telemetry(ledger.clone());
+    let mut kepler = detector_for(scenario, config.clone()).with_prober(Box::new(prober));
+    if opts.forecast || opts.delay {
+        // Presence watches keep the monitor closing every dense bin even
+        // through record silence — the signal sources are polled once
+        // per closed bin, so a watch-less monitor would starve them on
+        // quiet streams (a pure data-plane surge produces no records).
+        for &f in &trackable {
+            kepler.watch_presence(LocationTag::Facility(f));
+        }
+    }
+    if opts.forecast {
+        kepler = kepler.with_signal_source(Box::new(ForecastDetector::new(&config)));
+    }
+    if opts.delay {
+        let panel = canary_panel(scenario, &trackable, opts.canaries_per_facility, quiet_t);
+        let backend = SimTraceBackend::new(
+            Arc::new(scenario.world.clone()),
+            &scenario.timeline,
+            scenario.seed ^ 0x9B0E,
+        );
+        kepler = kepler.with_signal_source(Box::new(DelayDetector::with_canary(
+            &config, ledger, backend, panel, quiet_t,
+        )));
+    }
+    kepler
 }
 
 /// Builds a detector for a scenario: mined dictionary, merged colocation

@@ -125,3 +125,70 @@ fn amsix_outage_start_constant_is_2015_05_13() {
     // 2015-05-13 09:22 UTC.
     assert_eq!(OUTAGE_START, 1_431_475_200 + 9 * 3600 + 22 * 60);
 }
+
+/// Ablation 5 — the multi-signal fusion stack, one signal combination at
+/// a time. Each fuzz-world family is detectable by exactly one auxiliary
+/// source: slow drains only by the seasonal forecast, congestion surges
+/// only by the differential-RTT detector. The ranking that comes out —
+/// printed as a table for CI logs — is the experimental backing for
+/// running all sources together.
+#[test]
+fn ablate_signal_combinations_rank_by_detection_power() {
+    use kepler::fuzz_harness::{check_world_with, PowerReport};
+    use kepler::glue::FusionOptions;
+    use kepler::netsim::fuzz::{delay_surge, slow_drain, FuzzWorld};
+
+    let combos: [(&str, FusionOptions); 4] = [
+        (
+            "deviation-only",
+            FusionOptions { forecast: false, delay: false, canaries_per_facility: 0 },
+        ),
+        ("+forecast", FusionOptions { forecast: true, delay: false, canaries_per_facility: 0 }),
+        ("+delay", FusionOptions { forecast: false, delay: true, canaries_per_facility: 4 }),
+        ("all", FusionOptions { forecast: true, delay: true, canaries_per_facility: 4 }),
+    ];
+    let seeds = [1u64, 2, 5];
+    type FamilyBuilder = fn(u64) -> FuzzWorld;
+    let families: [(&str, FamilyBuilder); 2] =
+        [("slow-drain", slow_drain), ("delay-surge", delay_surge)];
+
+    // detected[family][combo], plus a rendered table per combination.
+    let mut detected = std::collections::BTreeMap::new();
+    println!("family       combo            detected  median-latency-s");
+    for (family, build) in families {
+        let worlds: Vec<FuzzWorld> = seeds.iter().map(|&s| build(s)).collect();
+        for (combo, opts) in &combos {
+            let verdicts: Vec<_> = worlds.iter().map(|fw| check_world_with(fw, *opts)).collect();
+            for v in &verdicts {
+                assert!(v.ok(), "{family}/{combo}: safety violations {:?}", v.violations);
+            }
+            let report = PowerReport::from_verdicts(verdicts.iter());
+            let row = &report.rows[family];
+            let latency =
+                row.median_latency_secs().map(|l| l.to_string()).unwrap_or_else(|| "-".into());
+            println!(
+                "{family:<12} {combo:<16} {:>3}/{:<5} {latency:>16}",
+                row.detected, row.worlds
+            );
+            detected.insert((family, *combo), row.detected);
+        }
+    }
+
+    // The ranking: each family is invisible to the deviation pipeline
+    // and to the *other* family's auxiliary source, caught only by its
+    // own — and the full stack is never worse than any single source.
+    assert_eq!(detected[&("slow-drain", "deviation-only")], 0);
+    assert_eq!(detected[&("slow-drain", "+delay")], 0);
+    assert!(detected[&("slow-drain", "+forecast")] >= 2);
+    assert_eq!(detected[&("delay-surge", "deviation-only")], 0);
+    assert_eq!(detected[&("delay-surge", "+forecast")], 0);
+    assert!(detected[&("delay-surge", "+delay")] >= 2);
+    for (family, _) in families {
+        for (combo, _) in &combos {
+            assert!(
+                detected[&(family, "all")] >= detected[&(family, *combo)],
+                "{family}: the full stack regressed below {combo}"
+            );
+        }
+    }
+}

@@ -22,7 +22,8 @@
 
 mod common;
 
-use kepler::fuzz_harness::{check_script, check_seed, write_artifact, FuzzVerdict};
+use kepler::fuzz_harness::{check_script, check_seed, write_artifact, FuzzVerdict, PowerReport};
+use kepler::netsim::fuzz::{delay_surge, pure_seasonal, slow_drain};
 use kepler::netsim::fuzz::{FailureKind, FailureScript, ScenarioScript};
 use std::path::PathBuf;
 
@@ -76,6 +77,58 @@ fn fixed_seed_smoke_worlds_hold_invariants() {
         detected * 2 > SMOKE_SEEDS.len(),
         "only {detected}/{} smoke worlds detected their outage — the sweep is near-vacuous",
         SMOKE_SEEDS.len()
+    );
+}
+
+/// Fused-archetype smoke: the three fusion world families run through
+/// the multi-signal detector and the resulting [`PowerReport`] is
+/// non-vacuous — the drain and surge rows actually detect (the safety
+/// invariants alone would pass on an all-silent detector), while the
+/// pure-seasonal row stays quiet. The deviation-only smoke seeds above
+/// are untouched: these families enter only via their explicit
+/// builders, never the seed→kind pool.
+#[test]
+fn fused_archetype_smoke_has_detection_power() {
+    let seeds = [1u64, 2, 3];
+    let mut verdicts = Vec::new();
+    let mut failed = Vec::new();
+    for &seed in &seeds {
+        for fw in [slow_drain(seed), delay_surge(seed), pure_seasonal(seed)] {
+            let verdict = kepler::fuzz_harness::check_world_fused(&fw);
+            if !verdict.ok() {
+                failed.push(verdict);
+            } else {
+                verdicts.push(verdict);
+            }
+        }
+    }
+    report_failure(&failed);
+    let report = PowerReport::from_verdicts(verdicts.iter());
+    let rendered = report.render();
+    for archetype in ["slow-drain", "delay-surge", "seasonal"] {
+        assert!(
+            report.rows.contains_key(archetype),
+            "power report must carry a {archetype} row:\n{rendered}"
+        );
+    }
+    // The fusion sweep (tests/fusion.rs) guarantees at most two misses
+    // per family across eight seeds; three seeds must yield at least one
+    // detection for the two genuine-failure families.
+    for archetype in ["slow-drain", "delay-surge"] {
+        let row = &report.rows[archetype];
+        assert!(
+            row.detected >= 1,
+            "{archetype}: 0/{} detected — fused sweep is vacuous\n{rendered}",
+            row.worlds
+        );
+        assert!(
+            !row.first_detector.is_empty(),
+            "{archetype}: detections must attribute a first detector\n{rendered}"
+        );
+    }
+    assert_eq!(
+        report.rows["seasonal"].detected, 0,
+        "a pure-seasonal world has no outage to detect\n{rendered}"
     );
 }
 
