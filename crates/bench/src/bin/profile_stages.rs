@@ -2,10 +2,13 @@
 //!
 //! Times cumulative prefixes of the pipeline (construct → explode →
 //! decode+intern → monitor) so the marginal cost of each stage is the
-//! difference between consecutive rows, plus the probe stage
-//! (schedule → simulate → analyze, per validation request). Guides
-//! optimization work; not part of the perf-trajectory artifact
-//! (`repro --bench`).
+//! difference between consecutive rows. The record-dense rows measure
+//! the explosion-free hot path ([`InputModule::process_record_events`])
+//! against the historical per-element one, and the MRT rows measure the
+//! zero-copy wire path (`FrameView` → `UpdateView` → dense intern) over
+//! an encoded archive. Plus the probe stage (schedule → simulate →
+//! analyze, per validation request). Guides optimization work; not part
+//! of the perf-trajectory artifact (`repro --bench`).
 
 use kepler_bench::{pipeline_dictionary, pipeline_record, PIPELINE_TIME_COMPRESSION};
 use kepler_core::config::KeplerConfig;
@@ -49,14 +52,76 @@ fn main() {
     let t = Instant::now();
     let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
     let mut interner = Interner::new();
+    let mut n = 0usize;
+    for i in 0..N {
+        let rec = pipeline_record(i);
+        input.process_record_events(&rec, &mut interner, |_ev| n += 1);
+    }
+    black_box(n);
+    report("construct+record-dense", t.elapsed().as_secs_f64());
+
+    // The zero-copy wire path: the same workload pre-encoded as an MRT
+    // archive, walked borrow-only (no `BgpUpdate` materialization, no
+    // per-record attribute allocations). Encoding happens off the clock.
+    const M: u64 = 200_000;
+    let archive = kepler_bench::pipeline_mrt_bytes(M);
+    {
+        use kepler_bgp::mrt::FrameView;
+        use kepler_bgpstream::{CollectorId, PeerId};
+        let t = Instant::now();
+        let mut frames = 0u64;
+        let mut prefixes = 0usize;
+        let mut off = 0usize;
+        while let Some((frame, used)) =
+            FrameView::parse(&archive[off..]).expect("bench archive is well-formed")
+        {
+            off += used;
+            if let Some(msg) = frame.message().expect("bench frames are AS4 messages") {
+                prefixes += msg.update.announced_v4().count() + msg.update.mp_announced().count();
+            }
+            frames += 1;
+        }
+        black_box((frames, prefixes));
+        report_n("mrt zero-copy parse", t.elapsed().as_secs_f64(), M);
+
+        let t = Instant::now();
+        let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+        let mut interner = Interner::new();
+        let mut n = 0usize;
+        let mut idx = 0u64;
+        let mut off = 0usize;
+        while let Some((frame, used)) =
+            FrameView::parse(&archive[off..]).expect("bench archive is well-formed")
+        {
+            off += used;
+            if let Some(msg) = frame.message().expect("bench frames are AS4 messages") {
+                let collector = CollectorId((idx % 4) as u16);
+                let peer = PeerId { asn: msg.peer_as, addr: msg.peer_ip };
+                input.process_update_view_dense(
+                    collector,
+                    peer,
+                    &msg.update,
+                    &mut interner,
+                    |_elem| n += 1,
+                );
+            }
+            idx += 1;
+        }
+        black_box(n);
+        report_n("mrt zero-copy decode+intern", t.elapsed().as_secs_f64(), M);
+    }
+
+    let t = Instant::now();
+    let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+    let mut interner = Interner::new();
     let mut monitor = Monitor::new(KeplerConfig::default());
     let mut bins = 0usize;
     for i in 0..N {
-        for elem in pipeline_record(i).explode() {
-            if let Some(ev) = input.process_dense(&elem, &mut interner) {
-                bins += monitor.observe(elem.time, &ev).len();
-            }
-        }
+        let rec = pipeline_record(i);
+        let time = rec.time;
+        input.process_record_events(&rec, &mut interner, |ev| {
+            bins += monitor.observe(time, &ev).len();
+        });
     }
     bins += monitor.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
     black_box(bins);

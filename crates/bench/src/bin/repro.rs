@@ -107,7 +107,9 @@ fn peak_rss_bytes() -> Option<u64> {
 /// The perf-trajectory artifact tracked across PRs: pushes 1M synthetic
 /// records through input module → interner → monitor (single-shard,
 /// 8-way sharded monitor, and the fully parallel 8×8 ingest+monitor
-/// pipeline) and writes events/sec plus peak RSS to `BENCH_monitor.json`.
+/// pipeline), measures the zero-copy MRT decode stage (frame → view →
+/// dense intern over an encoded archive), and writes events/sec plus
+/// peak RSS to `BENCH_monitor.json`.
 fn bench_monitor_json() {
     use kepler::core::config::KeplerConfig;
     use kepler::core::ingest::ParallelIngest;
@@ -129,11 +131,10 @@ fn bench_monitor_json() {
     let mut single_bins = 0usize;
     for i in 0..N {
         let rec = pipeline_record(i);
-        for elem in rec.explode() {
-            if let Some(ev) = input.process_dense(&elem, &mut interner) {
-                single_bins += monitor.observe(elem.time, &ev).len();
-            }
-        }
+        let time = rec.time;
+        input.process_record_events(&rec, &mut interner, |ev| {
+            single_bins += monitor.observe(time, &ev).len();
+        });
     }
     single_bins +=
         monitor.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
@@ -148,11 +149,10 @@ fn bench_monitor_json() {
     let mut sharded_bins = 0usize;
     for i in 0..N {
         let rec = pipeline_record(i);
-        for elem in rec.explode() {
-            if let Some(ev) = input.process_dense(&elem, &mut interner) {
-                sharded_bins += sharded.observe(elem.time, &ev).len();
-            }
-        }
+        let time = rec.time;
+        input.process_record_events(&rec, &mut interner, |ev| {
+            sharded_bins += sharded.observe(time, &ev).len();
+        });
     }
     sharded_bins +=
         sharded.advance_to(1_400_000_000 + N / PIPELINE_TIME_COMPRESSION + 3 * 86_400).len();
@@ -184,6 +184,44 @@ fn bench_monitor_json() {
     let parallel_secs = t.elapsed().as_secs_f64();
     assert_eq!(single_bins, parallel_bins, "parallel ingest must close the same bins");
     let parallel_eps = N as f64 / parallel_secs;
+
+    eprintln!("[bench: zero-copy MRT decode, frame -> view -> dense intern...]");
+    const DECODE_RECS: u64 = 200_000;
+    let archive = kepler_bench::pipeline_mrt_bytes(DECODE_RECS);
+    let mut input = InputModule::new(pipeline_dictionary(), ColocationMap::new());
+    let mut interner = Interner::new();
+    let mut decode_events = 0u64;
+    let t = Instant::now();
+    {
+        use kepler::bgp::mrt::FrameView;
+        use kepler::bgpstream::{CollectorId, PeerId};
+        let mut off = 0usize;
+        let mut idx = 0u64;
+        while let Some((frame, used)) =
+            FrameView::parse(&archive[off..]).expect("bench archive is well-formed")
+        {
+            off += used;
+            if let Some(msg) = frame.message().expect("bench frames are AS4 messages") {
+                // MRT has no collector field; reassign in frame order to
+                // match pipeline_record's distribution (see
+                // kepler_bench::pipeline_mrt_bytes).
+                let collector = CollectorId((idx % 4) as u16);
+                let peer = PeerId { asn: msg.peer_as, addr: msg.peer_ip };
+                input.process_update_view_dense(
+                    collector,
+                    peer,
+                    &msg.update,
+                    &mut interner,
+                    |_elem| decode_events += 1,
+                );
+            }
+            idx += 1;
+        }
+        assert_eq!(idx, DECODE_RECS, "archive frame count");
+    }
+    let decode_secs = t.elapsed().as_secs_f64();
+    assert_eq!(decode_events, DECODE_RECS, "one announced prefix per pipeline record");
+    let decode_rps = DECODE_RECS as f64 / decode_secs;
 
     const PROBE_REQUESTS: u64 = 300;
     let mut probe_runs = [(false, 0usize, 0f64), (true, 0usize, 0f64)];
@@ -348,7 +386,7 @@ fn bench_monitor_json() {
 
     let rss = peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"fuzz\": {{ \"seconds\": {fuzz_secs:.3}, \"worlds\": {FUZZ_WORLDS}, \"fuzz_worlds_per_sec\": {fuzz_wps:.1} }},\n  \"fusion\": {{ \"seconds\": {fusion_secs:.3}, \"events\": {fusion_events}, \"fusion_events_per_sec\": {fusion_eps:.0} }},\n  \"serve\": {{ \"seconds\": {serve_secs:.3}, \"events\": {serve_events}, \"commits\": {serve_commits}, \"serve_events_per_sec\": {serve_eps:.0} }},\n  \"query\": {{ \"seconds\": {query_secs:.3}, \"reads\": {query_reads}, \"query_reads_per_sec\": {query_rps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
+        "{{\n  \"bench\": \"pipeline_1m\",\n  \"events\": {N},\n  \"bins_closed\": {single_bins},\n  \"single_shard\": {{ \"seconds\": {single_secs:.3}, \"events_per_sec\": {single_eps:.0} }},\n  \"sharded_8\": {{ \"seconds\": {sharded_secs:.3}, \"events_per_sec\": {sharded_eps:.0} }},\n  \"parallel_8x8\": {{ \"seconds\": {parallel_secs:.3}, \"events_per_sec\": {parallel_eps:.0} }},\n  \"decode\": {{ \"seconds\": {decode_secs:.3}, \"records\": {DECODE_RECS}, \"decode_recs_per_sec\": {decode_rps:.0} }},\n  \"probe\": {{ \"seconds\": {probe_secs:.3}, \"verdicts\": {probe_verdicts}, \"probe_verdicts_per_sec\": {probe_vps:.0} }},\n  \"probe_batched\": {{ \"seconds\": {batched_secs:.3}, \"verdicts\": {batched_verdicts}, \"probe_batched_verdicts_per_sec\": {batched_vps:.0} }},\n  \"probe_faulty\": {{ \"seconds\": {faulty_secs:.3}, \"verdicts\": {faulty_verdicts}, \"probe_faulty_verdicts_per_sec\": {faulty_vps:.0} }},\n  \"fuzz\": {{ \"seconds\": {fuzz_secs:.3}, \"worlds\": {FUZZ_WORLDS}, \"fuzz_worlds_per_sec\": {fuzz_wps:.1} }},\n  \"fusion\": {{ \"seconds\": {fusion_secs:.3}, \"events\": {fusion_events}, \"fusion_events_per_sec\": {fusion_eps:.0} }},\n  \"serve\": {{ \"seconds\": {serve_secs:.3}, \"events\": {serve_events}, \"commits\": {serve_commits}, \"serve_events_per_sec\": {serve_eps:.0} }},\n  \"query\": {{ \"seconds\": {query_secs:.3}, \"reads\": {query_reads}, \"query_reads_per_sec\": {query_rps:.0} }},\n  \"peak_rss_bytes\": {}\n}}\n",
         rss.map(|b| b.to_string()).unwrap_or_else(|| "null".into()),
     );
     std::fs::write("BENCH_monitor.json", &json).expect("write BENCH_monitor.json");

@@ -15,8 +15,9 @@ use std::collections::BTreeMap;
 /// carrying none of these are ignored; a key present in only one
 /// document (a benchmark added or retired across PRs) is informational
 /// and never fails the gate.
-pub const THROUGHPUT_KEYS: [&str; 8] = [
+pub const THROUGHPUT_KEYS: [&str; 9] = [
     "events_per_sec",
+    "decode_recs_per_sec",
     "probe_verdicts_per_sec",
     "probe_batched_verdicts_per_sec",
     "probe_faulty_verdicts_per_sec",
@@ -334,6 +335,32 @@ mod tests {
         let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
         assert!(gate_fails(&verdicts));
         assert!(verdicts.iter().any(|v| v.metric == "serve" && v.regressed));
+    }
+
+    #[test]
+    fn decode_metric_parses_and_old_baselines_tolerate_it() {
+        // The zero-copy decode row: a *rate* (records/sec, higher is
+        // better) so the gate's one-sided comparison reads improvements
+        // as improvements. Baselines recorded before it existed must
+        // still gate cleanly.
+        let fresh_doc = format!(
+            "{BASELINE}\n\"decode\": {{ \"seconds\": 0.05, \"records\": 200000, \"decode_recs_per_sec\": 4000000 }}\n"
+        );
+        let fresh = parse_events_per_sec(&fresh_doc);
+        assert_eq!(fresh["decode"], 4_000_000.0);
+        assert_eq!(fresh["single_shard"], 1_505_476.0, "no cross-section contamination");
+        let old_base = parse_events_per_sec(BASELINE);
+        assert!(!gate_fails(&compare(&old_base, &fresh, 0.25)));
+        // Both documents carrying it: a decode regression is caught.
+        let slow = fresh_doc
+            .replace("\"decode_recs_per_sec\": 4000000", "\"decode_recs_per_sec\": 1000000");
+        let verdicts = compare(&fresh, &parse_events_per_sec(&slow), 0.25);
+        assert!(gate_fails(&verdicts));
+        assert!(verdicts.iter().any(|v| v.metric == "decode" && v.regressed));
+        // And a decode *improvement* passes (higher-is-better sanity).
+        let faster = fresh_doc
+            .replace("\"decode_recs_per_sec\": 4000000", "\"decode_recs_per_sec\": 9000000");
+        assert!(!gate_fails(&compare(&fresh, &parse_events_per_sec(&faster), 0.25)));
     }
 
     #[test]

@@ -205,6 +205,23 @@ fn probe_fixture_parts(
     (world, backend, request)
 }
 
+/// The first `n` pipeline records as an MRT byte archive
+/// (`BGP4MP_MESSAGE_AS4` frames), for the zero-copy decode benchmarks.
+/// MRT has no collector-id field; walkers reassign
+/// `CollectorId((frame_index % 4) as u16)` in frame order, which matches
+/// [`pipeline_record`]'s distribution exactly, so the interning workload
+/// is the same as the in-memory paths'.
+pub fn pipeline_mrt_bytes(n: u64) -> Vec<u8> {
+    use kepler_bgp::mrt::MrtWriter;
+    let mut buf = Vec::new();
+    let mut w = MrtWriter::new(&mut buf);
+    for i in 0..n {
+        let mrt = pipeline_record(i).to_mrt(Asn(64_700), "192.0.2.254".parse().unwrap());
+        w.write_record(&mrt).expect("encode pipeline record");
+    }
+    buf
+}
+
 /// Builds a synthetic announcement record for micro-benchmarks.
 pub fn sample_record(i: u64) -> BgpRecord {
     let attrs = PathAttributes::with_path_and_communities(

@@ -18,6 +18,7 @@ mod bgp4mp;
 mod error;
 mod reader;
 mod tabledump;
+mod view;
 mod wire;
 mod writer;
 
@@ -25,6 +26,7 @@ pub use bgp4mp::{Bgp4mpMessage, Bgp4mpStateChange};
 pub use error::MrtError;
 pub use reader::MrtReader;
 pub use tabledump::{PeerEntry, PeerIndexTable, RibEntry, RibPrefixEntries};
+pub use view::{AsPathView, CommunitiesView, FrameView, MessageView, PrefixIter, UpdateView};
 pub use writer::MrtWriter;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,519 @@
+//! Zero-copy views over MRT / BGP-4 wire data.
+//!
+//! The materializing decoder ([`decode_bgp_update`](super::wire)) allocates
+//! per record: AS-path segment `Vec`s, community `Vec`s, prefix `Vec`s, all
+//! just to be flattened again by the dense ingest layer. The view types
+//! here borrow the attribute / AS-path / community byte regions straight
+//! from the input buffer and decode lazily into caller-owned scratch
+//! (extending the [`AsPath::hops_into`](crate::aspath::AsPath::hops_into) idiom down to the wire), so the
+//! per-record cost is one bounds-checked TLV walk with zero heap traffic.
+//!
+//! Equivalence contract, checked by `tests/mrt_corpus.rs` and by the
+//! `decode_differential` suite in `kepler-core`:
+//!
+//! * [`UpdateView::parse`] accepts a message only if the materializing
+//!   decoder accepts it. The view is strictly no more permissive — it
+//!   additionally rejects duplicate tracked attributes, which the
+//!   materializing decoder resolves last-wins, so every accepted message
+//!   has unambiguous attribute regions.
+//! * On any accepted message, [`UpdateView::materialize`] equals the
+//!   materializing decoder's output exactly, and the lazy iterators yield
+//!   the same prefixes / hops / communities in the same order.
+
+use super::error::MrtError;
+use super::wire::{decode_bgp_update, Cursor};
+use crate::attrs::Origin;
+use crate::community::Community;
+use crate::message::BgpUpdate;
+use crate::prefix::Prefix;
+use crate::Asn;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_COMMUNITY: u8 = 8;
+const ATTR_MP_REACH: u8 = 14;
+const ATTR_MP_UNREACH: u8 = 15;
+const ATTR_EXTENDED_COMMUNITIES: u8 = 16;
+const ATTR_LARGE_COMMUNITY: u8 = 32;
+const FLAG_EXTENDED_LEN: u8 = 0x10;
+
+/// One MRT frame header plus its borrowed body bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    /// Seconds since the Unix epoch (MRT header field).
+    pub timestamp: u32,
+    /// MRT type code.
+    pub mrt_type: u16,
+    /// MRT subtype code.
+    pub subtype: u16,
+    /// The raw record body (everything after the 12-byte MRT header).
+    pub body: &'a [u8],
+}
+
+impl<'a> FrameView<'a> {
+    /// Parses one frame from the start of `buf`. Returns `Ok(None)` on a
+    /// clean EOF (empty buffer), otherwise the frame plus the total number
+    /// of bytes it occupies (header + body), so callers can walk a
+    /// concatenated archive without copying.
+    pub fn parse(buf: &'a [u8]) -> Result<Option<(FrameView<'a>, usize)>, MrtError> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let mut cur = Cursor::new(buf);
+        let timestamp = cur.u32("MRT timestamp")?;
+        let mrt_type = cur.u16("MRT type")?;
+        let subtype = cur.u16("MRT subtype")?;
+        let length = cur.u32("MRT record length")? as usize;
+        let body = cur.take(length, "MRT record body")?;
+        Ok(Some((FrameView { timestamp, mrt_type, subtype, body }, 12 + length)))
+    }
+
+    /// Parses the body as a `BGP4MP_MESSAGE_AS4` update. Returns
+    /// `Ok(None)` for any other type/subtype (state changes, RIB dumps),
+    /// which carry no route events for the dense path.
+    pub fn message(&self) -> Result<Option<MessageView<'a>>, MrtError> {
+        if self.mrt_type != super::MRT_TYPE_BGP4MP || self.subtype != super::BGP4MP_MESSAGE_AS4 {
+            return Ok(None);
+        }
+        MessageView::parse(self.body).map(Some)
+    }
+}
+
+/// A `BGP4MP_MESSAGE_AS4` body: decoded peer header plus a borrowed
+/// [`UpdateView`] of the archived UPDATE.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageView<'a> {
+    /// ASN of the collector peer that sent the message.
+    pub peer_as: Asn,
+    /// ASN of the collector.
+    pub local_as: Asn,
+    /// Interface index (informational).
+    pub interface_index: u16,
+    /// Peer address.
+    pub peer_ip: IpAddr,
+    /// Collector-side address.
+    pub local_ip: IpAddr,
+    /// The archived UPDATE, still in wire form.
+    pub update: UpdateView<'a>,
+}
+
+impl<'a> MessageView<'a> {
+    /// Parses a BGP4MP message body (everything after the MRT header).
+    pub fn parse(body: &'a [u8]) -> Result<Self, MrtError> {
+        let mut cur = Cursor::new(body);
+        let peer_as = Asn(cur.u32("BGP4MP peer AS")?);
+        let local_as = Asn(cur.u32("BGP4MP local AS")?);
+        let interface_index = cur.u16("BGP4MP interface index")?;
+        let afi = cur.u16("BGP4MP AFI")?;
+        let v6 = match afi {
+            1 => false,
+            2 => true,
+            _ => return Err(MrtError::BadValue { context: "BGP4MP AFI" }),
+        };
+        let peer_ip = cur.ip(v6, "BGP4MP peer IP")?;
+        let local_ip = cur.ip(v6, "BGP4MP local IP")?;
+        let update = UpdateView::parse(cur.take(cur.remaining(), "BGP4MP message")?)?;
+        Ok(MessageView { peer_as, local_as, interface_index, peer_ip, local_ip, update })
+    }
+}
+
+/// A validated BGP UPDATE whose withdrawn / attribute / NLRI regions are
+/// borrowed from the input buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateView<'a> {
+    msg: &'a [u8],
+    withdrawn: &'a [u8],
+    nlri: &'a [u8],
+    as_path: &'a [u8],
+    communities: &'a [u8],
+    mp_announced: &'a [u8],
+    mp_announced_v6: bool,
+    mp_withdrawn: &'a [u8],
+    mp_withdrawn_v6: bool,
+}
+
+fn validate_nlri(raw: &[u8], v6: bool) -> Result<(), MrtError> {
+    let mut cur = Cursor::new(raw);
+    let max: u8 = if v6 { 128 } else { 32 };
+    while cur.remaining() > 0 {
+        let len = cur.u8("NLRI prefix length")?;
+        if len > max {
+            return Err(MrtError::BadValue { context: "NLRI prefix length" });
+        }
+        cur.take((len as usize).div_ceil(8), "NLRI prefix bytes")?;
+    }
+    Ok(())
+}
+
+fn validate_as_path(raw: &[u8]) -> Result<(), MrtError> {
+    let mut cur = Cursor::new(raw);
+    while cur.remaining() > 0 {
+        let code = cur.u8("AS_PATH segment type")?;
+        if code != 1 && code != 2 {
+            return Err(MrtError::BadValue { context: "AS_PATH segment type" });
+        }
+        let count = cur.u8("AS_PATH segment count")? as usize;
+        cur.take(count * 4, "AS_PATH asn")?;
+    }
+    Ok(())
+}
+
+impl<'a> UpdateView<'a> {
+    /// Parses and fully validates an UPDATE message (marker + header +
+    /// body), borrowing every region instead of materializing. All the
+    /// framing and per-attribute checks of the materializing decoder run
+    /// here, so the lazy iterators below are infallible.
+    pub fn parse(msg: &'a [u8]) -> Result<Self, MrtError> {
+        let mut cur = Cursor::new(msg);
+        let marker = cur.take(16, "BGP marker")?;
+        if marker.iter().any(|&b| b != 0xFF) {
+            return Err(MrtError::BadMarker);
+        }
+        let total = cur.u16("BGP message length")? as usize;
+        if total < 19 {
+            return Err(MrtError::BadValue { context: "BGP message length" });
+        }
+        let msg_type = cur.u8("BGP message type")?;
+        if msg_type != 2 {
+            return Err(MrtError::BadValue { context: "BGP message type (expected UPDATE)" });
+        }
+        let body = cur.take(total - 19, "BGP message body")?;
+        let mut bc = Cursor::new(body);
+
+        let wlen = bc.u16("withdrawn routes length")? as usize;
+        let withdrawn = bc.take(wlen, "withdrawn routes")?;
+        validate_nlri(withdrawn, false)?;
+
+        let alen = bc.u16("path attributes length")? as usize;
+        let attrs_raw = bc.take(alen, "path attributes")?;
+        let nlri = bc.take(bc.remaining(), "announced routes")?;
+        validate_nlri(nlri, false)?;
+
+        let mut view = UpdateView {
+            msg: &msg[..19 + (total - 19)],
+            withdrawn,
+            nlri,
+            as_path: &[],
+            communities: &[],
+            mp_announced: &[],
+            mp_announced_v6: false,
+            mp_withdrawn: &[],
+            mp_withdrawn_v6: false,
+        };
+        let mut seen = [false; 4]; // AS_PATH, COMMUNITY, MP_REACH, MP_UNREACH
+
+        let mut ac = Cursor::new(attrs_raw);
+        while ac.remaining() > 0 {
+            let flags = ac.u8("attribute flags")?;
+            let attr_type = ac.u8("attribute type")?;
+            let len = if flags & FLAG_EXTENDED_LEN != 0 {
+                ac.u16("attribute extended length")? as usize
+            } else {
+                ac.u8("attribute length")? as usize
+            };
+            let body = ac.take(len, "attribute body")?;
+            let dup = |seen: &mut bool| {
+                if std::mem::replace(seen, true) {
+                    Err(MrtError::BadValue { context: "duplicate attribute" })
+                } else {
+                    Ok(())
+                }
+            };
+            match attr_type {
+                ATTR_ORIGIN => {
+                    let code = *body.first().ok_or(MrtError::BadValue { context: "ORIGIN" })?;
+                    Origin::from_code(code).ok_or(MrtError::BadValue { context: "ORIGIN code" })?;
+                }
+                ATTR_AS_PATH => {
+                    dup(&mut seen[0])?;
+                    validate_as_path(body)?;
+                    view.as_path = body;
+                }
+                ATTR_NEXT_HOP if body.len() != 4 => {
+                    return Err(MrtError::BadValue { context: "NEXT_HOP length" });
+                }
+                ATTR_MED if body.len() != 4 => {
+                    return Err(MrtError::BadValue { context: "MED length" });
+                }
+                ATTR_LOCAL_PREF if body.len() != 4 => {
+                    return Err(MrtError::BadValue { context: "LOCAL_PREF length" });
+                }
+                ATTR_COMMUNITY => {
+                    dup(&mut seen[1])?;
+                    if body.len() % 4 != 0 {
+                        return Err(MrtError::BadValue { context: "COMMUNITY length" });
+                    }
+                    view.communities = body;
+                }
+                ATTR_MP_REACH => {
+                    dup(&mut seen[2])?;
+                    let mut mp = Cursor::new(body);
+                    let afi = mp.u16("MP_REACH AFI")?;
+                    let _safi = mp.u8("MP_REACH SAFI")?;
+                    let nhlen = mp.u8("MP_REACH next-hop length")? as usize;
+                    mp.take(nhlen, "MP_REACH next hop")?;
+                    mp.u8("MP_REACH reserved")?;
+                    let region = mp.take(mp.remaining(), "MP_REACH NLRI")?;
+                    view.mp_announced_v6 = afi == 2;
+                    validate_nlri(region, view.mp_announced_v6)?;
+                    view.mp_announced = region;
+                }
+                ATTR_MP_UNREACH => {
+                    dup(&mut seen[3])?;
+                    let mut mp = Cursor::new(body);
+                    let afi = mp.u16("MP_UNREACH AFI")?;
+                    let _safi = mp.u8("MP_UNREACH SAFI")?;
+                    let region = mp.take(mp.remaining(), "MP_UNREACH NLRI")?;
+                    view.mp_withdrawn_v6 = afi == 2;
+                    validate_nlri(region, view.mp_withdrawn_v6)?;
+                    view.mp_withdrawn = region;
+                }
+                ATTR_EXTENDED_COMMUNITIES if body.len() % 8 != 0 => {
+                    return Err(MrtError::BadValue { context: "EXTENDED_COMMUNITIES length" });
+                }
+                ATTR_LARGE_COMMUNITY if body.len() % 12 != 0 => {
+                    return Err(MrtError::BadValue { context: "LARGE_COMMUNITY length" });
+                }
+                _ => {} // unknown attribute: skip (body already consumed)
+            }
+        }
+        Ok(view)
+    }
+
+    /// Withdrawn IPv4 prefixes, in wire order.
+    pub fn withdrawn_v4(&self) -> PrefixIter<'a> {
+        PrefixIter { cur: Cursor::new(self.withdrawn), v6: false }
+    }
+
+    /// Withdrawn MP prefixes (usually IPv6), in wire order. The
+    /// materializing decoder appends these after the IPv4 withdrawals.
+    pub fn mp_withdrawn(&self) -> PrefixIter<'a> {
+        PrefixIter { cur: Cursor::new(self.mp_withdrawn), v6: self.mp_withdrawn_v6 }
+    }
+
+    /// Announced IPv4 prefixes (the trailing NLRI), in wire order.
+    pub fn announced_v4(&self) -> PrefixIter<'a> {
+        PrefixIter { cur: Cursor::new(self.nlri), v6: false }
+    }
+
+    /// Announced MP prefixes (usually IPv6), in wire order. The
+    /// materializing decoder appends these after the IPv4 NLRI.
+    pub fn mp_announced(&self) -> PrefixIter<'a> {
+        PrefixIter { cur: Cursor::new(self.mp_announced), v6: self.mp_announced_v6 }
+    }
+
+    /// Whether the message announces any prefix (either family). Mirrors
+    /// the materializing decoder's `announced.is_empty()` normalization:
+    /// a message with no announcements carries no meaningful attributes.
+    pub fn has_announcements(&self) -> bool {
+        !self.nlri.is_empty() || !self.mp_announced.is_empty()
+    }
+
+    /// Borrowed AS_PATH attribute body (empty when the attribute is
+    /// absent, which decodes to the empty path either way).
+    pub fn as_path(&self) -> AsPathView<'a> {
+        AsPathView { raw: self.as_path }
+    }
+
+    /// Borrowed COMMUNITY attribute body (empty when absent).
+    pub fn communities(&self) -> CommunitiesView<'a> {
+        CommunitiesView { raw: self.communities }
+    }
+
+    /// Decodes the full message through the materializing decoder —
+    /// byte-identical to never having used the view at all. This is the
+    /// bridge the differential tests pivot on.
+    pub fn materialize(&self) -> Result<BgpUpdate, MrtError> {
+        decode_bgp_update(&mut Cursor::new(self.msg))
+    }
+}
+
+/// Infallible prefix iterator over a validated NLRI region.
+#[derive(Debug, Clone)]
+pub struct PrefixIter<'a> {
+    cur: Cursor<'a>,
+    v6: bool,
+}
+
+impl Iterator for PrefixIter<'_> {
+    type Item = Prefix;
+
+    fn next(&mut self) -> Option<Prefix> {
+        if self.cur.remaining() == 0 {
+            return None;
+        }
+        // The region was validated at parse time; any failure here would
+        // be a bug in `validate_nlri`, so we stop rather than panic.
+        let len = self.cur.u8("NLRI prefix length").ok()?;
+        let nbytes = (len as usize).div_ceil(8);
+        let raw = self.cur.take(nbytes, "NLRI prefix bytes").ok()?;
+        let addr = if self.v6 {
+            let mut a = [0u8; 16];
+            a.get_mut(..nbytes)?.copy_from_slice(raw);
+            IpAddr::V6(Ipv6Addr::from(a))
+        } else {
+            let mut a = [0u8; 4];
+            a.get_mut(..nbytes)?.copy_from_slice(raw);
+            IpAddr::V4(Ipv4Addr::from(a))
+        };
+        Prefix::new(addr, len).ok()
+    }
+}
+
+/// A borrowed AS_PATH attribute body.
+#[derive(Debug, Clone, Copy)]
+pub struct AsPathView<'a> {
+    raw: &'a [u8],
+}
+
+impl AsPathView<'_> {
+    /// Flat iterator over every ASN in segment order — the same sequence
+    /// [`AsPath::asns`](crate::aspath::AsPath::asns) yields after materialization (255-split segment
+    /// merging preserves flat order).
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        AsnIter { cur: Cursor::new(self.raw), left: 0 }
+    }
+
+    /// Whether the path carries no ASNs at all, matching
+    /// [`AsPath::is_empty`](crate::aspath::AsPath::is_empty) on the materialized path.
+    pub fn is_empty(&self) -> bool {
+        self.asns().next().is_none()
+    }
+
+    /// Collapses prepending into `out` straight from the wire bytes —
+    /// [`AsPath::hops_into`](crate::aspath::AsPath::hops_into) without the intermediate segment `Vec`s.
+    pub fn hops_into(&self, out: &mut Vec<Asn>) {
+        out.clear();
+        for asn in self.asns() {
+            if out.last() != Some(&asn) {
+                out.push(asn);
+            }
+        }
+    }
+
+    /// Whether any ASN in the path is special-purpose, matching
+    /// [`AsPath::has_special_purpose_asn`](crate::aspath::AsPath::has_special_purpose_asn).
+    pub fn has_special_purpose_asn(&self) -> bool {
+        self.asns().any(|a| a.is_special_purpose())
+    }
+}
+
+struct AsnIter<'a> {
+    cur: Cursor<'a>,
+    left: usize,
+}
+
+impl Iterator for AsnIter<'_> {
+    type Item = Asn;
+
+    fn next(&mut self) -> Option<Asn> {
+        while self.left == 0 {
+            if self.cur.remaining() == 0 {
+                return None;
+            }
+            let _code = self.cur.u8("AS_PATH segment type").ok()?;
+            self.left = self.cur.u8("AS_PATH segment count").ok()? as usize;
+        }
+        self.left -= 1;
+        self.cur.u32("AS_PATH asn").ok().map(Asn)
+    }
+}
+
+/// A borrowed COMMUNITY attribute body.
+#[derive(Debug, Clone, Copy)]
+pub struct CommunitiesView<'a> {
+    raw: &'a [u8],
+}
+
+impl CommunitiesView<'_> {
+    /// The communities in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = Community> + '_ {
+        self.raw.chunks_exact(4).map(|c| Community(u32::from_be_bytes([c[0], c[1], c[2], c[3]])))
+    }
+
+    /// Whether the list is empty (or the attribute absent).
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::writer::MrtWriter;
+    use super::super::{Bgp4mpMessage, MrtBody, MrtRecord};
+    use super::*;
+    use crate::aspath::AsPath;
+    use crate::attrs::PathAttributes;
+
+    fn frame_bytes(update: BgpUpdate) -> Vec<u8> {
+        let rec = MrtRecord {
+            timestamp: 1_400_000_000,
+            body: MrtBody::Message(Bgp4mpMessage {
+                peer_as: Asn(13030),
+                local_as: Asn(6447),
+                interface_index: 0,
+                peer_ip: "192.0.2.1".parse().unwrap(),
+                local_ip: "192.0.2.2".parse().unwrap(),
+                update,
+            }),
+        };
+        let mut buf = Vec::new();
+        MrtWriter::new(&mut buf).write_record(&rec).unwrap();
+        buf
+    }
+
+    #[test]
+    fn view_matches_materializing_decoder() {
+        let update = BgpUpdate {
+            withdrawn: vec![Prefix::v4(100, 0, 0, 0, 8), "2600:1::/32".parse().unwrap()],
+            attrs: Some(PathAttributes::with_path_and_communities(
+                AsPath::from_sequence([3356, 3356, 13030, 20940]),
+                vec![Community::new(13030, 51904), Community::new(3356, 2001)],
+            )),
+            announced: vec![Prefix::v4(184, 84, 242, 0, 24), "2600:2::/32".parse().unwrap()],
+        };
+        let buf = frame_bytes(update.clone());
+        let (frame, used) = FrameView::parse(&buf).unwrap().unwrap();
+        assert_eq!(used, buf.len());
+        let msg = frame.message().unwrap().unwrap();
+        assert_eq!(msg.peer_as, Asn(13030));
+        assert_eq!(msg.update.materialize().unwrap(), update);
+
+        let withdrawn: Vec<Prefix> =
+            msg.update.withdrawn_v4().chain(msg.update.mp_withdrawn()).collect();
+        assert_eq!(withdrawn, update.withdrawn);
+        let announced: Vec<Prefix> =
+            msg.update.announced_v4().chain(msg.update.mp_announced()).collect();
+        assert_eq!(announced, update.announced);
+
+        let attrs = update.attrs.as_ref().unwrap();
+        let mut hops = Vec::new();
+        msg.update.as_path().hops_into(&mut hops);
+        assert_eq!(hops, attrs.as_path.hops());
+        assert!(!msg.update.as_path().is_empty());
+        assert!(!msg.update.as_path().has_special_purpose_asn());
+        let comms: Vec<Community> = msg.update.communities().iter().collect();
+        assert_eq!(comms, attrs.communities);
+    }
+
+    #[test]
+    fn empty_buffer_is_clean_eof() {
+        assert!(FrameView::parse(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn non_message_frames_yield_none() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_be_bytes());
+        buf.extend_from_slice(&11u16.to_be_bytes()); // OSPFv2
+        buf.extend_from_slice(&0u16.to_be_bytes());
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let (frame, _) = FrameView::parse(&buf).unwrap().unwrap();
+        assert!(frame.message().unwrap().is_none());
+    }
+}

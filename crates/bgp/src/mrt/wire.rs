@@ -37,6 +37,7 @@ const FLAG_TRANSITIVE: u8 = 0x40;
 const FLAG_EXTENDED_LEN: u8 = 0x10;
 
 /// Bounds-checked big-endian cursor over a byte slice.
+#[derive(Debug, Clone)]
 pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,

@@ -112,24 +112,22 @@ impl Prefix {
     pub fn is_bogon(&self) -> bool {
         match self.addr {
             IpAddr::V4(a) => {
-                let specials: &[Prefix] = &[
-                    Prefix::v4(0, 0, 0, 0, 8),
-                    Prefix::v4(10, 0, 0, 0, 8),
-                    Prefix::v4(100, 64, 0, 0, 10),
-                    Prefix::v4(127, 0, 0, 0, 8),
-                    Prefix::v4(169, 254, 0, 0, 16),
-                    Prefix::v4(172, 16, 0, 0, 12),
-                    Prefix::v4(192, 0, 0, 0, 24),
-                    Prefix::v4(192, 0, 2, 0, 24),
-                    Prefix::v4(192, 168, 0, 0, 16),
-                    Prefix::v4(198, 18, 0, 0, 15),
-                    Prefix::v4(198, 51, 100, 0, 24),
-                    Prefix::v4(203, 0, 113, 0, 24),
-                    Prefix::v4(224, 0, 0, 0, 4),
-                    Prefix::v4(240, 0, 0, 0, 4),
-                ];
-                let me = IpAddr::V4(a);
-                specials.iter().any(|s| s.contains_addr(me))
+                let bits = u32::from(a);
+                let in4 = |top: u32, len: u8| bits & v4_mask(len) == top;
+                in4(0x0000_0000, 8) // "this network" 0.0.0.0/8
+                    || in4(0x0A00_0000, 8) // private 10.0.0.0/8
+                    || in4(0x6440_0000, 10) // shared CGN 100.64.0.0/10
+                    || in4(0x7F00_0000, 8) // loopback 127.0.0.0/8
+                    || in4(0xA9FE_0000, 16) // link local 169.254.0.0/16
+                    || in4(0xAC10_0000, 12) // private 172.16.0.0/12
+                    || in4(0xC000_0000, 24) // IETF protocol 192.0.0.0/24
+                    || in4(0xC000_0200, 24) // TEST-NET-1 192.0.2.0/24
+                    || in4(0xC0A8_0000, 16) // private 192.168.0.0/16
+                    || in4(0xC612_0000, 15) // benchmarking 198.18.0.0/15
+                    || in4(0xC633_6400, 24) // TEST-NET-2 198.51.100.0/24
+                    || in4(0xCB00_7100, 24) // TEST-NET-3 203.0.113.0/24
+                    || in4(0xE000_0000, 4) // multicast 224.0.0.0/4
+                    || in4(0xF000_0000, 4) // reserved 240.0.0.0/4
             }
             IpAddr::V6(a) => {
                 let bits = u128::from(a);

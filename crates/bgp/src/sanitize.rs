@@ -173,16 +173,30 @@ impl Sanitizer {
     /// [`tally`](Self::tally), with byte-identical statistics to calling
     /// [`check_route`](Self::check_route) per prefix.
     pub fn path_verdict(&self, path: &AsPath, hops: &[Asn]) -> Result<(), RejectReason> {
-        if path.is_empty() {
+        self.path_verdict_parts(path.is_empty(), hops, || path.has_special_purpose_asn())
+    }
+
+    /// [`path_verdict`](Self::path_verdict) decomposed for callers that
+    /// never materialize an [`AsPath`] (the zero-copy wire decoder):
+    /// `path_is_empty` is whether the raw path carries no ASNs, and
+    /// `has_special` is consulted lazily (only when the loop check
+    /// passes) to preserve the exact reject-reason precedence — and thus
+    /// byte-identical [`SanitizeStats`] — of the materializing path.
+    pub fn path_verdict_parts(
+        &self,
+        path_is_empty: bool,
+        hops: &[Asn],
+        has_special: impl FnOnce() -> bool,
+    ) -> Result<(), RejectReason> {
+        if path_is_empty {
             return Err(RejectReason::EmptyAsPath);
         }
-        {
-            let mut seen = std::collections::HashSet::with_capacity(hops.len());
-            if hops.iter().any(|a| !seen.insert(*a)) {
-                return Err(RejectReason::AsLoop);
-            }
+        // Collapsed hop lists are short (median 3-5, capped at max_hops);
+        // a quadratic slice scan beats hashing every ASN.
+        if hops.iter().enumerate().any(|(i, a)| hops[..i].contains(a)) {
+            return Err(RejectReason::AsLoop);
         }
-        if path.has_special_purpose_asn() {
+        if has_special() {
             return Err(RejectReason::SpecialPurposeAsn);
         }
         if hops.len() > self.config.max_hops {

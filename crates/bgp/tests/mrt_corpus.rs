@@ -1,0 +1,425 @@
+//! Golden-corpus decoder tests: hand-built MRT frames with byte-exact
+//! expected parses, malformed frames that must error without panicking,
+//! and a deterministic mutation-fuzz loop over the corpus asserting the
+//! zero-copy view's equivalence contract — whenever [`UpdateView`]
+//! accepts a message, the materializing decoder accepts it too and both
+//! agree on every decoded field.
+
+use kepler_bgp::mrt::{
+    Bgp4mpMessage, FrameView, MrtBody, MrtError, MrtReader, MrtRecord, MrtWriter,
+    BGP4MP_MESSAGE_AS4, MRT_TYPE_BGP4MP,
+};
+use kepler_bgp::{AsPath, Asn, BgpUpdate, Community, PathAttributes, Prefix};
+
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_EXTENDED_LEN: u8 = 0x10;
+
+// ---------------------------------------------------------------- builders
+
+/// One MRT frame: 12-byte header + body.
+fn mrt_frame(mrt_type: u16, subtype: u16, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + body.len());
+    out.extend_from_slice(&1_400_000_000u32.to_be_bytes());
+    out.extend_from_slice(&mrt_type.to_be_bytes());
+    out.extend_from_slice(&subtype.to_be_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// A `BGP4MP_MESSAGE_AS4` body (IPv4 peering) wrapping a raw BGP message.
+fn bgp4mp_body(peer_as: u32, bgp_msg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&peer_as.to_be_bytes());
+    out.extend_from_slice(&64_700u32.to_be_bytes()); // local AS
+    out.extend_from_slice(&0u16.to_be_bytes()); // interface index
+    out.extend_from_slice(&1u16.to_be_bytes()); // AFI: IPv4
+    out.extend_from_slice(&[192, 0, 2, 1]); // peer IP
+    out.extend_from_slice(&[192, 0, 2, 2]); // local IP
+    out.extend_from_slice(bgp_msg);
+    out
+}
+
+/// A raw BGP UPDATE message from pre-encoded regions.
+fn bgp_update_msg(withdrawn: &[u8], attrs: &[u8], nlri: &[u8]) -> Vec<u8> {
+    let total = 19 + 2 + withdrawn.len() + 2 + attrs.len() + nlri.len();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&[0xFF; 16]);
+    out.extend_from_slice(&(total as u16).to_be_bytes());
+    out.push(2); // UPDATE
+    out.extend_from_slice(&(withdrawn.len() as u16).to_be_bytes());
+    out.extend_from_slice(withdrawn);
+    out.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+    out.extend_from_slice(attrs);
+    out.extend_from_slice(nlri);
+    out
+}
+
+/// One path-attribute TLV, choosing the extended-length form when needed.
+fn attr(flags: u8, attr_type: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    if body.len() > 255 {
+        out.push(flags | FLAG_EXTENDED_LEN);
+        out.push(attr_type);
+        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    } else {
+        out.push(flags);
+        out.push(attr_type);
+        out.push(body.len() as u8);
+    }
+    out.extend_from_slice(body);
+    out
+}
+
+fn as_path_attr(asns: &[u32]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(2 + asns.len() * 4);
+    if !asns.is_empty() {
+        body.push(2); // AS_SEQUENCE
+        body.push(asns.len() as u8);
+        for asn in asns {
+            body.extend_from_slice(&asn.to_be_bytes());
+        }
+    }
+    attr(FLAG_TRANSITIVE, 2, &body)
+}
+
+/// A full message frame around an UPDATE with the given regions.
+fn update_frame(withdrawn: &[u8], attrs: &[u8], nlri: &[u8]) -> Vec<u8> {
+    mrt_frame(
+        MRT_TYPE_BGP4MP,
+        BGP4MP_MESSAGE_AS4,
+        &bgp4mp_body(13030, &bgp_update_msg(withdrawn, attrs, nlri)),
+    )
+}
+
+/// Decodes the frame through both paths and asserts they agree byte-exactly
+/// with `expected`, then returns the view-side lazy decode for extra checks.
+fn assert_golden(frame: &[u8], expected: &BgpUpdate) {
+    // Zero-copy path.
+    let (view, used) = FrameView::parse(frame).expect("frame parses").expect("non-empty");
+    assert_eq!(used, frame.len(), "frame length accounts for every byte");
+    let msg = view.message().expect("message parses").expect("is a message frame");
+    assert_eq!(msg.update.materialize().expect("materialize"), *expected);
+    let withdrawn: Vec<Prefix> =
+        msg.update.withdrawn_v4().chain(msg.update.mp_withdrawn()).collect();
+    assert_eq!(withdrawn, expected.withdrawn);
+    let announced: Vec<Prefix> =
+        msg.update.announced_v4().chain(msg.update.mp_announced()).collect();
+    assert_eq!(announced, expected.announced);
+    if let Some(attrs) = &expected.attrs {
+        let view_asns: Vec<Asn> = msg.update.as_path().asns().collect();
+        assert_eq!(view_asns, attrs.as_path.asns().collect::<Vec<_>>());
+        let mut hops = Vec::new();
+        msg.update.as_path().hops_into(&mut hops);
+        assert_eq!(hops, attrs.as_path.hops());
+        let comms: Vec<Community> = msg.update.communities().iter().collect();
+        assert_eq!(comms, attrs.communities);
+    }
+    // Materializing reader path.
+    let records: Vec<MrtRecord> =
+        MrtReader::new(frame).map(|r| r.expect("record decodes")).collect();
+    assert_eq!(records.len(), 1);
+    let MrtBody::Message(m) = &records[0].body else { panic!("expected message body") };
+    assert_eq!(&m.update, expected);
+}
+
+/// Both decode paths must reject the frame with a clean error (no panic).
+fn assert_rejected(frame: &[u8]) {
+    let viewed = FrameView::parse(frame).and_then(|f| match f {
+        Some((frame, _)) => frame.message(),
+        None => Ok(None),
+    });
+    assert!(
+        matches!(viewed, Err(_) | Ok(None)),
+        "zero-copy path must reject or skip, got {viewed:?}"
+    );
+    let first = MrtReader::new(frame).next();
+    assert!(
+        matches!(first, Some(Err(_)) | None),
+        "materializing reader must reject, got {first:?}"
+    );
+}
+
+// ------------------------------------------------------------ golden frames
+
+/// A truncated MRT header (fewer than the 12 header bytes) errors cleanly,
+/// as does a header whose length field overruns the buffer.
+#[test]
+fn truncated_header_errors() {
+    let valid = update_frame(&[], &as_path_attr(&[3356, 13030]), &[16, 20, 1]);
+    for cut in 1..12 {
+        assert!(matches!(FrameView::parse(&valid[..cut]), Err(MrtError::UnexpectedEof { .. })));
+        assert!(matches!(MrtReader::new(&valid[..cut]).next(), Some(Err(_))));
+    }
+    // Header promises more body than the buffer holds.
+    let torn = &valid[..valid.len() - 5];
+    assert!(matches!(FrameView::parse(torn), Err(MrtError::UnexpectedEof { .. })));
+    assert!(matches!(MrtReader::new(torn).next(), Some(Err(_))));
+}
+
+/// An attribute TLV torn mid-body (its length field promises more bytes
+/// than the attribute region holds) errors in both decoders.
+#[test]
+fn torn_mid_attribute_errors() {
+    // AS_PATH claiming a 10-byte body with only 6 present.
+    let torn_attr = [FLAG_TRANSITIVE, 2, 10, 2, 1, 0, 0, 13, 6];
+    assert_rejected(&update_frame(&[], &torn_attr, &[16, 20, 1]));
+    // Extended-length form torn the same way.
+    let torn_ext = [FLAG_TRANSITIVE | FLAG_EXTENDED_LEN, 2, 1, 44, 2, 1];
+    assert_rejected(&update_frame(&[], &torn_ext, &[16, 20, 1]));
+}
+
+/// A zero-length AS_PATH attribute is valid wire data: it decodes to the
+/// empty path (and the view agrees it is empty).
+#[test]
+fn zero_length_as_path_decodes_empty() {
+    let mut attrs = attr(FLAG_TRANSITIVE, 1, &[0]); // ORIGIN: IGP
+    attrs.extend_from_slice(&attr(FLAG_TRANSITIVE, 2, &[])); // empty AS_PATH
+    attrs.extend_from_slice(&attr(FLAG_TRANSITIVE, 3, &[10, 0, 0, 1])); // NEXT_HOP
+    let frame = update_frame(&[], &attrs, &[16, 20, 7]);
+    let expected = BgpUpdate {
+        withdrawn: vec![],
+        attrs: Some(PathAttributes {
+            as_path: AsPath::empty(),
+            next_hop: "10.0.0.1".parse().unwrap(),
+            ..Default::default()
+        }),
+        announced: vec![Prefix::v4(20, 7, 0, 0, 16)],
+    };
+    assert_golden(&frame, &expected);
+    let (view, _) = FrameView::parse(&frame).unwrap().unwrap();
+    let msg = view.message().unwrap().unwrap();
+    assert!(msg.update.as_path().is_empty());
+    assert!(!msg.update.as_path().has_special_purpose_asn());
+}
+
+/// Confederation segments (AS_CONFED_SEQUENCE = 3, AS_CONFED_SET = 4) are
+/// outside the implemented subset: both decoders reject them with a clean
+/// `BadValue`, never a panic.
+#[test]
+fn confederation_segments_rejected() {
+    for code in [3u8, 4] {
+        let mut body = vec![code, 1];
+        body.extend_from_slice(&65_100u32.to_be_bytes());
+        let frame = update_frame(&[], &attr(FLAG_TRANSITIVE, 2, &body), &[16, 20, 1]);
+        let (view, _) = FrameView::parse(&frame).unwrap().unwrap();
+        assert!(matches!(view.message(), Err(MrtError::BadValue { .. })), "code {code}");
+        assert_rejected(&frame);
+    }
+}
+
+/// 4-byte ASNs above the 16-bit transition boundary decode exactly — the
+/// AS4 wire format always carries 32-bit ASNs, mixed freely with mappable
+/// 16-bit values.
+#[test]
+fn four_byte_asn_transition() {
+    let asns = [3356u32, 65_535, 65_536, 396_982, 4_200_000_000];
+    let mut attrs = as_path_attr(&asns);
+    attrs.extend_from_slice(&attr(FLAG_TRANSITIVE, 3, &[10, 0, 0, 1]));
+    let frame = update_frame(&[], &attrs, &[16, 20, 9]);
+    let expected = BgpUpdate {
+        withdrawn: vec![],
+        attrs: Some(PathAttributes {
+            as_path: AsPath::from_sequence(asns),
+            next_hop: "10.0.0.1".parse().unwrap(),
+            ..Default::default()
+        }),
+        announced: vec![Prefix::v4(20, 9, 0, 0, 16)],
+    };
+    assert_golden(&frame, &expected);
+}
+
+/// A COMMUNITY list at the largest size the 16-bit BGP message length
+/// admits alongside the path attribute (16 373 communities, extended-
+/// length attribute) decodes intact through both paths.
+#[test]
+fn max_length_community_list() {
+    const COUNT: usize = 16_373;
+    let mut body = Vec::with_capacity(COUNT * 4);
+    let expected_comms: Vec<Community> = (0..COUNT as u32)
+        .map(|i| {
+            let c = Community((13_030 << 16) | (i & 0xFFFF));
+            body.extend_from_slice(&c.0.to_be_bytes());
+            c
+        })
+        .collect();
+    let mut attrs = as_path_attr(&[3356, 13030]);
+    attrs.extend_from_slice(&attr(FLAG_OPTIONAL | FLAG_TRANSITIVE, 8, &body));
+    let msg = bgp_update_msg(&[], &attrs, &[16, 20, 1]);
+    assert!(msg.len() <= u16::MAX as usize, "message fits the 16-bit length field");
+    let frame = mrt_frame(MRT_TYPE_BGP4MP, BGP4MP_MESSAGE_AS4, &bgp4mp_body(13030, &msg));
+    let expected = BgpUpdate {
+        withdrawn: vec![],
+        attrs: Some(PathAttributes::with_path_and_communities(
+            AsPath::from_sequence([3356, 13030]),
+            expected_comms,
+        )),
+        announced: vec![Prefix::v4(20, 1, 0, 0, 16)],
+    };
+    assert_golden(&frame, &expected);
+}
+
+/// The one place the paths intentionally differ: the materializing decoder
+/// resolves duplicate attributes last-wins, while the view rejects them so
+/// every accepted message has unambiguous borrowed regions. The contract
+/// is one-sided (view Ok ⇒ decode Ok), never the converse.
+#[test]
+fn duplicate_attribute_is_view_rejected_but_decode_last_wins() {
+    let mut attrs = as_path_attr(&[3356, 13030]);
+    attrs.extend_from_slice(&as_path_attr(&[3356, 20_940]));
+    let frame = update_frame(&[], &attrs, &[16, 20, 1]);
+    let (view, _) = FrameView::parse(&frame).unwrap().unwrap();
+    assert!(matches!(view.message(), Err(MrtError::BadValue { .. })));
+    let records: Vec<MrtRecord> = MrtReader::new(&frame[..]).map(|r| r.unwrap()).collect();
+    let MrtBody::Message(m) = &records[0].body else { panic!("expected message") };
+    let attrs = m.update.attrs.as_ref().unwrap();
+    assert_eq!(attrs.as_path, AsPath::from_sequence([3356, 20_940]), "last attribute wins");
+}
+
+// ------------------------------------------------------------- mutation fuzz
+
+/// Tiny deterministic PRNG (xorshift64*), so the fuzz loop needs no
+/// dependencies and failures replay exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// The corpus the fuzz loop mutates: every golden frame above plus a
+/// writer-produced frame with both address families and every attribute
+/// the encoder can emit.
+fn fuzz_corpus() -> Vec<Vec<u8>> {
+    let mut rich_attrs = PathAttributes::with_path_and_communities(
+        AsPath::from_sequence([3356, 3356, 13030, 20_940]),
+        vec![Community::new(13030, 51_904), Community::new(3356, 2001)],
+    );
+    rich_attrs.med = Some(7);
+    rich_attrs.local_pref = Some(120);
+    let rich = MrtRecord {
+        timestamp: 1_400_000_000,
+        body: MrtBody::Message(Bgp4mpMessage {
+            peer_as: Asn(13030),
+            local_as: Asn(64_700),
+            interface_index: 0,
+            peer_ip: "192.0.2.1".parse().unwrap(),
+            local_ip: "192.0.2.2".parse().unwrap(),
+            update: BgpUpdate {
+                withdrawn: vec![Prefix::v4(100, 0, 0, 0, 8), "2600:1::/32".parse().unwrap()],
+                attrs: Some(rich_attrs),
+                announced: vec![Prefix::v4(184, 84, 242, 0, 24), "2600:2::/32".parse().unwrap()],
+            },
+        }),
+    };
+    let mut rich_bytes = Vec::new();
+    MrtWriter::new(&mut rich_bytes).write_record(&rich).unwrap();
+
+    let mut zero_path_attrs = attr(FLAG_TRANSITIVE, 1, &[0]);
+    zero_path_attrs.extend_from_slice(&attr(FLAG_TRANSITIVE, 2, &[]));
+    zero_path_attrs.extend_from_slice(&attr(FLAG_TRANSITIVE, 3, &[10, 0, 0, 1]));
+
+    let mut asn4_attrs = as_path_attr(&[3356, 65_535, 65_536, 396_982]);
+    asn4_attrs.extend_from_slice(&attr(FLAG_TRANSITIVE, 3, &[10, 0, 0, 1]));
+
+    vec![
+        rich_bytes,
+        update_frame(&[], &zero_path_attrs, &[16, 20, 7]),
+        update_frame(&[16, 20, 3], &[], &[]),
+        update_frame(&[], &asn4_attrs, &[16, 20, 9, 8, 10, 24, 20, 11, 0]),
+    ]
+}
+
+/// When the zero-copy view accepts a mutated message, the materializing
+/// decoder must accept it too and every lazily decoded field must match
+/// the materialized record. Rejections on either side are fine; panics
+/// and divergence are not.
+fn check_equivalence(buf: &[u8]) {
+    // The materializing reader must never panic, whatever the bytes.
+    for rec in MrtReader::new(buf) {
+        if rec.is_err() {
+            break;
+        }
+    }
+    let Ok(Some((frame, _))) = FrameView::parse(buf) else { return };
+    let Ok(Some(msg)) = frame.message() else { return };
+    // View accepted ⇒ materializing decode must succeed and agree.
+    let update = msg.update.materialize().expect("view Ok implies materializing decode Ok");
+    let withdrawn: Vec<Prefix> =
+        msg.update.withdrawn_v4().chain(msg.update.mp_withdrawn()).collect();
+    assert_eq!(withdrawn, update.withdrawn, "withdrawn prefixes diverged");
+    let announced: Vec<Prefix> =
+        msg.update.announced_v4().chain(msg.update.mp_announced()).collect();
+    assert_eq!(announced, update.announced, "announced prefixes diverged");
+    assert_eq!(msg.update.has_announcements(), !update.announced.is_empty());
+    // Attributes only matter on announcing messages (the materializing
+    // decoder normalizes them to `None` otherwise).
+    if let Some(attrs) = &update.attrs {
+        let view_asns: Vec<Asn> = msg.update.as_path().asns().collect();
+        assert_eq!(view_asns, attrs.as_path.asns().collect::<Vec<_>>(), "AS path diverged");
+        let mut hops = Vec::new();
+        msg.update.as_path().hops_into(&mut hops);
+        assert_eq!(hops, attrs.as_path.hops(), "collapsed hops diverged");
+        assert_eq!(msg.update.as_path().is_empty(), attrs.as_path.is_empty());
+        assert_eq!(
+            msg.update.as_path().has_special_purpose_asn(),
+            attrs.as_path.has_special_purpose_asn()
+        );
+        let comms: Vec<Community> = msg.update.communities().iter().collect();
+        assert_eq!(comms, attrs.communities, "communities diverged");
+    }
+}
+
+#[test]
+fn mutated_corpus_never_panics_and_view_implies_decode() {
+    let corpus = fuzz_corpus();
+    let mut rng = Rng(0x6B65_706C_6572_2E31);
+    let mut accepted = 0u32;
+    for frame in &corpus {
+        for _ in 0..1500 {
+            let mut buf = frame.clone();
+            match rng.below(4) {
+                // Flip 1–4 bits anywhere in the frame.
+                0 | 1 => {
+                    for _ in 0..1 + rng.below(4) {
+                        let i = rng.below(buf.len());
+                        buf[i] ^= 1 << rng.below(8);
+                    }
+                }
+                // Truncate to a random length.
+                2 => {
+                    let keep = rng.below(buf.len());
+                    buf.truncate(keep);
+                }
+                // Overwrite a random byte with a boundary-ish value.
+                3 => {
+                    let i = rng.below(buf.len());
+                    buf[i] = [0x00, 0xFF, 0x7F, 0x80, 0x10][rng.below(5)];
+                }
+                _ => unreachable!(),
+            }
+            check_equivalence(&buf);
+            if FrameView::parse(&buf).is_ok_and(|f| {
+                f.is_some_and(|(frame, _)| frame.message().is_ok_and(|m| m.is_some()))
+            }) {
+                accepted += 1;
+            }
+        }
+        // The unmutated frame itself must satisfy the contract too.
+        check_equivalence(frame);
+    }
+    // Sanity: the mutation space is not rejecting everything (which would
+    // make the equivalence half of the contract vacuous).
+    assert!(accepted > 100, "only {accepted} mutated frames were accepted");
+}

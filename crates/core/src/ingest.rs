@@ -20,15 +20,20 @@
 //!   every batch carries the worker's **intern delta**: the display keys
 //!   minted since the previous batch, in local-id order
 //!   ([`Interner::route_keys_since`] and friends). Because local ids are
-//!   dense and append-only, the coordinator's per-worker remap table is a
-//!   plain `Vec` — absorbing a delta appends `global_id =
-//!   global_interner.intern(key)` for each new local id, and remapping an
-//!   event is pure indexing. Identities seen by several workers (the same
-//!   ASN or PoP tag crossing many collectors) thus collapse to one global
-//!   id, which is what keeps `(PoP, near-AS)` deviation groups — and the
-//!   monitor's merge — exact. Route keys never collide across workers
-//!   (they embed the collector session), so their remap is collision-free
-//!   by construction.
+//!   dense and append-only, and global ids are minted in absorption order,
+//!   long stretches of consecutive local ids map to consecutive global
+//!   ids. The per-worker remap table exploits this: it is a
+//!   **delta-compressed run table** (`DeltaTable` — a sorted list of
+//!   `(local_start, global_start, len)` runs). Absorbing a delta appends
+//!   `global_id = global_interner.intern(key)` for each new local id,
+//!   extending the trailing run when the mapping stays contiguous (for
+//!   route ids it always does — routes embed the collector session and
+//!   never collide across workers, so one delta absorbs into exactly one
+//!   run). Remapping an event is a cursor-cached run lookup, O(1) on the
+//!   hot path. Identities seen by several workers (the same ASN or PoP
+//!   tag crossing many collectors) collapse to one global id, which is
+//!   what keeps `(PoP, near-AS)` deviation groups — and the monitor's
+//!   merge — exact.
 //! * **Merge.** The coordinator reassembles the *original stream order*
 //!   (a per-record worker queue recorded at dispatch time) before handing
 //!   events to the monitor, so the parallel pipeline is bit-identical to
@@ -47,6 +52,7 @@ use crate::intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, Rout
 use kepler_bgp::Asn;
 use kepler_bgpstream::{BgpRecord, GapTracker, RecordBatcher, Timestamp};
 use kepler_docmine::LocationTag;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -159,13 +165,81 @@ fn worker_loop(
     }
 }
 
-/// Per-worker local→global id tables. Indexed by local id; append-only,
-/// extended by each batch's intern delta.
+/// One run of a [`DeltaTable`]: local ids `local_start..local_start+len`
+/// map to global ids `global_start..global_start+len`.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    local_start: u32,
+    global_start: u32,
+    len: u32,
+}
+
+/// Delta-compressed local→global id table.
+///
+/// Local ids are dense (`0, 1, 2, …` in mint order) and global ids are
+/// assigned in absorption order, so the mapping is a small number of
+/// arithmetic runs — ideally one per intern delta, fewer when deltas
+/// chain contiguously. [`push`](Self::push) appends the mapping for the
+/// next local id, merging into the trailing run when contiguous;
+/// [`get`](Self::get) resolves a local id via a one-entry cursor cache
+/// (hit on the hot path: events reference recently minted or clustered
+/// ids) falling back to binary search over the runs.
+#[derive(Debug, Default)]
+struct DeltaTable {
+    /// Runs sorted by `local_start`; consecutive and gap-free (run `i+1`
+    /// starts where run `i` ends).
+    runs: Vec<Run>,
+    /// Number of local ids mapped (== next local id to be pushed).
+    len: u32,
+    /// Index of the run that satisfied the last lookup.
+    cursor: Cell<u32>,
+}
+
+impl DeltaTable {
+    /// Records that the next local id maps to `global`.
+    fn push(&mut self, global: u32) {
+        let local = self.len;
+        self.len += 1;
+        if let Some(last) = self.runs.last_mut() {
+            if last.global_start + last.len == global {
+                // `local` is contiguous by construction (dense ids).
+                last.len += 1;
+                return;
+            }
+        }
+        self.runs.push(Run { local_start: local, global_start: global, len: 1 });
+    }
+
+    /// Resolves a local id. Panics (via debug assert / index) on ids never
+    /// pushed.
+    fn get(&self, local: u32) -> u32 {
+        let cached = self.cursor.get() as usize;
+        if let Some(run) = self.runs.get(cached) {
+            if local.wrapping_sub(run.local_start) < run.len {
+                return run.global_start + (local - run.local_start);
+            }
+        }
+        debug_assert!(local < self.len, "remap of unmapped local id");
+        let idx = self.runs.partition_point(|r| r.local_start <= local) - 1;
+        self.cursor.set(idx as u32);
+        let run = self.runs[idx];
+        run.global_start + (local - run.local_start)
+    }
+
+    /// Number of runs currently held (compression diagnostics / tests).
+    #[cfg(test)]
+    fn runs_len(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// Per-worker local→global id tables, one [`DeltaTable`] per id space.
+/// Append-only, extended by each batch's intern delta.
 #[derive(Debug, Default)]
 struct Remap {
-    routes: Vec<RouteId>,
-    pops: Vec<PopId>,
-    asns: Vec<AsnId>,
+    routes: DeltaTable,
+    pops: DeltaTable,
+    asns: DeltaTable,
 }
 
 /// A received batch being consumed record by record.
@@ -421,13 +495,13 @@ impl ParallelIngest {
     fn absorb(&mut self, w: usize, interner: &mut Interner, batch: BatchOut) {
         let remap = &mut self.remap[w];
         for key in &batch.new_routes {
-            remap.routes.push(interner.route_id(key));
+            remap.routes.push(interner.route_id(key).0);
         }
         for tag in &batch.new_pops {
-            remap.pops.push(interner.pop_id(*tag));
+            remap.pops.push(interner.pop_id(*tag).0);
         }
         for asn in &batch.new_asns {
-            remap.asns.push(interner.asn_id(*asn));
+            remap.asns.push(interner.asn_id(*asn).0);
         }
         add_stats(&mut self.stats, &batch.stats);
         self.in_flight[w] -= batch.records.len();
@@ -446,7 +520,7 @@ impl ParallelIngest {
         for i in start..pending.ev {
             let ev = pending.batch.events[i];
             let remap = &self.remap[w];
-            let route = remap.routes[ev.route as usize];
+            let route = RouteId(remap.routes.get(ev.route));
             let event = if ev.start == WITHDRAW {
                 DenseRouteEvent::Withdraw { route }
             } else {
@@ -454,9 +528,9 @@ impl ParallelIngest {
                     &pending.batch.crossings[ev.start as usize..(ev.start + ev.len) as usize];
                 self.cross_scratch.clear();
                 self.cross_scratch.extend(slice.iter().map(|c| DenseCrossing {
-                    pop: remap.pops[c.pop.0 as usize],
-                    near: remap.asns[c.near.0 as usize],
-                    far: remap.asns[c.far.0 as usize],
+                    pop: PopId(remap.pops.get(c.pop.0)),
+                    near: AsnId(remap.asns.get(c.near.0)),
+                    far: AsnId(remap.asns.get(c.far.0)),
                 }));
                 let crossings = match self.cross_cache.get(self.cross_scratch.as_slice()) {
                     Some(arc) => Arc::clone(arc),
@@ -488,7 +562,9 @@ impl Drop for ParallelIngest {
 /// identically.
 #[allow(clippy::large_enum_variant)] // one long-lived instance per system
 pub enum AnyIngest {
-    /// In-thread decode: the PR 1 path (explode + per-element mapping).
+    /// In-thread decode: whole-record dense mapping
+    /// ([`InputModule::process_record_events`]) — no per-prefix
+    /// `BgpElem` explosion.
     Serial {
         /// The input module.
         input: InputModule,
@@ -515,11 +591,7 @@ impl AnyIngest {
                 if !gap.is_usable(rec.collector, rec.peer, rec.time) {
                     return;
                 }
-                for elem in rec.explode() {
-                    if let Some(event) = input.process_dense(&elem, interner) {
-                        out.push((elem.time, event));
-                    }
-                }
+                input.process_record_events(rec, interner, |event| out.push((rec.time, event)));
             }
             AnyIngest::Parallel(p) => {
                 p.push(rec);
@@ -558,5 +630,65 @@ impl AnyIngest {
             AnyIngest::Serial { input, .. } => input.stats(),
             AnyIngest::Parallel(p) => p.stats(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DeltaTable;
+
+    #[test]
+    fn delta_table_merges_contiguous_pushes_into_one_run() {
+        let mut t = DeltaTable::default();
+        for g in 100..100 + 1000 {
+            t.push(g);
+        }
+        assert_eq!(t.runs_len(), 1, "one arithmetic run");
+        for l in 0..1000u32 {
+            assert_eq!(t.get(l), 100 + l);
+        }
+    }
+
+    #[test]
+    fn delta_table_breaks_runs_on_global_gaps() {
+        let mut t = DeltaTable::default();
+        // Three deltas whose global ids collide with other workers:
+        // 0..4 → 10..14, 4..6 → 20..22, 6..9 → 14..17.
+        for g in [10, 11, 12, 13, 20, 21, 14, 15, 16] {
+            t.push(g);
+        }
+        assert_eq!(t.runs_len(), 3);
+        let expect = [10, 11, 12, 13, 20, 21, 14, 15, 16];
+        for (l, g) in expect.iter().enumerate() {
+            assert_eq!(t.get(l as u32), *g, "local {l}");
+        }
+    }
+
+    #[test]
+    fn delta_table_cursor_survives_random_access_order() {
+        let mut t = DeltaTable::default();
+        // Alternate singleton runs so every other id breaks the run.
+        for l in 0..64u32 {
+            t.push(if l % 2 == 0 { l } else { 1000 + l });
+        }
+        assert_eq!(t.runs_len(), 64);
+        // Zig-zag lookups defeat the cursor cache on every access.
+        for l in (0..64u32).rev() {
+            let want = if l % 2 == 0 { l } else { 1000 + l };
+            assert_eq!(t.get(l), want);
+            assert_eq!(t.get(63 - l), if (63 - l) % 2 == 0 { 63 - l } else { 1000 + 63 - l });
+        }
+    }
+
+    #[test]
+    fn delta_table_singleton_and_duplicate_globals() {
+        let mut t = DeltaTable::default();
+        // The table doesn't assume the mapping is injective — repeated
+        // globals must still resolve per-local.
+        t.push(5);
+        t.push(5);
+        assert_eq!(t.runs_len(), 2);
+        assert_eq!(t.get(0), 5);
+        assert_eq!(t.get(1), 5);
     }
 }

@@ -10,12 +10,14 @@
 
 use crate::events::RouteKey;
 use crate::intern::{DenseCrossing, DenseRouteEvent, Interner, RouteId};
+use kepler_bgp::mrt::UpdateView;
 use kepler_bgp::sanitize::{SanitizeStats, Sanitizer, SanitizerConfig};
-use kepler_bgp::{Asn, PathAttributes};
-use kepler_bgpstream::{BgpElem, BgpRecord, ElemKind, RecordPayload};
+use kepler_bgp::{Asn, Community, PathAttributes};
+use kepler_bgpstream::{BgpElem, BgpRecord, CollectorId, ElemKind, PeerId, RecordPayload};
 use kepler_docmine::{CommunityDictionary, LocationTag};
 use kepler_topology::ColocationMap;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One located crossing on a route: the near-end AS received the route
 /// from the far-end AS at `pop`.
@@ -92,18 +94,28 @@ pub enum DenseElem<'a> {
     },
 }
 
+/// Recycled per-record scratch arena for the batch decoders. One arena
+/// lives inside each [`InputModule`]; every record-level decode *resets*
+/// the buffers (length to zero, capacity kept), so after warm-up the
+/// per-record allocation count is zero.
+///
+/// Ownership rule: emitted [`DenseElem`]s borrow `dense` — callers must
+/// finish with (or copy out of) one record's elements before the next
+/// record-level call, which the `&mut self` receivers enforce.
+#[derive(Debug, Default)]
+struct RecordArena {
+    hops: Vec<Asn>,
+    cross: Vec<PopCrossing>,
+    dense: Vec<DenseCrossing>,
+}
+
 /// The input module.
 pub struct InputModule {
     dictionary: CommunityDictionary,
     colo: ColocationMap,
     sanitizer: Sanitizer,
     stats: InputStats,
-    /// Scratch buffers for the record-level batch decoder, so
-    /// [`process_record_dense`](Self::process_record_dense) allocates
-    /// nothing per record.
-    hops_scratch: Vec<Asn>,
-    cross_scratch: Vec<PopCrossing>,
-    dense_scratch: Vec<DenseCrossing>,
+    arena: RecordArena,
 }
 
 impl InputModule {
@@ -114,9 +126,7 @@ impl InputModule {
             colo,
             sanitizer: Sanitizer::new(SanitizerConfig::default()),
             stats: InputStats::default(),
-            hops_scratch: Vec::new(),
-            cross_scratch: Vec::new(),
-            dense_scratch: Vec::new(),
+            arena: RecordArena::default(),
         }
     }
 
@@ -206,6 +216,7 @@ impl InputModule {
         mut emit: F,
     ) {
         let RecordPayload::Update(update) = &rec.payload else { return };
+        let sess = interner.route_session(rec.collector, rec.peer);
         for p in &update.withdrawn {
             self.stats.elems += 1;
             let v = self.sanitizer.assess_prefix(p);
@@ -214,25 +225,24 @@ impl InputModule {
                 self.stats.rejected += 1;
                 continue;
             }
-            let key = RouteKey { collector: rec.collector, peer: rec.peer, prefix: *p };
-            emit(DenseElem::Withdraw { route: interner.route_id(&key) });
+            emit(DenseElem::Withdraw { route: interner.route_id_in(sess, *p) });
         }
         let Some(attrs) = &update.attrs else { return };
         if update.announced.is_empty() {
             return;
         }
-        let mut hops = std::mem::take(&mut self.hops_scratch);
+        let mut hops = std::mem::take(&mut self.arena.hops);
         attrs.as_path.hops_into(&mut hops);
         let path_verdict = self.sanitizer.path_verdict(&attrs.as_path, &hops);
-        let mut dense = std::mem::take(&mut self.dense_scratch);
+        let mut dense = std::mem::take(&mut self.arena.dense);
         dense.clear();
         let mut located = false;
         if path_verdict.is_ok() {
-            let mut cross = std::mem::take(&mut self.cross_scratch);
+            let mut cross = std::mem::take(&mut self.arena.cross);
             self.map_crossings_into(attrs, &hops, &mut cross);
             located = !cross.is_empty();
             dense.extend(cross.iter().map(|c| interner.crossing(c)));
-            self.cross_scratch = cross;
+            self.arena.cross = cross;
         }
         for p in &update.announced {
             self.stats.elems += 1;
@@ -247,11 +257,142 @@ impl InputModule {
             } else {
                 self.stats.unlocated += 1;
             }
-            let key = RouteKey { collector: rec.collector, peer: rec.peer, prefix: *p };
-            emit(DenseElem::Update { route: interner.route_id(&key), crossings: &dense });
+            emit(DenseElem::Update { route: interner.route_id_in(sess, *p), crossings: &dense });
         }
-        self.hops_scratch = hops;
-        self.dense_scratch = dense;
+        self.arena.hops = hops;
+        self.arena.dense = dense;
+    }
+
+    /// [`process_record_dense`](Self::process_record_dense) variant that
+    /// emits owned [`DenseRouteEvent`]s, sharing one cached `Arc` per
+    /// distinct crossing set (see [`Interner::intern_crossings`]) — the
+    /// serial-pipeline twin of the parallel coordinator's crossing cache.
+    /// Event order, minted ids and statistics are identical to
+    /// `process_record_dense`.
+    pub fn process_record_events<F: FnMut(DenseRouteEvent)>(
+        &mut self,
+        rec: &BgpRecord,
+        interner: &mut Interner,
+        mut emit: F,
+    ) {
+        let RecordPayload::Update(update) = &rec.payload else { return };
+        let sess = interner.route_session(rec.collector, rec.peer);
+        for p in &update.withdrawn {
+            self.stats.elems += 1;
+            let v = self.sanitizer.assess_prefix(p);
+            self.sanitizer.tally(v);
+            if v.is_err() {
+                self.stats.rejected += 1;
+                continue;
+            }
+            emit(DenseRouteEvent::Withdraw { route: interner.route_id_in(sess, *p) });
+        }
+        let Some(attrs) = &update.attrs else { return };
+        if update.announced.is_empty() {
+            return;
+        }
+        let mut hops = std::mem::take(&mut self.arena.hops);
+        attrs.as_path.hops_into(&mut hops);
+        let path_verdict = self.sanitizer.path_verdict(&attrs.as_path, &hops);
+        let mut dense = std::mem::take(&mut self.arena.dense);
+        dense.clear();
+        let mut located = false;
+        if path_verdict.is_ok() {
+            let mut cross = std::mem::take(&mut self.arena.cross);
+            self.map_crossings_into(attrs, &hops, &mut cross);
+            located = !cross.is_empty();
+            dense.extend(cross.iter().map(|c| interner.crossing(c)));
+            self.arena.cross = cross;
+        }
+        let shared = interner.intern_crossings(&dense);
+        for p in &update.announced {
+            self.stats.elems += 1;
+            let v = path_verdict.and_then(|()| self.sanitizer.assess_prefix(p));
+            self.sanitizer.tally(v);
+            if v.is_err() {
+                self.stats.rejected += 1;
+                continue;
+            }
+            if located {
+                self.stats.located += 1;
+            } else {
+                self.stats.unlocated += 1;
+            }
+            emit(DenseRouteEvent::Update {
+                route: interner.route_id_in(sess, *p),
+                crossings: Arc::clone(&shared),
+            });
+        }
+        self.arena.hops = hops;
+        self.arena.dense = dense;
+    }
+
+    /// Decodes a zero-copy [`UpdateView`] straight into dense-id space —
+    /// the wire-to-dense path with no materialization step at all: hops
+    /// are collapsed into the arena directly from the AS_PATH bytes,
+    /// communities stream out of the attribute region, and prefixes
+    /// decode one at a time from the NLRI regions. Event order, minted
+    /// ids and statistics are byte-identical to materializing the frame
+    /// into a [`BgpRecord`] and calling
+    /// [`process_record_dense`](Self::process_record_dense).
+    pub fn process_update_view_dense<F: for<'a> FnMut(DenseElem<'a>)>(
+        &mut self,
+        collector: CollectorId,
+        peer: PeerId,
+        update: &UpdateView<'_>,
+        interner: &mut Interner,
+        mut emit: F,
+    ) {
+        let sess = interner.route_session(collector, peer);
+        for p in update.withdrawn_v4().chain(update.mp_withdrawn()) {
+            self.stats.elems += 1;
+            let v = self.sanitizer.assess_prefix(&p);
+            self.sanitizer.tally(v);
+            if v.is_err() {
+                self.stats.rejected += 1;
+                continue;
+            }
+            emit(DenseElem::Withdraw { route: interner.route_id_in(sess, p) });
+        }
+        // Matches the materializing path's `attrs == None` normalization:
+        // an update announcing nothing carries no meaningful attributes.
+        if !update.has_announcements() {
+            return;
+        }
+        let path = update.as_path();
+        let mut hops = std::mem::take(&mut self.arena.hops);
+        path.hops_into(&mut hops);
+        let path_verdict = self
+            .sanitizer
+            .path_verdict_parts(path.is_empty(), &hops, || path.has_special_purpose_asn());
+        let mut dense = std::mem::take(&mut self.arena.dense);
+        dense.clear();
+        let mut located = false;
+        if path_verdict.is_ok() {
+            let mut cross = std::mem::take(&mut self.arena.cross);
+            let comms = update.communities();
+            self.map_communities_into(comms.iter(), &hops, &mut cross);
+            located = !cross.is_empty();
+            dense.extend(cross.iter().map(|c| interner.crossing(c)));
+            self.arena.cross = cross;
+        }
+        for p in update.announced_v4().chain(update.mp_announced()) {
+            self.stats.elems += 1;
+            let v = path_verdict.and_then(|()| self.sanitizer.assess_prefix(&p));
+            self.sanitizer.tally(v);
+            if v.is_err() {
+                self.stats.rejected += 1;
+                continue;
+            }
+            if located {
+                self.stats.located += 1;
+            } else {
+                self.stats.unlocated += 1;
+            }
+            emit(DenseElem::Update { route: interner.route_id_in(sess, p), crossings: &dense });
+        }
+        self.arena.hops = hops;
+        self.arena.dense = dense;
     }
 
     /// Maps the communities of an announcement onto path crossings.
@@ -269,8 +410,21 @@ impl InputModule {
         hops: &[Asn],
         out: &mut Vec<PopCrossing>,
     ) {
+        self.map_communities_into(attrs.communities.iter().copied(), hops, out);
+    }
+
+    /// [`map_crossings_into`](Self::map_crossings_into) over any community
+    /// source — this is what lets the zero-copy path stream communities
+    /// straight out of the attribute bytes.
+    pub fn map_communities_into<I: IntoIterator<Item = Community>>(
+        &self,
+        communities: I,
+        hops: &[Asn],
+        out: &mut Vec<PopCrossing>,
+    ) {
         out.clear();
-        for c in &attrs.communities {
+        for c in communities {
+            let c = &c;
             if let Some(tag) = self.dictionary.lookup(*c) {
                 // Explicit location community: attribute to the matching hop.
                 let asn = Asn(c.asn16() as u32);

@@ -32,7 +32,8 @@
 use crate::events::RouteKey;
 use crate::fx::FxHashMap;
 use crate::input::{PopCrossing, RouteEvent};
-use kepler_bgp::Asn;
+use kepler_bgp::{Asn, Prefix};
+use kepler_bgpstream::{CollectorId, PeerId};
 use kepler_docmine::LocationTag;
 use std::sync::Arc;
 
@@ -146,7 +147,15 @@ impl DenseRouteEvent {
 /// ```
 #[derive(Debug, Default)]
 pub struct Interner {
-    routes: FxHashMap<RouteKey, RouteId>,
+    /// First level of the route table: `(collector, peer)` → session.
+    /// BGP streams are session-bursty (one record carries many prefixes
+    /// from one peer), so hashing the fat session half once per record
+    /// and only the prefix per route amortizes most of the intern cost —
+    /// see [`route_session`](Self::route_session).
+    sessions: FxHashMap<(CollectorId, PeerId), RouteSession>,
+    session_meta: Vec<(CollectorId, PeerId)>,
+    /// Second level: per-session prefix → dense route id.
+    session_prefixes: Vec<FxHashMap<Prefix, RouteId>>,
     route_keys: Vec<RouteKey>,
     pops: FxHashMap<LocationTag, PopId>,
     pop_tags: Vec<LocationTag>,
@@ -155,37 +164,91 @@ pub struct Interner {
     /// Scratch buffer so `intern_event` performs exactly one allocation
     /// (the `Arc<[_]>` itself) per announcement.
     scratch: Vec<DenseCrossing>,
+    /// Distinct crossing set → shared allocation, for
+    /// [`intern_crossings`](Self::intern_crossings). Crossing sets are
+    /// drawn from the (small) located-link universe, so the cache
+    /// converts per-announcement `Arc` allocations into lookups.
+    cross_cache: FxHashMap<Vec<DenseCrossing>, Arc<[DenseCrossing]>>,
 }
+
+/// Handle to one `(collector, peer)` slot of the two-level route table,
+/// from [`Interner::route_session`]. Only meaningful for the interner
+/// that minted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteSession(u32);
 
 impl Interner {
     /// An empty interner, pre-sized for a live-stream route universe so
-    /// the fat-key map does not rehash during warm-up (a few MB up front
+    /// the hot maps do not rehash during warm-up (a few MB up front
     /// against millions of per-event inserts).
     pub fn new() -> Self {
         let mut interner = Interner::default();
-        interner.routes.reserve(1 << 15);
         interner.route_keys.reserve(1 << 15);
         interner.asns.reserve(1 << 10);
         interner.asn_values.reserve(1 << 10);
         interner
     }
 
-    /// The dense id of `key`, minting one on first sight. Uses the entry
-    /// API so the miss path (dominant on live streams, where most routes
-    /// appear once per session) hashes the fat key exactly once.
+    /// The dense id of `key`, minting one on first sight. Equivalent to
+    /// [`route_session`](Self::route_session) +
+    /// [`route_id_in`](Self::route_id_in); id assignment order — and
+    /// therefore every minted id — is identical whichever entry point a
+    /// caller mixes, because minting is always first-come in call order.
     #[inline]
     pub fn route_id(&mut self, key: &RouteKey) -> RouteId {
-        match self.routes.entry(*key) {
+        let sess = self.route_session(key.collector, key.peer);
+        self.route_id_in(sess, key.prefix)
+    }
+
+    /// First half of the batched intern API: resolves the session slot
+    /// for `(collector, peer)`, minting one on first sight. Callers
+    /// processing a multi-prefix record hash the session exactly once
+    /// here, then pay only a prefix hash per route in
+    /// [`route_id_in`](Self::route_id_in).
+    #[inline]
+    pub fn route_session(&mut self, collector: CollectorId, peer: PeerId) -> RouteSession {
+        match self.sessions.entry((collector, peer)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let s = RouteSession(
+                    u32::try_from(self.session_meta.len()).expect("session id space exhausted"),
+                );
+                v.insert(s);
+                self.session_meta.push((collector, peer));
+                self.session_prefixes.push(FxHashMap::default());
+                s
+            }
+        }
+    }
+
+    /// Second half of the batched intern API: the dense id of `prefix`
+    /// within `sess`, minting one on first sight.
+    #[inline]
+    pub fn route_id_in(&mut self, sess: RouteSession, prefix: Prefix) -> RouteId {
+        match self.session_prefixes[sess.0 as usize].entry(prefix) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(v) => {
                 let id = RouteId(
                     u32::try_from(self.route_keys.len()).expect("route id space exhausted"),
                 );
                 v.insert(id);
-                self.route_keys.push(*key);
+                let (collector, peer) = self.session_meta[sess.0 as usize];
+                self.route_keys.push(RouteKey { collector, peer, prefix });
                 id
             }
         }
+    }
+
+    /// A shared allocation for `dense`, reusing one `Arc` per distinct
+    /// crossing set. [`DenseRouteEvent`] compares by contents, so
+    /// consumers cannot observe the sharing — only the allocator can.
+    pub fn intern_crossings(&mut self, dense: &[DenseCrossing]) -> Arc<[DenseCrossing]> {
+        if let Some(a) = self.cross_cache.get(dense) {
+            return Arc::clone(a);
+        }
+        let arc: Arc<[DenseCrossing]> = Arc::from(dense);
+        self.cross_cache.insert(dense.to_vec(), Arc::clone(&arc));
+        arc
     }
 
     /// The display key of a minted route id.

@@ -320,7 +320,11 @@ impl MonitorCore {
                         }
                         self.current[slot] =
                             Some(CurrentRoute { crossings: Arc::clone(crossings), since: t });
-                        self.promotions.push(Reverse((t + self.config.stable_secs, *route)));
+                        // A stability deadline past the end of the `u64`
+                        // clock can never arrive; don't enqueue it.
+                        if let Some(due) = t.checked_add(self.config.stable_secs) {
+                            self.promotions.push(Reverse((due, *route)));
+                        }
                     }
                 }
             }
@@ -472,7 +476,9 @@ impl MonitorCore {
             self.promotions.pop();
             let slot = self.slot(route);
             let Some(Some(cur)) = self.current.get(slot) else { continue };
-            if cur.since + self.config.stable_secs > now {
+            // Checked: a route (re-)announced near the top of the clock
+            // has an unreachable stability deadline, never a wrapped one.
+            if cur.since.checked_add(self.config.stable_secs).is_none_or(|d| d > now) {
                 continue; // changed again since scheduling
             }
             if cur.crossings.is_empty() {
@@ -747,7 +753,10 @@ impl Monitor {
             }
             Some(start) => {
                 let mut bin_start = start;
-                while t >= bin_start + bin_secs {
+                // Checked bin-end arithmetic: a bin whose end would
+                // overflow the `u64` clock can never close, so timestamps
+                // at or near `u64::MAX` don't wrap (or panic) here.
+                while bin_start.checked_add(bin_secs).is_some_and(|end| t >= end) {
                     out.push(self.close_bin(bin_start));
                     // Skip empty stretches in one step (only when nothing
                     // needs a per-bin sample).
@@ -756,7 +765,7 @@ impl Monitor {
                         && !self.core.has_deviations()
                         && self.watches.is_empty()
                         && self.presence_watch.is_empty()
-                        && t >= next + bin_secs
+                        && next.checked_add(bin_secs).is_some_and(|end| t >= end)
                     {
                         bin_start = t - t % bin_secs;
                         // Still run promotions for the skipped stretch.

@@ -19,11 +19,23 @@
 //! asked about ([`MonitorCore::close_bin_eager`]), and prunes + promotes
 //! *immediately*. Later-bin events may therefore be streamed right behind
 //! the marker. When the merged groups need cross-shard denominators or
-//! signaled-PoP snapshots, the coordinator issues deferred read-only
-//! queries answered from the captured pre-state (live state for anything
-//! the finish did not touch — `apply` never mutates the stable index).
-//! Shards retain pre-states until the coordinator's next marker declares
-//! the bin finalized (`drop_upto`).
+//! snapshot denominators, the coordinator issues one combined deferred
+//! read-only query answered from the captured pre-state (live state for
+//! anything the finish did not touch — `apply` never mutates the stable
+//! index). Shards retain pre-states until the coordinator's next marker
+//! declares the bin finalized (`drop_upto`).
+//!
+//! **The close handshake is lock-free on the shard side.** Replies don't
+//! travel back over the mpsc channel: each close marker carries an
+//! `Arc<CloseBoard>` — one single-writer publication slot
+//! per shard plus an atomic countdown. A shard reaching the marker
+//! publishes its report with one store and immediately continues with the
+//! events queued *behind* the marker; it never waits on the coordinator
+//! or on sibling shards. Only the coordinator spins (with
+//! `thread::yield_now`) until the countdown hits zero, then merges the
+//! slots in shard-index order — the merge order, and therefore the
+//! resolved outcome, is deterministic and bit-identical to the single
+//! monitor (property-tested in `tests/differential.rs`).
 //!
 //! Events are batched per shard (`BATCH` events per channel send) so the
 //! per-event cost is one `Vec` push; the channel hop is amortized.
@@ -32,39 +44,147 @@ use crate::config::KeplerConfig;
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::intern::{AsnId, DenseRouteEvent, GroupKey, PopId, RouteId};
 use crate::monitor::{
-    finalize_bin, group_signals, BinPreState, DenseBinOutcome, GroupStat, Monitor, MonitorCore,
-    SnapshotPair,
+    finalize_bin, BinPreState, DenseBinOutcome, GroupStat, Monitor, MonitorCore, SnapshotPair,
 };
 use kepler_bgpstream::Timestamp;
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Events buffered per shard before a channel send.
 const BATCH: usize = 1024;
 
+/// A single-writer, single-reader publication slot.
+///
+/// Exactly one shard writes the slot (once per board) via
+/// [`publish`](Self::publish); the coordinator reads it via
+/// [`take`](Self::take) only after observing the ready flag (or the
+/// board countdown) with `Acquire` ordering, which synchronizes with the
+/// writer's `Release` store — so the plain cell write is always visible
+/// before the read.
+struct Slot<T> {
+    ready: AtomicBool,
+    cell: UnsafeCell<Option<T>>,
+}
+
+// SAFETY: the cell is only written before the `Release` store of `ready`
+// and only read after an `Acquire` load observes it (see `publish` /
+// `take`), so cross-thread access to the cell is data-race free.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot { ready: AtomicBool::new(false), cell: UnsafeCell::new(None) }
+    }
+
+    /// Publishes the value. Must be called at most once per slot.
+    fn publish(&self, value: T) {
+        // SAFETY: single writer (the owning shard), and the coordinator
+        // does not read until `ready` is observed true.
+        unsafe { *self.cell.get() = Some(value) };
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Takes the published value, if the publication is visible.
+    fn take(&self) -> Option<T> {
+        if self.ready.load(Ordering::Acquire) {
+            // SAFETY: `Acquire` above synchronizes with the writer's
+            // `Release`; the writer never touches the cell again.
+            unsafe { (*self.cell.get()).take() }
+        } else {
+            None
+        }
+    }
+}
+
+/// One bin close's reply board: a publication slot per shard plus an
+/// atomic countdown of outstanding publications. Allocated fresh per
+/// close and shared via `Arc` with every shard's marker, so closes can
+/// never cross-talk.
+struct CloseBoard<T> {
+    remaining: AtomicUsize,
+    slots: Vec<Slot<T>>,
+}
+
+impl<T> CloseBoard<T> {
+    fn new(shards: usize) -> Arc<Self> {
+        Arc::new(CloseBoard {
+            remaining: AtomicUsize::new(shards),
+            slots: (0..shards).map(|_| Slot::new()).collect(),
+        })
+    }
+
+    /// Wait-free publish from shard `idx`; never blocks the shard.
+    fn publish(&self, idx: usize, value: T) {
+        self.slots[idx].publish(value);
+        // `Release` RMWs on one atomic form a release sequence: the
+        // coordinator's `Acquire` read of the final zero synchronizes
+        // with every shard's publication.
+        self.remaining.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Coordinator-side: spin until every shard has published.
+    fn wait(&self) {
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Coordinator-side: take shard `idx`'s report (must be published).
+    fn take(&self, idx: usize) -> T {
+        self.slots[idx].take().expect("shard published its close report")
+    }
+}
+
+/// A shard's phase-1 close report, published on the close marker.
+struct ShardBinReport {
+    groups: Vec<GroupStat>,
+    stable_counts: Vec<usize>,
+    presence_counts: Vec<u64>,
+}
+
+/// A shard's phase-2 report: pre-finish denominators for the merged
+/// group keys plus snapshot denominators for the candidate pops.
+struct ShardResolveReport {
+    totals: Vec<usize>,
+    snapshots: Vec<(PopId, SnapshotPair)>,
+}
+
 enum ToShard {
     Events(Vec<(Timestamp, DenseRouteEvent)>),
-    /// In-stream bin-close marker: report bin groups plus stable counts
-    /// for the given pops, capture pre-finish state, then prune + promote
-    /// eagerly. Pre-states of bins at or before `drop_upto` are released.
+    /// In-stream bin-close marker: publish bin groups plus stable counts
+    /// for the given pops to the board, capture pre-finish state, then
+    /// prune + promote eagerly. Pre-states of bins at or before
+    /// `drop_upto` are released.
     CloseBin {
         /// End of the closing bin (prune/promote horizon).
         bin_end: Timestamp,
-        /// Watched PoPs whose stable counts the reply must carry.
+        /// Watched PoPs whose stable counts the report must carry.
         watched: Vec<PopId>,
         /// Presence-watched PoPs whose announced-crossing counts the
-        /// reply must carry (sampled at the marker's stream position).
+        /// report must carry (sampled at the marker's stream position).
         presence: Vec<PopId>,
         /// Every retained pre-state with `bin_end <=` this is dropped.
         drop_upto: Timestamp,
+        /// Where the report is published (lock-free, one slot per shard).
+        board: Arc<CloseBoard<ShardBinReport>>,
     },
-    /// Deferred: pre-finish stable-route counts of the given groups for
-    /// the bin that ended at the timestamp.
-    QueryGroupTotals(Timestamp, Vec<GroupKey>),
-    /// Deferred: pre-finish `stable_fars`/`stable_nears` of the given
-    /// pops for the bin that ended at the timestamp.
-    SnapshotPops(Timestamp, Vec<PopId>),
+    /// Deferred combined query: pre-finish stable-route counts of the
+    /// given groups plus `stable_fars`/`stable_nears` snapshots of the
+    /// given pops, for the bin that ended at the timestamp.
+    ResolveBin {
+        /// End of the bin whose retained pre-state answers the query.
+        bin_end: Timestamp,
+        /// Merged group keys needing all-shard denominators.
+        keys: Vec<GroupKey>,
+        /// Candidate pops needing snapshot denominators.
+        pops: Vec<PopId>,
+        /// Where the report is published.
+        board: Arc<CloseBoard<ShardResolveReport>>,
+    },
     /// Promotions only (empty-stretch skip).
     RunPromotions(Timestamp),
     QueryCrossings(Vec<(RouteId, PopId, AsnId)>),
@@ -74,15 +194,12 @@ enum ToShard {
 }
 
 enum FromShard {
-    Bin { groups: Vec<GroupStat>, stable_counts: Vec<usize>, presence_counts: Vec<u64> },
-    GroupTotals(Vec<usize>),
-    Snapshot(Vec<(PopId, SnapshotPair)>),
     Bools(Vec<bool>),
     Count(usize),
     Coverage(Vec<AsnId>, Vec<AsnId>),
 }
 
-fn shard_loop(mut core: MonitorCore, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
+fn shard_loop(idx: usize, mut core: MonitorCore, rx: Receiver<ToShard>, tx: Sender<FromShard>) {
     // Pre-finish states of eagerly-closed bins the coordinator may still
     // query, keyed by bin end. Bounded by the coordinator's `drop_upto`
     // acknowledgements (in practice: the bin being finalized plus one).
@@ -94,41 +211,32 @@ fn shard_loop(mut core: MonitorCore, rx: Receiver<ToShard>, tx: Sender<FromShard
                     core.apply(*t, ev);
                 }
             }
-            ToShard::CloseBin { bin_end, watched, presence, drop_upto } => {
+            ToShard::CloseBin { bin_end, watched, presence, drop_upto, board } => {
                 while prestates.front().map(|(end, _)| *end <= drop_upto).unwrap_or(false) {
                     prestates.pop_front();
                 }
                 let eager = core.close_bin_eager(bin_end, &watched, &presence);
                 prestates.push_back((bin_end, eager.pre));
-                let reply = FromShard::Bin {
-                    groups: eager.groups,
-                    stable_counts: eager.watch_stables,
-                    presence_counts: eager.presence,
-                };
-                if tx.send(reply).is_err() {
-                    return;
-                }
+                // Wait-free publish: the shard proceeds straight to the
+                // events queued behind the marker.
+                board.publish(
+                    idx,
+                    ShardBinReport {
+                        groups: eager.groups,
+                        stable_counts: eager.watch_stables,
+                        presence_counts: eager.presence,
+                    },
+                );
             }
-            ToShard::QueryGroupTotals(bin_end, keys) => {
+            ToShard::ResolveBin { bin_end, keys, pops, board } => {
                 let pre = prestates
                     .iter()
                     .find(|(end, _)| *end == bin_end)
                     .map(|(_, pre)| pre)
                     .expect("queried bin's pre-state retained");
-                if tx.send(FromShard::GroupTotals(core.group_totals_pre(pre, &keys))).is_err() {
-                    return;
-                }
-            }
-            ToShard::SnapshotPops(bin_end, pops) => {
-                let pre = prestates
-                    .iter()
-                    .find(|(end, _)| *end == bin_end)
-                    .map(|(_, pre)| pre)
-                    .expect("queried bin's pre-state retained");
-                let snap = pops.iter().map(|&p| (p, core.snapshot_pre(pre, p))).collect();
-                if tx.send(FromShard::Snapshot(snap)).is_err() {
-                    return;
-                }
+                let totals = core.group_totals_pre(pre, &keys);
+                let snapshots = pops.iter().map(|&p| (p, core.snapshot_pre(pre, p))).collect();
+                board.publish(idx, ShardResolveReport { totals, snapshots });
             }
             ToShard::RunPromotions(now) => core.run_promotions(now),
             ToShard::QueryCrossings(items) => {
@@ -183,11 +291,11 @@ impl ShardedMonitor {
         let mut txs = Vec::with_capacity(shards);
         let mut rxs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for idx in 0..shards {
             let (tx, shard_rx) = channel::<ToShard>();
             let (shard_tx, rx) = channel::<FromShard>();
             let core = MonitorCore::new(config.clone(), shards as u32);
-            handles.push(std::thread::spawn(move || shard_loop(core, shard_rx, shard_tx)));
+            handles.push(std::thread::spawn(move || shard_loop(idx, core, shard_rx, shard_tx)));
             txs.push(tx);
             rxs.push(rx);
         }
@@ -281,7 +389,9 @@ impl ShardedMonitor {
             }
             Some(start) => {
                 let mut bin_start = start;
-                while t >= bin_start + bin_secs {
+                // Checked bin-end arithmetic, mirroring
+                // [`Monitor::advance_to`]'s `u64::MAX` guard.
+                while bin_start.checked_add(bin_secs).is_some_and(|end| t >= end) {
                     out.push(self.close_bin(bin_start));
                     let next = bin_start + bin_secs;
                     // Post-close, shard deviation state is always empty, so
@@ -289,7 +399,7 @@ impl ShardedMonitor {
                     if out.last().map(|o| o.signals.is_empty()).unwrap_or(false)
                         && self.watches.is_empty()
                         && self.presence_watch.is_empty()
-                        && t >= next + bin_secs
+                        && next.checked_add(bin_secs).is_some_and(|end| t >= end)
                     {
                         bin_start = t - t % bin_secs;
                         for shard in 0..self.txs.len() {
@@ -312,46 +422,47 @@ impl ShardedMonitor {
         // watched counts, captures pre-finish state, and prunes +
         // promotes eagerly — no separate finish round-trip.
         let watched: Vec<PopId> = self.watches.keys().copied().collect();
+        let board = CloseBoard::new(self.txs.len());
         for shard in 0..self.txs.len() {
             let marker = ToShard::CloseBin {
                 bin_end,
                 watched: watched.clone(),
                 presence: self.presence_watch.clone(),
                 drop_upto: self.finalized_upto,
+                board: Arc::clone(&board),
             };
             self.send(shard, marker);
         }
+        // Only the coordinator waits; shards publish and stream on.
+        board.wait();
         let mut merged: FxHashMap<GroupKey, GroupStat> = FxHashMap::default();
         let mut watch_stables = vec![0usize; watched.len()];
         let mut presence_sums = vec![0u64; self.presence_watch.len()];
-        for rx in &self.rxs {
-            match rx.recv().expect("shard reply") {
-                FromShard::Bin { groups, stable_counts, presence_counts } => {
-                    for g in groups {
-                        match merged.get_mut(&g.key) {
-                            None => {
-                                merged.insert(g.key, g);
-                            }
-                            Some(m) => {
-                                // Numerators and far sets merge here;
-                                // denominators come from phase 1b, which
-                                // overwrites `stable_total` with the
-                                // all-shard count.
-                                m.deviated.extend(g.deviated);
-                                m.fars.extend(g.fars);
-                            }
-                        }
+        // Merge in shard-index order: deterministic, so group route lists
+        // and far sets come out bit-identical run to run.
+        for shard in 0..self.txs.len() {
+            let ShardBinReport { groups, stable_counts, presence_counts } = board.take(shard);
+            for g in groups {
+                match merged.get_mut(&g.key) {
+                    None => {
+                        merged.insert(g.key, g);
                     }
-                    for (acc, n) in watch_stables.iter_mut().zip(stable_counts) {
-                        *acc += n;
-                    }
-                    // Routes live on exactly one shard, so per-shard
-                    // presence counts are disjoint and sum exactly.
-                    for (acc, n) in presence_sums.iter_mut().zip(presence_counts) {
-                        *acc += n;
+                    Some(m) => {
+                        // Numerators and far sets merge here; denominators
+                        // come from the resolve phase, which overwrites
+                        // `stable_total` with the all-shard count.
+                        m.deviated.extend(g.deviated);
+                        m.fars.extend(g.fars);
                     }
                 }
-                _ => unreachable!("protocol: expected Bin"),
+            }
+            for (acc, n) in watch_stables.iter_mut().zip(stable_counts) {
+                *acc += n;
+            }
+            // Routes live on exactly one shard, so per-shard presence
+            // counts are disjoint and sum exactly.
+            for (acc, n) in presence_sums.iter_mut().zip(presence_counts) {
+                *acc += n;
             }
         }
         // Watched series from merged counts (same pre-pruning view as the
@@ -373,63 +484,51 @@ impl ShardedMonitor {
             let set: FxHashSet<AsnId> = g.fars.iter().copied().collect();
             g.fars = set.into_iter().collect();
         }
-        // Deferred query: a group's denominator must count *every* shard's
-        // stable routes, including shards that saw no deviation for it
-        // this bin — gather pre-finish totals for the merged group keys.
+        // Combined deferred query: a group's denominator must count
+        // *every* shard's stable routes, including shards that saw no
+        // deviation for it this bin — gather pre-finish totals for the
+        // merged group keys, plus snapshot denominators for every group
+        // PoP. The PoP list is a superset of the pops `finalize_bin` will
+        // actually consume (it only asks for signaled ones); snapshots are
+        // read-only pre-state lookups, so over-asking is harmless and
+        // keeps the close at one resolve round instead of two.
+        let mut snapshots: FxHashMap<PopId, SnapshotPair> = FxHashMap::default();
         if !groups.is_empty() {
             let keys: Vec<GroupKey> = groups.iter().map(|g| g.key).collect();
+            let mut pops: Vec<PopId> =
+                groups.iter().map(|g| crate::intern::unpack_group(g.key).0).collect();
+            pops.sort_unstable();
+            pops.dedup();
+            let board = CloseBoard::new(self.txs.len());
             for shard in 0..self.txs.len() {
-                self.send(shard, ToShard::QueryGroupTotals(bin_end, keys.clone()));
+                let query = ToShard::ResolveBin {
+                    bin_end,
+                    keys: keys.clone(),
+                    pops: pops.clone(),
+                    board: Arc::clone(&board),
+                };
+                self.send(shard, query);
             }
+            board.wait();
             let mut totals = vec![0usize; keys.len()];
-            for rx in &self.rxs {
-                match rx.recv().expect("shard reply") {
-                    FromShard::GroupTotals(t) => {
-                        for (acc, n) in totals.iter_mut().zip(t) {
-                            *acc += n;
-                        }
-                    }
-                    _ => unreachable!("protocol: expected GroupTotals"),
+            for shard in 0..self.txs.len() {
+                let ShardResolveReport { totals: t, snapshots: snap } = board.take(shard);
+                for (acc, n) in totals.iter_mut().zip(t) {
+                    *acc += n;
+                }
+                for (pop, (fars, nears)) in snap {
+                    let entry = snapshots.entry(pop).or_default();
+                    merge_fars(&mut entry.0, fars);
+                    merge_nears(&mut entry.1, nears);
                 }
             }
             for (g, total) in groups.iter_mut().zip(totals) {
                 g.stable_total = total;
             }
         }
-        // Deferred query: snapshot denominators for signaled pops across
-        // shards (answered from the captured pre-finish state).
-        let mut snapshots: FxHashMap<PopId, SnapshotPair> = FxHashMap::default();
-        let mut outcome = {
-            // Scan the merged groups for signaled pops (same thresholds
-            // finalize_bin applies) without cloning the route lists.
-            let mut pops: Vec<PopId> = groups
-                .iter()
-                .filter(|g| group_signals(&self.config, g))
-                .map(|g| crate::intern::unpack_group(g.key).0)
-                .collect();
-            pops.sort_unstable();
-            pops.dedup();
-            if !pops.is_empty() {
-                for shard in 0..self.txs.len() {
-                    self.send(shard, ToShard::SnapshotPops(bin_end, pops.clone()));
-                }
-                for rx in &self.rxs {
-                    match rx.recv().expect("shard reply") {
-                        FromShard::Snapshot(snap) => {
-                            for (pop, (fars, nears)) in snap {
-                                let entry = snapshots.entry(pop).or_default();
-                                merge_fars(&mut entry.0, fars);
-                                merge_nears(&mut entry.1, nears);
-                            }
-                        }
-                        _ => unreachable!("protocol: expected Snapshot"),
-                    }
-                }
-            }
-            finalize_bin(&self.config, bin_start, groups, |pop| {
-                snapshots.remove(&pop).unwrap_or_default()
-            })
-        };
+        let mut outcome = finalize_bin(&self.config, bin_start, groups, |pop| {
+            snapshots.remove(&pop).unwrap_or_default()
+        });
         if !self.presence_watch.is_empty() {
             outcome.watch_presence =
                 self.presence_watch.iter().copied().zip(presence_sums).collect();

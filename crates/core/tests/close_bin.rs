@@ -1,0 +1,246 @@
+//! Close-bin handshake tests for the sharded monitor: the lock-free
+//! publication board (`core::shard`) must merge shard reports in a
+//! deterministic order no matter how the OS schedules the worker
+//! threads, lose no crossings when events race the in-stream close
+//! markers, and survive timestamps at the top of the `u64` clock
+//! (bin-end arithmetic is checked, never wrapping).
+
+use kepler_bgp::{AsPath, Asn, BgpUpdate, Community, PathAttributes, Prefix};
+use kepler_bgpstream::{BgpRecord, CollectorId, PeerId, RecordPayload, Timestamp};
+use kepler_core::config::KeplerConfig;
+use kepler_core::input::InputModule;
+use kepler_core::intern::{AsnId, DenseCrossing, DenseRouteEvent, Interner, PopId, RouteId};
+use kepler_core::monitor::{BinOutcome, Monitor};
+use kepler_core::shard::ShardedMonitor;
+use kepler_docmine::{CommunityDictionary, LocationTag};
+use kepler_topology::{ColocationMap, FacilityId};
+
+const DAY: u64 = 86_400;
+
+fn config() -> KeplerConfig {
+    KeplerConfig { min_stable_paths: 1, ..KeplerConfig::default() }
+}
+
+fn dictionary() -> CommunityDictionary {
+    let mut d = CommunityDictionary::new();
+    for n in 0..8u16 {
+        d.insert(Community::new(100 + n, 500), LocationTag::Facility(FacilityId(n as u32 % 5)));
+    }
+    d
+}
+
+fn peer(p: u8) -> PeerId {
+    PeerId { asn: Asn(3356 + (p % 3) as u32), addr: "10.0.0.1".parse().unwrap() }
+}
+
+fn announce(t: Timestamp, i: u8, near: u8) -> BgpRecord {
+    BgpRecord {
+        time: t,
+        collector: CollectorId(i as u16 % 4),
+        peer: peer(i % 4),
+        payload: RecordPayload::Update(BgpUpdate::announce(
+            vec![Prefix::v4(20, i, 0, 0, 16)],
+            PathAttributes::with_path_and_communities(
+                AsPath::from_sequence([3356, 100 + near as u32, 200 + i as u32]),
+                vec![Community::new(100 + near as u16, 500)],
+            ),
+        )),
+    }
+}
+
+fn withdraw(t: Timestamp, i: u8) -> BgpRecord {
+    BgpRecord {
+        time: t,
+        collector: CollectorId(i as u16 % 4),
+        peer: peer(i % 4),
+        payload: RecordPayload::Update(BgpUpdate::withdraw(vec![Prefix::v4(20, i, 0, 0, 16)])),
+    }
+}
+
+/// An outage world busy enough to put groups on several monitor shards:
+/// routes cross two (pop, near) groups, become stable over two days, then
+/// most of one group withdraws inside a single bin.
+fn outage_stream() -> Vec<BgpRecord> {
+    let t0 = 1_000_000u64;
+    let mut recs = Vec::new();
+    for i in 0..8u8 {
+        recs.push(announce(t0, i, 1));
+        recs.push(announce(t0 + 1, i + 100, 2)); // second group, distinct routes
+    }
+    for i in 0..6u8 {
+        recs.push(withdraw(t0 + 2 * DAY + 300, i));
+    }
+    recs
+}
+
+/// Decodes the stream serially into dense events (the decode layer is
+/// not under test here).
+fn dense_events(records: &[BgpRecord]) -> (Vec<(Timestamp, DenseRouteEvent)>, Interner) {
+    let mut input = InputModule::new(dictionary(), ColocationMap::new());
+    let mut interner = Interner::new();
+    let mut events = Vec::new();
+    for rec in records {
+        input.process_record_events(rec, &mut interner, |ev| events.push((rec.time, ev)));
+    }
+    (events, interner)
+}
+
+/// Tiny deterministic PRNG (xorshift64*) for seeded interleavings.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Reference: the whole stream through a single-threaded monitor.
+fn single_outcomes(
+    events: &[(Timestamp, DenseRouteEvent)],
+    interner: &Interner,
+    end: Timestamp,
+) -> Vec<BinOutcome> {
+    let mut monitor = Monitor::new(config());
+    let mut out = Vec::new();
+    for (t, ev) in events {
+        out.extend(monitor.observe(*t, ev).iter().map(|o| o.resolve(interner)));
+    }
+    out.extend(monitor.advance_to(end).iter().map(|o| o.resolve(interner)));
+    out
+}
+
+/// The same stream through a sharded monitor, with a seeded interleaving:
+/// events are fed in PRNG-sized bursts with coordinator yields and
+/// PRNG-placed intermediate `advance_to` calls (each one races close
+/// markers through the shard channels against in-flight events).
+fn sharded_outcomes_interleaved(
+    events: &[(Timestamp, DenseRouteEvent)],
+    interner: &Interner,
+    end: Timestamp,
+    shards: usize,
+    seed: u64,
+) -> Vec<BinOutcome> {
+    let mut rng = Rng(seed | 1);
+    let mut monitor = ShardedMonitor::new(config(), shards);
+    let mut out = Vec::new();
+    let mut fed_until = 0u64;
+    for (t, ev) in events {
+        out.extend(monitor.observe(*t, ev).iter().map(|o| o.resolve(interner)));
+        fed_until = fed_until.max(*t);
+        match rng.below(8) {
+            // Let shard workers drain so the next close marker races a
+            // cold pipeline instead of a full one.
+            0 => std::thread::yield_now(),
+            // Interpose an advance to a time we have already fed — a
+            // semantic no-op that still pushes close markers through
+            // every shard channel mid-stream.
+            1 => {
+                out.extend(monitor.advance_to(fed_until).iter().map(|o| o.resolve(interner)));
+            }
+            _ => {}
+        }
+    }
+    out.extend(monitor.advance_to(end).iter().map(|o| o.resolve(interner)));
+    out
+}
+
+/// Identical outcomes across repeated runs (thread scheduling varies),
+/// shard counts, seeded burst patterns, and the single-threaded
+/// reference: no lost crossings, deterministic merge order.
+#[test]
+fn seeded_interleavings_are_deterministic_and_lossless() {
+    let recs = outage_stream();
+    let (events, interner) = dense_events(&recs);
+    let end = 1_000_000 + 2 * DAY + 300_000;
+    let reference = single_outcomes(&events, &interner, end);
+    // Precondition: the scenario actually produces a signal to lose.
+    let signals: usize = reference.iter().map(|o| o.signals.len()).sum();
+    assert!(signals >= 1, "outage scenario must produce signals, got {signals}");
+    for shards in [1usize, 2, 3, 8] {
+        for seed in 0..12u64 {
+            let sharded = sharded_outcomes_interleaved(&events, &interner, end, shards, seed);
+            assert_eq!(reference, sharded, "outcomes diverged at {shards} shards, seed {seed}");
+        }
+    }
+}
+
+/// Back-to-back full runs of the same stream on fresh sharded monitors
+/// (fresh worker threads each time, so genuinely different OS schedules)
+/// must agree with each other bit-for-bit.
+#[test]
+fn repeated_runs_merge_in_identical_order() {
+    let recs = outage_stream();
+    let (events, interner) = dense_events(&recs);
+    let end = 1_000_000 + 2 * DAY + 300_000;
+    let first = sharded_outcomes_interleaved(&events, &interner, end, 8, 99);
+    for _ in 0..8 {
+        let again = sharded_outcomes_interleaved(&events, &interner, end, 8, 99);
+        assert_eq!(first, again, "same stream, same seed, different outcomes");
+    }
+}
+
+fn synthetic_update(route: u32) -> DenseRouteEvent {
+    DenseRouteEvent::Update {
+        route: RouteId(route),
+        crossings: vec![DenseCrossing { pop: PopId(0), near: AsnId(0), far: AsnId(1) }].into(),
+    }
+}
+
+/// Timestamps at the top of the clock: a bin whose end would overflow
+/// `u64` can never close, so observing and advancing at `u64::MAX` must
+/// neither panic nor wrap — on the single monitor.
+#[test]
+fn single_monitor_survives_u64_max_timestamps() {
+    let mut monitor = Monitor::new(config());
+    // Ordinary warm-up far below the top.
+    assert!(monitor.observe(1_000_000, &synthetic_update(0)).is_empty());
+    // Jump to the top of the clock: terminates (empty-stretch skip) and
+    // closes bins without overflow.
+    let closed = monitor.advance_to(u64::MAX);
+    assert!(!closed.is_empty(), "the warm-up bin closes on the way up");
+    // Events inside the final, never-closable bin.
+    monitor.observe(u64::MAX - 5, &synthetic_update(1));
+    monitor.observe(u64::MAX, &DenseRouteEvent::Withdraw { route: RouteId(1) });
+    // Idempotent at the top; nothing further can close.
+    assert!(monitor.advance_to(u64::MAX).is_empty());
+    assert!(monitor.advance_to(u64::MAX).is_empty());
+}
+
+/// Same guard on the sharded monitor: the close-board handshake must not
+/// be asked to close a bin whose end overflows, and worker threads shut
+/// down cleanly afterwards.
+#[test]
+fn sharded_monitor_survives_u64_max_timestamps() {
+    for shards in [1usize, 3, 8] {
+        let mut monitor = ShardedMonitor::new(config(), shards);
+        assert!(monitor.observe(1_000_000, &synthetic_update(0)).is_empty());
+        let closed = monitor.advance_to(u64::MAX);
+        assert!(!closed.is_empty(), "warm-up bin closes ({shards} shards)");
+        monitor.observe(u64::MAX - 5, &synthetic_update(1));
+        monitor.observe(u64::MAX, &DenseRouteEvent::Withdraw { route: RouteId(1) });
+        assert!(monitor.advance_to(u64::MAX).is_empty());
+        assert!(monitor.advance_to(u64::MAX).is_empty());
+    }
+}
+
+/// A monitor whose very first observation sits at `u64::MAX` starts its
+/// bin there and stays silent forever — no overflow on the aligned
+/// `bin_start` computation either.
+#[test]
+fn first_event_at_u64_max_is_inert() {
+    let mut monitor = Monitor::new(config());
+    assert!(monitor.observe(u64::MAX, &synthetic_update(0)).is_empty());
+    assert!(monitor.advance_to(u64::MAX).is_empty());
+    let mut sharded = ShardedMonitor::new(config(), 4);
+    assert!(sharded.observe(u64::MAX, &synthetic_update(0)).is_empty());
+    assert!(sharded.advance_to(u64::MAX).is_empty());
+}
